@@ -1,0 +1,96 @@
+"""Ablation A5 (extension): abrupt crashes and the replication defence.
+
+BOINC replicates queries ("consumers may create several instances of a
+query so as to validate results returned by providers") partly because
+volunteers fail abruptly.  The graceful churn model cannot show that
+defence working; this ablation injects crashes (exponential MTTF,
+repair after 120 s) and compares:
+
+* ``n=1``          -- one replica, no safety margin;
+* ``n=2, quorum=2``-- two replicas, *both* required: more exposure;
+* ``n=2, quorum=1``-- two replicas, first answer wins: the defence.
+
+Expected shape: the write-off (timeout) rate of ``n=2, quorum=1`` is
+the lowest -- a single crash cannot kill the query -- and its response
+time beats ``quorum=2`` (first answer wins).
+"""
+
+import dataclasses
+
+from repro.analysis.tables import render_table
+from repro.experiments.config import ExperimentConfig, PolicySpec
+from repro.experiments.runner import run_once
+from repro.system.failures import FailureConfig
+from repro.workloads.boinc import BoincScenarioParams
+
+VARIANTS = (
+    ("n=1", dict(n_results=1, quorum=None)),
+    ("n=2 quorum=2", dict(n_results=2, quorum=None)),
+    ("n=2 quorum=1", dict(n_results=2, quorum=1)),
+)
+
+
+def bench_crash_replication(benchmark, scenario_scale):
+    duration = scenario_scale["duration"] / 2
+    n_providers = scenario_scale["n_providers"]
+
+    def sweep():
+        results = []
+        for label, overrides in VARIANTS:
+            population = BoincScenarioParams(n_providers=n_providers, **overrides)
+            config = ExperimentConfig(
+                name=f"ablation-crash-{label}",
+                seed=20090301,
+                duration=duration,
+                population=population,
+                failures=FailureConfig(mttf=600.0, repair_time=120.0, start=60.0),
+                result_timeout=240.0,
+            )
+            results.append(run_once(config, PolicySpec(name="sbqa", label=label)))
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for result in results:
+        s = result.summary
+        write_off_rate = s.queries_timed_out / max(1, s.queries_issued)
+        rows.append(
+            [
+                result.label,
+                s.provider_crashes,
+                s.queries_lost_to_crashes,
+                s.queries_timed_out,
+                write_off_rate,
+                s.mean_response_time,
+                s.queries_completed,
+            ]
+        )
+    print()
+    print(
+        render_table(
+            [
+                "variant",
+                "crashes",
+                "lost results",
+                "timed out",
+                "write-off rate",
+                "mean rt (s)",
+                "completed",
+            ],
+            rows,
+            title="Ablation A5: crash injection vs replication (SbQA)",
+            decimals=4,
+        )
+    )
+
+    by_label = {row[0]: row for row in rows}
+    # crashes actually happened in every variant
+    assert all(row[1] > 0 for row in rows)
+    # the quorum defence: lowest write-off rate of the three
+    assert by_label["n=2 quorum=1"][4] <= by_label["n=1"][4]
+    assert by_label["n=2 quorum=1"][4] <= by_label["n=2 quorum=2"][4]
+    # requiring both replicas is the most exposed variant
+    assert by_label["n=2 quorum=2"][4] >= by_label["n=1"][4]
+    # first-answer-wins also beats both-required on response time
+    assert by_label["n=2 quorum=1"][5] <= by_label["n=2 quorum=2"][5]

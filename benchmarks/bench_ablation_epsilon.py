@@ -1,0 +1,69 @@
+"""Ablation A1: why the epsilon guard exists (Definition 3).
+
+The paper: "Parameter eps > 0, usually set to 1, prevents the
+provider's score from taking 0 values when the consumer's or provider's
+intention is equal to 1."  The failure mode with a vanishing epsilon:
+a provider with ``PI = 1`` on the negative branch scores
+``-((1-1+eps)^w * ...) -> -0`` -- the *best possible* negative score --
+so a provider the consumer fully objects to (``CI = -1``) outranks
+every other objectionable pairing.  One side's enthusiasm erases the
+other side's veto.
+
+This bench quantifies that: for several epsilon values it measures the
+fraction of "veto" comparisons decided correctly -- a (PI=1, CI=-1)
+pair should rank *below* a (PI=0, CI=+c) pair for any c > 0 -- and
+times the scoring kernel.
+"""
+
+from repro.analysis.tables import render_table
+from repro.core.scoring import sqlb_score
+
+EPSILONS = (1e-9, 0.01, 0.1, 0.5, 1.0, 2.0)
+#: Consumer intentions of the comparison pairs (provider neutral).
+CONSUMER_GRID = [i / 50.0 for i in range(1, 50)]  # (0, 1)
+
+
+def veto_respected_fraction(epsilon: float, omega: float = 0.5) -> float:
+    """Share of comparisons where the consumer's total objection wins.
+
+    The "eager pariah" (PI=1, CI=-1) must rank below every
+    (PI=0, CI=c>0) pairing -- the consumer strictly prefers the
+    neutral provider it actually wants.
+    """
+    pariah = sqlb_score(1.0, -1.0, omega, epsilon)
+    respected = sum(
+        1 for c in CONSUMER_GRID if sqlb_score(0.0, c, omega, epsilon) > pariah
+    )
+    return respected / len(CONSUMER_GRID)
+
+
+def bench_epsilon_guard(benchmark):
+    rows = [[eps, veto_respected_fraction(eps)] for eps in EPSILONS]
+    print()
+    print(
+        render_table(
+            ["epsilon", "consumer veto respected (fraction)"],
+            rows,
+            title="Ablation A1: epsilon prevents score collapse at intention 1",
+            decimals=4,
+        )
+    )
+
+    # vanishing epsilon: the eager pariah beats everyone -- score collapse
+    assert veto_respected_fraction(1e-9) < 0.05
+    # the paper's default restores a substantial share of the vetoes ...
+    assert veto_respected_fraction(1.0) > 0.4
+    # ... and the effect is monotone in epsilon across the sweep
+    fractions = [veto_respected_fraction(eps) for eps in EPSILONS]
+    assert fractions == sorted(fractions)
+
+    # time the scoring kernel itself (the per-mediation hot path)
+    grid = [i / 50.0 - 1.0 for i in range(100)]
+
+    def score_grid():
+        total = 0.0
+        for ci in grid:
+            total += sqlb_score(0.7, ci, 0.5, 1.0)
+        return total
+
+    benchmark(score_grid)

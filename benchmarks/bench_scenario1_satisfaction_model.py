@@ -1,0 +1,28 @@
+"""Scenario 1 bench: the satisfaction model over baseline techniques.
+
+Regenerates the demo's first experiment: capacity-based [9] vs economic
+[13] allocation in a *captive* BOINC platform, analysed through the
+satisfaction model of Section II.  The printed comparison table and
+satisfaction curves are the data the demo GUIs displayed; the claim
+checks encode the paper's qualitative expectations.
+"""
+
+from benchmarks.conftest import assert_claims, print_scenario
+from repro.experiments.scenarios import scenario1_satisfaction_model
+
+
+def bench_scenario1(benchmark, scenario_scale):
+    result = benchmark.pedantic(
+        lambda: scenario1_satisfaction_model(**scenario_scale),
+        rounds=1,
+        iterations=1,
+    )
+    print_scenario(result)
+
+    # per-archetype view: the interest-driven minority both baselines fail
+    capacity = result.run("capacity")
+    for archetype in ("enthusiast", "selective", "picky"):
+        series = capacity.hub.group_satisfaction[f"archetype:{archetype}"]
+        print(f"capacity / {archetype:<11} final satisfaction: {series.last:.3f}")
+
+    assert_claims(result)

@@ -1,0 +1,39 @@
+"""Scenario 2 bench: predicting departures by dissatisfaction.
+
+Regenerates the demo's churn experiment: the same baselines as Scenario
+1 but in an *autonomous* environment -- providers leave below
+satisfaction 0.35, consumers below 0.5.  Prints the departure timeline
+and the per-archetype breakdown that shows dissatisfaction *predicting*
+who leaves.
+"""
+
+from benchmarks.conftest import assert_claims, print_scenario
+from repro.experiments.scenarios import scenario2_departures
+
+
+def bench_scenario2(benchmark, scenario_scale):
+    result = benchmark.pedantic(
+        lambda: scenario2_departures(**scenario_scale),
+        rounds=1,
+        iterations=1,
+    )
+    print_scenario(result)
+
+    for run in result.runs:
+        print(f"\n{run.label}: departure timeline (first 10)")
+        for departure in run.hub.departures[:10]:
+            print(
+                f"  t={departure.time:7.1f}  {departure.kind:<8} "
+                f"{departure.participant_id:<14} sat={departure.satisfaction:.3f}"
+            )
+        by_archetype = {}
+        for pid, archetype in run.population.archetype_of.items():
+            provider = run.registry.provider(pid)
+            by_archetype.setdefault(archetype, []).append(provider.online)
+        for archetype, online_flags in sorted(by_archetype.items()):
+            departed = online_flags.count(False)
+            print(
+                f"  {archetype:<11} departed {departed:3d} / {len(online_flags):3d}"
+            )
+
+    assert_claims(result)

@@ -1,0 +1,31 @@
+"""Scenario 3 bench: SbQA vs baselines in a captive environment.
+
+Regenerates the demo's claim that SbQA "is suitable for captive
+environments even if it was not designed for [them]": response times
+within a small factor of the baselines, participant satisfaction
+strictly higher.
+"""
+
+from benchmarks.conftest import assert_claims, print_scenario
+from repro.experiments.scenarios import scenario3_captive
+
+
+def bench_scenario3(benchmark, scenario_scale):
+    result = benchmark.pedantic(
+        lambda: scenario3_captive(**scenario_scale),
+        rounds=1,
+        iterations=1,
+    )
+    print_scenario(result)
+
+    sbqa = result.run("sbqa").summary
+    capacity = result.run("capacity").summary
+    ratio = sbqa.mean_response_time / max(1e-9, capacity.mean_response_time)
+    print(f"\nresponse-time ratio sbqa / capacity: {ratio:.2f}x (paper: 'not far')")
+    print(
+        f"satisfaction lift over capacity: provider "
+        f"+{sbqa.provider_satisfaction_final - capacity.provider_satisfaction_final:.3f}, "
+        f"consumer +{sbqa.consumer_satisfaction_final - capacity.consumer_satisfaction_final:.3f}"
+    )
+
+    assert_claims(result)

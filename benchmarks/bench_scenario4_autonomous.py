@@ -1,0 +1,26 @@
+"""Scenario 4 bench: SbQA vs baselines under churn -- the headline.
+
+Regenerates the demo's central demonstration: "SbQA can significantly
+improve the performance of BOINC-based projects by preserving most
+volunteers online and hence more computational resources."  Prints the
+population and capacity trajectories behind the claim.
+"""
+
+from benchmarks.conftest import assert_claims, print_scenario
+from repro.experiments.report import render_run_series
+from repro.experiments.scenarios import scenario4_autonomous
+
+
+def bench_scenario4(benchmark, scenario_scale):
+    result = benchmark.pedantic(
+        lambda: scenario4_autonomous(**scenario_scale),
+        rounds=1,
+        iterations=1,
+    )
+    print_scenario(result)
+    print()
+    print(render_run_series(result.runs, "providers_online"))
+    print()
+    print(render_run_series(result.runs, "total_capacity"))
+
+    assert_claims(result)

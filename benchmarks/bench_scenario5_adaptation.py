@@ -1,0 +1,34 @@
+"""Scenario 5 bench: self-adaptation to participants' expectations.
+
+Regenerates the demo's adaptation experiment: when projects become
+interested only in response times and volunteers only in their load,
+the *same* SbQA process turns into a load balancer -- response times
+drop and work spreads more evenly (lower Gini).
+"""
+
+from benchmarks.conftest import assert_claims, print_scenario
+from repro.experiments.report import render_run_series
+from repro.experiments.scenarios import scenario5_expectation_adaptation
+
+
+def bench_scenario5(benchmark, scenario_scale):
+    result = benchmark.pedantic(
+        lambda: scenario5_expectation_adaptation(**scenario_scale),
+        rounds=1,
+        iterations=1,
+    )
+    print_scenario(result)
+    print()
+    print(render_run_series(result.runs, "response_time_mean"))
+    print()
+    print(render_run_series(result.runs, "utilization_gini"))
+
+    interests = result.run("sbqa[interests]").summary
+    performance = result.run("sbqa[performance]").summary
+    print(
+        f"\nadaptation effect: mean rt {interests.mean_response_time:.1f}s -> "
+        f"{performance.mean_response_time:.1f}s, "
+        f"work gini {interests.work_gini:.3f} -> {performance.work_gini:.3f}"
+    )
+
+    assert_claims(result)

@@ -1,0 +1,31 @@
+"""Scenario 6 bench: adapting SbQA to the application via kn and omega.
+
+Regenerates the demo's tuning experiment: sweeping KnBest's ``kn``
+trades response time against interest matching, and pinning ``omega``
+trades consumer satisfaction against provider satisfaction, with the
+adaptive Equation-2 omega sitting between the extremes.
+"""
+
+from benchmarks.conftest import assert_claims, print_scenario
+from repro.experiments.scenarios import scenario6_application_adaptability
+
+
+def bench_scenario6(benchmark, scenario_scale):
+    result = benchmark.pedantic(
+        lambda: scenario6_application_adaptability(**scenario_scale),
+        rounds=1,
+        iterations=1,
+    )
+    print_scenario(result)
+
+    print("\ntuning guide (derived from this run):")
+    rows = [(run.label, run.summary) for run in result.runs]
+    fastest = min(rows, key=lambda r: r[1].mean_response_time)
+    happiest = max(rows, key=lambda r: r[1].provider_satisfaction_final)
+    print(f"  lowest response time : {fastest[0]} ({fastest[1].mean_response_time:.1f}s)")
+    print(
+        f"  happiest providers   : {happiest[0]} "
+        f"({happiest[1].provider_satisfaction_final:.3f})"
+    )
+
+    assert_claims(result)

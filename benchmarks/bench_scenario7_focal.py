@@ -1,0 +1,31 @@
+"""Scenario 7 bench: playing a BOINC participant.
+
+Regenerates the demo's interactive scenario with deterministic probes:
+a volunteer devoted to the unpopular project and a project trusting a
+small provider subset, injected into every mediation.  The paper's
+claim: only the SQLB mediation lets a participant reach its objectives
+in all cases.
+"""
+
+from benchmarks.conftest import assert_claims, print_scenario
+from repro.experiments.scenarios import scenario7_focal_participant
+
+
+def bench_scenario7(benchmark, scenario_scale):
+    result = benchmark.pedantic(
+        lambda: scenario7_focal_participant(**scenario_scale),
+        rounds=1,
+        iterations=1,
+    )
+    print_scenario(result)
+
+    print("\nfocal provider: proposals seen / performed, by mediation")
+    for run in result.runs:
+        focal = run.registry.provider("focal-provider")
+        print(
+            f"  {run.label:<13} proposed={focal.tracker.total_proposed:5d} "
+            f"performed={focal.tracker.total_performed:5d} "
+            f"sat={focal.satisfaction:.3f}"
+        )
+
+    assert_claims(result)

@@ -1,0 +1,46 @@
+"""Shared bench configuration.
+
+Every scenario bench runs at the DESIGN.md reference scale by default
+(120 providers, 2400 simulated seconds -- the scale EXPERIMENTS.md
+records).  Set ``SBQA_BENCH_SCALE=small`` to run a fast smoke pass
+(70 providers, 1000 s).
+
+Run with ``pytest benchmarks/ --benchmark-only`` and add ``-s`` to see
+the scenario reports (tables + claim checks) each bench prints.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+_SCALES = {
+    "full": {"duration": 2400.0, "n_providers": 120},
+    "small": {"duration": 1000.0, "n_providers": 70},
+}
+
+
+@pytest.fixture(scope="session")
+def scenario_scale() -> dict:
+    """Scenario size knobs, selected by SBQA_BENCH_SCALE."""
+    name = os.environ.get("SBQA_BENCH_SCALE", "full").lower()
+    if name not in _SCALES:
+        raise ValueError(
+            f"SBQA_BENCH_SCALE must be one of {sorted(_SCALES)}, got {name!r}"
+        )
+    return dict(_SCALES[name])
+
+
+def print_scenario(result) -> None:
+    """Print a scenario report under a visible separator."""
+    print()
+    print(result.report())
+
+
+def assert_claims(result) -> None:
+    """Fail the bench if any paper claim check failed."""
+    failed = [c for c in result.claims if not c.passed]
+    assert not failed, "failed claims: " + "; ".join(
+        f"{c.description} ({c.details})" for c in failed
+    )

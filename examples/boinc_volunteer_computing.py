@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""The paper's BOINC study: what dissatisfaction costs a platform.
+
+Reproduces the heart of the demonstration (Scenarios 2 and 4) at a
+moderate scale: three research projects -- a popular SETI@home-like
+one, a normal proteins@home-like one, an unpopular Einstein@home-like
+one -- served by a heterogeneous volunteer population that is *free to
+leave* when dissatisfied (provider threshold 0.35, consumer 0.5).
+
+Compares the BOINC-equivalent capacity-based dispatcher, the economic
+(Mariposa-style) baseline, and SbQA, then prints the population,
+capacity and satisfaction trajectories.
+
+Run:  python examples/boinc_volunteer_computing.py        (~20 s)
+"""
+
+from repro.experiments.report import render_comparison, render_run_series
+from repro.experiments.scenarios import scenario4_autonomous
+
+DURATION = 1600.0
+N_PROVIDERS = 100
+
+print("Simulating an autonomous BOINC platform "
+      f"({N_PROVIDERS} volunteers, {DURATION:.0f} simulated seconds)...")
+result = scenario4_autonomous(duration=DURATION, n_providers=N_PROVIDERS)
+
+print()
+print(
+    render_comparison(
+        result.runs,
+        columns=(
+            "provider_sat_final",
+            "consumer_sat_final",
+            "mean_rt",
+            "providers_remaining",
+            "provider_departures",
+            "capacity_remaining_fraction",
+            "throughput",
+        ),
+        title="Allocation technique comparison (autonomous environment)",
+    )
+)
+
+print()
+print(render_run_series(result.runs, "providers_online"))
+print()
+print(render_run_series(result.runs, "provider_satisfaction"))
+
+print()
+print("Per-project outcome under SbQA:")
+sbqa = result.run("sbqa")
+for row in sbqa.summary.consumers:
+    print(
+        f"  {row.consumer_id:<10} satisfaction={row.satisfaction:.3f} "
+        f"completed={row.completed:5d} mean rt={row.mean_response_time:7.1f} s"
+    )
+
+print()
+for claim in result.claims:
+    verdict = "PASS" if claim.passed else "FAIL"
+    print(f"[{verdict}] {claim.description}")
+    print(f"       {claim.details}")
+
+sbqa_summary = result.run("sbqa").summary
+capacity_summary = result.run("capacity").summary
+kept = sbqa_summary.providers_remaining - capacity_summary.providers_remaining
+print()
+print(
+    f"Bottom line: satisfaction-aware allocation kept {kept} more volunteers "
+    f"online than the BOINC-equivalent dispatcher -- that is the capacity the "
+    f"paper argues interest-blind allocation throws away."
+)

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Crash resilience: why BOINC replicates queries.
+
+The paper notes that "consumers may create several instances of a query
+so as to validate results returned by providers" -- replication also
+defends against volunteers that fail abruptly.  This example injects
+crashes (exponential mean time to failure, host reboots after 120 s)
+into an SbQA-mediated platform and compares three replication designs:
+
+* one replica, no safety margin;
+* two replicas, both required (the strict-validation reading);
+* two replicas, first answer wins (quorum = 1).
+
+Consumers write off queries whose results have not arrived within a
+deadline; the write-off rate is what replication is buying down.
+
+Run:  python examples/crash_resilience.py        (~10 s)
+"""
+
+from repro.analysis.tables import render_table
+from repro.experiments.config import ExperimentConfig, PolicySpec
+from repro.experiments.runner import run_once
+from repro.system.failures import FailureConfig
+from repro.workloads.boinc import BoincScenarioParams
+
+DURATION = 1200.0
+N_PROVIDERS = 80
+FAILURES = FailureConfig(mttf=600.0, repair_time=120.0, start=60.0)
+DEADLINE = 240.0
+
+VARIANTS = (
+    ("1 replica", dict(n_results=1, quorum=None)),
+    ("2 replicas, both required", dict(n_results=2, quorum=None)),
+    ("2 replicas, quorum 1", dict(n_results=2, quorum=1)),
+)
+
+print(
+    f"Injecting crashes (MTTF {FAILURES.mttf:.0f}s, repair "
+    f"{FAILURES.repair_time:.0f}s) into {N_PROVIDERS} volunteers "
+    f"for {DURATION:.0f} simulated seconds..."
+)
+
+rows = []
+results = []
+for label, overrides in VARIANTS:
+    config = ExperimentConfig(
+        name=f"crash-{label}",
+        seed=20090301,
+        duration=DURATION,
+        population=BoincScenarioParams(n_providers=N_PROVIDERS, **overrides),
+        failures=FAILURES,
+        result_timeout=DEADLINE,
+    )
+    result = run_once(config, PolicySpec(name="sbqa", label=label))
+    results.append(result)
+    s = result.summary
+    rows.append(
+        [
+            label,
+            s.provider_crashes,
+            s.queries_lost_to_crashes,
+            s.queries_timed_out,
+            s.queries_timed_out / max(1, s.queries_issued),
+            s.mean_response_time,
+        ]
+    )
+
+print()
+print(
+    render_table(
+        [
+            "design",
+            "crashes",
+            "results lost",
+            "queries written off",
+            "write-off rate",
+            "mean rt (s)",
+        ],
+        rows,
+        title="Replication vs crash injection (SbQA mediation)",
+        decimals=4,
+    )
+)
+
+no_margin, strict, quorum = rows
+print()
+print(
+    f"With {no_margin[1]} crashes in the run, the single-replica design "
+    f"wrote off {no_margin[3]} queries and the strict two-replica design "
+    f"{strict[3]} (every crash kills the whole query)."
+)
+print(
+    f"The quorum design wrote off {quorum[3]}: a crash costs one replica, "
+    f"the surviving one still answers -- and taking the first answer also "
+    f"cut the mean response time from {strict[5]:.1f}s to {quorum[5]:.1f}s."
+)
+
+assert quorum[4] <= min(no_margin[4], strict[4])
+print()
+print("Replication with a quorum is the crash defence; replication "
+      "without one is just extra exposure.")

@@ -1,0 +1,141 @@
+"""SbQA: Satisfaction-based Query Allocation -- an ICDE 2009 reproduction.
+
+A from-scratch Python implementation of the query-allocation framework
+of Quiané-Ruiz, Lamarre and Valduriez, *SbQA: A Self-Adaptable Query
+Allocation Process* (ICDE 2009), together with every substrate the
+paper's demonstration depends on: a discrete-event simulation kernel, a
+BOINC-like volunteer-computing system model, the KnBest and SQLB
+components, the capacity-based / economic / resource-shares baselines,
+and the seven demo scenarios as runnable experiments.
+
+Quickstart::
+
+    from repro import scenario3_captive
+
+    result = scenario3_captive(duration=600.0, n_providers=60)
+    print(result.report())
+
+Or assemble the pieces yourself -- see ``examples/quickstart.py``.
+"""
+
+from repro.core import (
+    AdaptiveOmega,
+    AllocationPolicy,
+    ConsumerSatisfactionTracker,
+    FixedOmega,
+    KnBestSelector,
+    Mediator,
+    ProviderSatisfactionTracker,
+    SbQAConfig,
+    SbQAPolicy,
+    adaptive_omega,
+    consumer_query_satisfaction,
+    sqlb_score,
+)
+from repro.allocation import (
+    BoincSharesPolicy,
+    CapacityBasedPolicy,
+    EconomicPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    ShortestQueuePolicy,
+    available_policies,
+    make_policy,
+)
+from repro.des import Network, RandomRoot, Simulator, TraceRecorder
+from repro.experiments import (
+    AutonomyConfig,
+    ExperimentConfig,
+    PolicySpec,
+    RunResult,
+    ScenarioResult,
+    run_once,
+    run_replications,
+    scenario1_satisfaction_model,
+    scenario2_departures,
+    scenario3_captive,
+    scenario4_autonomous,
+    scenario5_expectation_adaptation,
+    scenario6_application_adaptability,
+    scenario7_focal_participant,
+)
+from repro.analysis import (
+    Comparison,
+    PredictionReport,
+    compare_aggregates,
+    predict_departures,
+    welch_t_test,
+)
+from repro.system import (
+    Consumer,
+    CrashInjector,
+    FailureConfig,
+    Provider,
+    Query,
+    SystemRegistry,
+)
+from repro.workloads import BoincScenarioParams, build_boinc_population
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core
+    "SbQAPolicy",
+    "SbQAConfig",
+    "Mediator",
+    "KnBestSelector",
+    "sqlb_score",
+    "adaptive_omega",
+    "AdaptiveOmega",
+    "FixedOmega",
+    "consumer_query_satisfaction",
+    "ConsumerSatisfactionTracker",
+    "ProviderSatisfactionTracker",
+    "AllocationPolicy",
+    # baselines
+    "CapacityBasedPolicy",
+    "EconomicPolicy",
+    "BoincSharesPolicy",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "ShortestQueuePolicy",
+    "available_policies",
+    "make_policy",
+    # kernel
+    "Simulator",
+    "Network",
+    "RandomRoot",
+    "TraceRecorder",
+    # system
+    "Consumer",
+    "Provider",
+    "Query",
+    "SystemRegistry",
+    "FailureConfig",
+    "CrashInjector",
+    # analysis
+    "PredictionReport",
+    "predict_departures",
+    "Comparison",
+    "compare_aggregates",
+    "welch_t_test",
+    # workloads
+    "BoincScenarioParams",
+    "build_boinc_population",
+    # experiments
+    "ExperimentConfig",
+    "PolicySpec",
+    "AutonomyConfig",
+    "RunResult",
+    "ScenarioResult",
+    "run_once",
+    "run_replications",
+    "scenario1_satisfaction_model",
+    "scenario2_departures",
+    "scenario3_captive",
+    "scenario4_autonomous",
+    "scenario5_expectation_adaptation",
+    "scenario6_application_adaptability",
+    "scenario7_focal_participant",
+    "__version__",
+]

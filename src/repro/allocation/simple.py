@@ -1,0 +1,94 @@
+"""Reference baselines: random, round-robin, shortest-queue.
+
+These are not in the paper's scenario list; they anchor the ablation
+benches (a technique must at least beat random to matter) and give the
+test suite simple, fully predictable policies to assert against.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Sequence
+
+from repro.core.policy import (
+    AllocationContext,
+    AllocationDecision,
+    AllocationPolicy,
+    allocation_count,
+)
+from repro.des.rng import RandomStream
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.system.provider import Provider
+    from repro.system.query import Query
+
+
+class RandomPolicy(AllocationPolicy):
+    """Allocate to ``min(q.n, |P_q|)`` providers drawn uniformly."""
+
+    name = "random"
+    consults_participants = False
+
+    def __init__(self, stream: RandomStream) -> None:
+        self._stream = stream
+
+    def select(
+        self,
+        query: "Query",
+        candidates: Sequence["Provider"],
+        ctx: AllocationContext,
+    ) -> AllocationDecision:
+        take = allocation_count(query, len(candidates))
+        allocated = self._stream.sample(list(candidates), take)
+        return AllocationDecision(allocated=allocated)
+
+
+class RoundRobinPolicy(AllocationPolicy):
+    """Cycle through providers in a fixed id order.
+
+    The cursor is global (not per consumer): the classic dispatcher
+    that spreads queries evenly regardless of who asks.
+    """
+
+    name = "round-robin"
+    consults_participants = False
+
+    def __init__(self) -> None:
+        self._cursor: int = 0
+
+    def select(
+        self,
+        query: "Query",
+        candidates: Sequence["Provider"],
+        ctx: AllocationContext,
+    ) -> AllocationDecision:
+        ordered = sorted(candidates, key=lambda p: p.participant_id)
+        take = allocation_count(query, len(ordered))
+        allocated = [
+            ordered[(self._cursor + offset) % len(ordered)] for offset in range(take)
+        ]
+        self._cursor = (self._cursor + take) % len(ordered)
+        return AllocationDecision(allocated=allocated)
+
+
+class ShortestQueuePolicy(AllocationPolicy):
+    """Allocate to the providers with the smallest queued backlog.
+
+    Differs from :class:`~repro.allocation.capacity.CapacityBasedPolicy`
+    in ignoring raw capacity: a fast-but-busy machine loses to a slow
+    idle one.
+    """
+
+    name = "shortest-queue"
+    consults_participants = False
+
+    def select(
+        self,
+        query: "Query",
+        candidates: Sequence["Provider"],
+        ctx: AllocationContext,
+    ) -> AllocationDecision:
+        ranked = sorted(
+            candidates, key=lambda p: (p.backlog_seconds, p.participant_id)
+        )
+        take = allocation_count(query, len(ranked))
+        return AllocationDecision(allocated=ranked[:take])

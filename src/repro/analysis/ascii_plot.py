@@ -1,0 +1,124 @@
+"""Character-based plots: the headless stand-in for the demo's GUIs.
+
+The prototype drew satisfaction and response-time curves on-line
+(Figure 2b); :func:`render_series` draws the same curves with unicode
+block characters so bench output remains inspectable in a terminal or
+a CI log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Eight vertical resolution steps per character cell.
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], lo: Optional[float] = None, hi: Optional[float] = None) -> str:
+    """One-line sparkline of a series.
+
+    ``lo``/``hi`` pin the scale (useful to compare sparklines across
+    methods); they default to the series extremes.
+    """
+    if not values:
+        return ""
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    span = hi - lo
+    if span <= 0:
+        return _BLOCKS[4] * len(values)
+    chars = []
+    for v in values:
+        frac = (v - lo) / span
+        frac = min(1.0, max(0.0, frac))
+        chars.append(_BLOCKS[round(frac * (len(_BLOCKS) - 1))])
+    return "".join(chars)
+
+
+def multi_sparkline(
+    series: Dict[str, Sequence[float]],
+    width: int = 60,
+    shared_scale: bool = True,
+) -> str:
+    """Label-aligned sparklines for several series, optionally on one scale."""
+    if not series:
+        return ""
+    lo = hi = None
+    if shared_scale:
+        everything = [v for values in series.values() for v in values]
+        if everything:
+            lo, hi = min(everything), max(everything)
+    label_width = max(len(name) for name in series)
+    lines = []
+    for name, values in series.items():
+        rendered = sparkline(_resample(list(values), width), lo=lo, hi=hi)
+        tail = f" (last={values[-1]:.3f})" if values else ""
+        lines.append(f"{name.ljust(label_width)} {rendered}{tail}")
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    height: int = 12,
+    width: int = 72,
+    title: Optional[str] = None,
+    y_label: str = "",
+) -> str:
+    """A full multi-series line chart as a character grid.
+
+    ``series`` maps a label to ``(t, value)`` pairs.  Each series gets
+    a distinct marker; the y-axis is shared and annotated.
+    """
+    markers = "*+ox#@%&"
+    points = {k: list(v) for k, v in series.items() if v}
+    if not points:
+        return "(no data)"
+    all_t = [t for values in points.values() for t, _ in values]
+    all_y = [y for values in points.values() for _, y in values]
+    t_lo, t_hi = min(all_t), max(all_t)
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    if t_hi == t_lo:
+        t_hi = t_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (label, values) in enumerate(points.items()):
+        marker = markers[idx % len(markers)]
+        for t, y in values:
+            col = round((t - t_lo) / (t_hi - t_lo) * (width - 1))
+            row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        if i == 0:
+            axis = f"{y_hi:8.3f} |"
+        elif i == height - 1:
+            axis = f"{y_lo:8.3f} |"
+        else:
+            axis = " " * 8 + " |"
+        lines.append(axis + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(" " * 10 + f"t={t_lo:.0f} .. t={t_hi:.0f}" + (f"   y: {y_label}" if y_label else ""))
+    legend = "   ".join(
+        f"{markers[idx % len(markers)]} {label}" for idx, label in enumerate(points)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def _resample(values: List[float], width: int) -> List[float]:
+    """Downsample a series to at most ``width`` points by bucket means."""
+    if len(values) <= width or width <= 0:
+        return values
+    bucket = len(values) / width
+    out = []
+    for i in range(width):
+        start = int(i * bucket)
+        end = max(start + 1, int((i + 1) * bucket))
+        chunk = values[start:end]
+        out.append(sum(chunk) / len(chunk))
+    return out

@@ -1,0 +1,44 @@
+"""CSV export of series and tables (for downstream plotting)."""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
+
+
+def rows_to_csv(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    path: Optional[Union[str, Path]] = None,
+) -> str:
+    """Serialise a table to CSV text; optionally also write it to ``path``."""
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("every row must have as many cells as there are headers")
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow(list(row))
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text
+
+
+def series_to_csv(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    path: Optional[Union[str, Path]] = None,
+) -> str:
+    """Serialise named ``(t, value)`` series to long-format CSV.
+
+    Columns: ``series, t, value`` -- the layout plotting tools ingest
+    directly.
+    """
+    headers = ["series", "t", "value"]
+    rows = []
+    for name, values in series.items():
+        for t, value in values:
+            rows.append([name, t, value])
+    return rows_to_csv(headers, rows, path=path)

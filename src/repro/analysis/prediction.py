@@ -1,0 +1,148 @@
+"""Departure prediction: Scenario 2's claim, made quantitative.
+
+The paper: "using our satisfaction model one can predict possible
+participant's departure by dissatisfaction."  This module evaluates
+that as a classification task: *predict* that every provider whose
+satisfaction sits below the threshold at observation time ``t0`` will
+leave, then compare against who actually left afterwards.
+
+Needs per-provider snapshots
+(:meth:`repro.metrics.collectors.MetricsHub.enable_provider_snapshots`
+or ``ExperimentConfig.track_provider_snapshots``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.metrics.collectors import MetricsHub
+    from repro.system.registry import SystemRegistry
+
+
+@dataclass(frozen=True)
+class PredictionReport:
+    """Confusion-matrix summary of the dissatisfaction predictor."""
+
+    observed_at: float
+    threshold: float
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int
+
+    @property
+    def population(self) -> int:
+        return (
+            self.true_positives
+            + self.false_positives
+            + self.false_negatives
+            + self.true_negatives
+        )
+
+    @property
+    def precision(self) -> float:
+        """Of the providers flagged as leavers, how many actually left."""
+        flagged = self.true_positives + self.false_positives
+        if flagged == 0:
+            return 0.0
+        return self.true_positives / flagged
+
+    @property
+    def recall(self) -> float:
+        """Of the providers that left, how many the flag caught."""
+        actual = self.true_positives + self.false_negatives
+        if actual == 0:
+            return 0.0
+        return self.true_positives / actual
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        if p + r == 0:
+            return 0.0
+        return 2 * p * r / (p + r)
+
+    @property
+    def base_rate(self) -> float:
+        """Fraction of the population that left -- the accuracy of a
+        'predict everyone leaves' guesser; precision must beat it for
+        the satisfaction signal to carry information."""
+        if self.population == 0:
+            return 0.0
+        return (self.true_positives + self.false_negatives) / self.population
+
+    def format(self) -> str:
+        return (
+            f"departure prediction @ t={self.observed_at:.0f} "
+            f"(threshold {self.threshold}): "
+            f"precision={self.precision:.2f}, recall={self.recall:.2f}, "
+            f"f1={self.f1:.2f}, base rate={self.base_rate:.2f} "
+            f"[tp={self.true_positives} fp={self.false_positives} "
+            f"fn={self.false_negatives} tn={self.true_negatives}]"
+        )
+
+
+def predict_departures(
+    hub: "MetricsHub",
+    registry: "SystemRegistry",
+    threshold: float = 0.35,
+    observe_at: Optional[float] = None,
+) -> PredictionReport:
+    """Evaluate the dissatisfaction-below-threshold predictor.
+
+    Parameters
+    ----------
+    hub:
+        Metrics hub with provider snapshots enabled.
+    registry:
+        End-of-run registry (who is still online).
+    threshold:
+        Satisfaction below which a provider is flagged.
+    observe_at:
+        Snapshot time to predict from; defaults to the first snapshot
+        after one quarter of the recorded timeline (past the cold
+        start, early enough that most departures lie ahead).
+
+    Providers already offline at the observation instant are excluded
+    -- there is nothing left to predict about them.
+    """
+    if not hub.provider_snapshots:
+        raise ValueError(
+            "no provider snapshots recorded; enable_provider_snapshots() "
+            "(or ExperimentConfig.track_provider_snapshots) is required"
+        )
+    times = [t for t, _ in hub.provider_snapshots]
+    if observe_at is None:
+        observe_at = times[0] + (times[-1] - times[0]) / 4.0
+    snapshot_time, snapshot = next(
+        ((t, s) for t, s in hub.provider_snapshots if t >= observe_at),
+        hub.provider_snapshots[-1],
+    )
+
+    departed_after: Dict[str, bool] = {}
+    for provider in registry.providers:
+        if provider.left_at is not None and provider.left_at <= snapshot_time:
+            continue  # already gone when we observed; nothing to predict
+        departed_after[provider.participant_id] = not provider.online
+
+    tp = fp = fn = tn = 0
+    for pid, left in departed_after.items():
+        flagged = snapshot.get(pid, 1.0) < threshold
+        if flagged and left:
+            tp += 1
+        elif flagged and not left:
+            fp += 1
+        elif not flagged and left:
+            fn += 1
+        else:
+            tn += 1
+    return PredictionReport(
+        observed_at=snapshot_time,
+        threshold=threshold,
+        true_positives=tp,
+        false_positives=fp,
+        false_negatives=fn,
+        true_negatives=tn,
+    )

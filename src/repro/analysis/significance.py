@@ -1,0 +1,100 @@
+"""Statistical comparison of replicated experiment results.
+
+Single seeded runs settle "who wins" at one operating point; claims in
+EXPERIMENTS.md deserve better.  This module compares a summary metric
+across two sets of replications with Welch's unequal-variance t-test
+(scipy supplies the t distribution).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from scipy import stats as _scipy_stats
+
+from repro.analysis.stats import mean
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.replication import AggregateResult
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Welch t-test of one metric between two replication sets."""
+
+    metric: str
+    label_a: str
+    label_b: str
+    mean_a: float
+    mean_b: float
+    difference: float  # mean_a - mean_b
+    t_statistic: float
+    degrees_of_freedom: float
+    p_value: float
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """Two-sided significance at level ``alpha``."""
+        return self.p_value < alpha
+
+    def format(self) -> str:
+        return (
+            f"{self.metric}: {self.label_a}={self.mean_a:.4g} vs "
+            f"{self.label_b}={self.mean_b:.4g} (diff {self.difference:+.4g}, "
+            f"t={self.t_statistic:.2f}, dof={self.degrees_of_freedom:.1f}, "
+            f"p={self.p_value:.4f})"
+        )
+
+
+def welch_t_test(samples_a: Sequence[float], samples_b: Sequence[float]) -> tuple:
+    """Welch's t statistic, degrees of freedom and two-sided p-value.
+
+    Implemented from the textbook formulas (sample variances with
+    Bessel's correction, Welch-Satterthwaite dof); only the t-CDF comes
+    from scipy.  Identical samples yield ``t = 0, p = 1``.
+    """
+    n_a, n_b = len(samples_a), len(samples_b)
+    if n_a < 2 or n_b < 2:
+        raise ValueError(
+            f"need at least 2 samples per side, got {n_a} and {n_b}"
+        )
+    mean_a, mean_b = mean(list(samples_a)), mean(list(samples_b))
+    var_a = sum((x - mean_a) ** 2 for x in samples_a) / (n_a - 1)
+    var_b = sum((x - mean_b) ** 2 for x in samples_b) / (n_b - 1)
+    pooled = var_a / n_a + var_b / n_b
+    if pooled == 0.0:
+        return 0.0, float(n_a + n_b - 2), 1.0
+    t = (mean_a - mean_b) / math.sqrt(pooled)
+    dof = pooled**2 / (
+        (var_a / n_a) ** 2 / (n_a - 1) + (var_b / n_b) ** 2 / (n_b - 1)
+    )
+    p = 2.0 * float(_scipy_stats.t.sf(abs(t), dof))
+    return t, dof, p
+
+
+def compare_aggregates(
+    a: "AggregateResult",
+    b: "AggregateResult",
+    metric: str,
+) -> Comparison:
+    """Compare one aggregated metric between two policies' replications."""
+    samples_a = [float(run.summary.as_dict()[metric]) for run in a.runs]
+    samples_b = [float(run.summary.as_dict()[metric]) for run in b.runs]
+    if not samples_a or not samples_b:
+        raise ValueError(
+            "both aggregates must retain their runs (keep_runs=True) "
+            "to be compared"
+        )
+    t, dof, p = welch_t_test(samples_a, samples_b)
+    return Comparison(
+        metric=metric,
+        label_a=a.label,
+        label_b=b.label,
+        mean_a=mean(samples_a),
+        mean_b=mean(samples_b),
+        difference=mean(samples_a) - mean(samples_b),
+        t_statistic=t,
+        degrees_of_freedom=dof,
+        p_value=p,
+    )

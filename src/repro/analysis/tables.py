@@ -1,0 +1,88 @@
+"""Fixed-width ASCII tables for bench and CLI reports."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def format_value(value: Any, decimals: int = 3) -> str:
+    """Render one cell: floats rounded, None as '-', rest via str()."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        magnitude = abs(value)
+        if magnitude != 0 and (magnitude >= 1e6 or magnitude < 10 ** (-decimals)):
+            return f"{value:.{decimals}g}"
+        return f"{value:.{decimals}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+    decimals: int = 3,
+) -> str:
+    """Render a table with a header rule, right-aligned numeric columns.
+
+    Example output::
+
+        policy     | mean rt | p95 rt | provider sat
+        -----------+---------+--------+-------------
+        sbqa       |  41.203 | 98.771 |        0.713
+    """
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("every row must have as many cells as there are headers")
+    cells: List[List[str]] = [[format_value(v, decimals) for v in row] for row in rows]
+    numeric = [
+        all(
+            isinstance(row[col], (int, float)) and not isinstance(row[col], bool)
+            for row in rows
+            if row[col] is not None
+        )
+        for col in range(len(headers))
+    ]
+    widths = [
+        max(len(headers[col]), *(len(r[col]) for r in cells)) if cells else len(headers[col])
+        for col in range(len(headers))
+    ]
+
+    def fmt_row(parts: Sequence[str], align_numeric: bool) -> str:
+        out = []
+        for col, part in enumerate(parts):
+            if align_numeric and numeric[col]:
+                out.append(part.rjust(widths[col]))
+            else:
+                out.append(part.ljust(widths[col]))
+        return " | ".join(out).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers), align_numeric=False))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(fmt_row(row, align_numeric=True))
+    return "\n".join(lines)
+
+
+def rows_from_dicts(
+    records: Sequence[Dict[str, Any]], columns: Optional[Sequence[str]] = None
+) -> tuple:
+    """Turn a list of dicts into ``(headers, rows)`` for :func:`render_table`.
+
+    Column order defaults to first-seen key order across all records.
+    """
+    if columns is None:
+        seen: List[str] = []
+        for record in records:
+            for key in record:
+                if key not in seen:
+                    seen.append(key)
+        columns = seen
+    rows = [[record.get(col) for col in columns] for record in records]
+    return list(columns), rows

@@ -1,0 +1,207 @@
+"""Command-line interface: run scenarios and export their data.
+
+Usage::
+
+    sbqa list
+    sbqa run scenario3 --duration 900 --providers 80 --seed 7
+    sbqa run scenario4 --csv out.csv
+    sbqa trace --queries 3                      # Figure-1 pipeline trace
+    sbqa sweep kn --values 1,2,5,10,20          # tuning tables
+    sbqa sweep omega --values 0,0.5,1,adaptive
+
+The CLI is a thin veneer over :mod:`repro.experiments.scenarios`; it
+exists so the reproduction can be driven without writing Python,
+mirroring how the original demo was driven from its GUIs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.export import series_to_csv
+from repro.experiments.scenarios import ALL_SCENARIOS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sbqa",
+        description="SbQA (ICDE 2009) reproduction: satisfaction-based query allocation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available scenarios")
+
+    run = sub.add_parser("run", help="run one scenario (or 'all') and print reports")
+    run.add_argument(
+        "scenario", choices=sorted(ALL_SCENARIOS) + ["all"], help="scenario id"
+    )
+    run.add_argument("--seed", type=int, default=None, help="root random seed")
+    run.add_argument(
+        "--duration", type=float, default=None, help="simulated seconds (default 2400)"
+    )
+    run.add_argument(
+        "--providers", type=int, default=None, help="volunteer population size (default 120)"
+    )
+    run.add_argument(
+        "--csv", type=str, default=None, help="export every run's sampled series to CSV"
+    )
+
+    trace = sub.add_parser("trace", help="trace the SbQA mediation pipeline (Figure 1)")
+    trace.add_argument("--queries", type=int, default=3, help="queries to trace")
+    trace.add_argument("--seed", type=int, default=None, help="root random seed")
+
+    sweep = sub.add_parser(
+        "sweep", help="sweep one SbQA parameter and print the trade-off table"
+    )
+    sweep.add_argument(
+        "parameter", choices=("kn", "omega", "epsilon", "memory"),
+        help="which parameter to sweep",
+    )
+    sweep.add_argument(
+        "--values", type=str, required=True,
+        help="comma-separated values (e.g. '1,2,5,10' or '0,0.5,1,adaptive')",
+    )
+    sweep.add_argument("--seed", type=int, default=None)
+    sweep.add_argument("--duration", type=float, default=1200.0)
+    sweep.add_argument("--providers", type=int, default=80)
+    sweep.add_argument("--k", type=int, default=20, help="KnBest pool size")
+    sweep.add_argument("--csv", type=str, default=None, help="export rows to CSV")
+    return parser
+
+
+def _run_scenario(args: argparse.Namespace) -> int:
+    kwargs = {}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    if args.duration is not None:
+        kwargs["duration"] = args.duration
+    if args.providers is not None:
+        kwargs["n_providers"] = args.providers
+
+    names = sorted(ALL_SCENARIOS) if args.scenario == "all" else [args.scenario]
+    combined = {}
+    all_pass = True
+    for name in names:
+        result = ALL_SCENARIOS[name](**kwargs)
+        print(result.report())
+        print()
+        all_pass = all_pass and result.all_claims_pass
+        for run in result.runs:
+            for series_name, points in run.hub.series_map().items():
+                combined[f"{name}/{run.label}/{series_name}"] = points
+    if args.csv:
+        series_to_csv(combined, path=args.csv)
+        print(f"series exported to {args.csv}")
+    return 0 if all_pass else 1
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    # Local imports keep CLI startup light for `sbqa list`.
+    from repro.des.tracing import TraceRecorder
+    from repro.experiments.config import DEFAULT_SEED, ExperimentConfig, PolicySpec
+    from repro.experiments.runner import run_once
+    from repro.workloads.boinc import BoincScenarioParams
+
+    seed = DEFAULT_SEED if args.seed is None else args.seed
+    recorder = TraceRecorder(enabled=True)
+    config = ExperimentConfig(
+        name="trace",
+        seed=seed,
+        duration=60.0,
+        population=BoincScenarioParams(n_providers=20),
+    )
+    run_once(config, PolicySpec(name="sbqa"), trace=recorder)
+    shown = 0
+    for event in recorder.events:
+        print(event.format())
+        if event.category == "allocate":
+            shown += 1
+            if shown >= args.queries:
+                break
+    return 0
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.export import rows_to_csv
+    from repro.analysis.tables import render_table
+    from repro.core.sbqa import SbQAConfig
+    from repro.experiments.config import DEFAULT_SEED, ExperimentConfig, PolicySpec
+    from repro.experiments.runner import run_once
+    from repro.workloads.boinc import BoincScenarioParams
+
+    seed = DEFAULT_SEED if args.seed is None else args.seed
+    raw_values = [v.strip() for v in args.values.split(",") if v.strip()]
+    if not raw_values:
+        print("no sweep values given", file=sys.stderr)
+        return 2
+
+    headers = [
+        args.parameter, "cons sat", "prov sat", "mean rt (s)",
+        "p95 rt (s)", "work gini", "coord msgs",
+    ]
+    rows = []
+    for raw in raw_values:
+        population = BoincScenarioParams(n_providers=args.providers)
+        sbqa_kwargs = {"k": args.k, "kn": max(1, args.k // 2)}
+        if args.parameter == "kn":
+            sbqa_kwargs["kn"] = int(raw)
+        elif args.parameter == "omega":
+            sbqa_kwargs["omega"] = raw if raw == "adaptive" else float(raw)
+        elif args.parameter == "epsilon":
+            sbqa_kwargs["epsilon"] = float(raw)
+        elif args.parameter == "memory":
+            population.memory = int(raw)
+        config = ExperimentConfig(
+            name=f"sweep-{args.parameter}-{raw}",
+            seed=seed,
+            duration=args.duration,
+            population=population,
+        )
+        spec = PolicySpec(
+            name="sbqa",
+            label=f"sbqa[{args.parameter}={raw}]",
+            sbqa=SbQAConfig(**sbqa_kwargs),
+        )
+        summary = run_once(config, spec).summary
+        rows.append(
+            [
+                raw,
+                summary.consumer_satisfaction_final,
+                summary.provider_satisfaction_final,
+                summary.mean_response_time,
+                summary.p95_response_time,
+                summary.work_gini,
+                summary.coordination_messages,
+            ]
+        )
+    print(
+        render_table(headers, rows, title=f"SbQA {args.parameter} sweep (k={args.k})")
+    )
+    if args.csv:
+        rows_to_csv(headers, rows, path=args.csv)
+        print(f"\nrows exported to {args.csv}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``sbqa`` console script."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in sorted(ALL_SCENARIOS):
+            fn = ALL_SCENARIOS[name]
+            first_line = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name}: {first_line}")
+        return 0
+    if args.command == "run":
+        return _run_scenario(args)
+    if args.command == "trace":
+        return _run_trace(args)
+    if args.command == "sweep":
+        return _run_sweep(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""The paper's primary contribution: the SbQA query-allocation process.
+
+Layered exactly as Section III of the paper describes the pipeline:
+
+1. :mod:`repro.core.intentions` -- how participants compute their
+   intentions in [-1, 1] (consumer intentions ``CI_q[p]``, provider
+   intentions ``PI_q[p]``);
+2. :mod:`repro.core.satisfaction` -- the satisfaction model of
+   Section II (Equation 1, Definitions 1-2) plus the adequation /
+   allocation-satisfaction notions of the companion SQLB paper [12];
+3. :mod:`repro.core.knbest` -- the KnBest two-stage provider selection
+   [11]: ``k`` random candidates, then the ``kn`` least utilized;
+4. :mod:`repro.core.scoring` -- the SQLB score (Definition 3) and the
+   ranking vector; :mod:`repro.core.omega` -- the adaptive balance
+   parameter (Equation 2);
+5. :mod:`repro.core.policy` / :mod:`repro.core.sbqa` -- the pluggable
+   allocation-policy interface and the SbQA policy composing 1-4;
+6. :mod:`repro.core.mediator` -- the mediator entity: receives queries,
+   runs a policy, dispatches work, performs satisfaction bookkeeping,
+   and reports to the metrics hub.
+"""
+
+from repro.core.satisfaction import (
+    ConsumerSatisfactionTracker,
+    ProviderSatisfactionTracker,
+    adequation,
+    allocation_satisfaction,
+    consumer_query_satisfaction,
+    intention_to_unit,
+)
+from repro.core.scoring import ScoredProvider, rank_providers, sqlb_score
+from repro.core.omega import AdaptiveOmega, FixedOmega, OmegaPolicy, adaptive_omega
+from repro.core.knbest import KnBestSelector
+from repro.core.intentions import (
+    ConsumerIntentionModel,
+    PreferenceIntentions,
+    ReputationBlendIntentions,
+    ResponseTimeIntentions,
+    ProviderIntentionModel,
+    ProviderPreferenceIntentions,
+    PreferenceUtilizationIntentions,
+    LoadOnlyIntentions,
+)
+from repro.core.policy import AllocationContext, AllocationDecision, AllocationPolicy
+from repro.core.sbqa import SbQAConfig, SbQAPolicy
+from repro.core.mediator import Mediator
+
+__all__ = [
+    "ConsumerSatisfactionTracker",
+    "ProviderSatisfactionTracker",
+    "consumer_query_satisfaction",
+    "adequation",
+    "allocation_satisfaction",
+    "intention_to_unit",
+    "sqlb_score",
+    "rank_providers",
+    "ScoredProvider",
+    "adaptive_omega",
+    "OmegaPolicy",
+    "AdaptiveOmega",
+    "FixedOmega",
+    "KnBestSelector",
+    "ConsumerIntentionModel",
+    "PreferenceIntentions",
+    "ReputationBlendIntentions",
+    "ResponseTimeIntentions",
+    "ProviderIntentionModel",
+    "ProviderPreferenceIntentions",
+    "PreferenceUtilizationIntentions",
+    "LoadOnlyIntentions",
+    "AllocationContext",
+    "AllocationDecision",
+    "AllocationPolicy",
+    "SbQAConfig",
+    "SbQAPolicy",
+    "Mediator",
+]

@@ -1,0 +1,99 @@
+"""The KnBest provider-selection strategy [11].
+
+Given the full capable set ``P_q``, KnBest narrows the mediation to a
+small working set in two stages:
+
+1. **Stage 1 (exploration):** draw ``K``, a uniform random sample of
+   ``k`` providers from ``P_q``.  Randomness guarantees every provider
+   keeps receiving proposals in the long run -- without it, an
+   interest-driven mediator would starve unpopular providers entirely.
+2. **Stage 2 (load-awareness):** keep ``Kn``, the ``kn`` *least
+   utilized* providers of ``K``.  This is where query load enters the
+   process: heavily loaded providers drop out before intentions are
+   even consulted.
+
+The mediator then consults only ``Kn`` (bounding the per-query message
+cost to ``O(kn)``) and allocates the query to the ``min(n, kn)``
+best-scored members.  Varying ``k`` and ``kn`` tunes the process
+between pure load balancing (``kn`` small relative to ``k``) and pure
+interest matching (``kn = k``), which Scenario 6 demonstrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Protocol, Sequence, Tuple, TypeVar
+
+from repro.des.rng import RandomStream
+
+
+class UtilizationAware(Protocol):
+    """Anything with a ``participant_id`` and a current ``utilization``."""
+
+    @property
+    def participant_id(self) -> str: ...  # pragma: no cover - protocol
+
+    @property
+    def utilization(self) -> float: ...  # pragma: no cover - protocol
+
+
+P = TypeVar("P", bound=UtilizationAware)
+
+
+@dataclass(frozen=True)
+class KnBestSelection:
+    """Outcome of the two KnBest stages for one query."""
+
+    sampled: Tuple  # the set K (stage 1)
+    working: Tuple  # the set Kn (stage 2), least utilized first
+
+    @property
+    def k_effective(self) -> int:
+        """|K| -- may be below k when few providers are online."""
+        return len(self.sampled)
+
+    @property
+    def kn_effective(self) -> int:
+        """|Kn| -- may be below kn when |K| < kn."""
+        return len(self.working)
+
+
+class KnBestSelector:
+    """Two-stage KnBest selection with deterministic tie-breaking.
+
+    Parameters
+    ----------
+    k:
+        Stage-1 sample size (candidate pool).
+    kn:
+        Stage-2 working-set size; must satisfy ``1 <= kn <= k``.
+    stream:
+        Seeded random stream used for the stage-1 sample, so runs are
+        reproducible.
+    """
+
+    def __init__(self, k: int, kn: int, stream: RandomStream) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if not 1 <= kn <= k:
+            raise ValueError(f"kn must satisfy 1 <= kn <= k, got kn={kn}, k={k}")
+        self.k = k
+        self.kn = kn
+        self._stream = stream
+
+    def select(self, candidates: Sequence[P]) -> KnBestSelection:
+        """Run both stages over the capable set ``P_q``.
+
+        When fewer than ``k`` candidates exist the whole set is sampled
+        (the strategy degrades gracefully as providers depart); the
+        working set is then the ``min(kn, |K|)`` least utilized.
+        Utilization ties break on ``participant_id`` so that a seeded
+        run is bit-for-bit reproducible.
+        """
+        sampled: List[P] = self._stream.sample(list(candidates), self.k)
+        by_load = sorted(sampled, key=lambda p: (p.utilization, p.participant_id))
+        working = by_load[: self.kn]
+        return KnBestSelection(sampled=tuple(sampled), working=tuple(working))
+
+    def __repr__(self) -> str:
+        return f"KnBestSelector(k={self.k}, kn={self.kn})"

@@ -1,0 +1,95 @@
+"""The balance parameter omega (Equation 2).
+
+``omega`` decides whose intention dominates the SQLB score
+(Definition 3): ``omega = 1`` listens only to providers, ``omega = 0``
+only to consumers.  SbQA's headline idea is to make it *adaptive*::
+
+    omega = ((delta_s(c) - delta_s(p)) + 1) / 2
+
+i.e. the mediator compares the long-run satisfaction of the consumer
+and of the provider at hand: if the consumer is currently the happier
+side, omega rises and the provider's intention gains weight -- the
+allocation process dynamically trades consumers' interests for
+providers' interests "to be fair" (Section I).
+
+Applications can instead pin omega (Scenario 6): cooperative-provider
+deployments that only care about result quality set it near 0.
+"""
+
+from __future__ import annotations
+
+
+def adaptive_omega(consumer_satisfaction: float, provider_satisfaction: float) -> float:
+    """Equation 2: omega from the satisfaction gap of the (c, p) pair.
+
+    Both inputs live in [0, 1], so the gap lies in [-1, 1] and the
+    result in [0, 1]; no clamping is needed for valid inputs, and
+    invalid inputs raise.
+    """
+    if not 0.0 <= consumer_satisfaction <= 1.0:
+        raise ValueError(
+            f"consumer satisfaction must be in [0, 1], got {consumer_satisfaction}"
+        )
+    if not 0.0 <= provider_satisfaction <= 1.0:
+        raise ValueError(
+            f"provider satisfaction must be in [0, 1], got {provider_satisfaction}"
+        )
+    return ((consumer_satisfaction - provider_satisfaction) + 1.0) / 2.0
+
+
+class OmegaPolicy:
+    """Strategy: produce the omega used to score one (consumer, provider) pair."""
+
+    def omega(self, consumer_satisfaction: float, provider_satisfaction: float) -> float:
+        raise NotImplementedError
+
+    @property
+    def is_adaptive(self) -> bool:
+        """True when omega reacts to satisfaction (Equation 2)."""
+        return False
+
+
+class AdaptiveOmega(OmegaPolicy):
+    """Equation 2 -- the SbQA default."""
+
+    def omega(self, consumer_satisfaction: float, provider_satisfaction: float) -> float:
+        return adaptive_omega(consumer_satisfaction, provider_satisfaction)
+
+    @property
+    def is_adaptive(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "AdaptiveOmega()"
+
+
+class FixedOmega(OmegaPolicy):
+    """A constant omega, for application-tuned deployments (Scenario 6)."""
+
+    def __init__(self, value: float) -> None:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"omega must be in [0, 1], got {value}")
+        self.value = float(value)
+
+    def omega(self, consumer_satisfaction: float, provider_satisfaction: float) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"FixedOmega({self.value})"
+
+
+def make_omega_policy(spec) -> OmegaPolicy:
+    """Coerce a config value into an :class:`OmegaPolicy`.
+
+    Accepts an existing policy, the string ``"adaptive"``, or a number
+    in [0, 1].  This keeps experiment configs plain data (decision D4).
+    """
+    if isinstance(spec, OmegaPolicy):
+        return spec
+    if isinstance(spec, str):
+        if spec.lower() == "adaptive":
+            return AdaptiveOmega()
+        raise ValueError(f"unknown omega policy spec {spec!r}")
+    if isinstance(spec, (int, float)) and not isinstance(spec, bool):
+        return FixedOmega(float(spec))
+    raise TypeError(f"cannot build an omega policy from {spec!r}")

@@ -1,0 +1,106 @@
+"""The pluggable allocation-policy interface.
+
+Design decision D2 (DESIGN.md): every query-allocation technique --
+SbQA itself and all baselines -- implements one method,
+:meth:`AllocationPolicy.select`, mapping ``(query, P_q)`` to an
+:class:`AllocationDecision`.  The satisfaction model then analyses all
+of them uniformly, which is claim (i) of the paper: "the proposed
+satisfaction model allows analyzing different query allocation
+techniques no matter their query allocation principle".
+
+A decision distinguishes:
+
+* ``allocated`` -- the providers that will perform the query;
+* ``informed`` -- the providers touched by the mediation (SbQA's
+  consulted set ``Kn``); these enter the Definition-2 proposal window.
+  For direct-allocation baselines the two coincide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.des.tracing import NULL_RECORDER, TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.system.provider import Provider
+    from repro.system.query import Query
+
+
+@dataclass
+class AllocationContext:
+    """What a policy may consult while deciding (beyond the query)."""
+
+    now: float
+    trace: TraceRecorder = NULL_RECORDER
+
+
+@dataclass
+class AllocationDecision:
+    """Outcome of one policy invocation for one query."""
+
+    allocated: List["Provider"] = field(default_factory=list)
+    informed: List["Provider"] = field(default_factory=list)
+    consumer_intentions: Dict[str, float] = field(default_factory=dict)
+    provider_intentions: Dict[str, float] = field(default_factory=dict)
+    scores: Dict[str, float] = field(default_factory=dict)
+    omegas: Dict[str, float] = field(default_factory=dict)
+    consult_messages: int = 0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.informed:
+            self.informed = list(self.allocated)
+        allocated_ids = {p.participant_id for p in self.allocated}
+        informed_ids = {p.participant_id for p in self.informed}
+        if not allocated_ids <= informed_ids:
+            raise ValueError("allocated providers must be a subset of informed providers")
+
+    @property
+    def is_failure(self) -> bool:
+        return not self.allocated
+
+
+class AllocationPolicy:
+    """Base class of every allocation technique.
+
+    Subclasses set :attr:`name` (a stable identifier used in reports)
+    and :attr:`consults_participants` (True when the technique needs an
+    intention round-trip before deciding, which costs extra latency and
+    messages -- SbQA and the economic bidding baseline do; one-shot
+    baselines do not).
+    """
+
+    name: str = "abstract"
+    consults_participants: bool = False
+
+    def select(
+        self,
+        query: "Query",
+        candidates: Sequence["Provider"],
+        ctx: AllocationContext,
+    ) -> AllocationDecision:
+        """Decide the allocation of ``query`` among ``candidates``.
+
+        ``candidates`` is the non-empty capable set ``P_q``; the
+        mediator handles the empty case before calling the policy.
+        """
+        raise NotImplementedError
+
+    def describe(self) -> Dict[str, object]:
+        """Human-readable parameterisation (reports, EXPERIMENTS.md)."""
+        return {"name": self.name}
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v}" for k, v in self.describe().items() if k != "name")
+        return f"{type(self).__name__}({params})"
+
+
+def allocation_count(query: "Query", pool_size: int) -> int:
+    """How many providers to allocate: ``min(q.n, |pool|)``.
+
+    The paper allocates to the ``min(n, kn)`` best-ranked providers;
+    baselines use the same rule with their own pool.
+    """
+    return min(query.n_results, pool_size)

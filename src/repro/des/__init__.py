@@ -1,0 +1,45 @@
+"""Discrete-event simulation kernel.
+
+This package is the simulation substrate of the SbQA reproduction.  The
+original prototype simulated its network with SimJava; this package
+provides the equivalent primitives, written from scratch:
+
+* :class:`~repro.des.scheduler.Simulator` -- the event loop: a monotone
+  simulation clock plus a priority queue of timestamped events.
+* :class:`~repro.des.events.Event` -- a scheduled callback with a stable
+  total order (time, priority, sequence number).
+* :class:`~repro.des.entity.Entity` -- a named simulation actor that can
+  schedule work and receive messages.
+* :class:`~repro.des.network.Network` -- latency-modelled message
+  delivery between entities.
+* :class:`~repro.des.rng.RandomStream` / ``RandomRoot`` -- named, seeded
+  random substreams so every run is reproducible bit-for-bit.
+* :class:`~repro.des.tracing.TraceRecorder` -- structured trace of what
+  happened, used by tests and by the Figure-1 pipeline bench.
+
+The kernel is deliberately generic: nothing in it knows about queries,
+consumers, providers or mediators.
+"""
+
+from repro.des.events import Event, EventHandle
+from repro.des.scheduler import Simulator, SimulationError
+from repro.des.entity import Entity
+from repro.des.network import Network, Message, UniformLatency, ZeroLatency
+from repro.des.rng import RandomRoot, RandomStream
+from repro.des.tracing import TraceRecorder, TraceEvent
+
+__all__ = [
+    "Event",
+    "EventHandle",
+    "Simulator",
+    "SimulationError",
+    "Entity",
+    "Network",
+    "Message",
+    "UniformLatency",
+    "ZeroLatency",
+    "RandomRoot",
+    "RandomStream",
+    "TraceRecorder",
+    "TraceEvent",
+]

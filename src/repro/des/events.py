@@ -1,0 +1,141 @@
+"""Events and event handles for the simulation kernel.
+
+An :class:`Event` couples a simulation timestamp with a zero-argument
+callback.  Events are totally ordered by ``(time, priority, seq)``:
+
+* ``time`` -- the simulation instant at which the event fires;
+* ``priority`` -- tie-breaker for events scheduled at the same instant
+  (lower fires first); defaults to :data:`DEFAULT_PRIORITY`;
+* ``seq`` -- a monotonically increasing sequence number assigned by the
+  scheduler, which makes the order total and deterministic even for
+  events with identical time and priority (FIFO among equals).
+
+User code does not build events directly; it calls
+:meth:`repro.des.scheduler.Simulator.schedule_at` /
+:meth:`~repro.des.scheduler.Simulator.schedule_in`, which return an
+:class:`EventHandle` usable to cancel the event.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Optional
+
+#: Priority assigned when the caller does not specify one.  Having slack
+#: on both sides lets tests exercise both earlier and later priorities.
+DEFAULT_PRIORITY = 0
+
+
+@functools.total_ordering
+class Event:
+    """A scheduled callback, ordered by ``(time, priority, seq)``."""
+
+    __slots__ = ("time", "priority", "seq", "action", "label", "_cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        action: Callable[[], None],
+        priority: int = DEFAULT_PRIORITY,
+        label: str = "",
+    ) -> None:
+        if time != time:  # NaN guard: NaN breaks heap ordering silently.
+            raise ValueError("event time must not be NaN")
+        self.time = float(time)
+        self.priority = int(priority)
+        self.seq = int(seq)
+        self.action = action
+        self.label = label
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event was cancelled before firing."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; the scheduler will skip it."""
+        self._cancelled = True
+
+    def sort_key(self) -> tuple:
+        return (self.time, self.priority, self.seq)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.sort_key() == other.sort_key()
+
+    def __lt__(self, other: "Event") -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+    def __hash__(self) -> int:
+        return hash((self.time, self.priority, self.seq))
+
+    def __repr__(self) -> str:
+        flag = " CANCELLED" if self._cancelled else ""
+        name = self.label or getattr(self.action, "__name__", "<callable>")
+        return f"Event(t={self.time:.6g}, prio={self.priority}, seq={self.seq}, {name}{flag})"
+
+
+class EventHandle:
+    """A cancellation handle returned by the scheduler.
+
+    Keeps a reference to the underlying event without exposing mutation
+    of its schedule.  ``cancel()`` is idempotent and safe to call after
+    the event fired (it is then a no-op).
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """The simulation time the event is scheduled for."""
+        return self._event.time
+
+    @property
+    def label(self) -> str:
+        return self._event.label
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already fired)."""
+        self._event.cancel()
+
+    def __repr__(self) -> str:
+        return f"EventHandle({self._event!r})"
+
+
+def make_repeating(
+    schedule_in: Callable[[float, Callable[[], None]], "EventHandle"],
+    interval: float,
+    action: Callable[[], None],
+    stop_when: Optional[Callable[[], bool]] = None,
+) -> Callable[[], None]:
+    """Build a self-rescheduling callback.
+
+    ``schedule_in(delay, fn)`` must schedule ``fn`` after ``delay``;
+    the returned tick function runs ``action`` then re-schedules itself
+    every ``interval`` until ``stop_when()`` (if given) returns True.
+
+    The first tick must be scheduled by the caller; this only builds the
+    closure.  Used for metric samplers and churn checks.
+    """
+    if interval <= 0:
+        raise ValueError(f"repeating interval must be positive, got {interval}")
+
+    def tick() -> None:
+        if stop_when is not None and stop_when():
+            return
+        action()
+        schedule_in(interval, tick)
+
+    return tick

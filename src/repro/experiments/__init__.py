@@ -1,0 +1,53 @@
+"""The experiment harness: scenario definitions and runners.
+
+* :mod:`repro.experiments.config` -- declarative run configuration
+  (:class:`ExperimentConfig`, :class:`PolicySpec`);
+* :mod:`repro.experiments.runner` -- wires kernel + population +
+  mediator + arrivals + churn + metrics and executes one run;
+* :mod:`repro.experiments.replication` -- replicate a run over seeds
+  and aggregate mean +- stdev;
+* :mod:`repro.experiments.scenarios` -- Scenario 1-7 of the demo
+  (Section IV), each returning a :class:`ScenarioResult` with the
+  comparison tables, the sampled series and machine-checked claims;
+* :mod:`repro.experiments.report` -- rendering of scenario results.
+"""
+
+from repro.experiments.config import AutonomyConfig, ExperimentConfig, PolicySpec
+from repro.experiments.runner import RunResult, run_once
+from repro.experiments.replication import AggregateResult, run_replications
+from repro.experiments.report import render_comparison, render_claims, render_run_series
+from repro.experiments.scenarios import (
+    Claim,
+    ScenarioResult,
+    scenario1_satisfaction_model,
+    scenario2_departures,
+    scenario3_captive,
+    scenario4_autonomous,
+    scenario5_expectation_adaptation,
+    scenario6_application_adaptability,
+    scenario7_focal_participant,
+    ALL_SCENARIOS,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "PolicySpec",
+    "AutonomyConfig",
+    "RunResult",
+    "run_once",
+    "AggregateResult",
+    "run_replications",
+    "render_comparison",
+    "render_claims",
+    "render_run_series",
+    "Claim",
+    "ScenarioResult",
+    "scenario1_satisfaction_model",
+    "scenario2_departures",
+    "scenario3_captive",
+    "scenario4_autonomous",
+    "scenario5_expectation_adaptation",
+    "scenario6_application_adaptability",
+    "scenario7_focal_participant",
+    "ALL_SCENARIOS",
+]

@@ -1,0 +1,94 @@
+"""Seeded replications and mean +- stdev aggregation.
+
+``run_replications`` repeats one ``(config, policy)`` pair across
+replication indices -- every index derives an independent random root
+(see :func:`repro.des.rng.spawn_replication_root`) -- and aggregates
+the numeric summary fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.analysis.stats import mean, stdev
+from repro.experiments.config import ExperimentConfig, PolicySpec
+from repro.experiments.runner import RunResult, run_once
+
+#: Summary fields aggregated across replications.
+AGGREGATED_FIELDS = (
+    "mean_rt",
+    "p95_rt",
+    "tail_rt",
+    "throughput",
+    "failure_rate",
+    "consumer_sat_final",
+    "provider_sat_final",
+    "consumer_sat_mean",
+    "provider_sat_mean",
+    "providers_remaining",
+    "consumers_remaining",
+    "provider_departures",
+    "consumer_departures",
+    "capacity_remaining_fraction",
+    "utilization_gini",
+    "work_gini",
+)
+
+
+@dataclass
+class AggregateResult:
+    """Mean and stdev of summary fields over n replications."""
+
+    label: str
+    replications: int
+    means: Dict[str, float] = field(default_factory=dict)
+    stdevs: Dict[str, float] = field(default_factory=dict)
+    runs: List[RunResult] = field(default_factory=list)
+
+    def cell(self, key: str, decimals: int = 3) -> str:
+        """``mean +- stdev`` rendering of one aggregated field."""
+        if key not in self.means:
+            raise KeyError(f"field {key!r} was not aggregated")
+        return f"{self.means[key]:.{decimals}f}±{self.stdevs[key]:.{decimals}f}"
+
+    def __getitem__(self, key: str) -> float:
+        return self.means[key]
+
+
+def run_replications(
+    config: ExperimentConfig,
+    policy_spec: PolicySpec,
+    replications: int = 3,
+    keep_runs: bool = True,
+) -> AggregateResult:
+    """Run ``replications`` independent seeds of one experiment."""
+    if replications < 1:
+        raise ValueError(f"need at least one replication, got {replications}")
+    runs = [
+        run_once(config, policy_spec, replication=i) for i in range(replications)
+    ]
+    samples: Dict[str, List[float]] = {key: [] for key in AGGREGATED_FIELDS}
+    for run in runs:
+        flat = run.summary.as_dict()
+        for key in AGGREGATED_FIELDS:
+            samples[key].append(float(flat[key]))
+    return AggregateResult(
+        label=policy_spec.label,
+        replications=replications,
+        means={key: mean(values) for key, values in samples.items()},
+        stdevs={key: stdev(values) for key, values in samples.items()},
+        runs=runs if keep_runs else [],
+    )
+
+
+def compare_policies(
+    config: ExperimentConfig,
+    policy_specs: List[PolicySpec],
+    replications: int = 3,
+) -> List[AggregateResult]:
+    """Aggregate every policy over the same replication seeds."""
+    return [
+        run_replications(config, spec, replications=replications)
+        for spec in policy_specs
+    ]

@@ -1,0 +1,110 @@
+"""Rendering of scenario results: comparison tables, claims, series.
+
+These produce the textual equivalents of the demo's GUIs: the
+comparison table is what the "drawing results on-line" window (Figure
+2b) summarised, the sparkline block is the curve view itself.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.analysis.ascii_plot import multi_sparkline
+from repro.analysis.tables import render_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.runner import RunResult
+    from repro.experiments.scenarios import Claim
+
+#: Default comparison columns: the metrics the demo narrates
+#: (participants' satisfaction, response times) plus the churn outcome.
+DEFAULT_COLUMNS = (
+    "consumer_sat_final",
+    "provider_sat_final",
+    "mean_rt",
+    "p95_rt",
+    "throughput",
+    "failure_rate",
+    "providers_remaining",
+    "provider_departures",
+    "consumer_departures",
+)
+
+#: Short header names for the default columns.
+_HEADERS = {
+    "consumer_sat_final": "cons sat",
+    "provider_sat_final": "prov sat",
+    "consumer_sat_mean": "cons sat(avg)",
+    "provider_sat_mean": "prov sat(avg)",
+    "mean_rt": "mean rt (s)",
+    "p95_rt": "p95 rt (s)",
+    "tail_rt": "tail rt (s)",
+    "throughput": "thpt (q/s)",
+    "failure_rate": "fail rate",
+    "providers_remaining": "prov online",
+    "consumers_remaining": "cons online",
+    "provider_departures": "prov left",
+    "consumer_departures": "cons left",
+    "capacity_remaining_fraction": "capacity left",
+    "utilization_gini": "util gini",
+    "work_gini": "work gini",
+    "coordination_messages": "coord msgs",
+}
+
+
+def render_comparison(
+    runs: Sequence["RunResult"],
+    columns: Sequence[str] = DEFAULT_COLUMNS,
+    title: Optional[str] = None,
+) -> str:
+    """One row per run, one column per selected summary metric."""
+    headers = ["policy"] + [_HEADERS.get(col, col) for col in columns]
+    rows = []
+    for run in runs:
+        flat = run.summary.as_dict()
+        rows.append([run.label] + [flat[col] for col in columns])
+    return render_table(headers, rows, title=title)
+
+
+def render_claims(claims: Sequence["Claim"]) -> str:
+    """PASS/FAIL table of the scenario's machine-checked claims."""
+    headers = ["claim", "verdict", "observed"]
+    rows = [
+        [claim.description, "PASS" if claim.passed else "FAIL", claim.details]
+        for claim in claims
+    ]
+    return render_table(headers, rows, title="Paper claims (shape checks)")
+
+
+def render_run_series(
+    runs: Sequence["RunResult"],
+    series_name: str,
+    width: int = 60,
+    title: Optional[str] = None,
+) -> str:
+    """Sparkline per run of one sampled series (e.g. provider satisfaction)."""
+    block: Dict[str, List[float]] = {}
+    for run in runs:
+        points = run.hub.series_map().get(series_name, [])
+        block[run.label] = [value for _, value in points]
+    body = multi_sparkline(block, width=width)
+    if title:
+        return f"{title}\n{body}"
+    return f"{series_name} over time\n{body}"
+
+
+def render_group_series(
+    run: "RunResult",
+    group_prefix: str = "",
+    width: int = 60,
+    title: Optional[str] = None,
+) -> str:
+    """Sparklines of a single run's group-satisfaction series."""
+    block: Dict[str, List[float]] = {}
+    for name, series in run.hub.group_satisfaction.items():
+        if group_prefix and not name.startswith(group_prefix):
+            continue
+        block[name] = series.values
+    body = multi_sparkline(block, width=width)
+    header = title or f"{run.label}: group satisfaction"
+    return f"{header}\n{body}"

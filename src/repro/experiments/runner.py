@@ -1,0 +1,217 @@
+"""Wire one full simulation run and execute it.
+
+``run_once(config, policy_spec)`` performs the complete assembly that
+the demo prototype's setup GUIs performed interactively:
+
+1. kernel: simulator + latency-modelled network + seeded random root;
+2. population: the BOINC-like consumers and providers;
+3. mediation: the allocation policy under study, a mediator, and the
+   metrics hub observing it;
+4. workload: one Poisson arrival process per project;
+5. autonomy: the churn monitor when the environment is autonomous;
+6. measurement: periodic sampling plus per-group satisfaction series
+   (per project, per provider archetype, focal probes);
+
+then runs to the horizon and assembles a :class:`RunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.allocation.factory import make_policy
+from repro.core.mediator import Mediator
+from repro.des.network import Network, UniformLatency
+from repro.des.rng import RandomRoot, spawn_replication_root
+from repro.des.scheduler import Simulator
+from repro.des.tracing import NULL_RECORDER, TraceRecorder
+from repro.experiments.config import ExperimentConfig, PolicySpec
+from repro.metrics.collectors import MetricsHub
+from repro.metrics.summary import RunSummary, build_summary
+from repro.system.autonomy import (
+    CaptivePolicy,
+    ChurnMonitor,
+    SatisfactionDeparturePolicy,
+)
+from repro.system.failures import CrashInjector
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.boinc import BoincPopulation, build_boinc_population
+from repro.workloads.preferences import ARCHETYPES
+
+
+@dataclass
+class RunResult:
+    """Everything one run produced (summary + raw access for analysis)."""
+
+    label: str
+    config: ExperimentConfig
+    policy_spec: PolicySpec
+    summary: RunSummary
+    hub: MetricsHub
+    population: BoincPopulation
+    mediator: Mediator
+
+    @property
+    def registry(self):
+        return self.population.registry
+
+    def participant_satisfaction(self, participant_id: str) -> float:
+        """Final satisfaction of one participant (consumer or provider)."""
+        registry = self.registry
+        try:
+            return registry.consumer(participant_id).satisfaction
+        except KeyError:
+            return registry.provider(participant_id).satisfaction
+
+
+def run_once(
+    config: ExperimentConfig,
+    policy_spec: PolicySpec,
+    replication: int = 0,
+    trace: TraceRecorder = NULL_RECORDER,
+) -> RunResult:
+    """Execute one simulation run; deterministic in all arguments."""
+    root = spawn_replication_root(config.seed, replication)
+
+    # 1. kernel -----------------------------------------------------------
+    sim = Simulator()
+    latency = UniformLatency(
+        config.latency_low, config.latency_high, root.stream("network/latency")
+    )
+    network = Network(sim, latency)
+
+    # 2. population -------------------------------------------------------
+    population = build_boinc_population(sim, network, root, config.population)
+    registry = population.registry
+
+    # 3. mediation --------------------------------------------------------
+    hub = MetricsHub()
+    policy = make_policy(
+        policy_spec.name, root, sbqa=policy_spec.sbqa, params=policy_spec.params
+    )
+    mediator = Mediator(
+        sim,
+        network,
+        registry,
+        policy,
+        observer=hub,
+        trace=trace,
+        adequation_over_candidates=config.adequation_over_candidates,
+        keep_records=config.keep_records,
+    )
+    for consumer in population.consumers:
+        consumer.attach_mediator(mediator)
+        consumer.on_completion(hub.record_completion)
+        if config.result_timeout is not None:
+            consumer.result_timeout = config.result_timeout
+            consumer.on_timeout(hub.record_timeout)
+
+    # 4. workload ---------------------------------------------------------
+    total_capacity = registry.total_capacity(online_only=False)
+    rate_scale_of: Dict[str, float] = {
+        project.name: project.rate_scale for project in config.population.projects
+    }
+    focal_consumer = config.population.focal_consumer
+    if focal_consumer is not None:
+        rate_scale_of[focal_consumer.participant_id] = focal_consumer.rate_scale
+    for consumer in population.consumers:
+        cid = consumer.participant_id
+        demand = config.population.make_demand_model(
+            root.stream(f"workload/demand/{cid}")
+        )
+        arrivals = PoissonArrivals(
+            sim,
+            consumer,
+            demand,
+            rate=config.population.arrival_rate(total_capacity, rate_scale_of.get(cid, 1.0)),
+            stream=root.stream(f"workload/arrivals/{cid}"),
+            horizon=config.duration,
+        )
+        arrivals.start()
+
+    # 5. autonomy ---------------------------------------------------------
+    autonomy = config.autonomy
+    if autonomy.is_captive:
+        consumer_policy = provider_policy = CaptivePolicy()
+    else:
+        consumer_policy = SatisfactionDeparturePolicy(
+            autonomy.consumer_threshold,
+            min_observations=autonomy.min_observations,
+            warmup=autonomy.warmup,
+        )
+        provider_policy = SatisfactionDeparturePolicy(
+            autonomy.provider_threshold,
+            min_observations=autonomy.min_observations,
+            warmup=autonomy.warmup,
+        )
+    monitor = ChurnMonitor(
+        sim,
+        population.consumers,
+        population.providers,
+        consumer_policy,
+        provider_policy,
+        check_interval=autonomy.check_interval,
+        rejoin_cooldown=autonomy.rejoin_cooldown,
+    )
+    monitor.on_departure(hub.record_departure)
+    monitor.on_rejoin(hub.record_rejoin)
+    monitor.start()
+
+    # 5b. failure injection (crash extension) -----------------------------
+    if config.failures is not None:
+        injector = CrashInjector(
+            sim, population.providers, config.failures, root.stream("failures")
+        )
+        injector.on_crash(hub.record_crash)
+        injector.start()
+
+    # 6. measurement ------------------------------------------------------
+    for consumer in population.consumers:
+        hub.register_group(
+            f"consumer:{consumer.participant_id}", "consumer", [consumer.participant_id]
+        )
+    for archetype in ARCHETYPES:
+        members = [
+            p.participant_id for p in population.providers_of_archetype(archetype)
+        ]
+        if members:
+            hub.register_group(f"archetype:{archetype}", "provider", members)
+    if config.population.focal_provider is not None:
+        hub.register_group(
+            "focal:provider", "provider", [config.population.focal_provider.participant_id]
+        )
+    if config.track_provider_snapshots:
+        hub.enable_provider_snapshots()
+    hub.start_sampling(sim, registry, interval=config.sample_interval)
+
+    # run -------------------------------------------------------------
+    sim.run_until(config.duration)
+
+    summary = build_summary(
+        policy_name=policy_spec.label,
+        duration=config.duration,
+        hub=hub,
+        registry=registry,
+        mediator=mediator,
+        network=network,
+    )
+    return RunResult(
+        label=policy_spec.label,
+        config=config,
+        policy_spec=policy_spec,
+        summary=summary,
+        hub=hub,
+        population=population,
+        mediator=mediator,
+    )
+
+
+def run_policies(
+    config: ExperimentConfig,
+    policy_specs: List[PolicySpec],
+    replication: int = 0,
+) -> List[RunResult]:
+    """Run the same experiment once per policy (same seed, same
+    population draw -- the only varying factor is the technique)."""
+    return [run_once(config, spec, replication=replication) for spec in policy_specs]

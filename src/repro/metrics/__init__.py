@@ -1,0 +1,23 @@
+"""Measurement: everything the demo GUIs displayed, as data.
+
+* :mod:`repro.metrics.series` -- append-only ``(t, value)`` time series
+  with resampling/window helpers;
+* :mod:`repro.metrics.collectors` -- the :class:`MetricsHub` wired into
+  the mediator, consumers and the churn monitor; it samples
+  satisfaction, utilization and population on a fixed interval, and
+  accumulates response times, completions, failures and departures;
+* :mod:`repro.metrics.summary` -- :class:`RunSummary`, the flat record
+  of one simulation run that scenario reports and benches consume.
+"""
+
+from repro.metrics.series import TimeSeries
+from repro.metrics.collectors import MetricsHub
+from repro.metrics.summary import ConsumerSummary, RunSummary, build_summary
+
+__all__ = [
+    "TimeSeries",
+    "MetricsHub",
+    "RunSummary",
+    "ConsumerSummary",
+    "build_summary",
+]

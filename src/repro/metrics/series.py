@@ -1,0 +1,92 @@
+"""Append-only time series with the handful of operations reports need."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+
+class TimeSeries:
+    """A named sequence of ``(t, value)`` samples, non-decreasing in t."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def append(self, t: float, value: float) -> None:
+        """Add one sample; timestamps must not go backwards."""
+        if self._times and t < self._times[-1]:
+            raise ValueError(
+                f"series {self.name!r}: time went backwards "
+                f"({self._times[-1]:.6g} -> {t:.6g})"
+            )
+        self._times.append(t)
+        self._values.append(value)
+
+    # -- access -----------------------------------------------------------
+
+    @property
+    def times(self) -> List[float]:
+        return list(self._times)
+
+    @property
+    def values(self) -> List[float]:
+        return list(self._values)
+
+    def points(self) -> List[Tuple[float, float]]:
+        """All samples as ``(t, value)`` pairs."""
+        return list(zip(self._times, self._values))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        return iter(zip(self._times, self._values))
+
+    @property
+    def last(self) -> Optional[float]:
+        """Most recent value, or None when empty."""
+        return self._values[-1] if self._values else None
+
+    def value_at(self, t: float) -> Optional[float]:
+        """Last value sampled at or before ``t`` (step interpolation)."""
+        result = None
+        for time, value in zip(self._times, self._values):
+            if time > t:
+                break
+            result = value
+        return result
+
+    def window(self, t_lo: float, t_hi: float) -> List[Tuple[float, float]]:
+        """Samples with ``t_lo <= t <= t_hi``."""
+        if t_hi < t_lo:
+            raise ValueError(f"empty window: [{t_lo}, {t_hi}]")
+        return [
+            (t, v) for t, v in zip(self._times, self._values) if t_lo <= t <= t_hi
+        ]
+
+    def mean(self, t_lo: Optional[float] = None, t_hi: Optional[float] = None) -> float:
+        """Mean value over an optional time window (0 when empty)."""
+        if t_lo is None and t_hi is None:
+            values: Sequence[float] = self._values
+        else:
+            lo = self._times[0] if t_lo is None and self._times else (t_lo or 0.0)
+            hi = self._times[-1] if t_hi is None and self._times else (t_hi or 0.0)
+            values = [v for _, v in self.window(lo, hi)]
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    def tail_mean(self, fraction: float = 0.25) -> float:
+        """Mean of the last ``fraction`` of samples -- the steady-state
+        estimate reports use (0 when empty)."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        if not self._values:
+            return 0.0
+        count = max(1, int(len(self._values) * fraction))
+        chunk = self._values[-count:]
+        return sum(chunk) / len(chunk)
+
+    def __repr__(self) -> str:
+        return f"TimeSeries({self.name!r}, n={len(self)}, last={self.last})"

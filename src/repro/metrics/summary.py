@@ -1,0 +1,205 @@
+"""Flat per-run summaries consumed by scenario reports and benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.analysis.stats import gini, mean, percentile, stdev
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.mediator import Mediator
+    from repro.des.network import Network
+    from repro.metrics.collectors import MetricsHub
+    from repro.system.registry import SystemRegistry
+
+
+@dataclass(frozen=True)
+class ConsumerSummary:
+    """Per-consumer outcome of one run."""
+
+    consumer_id: str
+    online: bool
+    satisfaction: float
+    issued: int
+    completed: int
+    failed: int
+    mean_response_time: float
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Everything a scenario comparison table needs about one run.
+
+    The ``*_final`` satisfaction figures are the participants' state at
+    the end of the run; the ``*_mean`` figures average the sampled
+    series over the whole run (closer to what the on-line GUI curves
+    conveyed).  ``tail_*`` metrics average the last quarter of the run
+    -- the steady state after warmup and churn transients.
+    """
+
+    policy: str
+    duration: float
+
+    queries_issued: int = 0
+    queries_completed: int = 0
+    queries_failed: int = 0
+    queries_timed_out: int = 0
+    failure_rate: float = 0.0
+    provider_crashes: int = 0
+    queries_lost_to_crashes: int = 0
+
+    mean_response_time: float = 0.0
+    p95_response_time: float = 0.0
+    p99_response_time: float = 0.0
+    tail_response_time: float = 0.0
+    throughput: float = 0.0
+
+    consumer_satisfaction_final: float = 0.0
+    consumer_satisfaction_mean: float = 0.0
+    provider_satisfaction_final: float = 0.0
+    provider_satisfaction_mean: float = 0.0
+
+    providers_total: int = 0
+    providers_remaining: int = 0
+    consumers_total: int = 0
+    consumers_remaining: int = 0
+    provider_departures: int = 0
+    consumer_departures: int = 0
+    provider_rejoins: int = 0
+    consumer_rejoins: int = 0
+    capacity_remaining_fraction: float = 1.0
+
+    #: Long-run mean of the [12]-style allocation satisfaction over
+    #: consumers: how close the mediator got to the best allocation the
+    #: candidate pool allowed (1.0 = optimal given what was available).
+    consumer_allocation_satisfaction: float = 0.0
+
+    utilization_mean: float = 0.0
+    utilization_gini: float = 0.0
+    work_gini: float = 0.0
+
+    network_messages: int = 0
+    coordination_messages: int = 0
+    mean_consultation_delay: float = 0.0
+
+    consumers: List[ConsumerSummary] = field(default_factory=list)
+
+    @property
+    def providers_remaining_fraction(self) -> float:
+        """Share of the provider population still online at run end."""
+        if self.providers_total == 0:
+            return 0.0
+        return self.providers_remaining / self.providers_total
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dict (per-consumer breakdown excluded) for tables/CSV."""
+        return {
+            "policy": self.policy,
+            "duration": self.duration,
+            "issued": self.queries_issued,
+            "completed": self.queries_completed,
+            "failed": self.queries_failed,
+            "timed_out": self.queries_timed_out,
+            "failure_rate": self.failure_rate,
+            "provider_crashes": self.provider_crashes,
+            "queries_lost_to_crashes": self.queries_lost_to_crashes,
+            "mean_rt": self.mean_response_time,
+            "p95_rt": self.p95_response_time,
+            "p99_rt": self.p99_response_time,
+            "tail_rt": self.tail_response_time,
+            "throughput": self.throughput,
+            "consumer_sat_final": self.consumer_satisfaction_final,
+            "consumer_sat_mean": self.consumer_satisfaction_mean,
+            "provider_sat_final": self.provider_satisfaction_final,
+            "provider_sat_mean": self.provider_satisfaction_mean,
+            "providers_remaining": self.providers_remaining,
+            "providers_remaining_fraction": self.providers_remaining_fraction,
+            "consumers_remaining": self.consumers_remaining,
+            "provider_departures": self.provider_departures,
+            "consumer_departures": self.consumer_departures,
+            "provider_rejoins": self.provider_rejoins,
+            "consumer_rejoins": self.consumer_rejoins,
+            "capacity_remaining_fraction": self.capacity_remaining_fraction,
+            "consumer_allocation_satisfaction": self.consumer_allocation_satisfaction,
+            "utilization_mean": self.utilization_mean,
+            "utilization_gini": self.utilization_gini,
+            "work_gini": self.work_gini,
+            "network_messages": self.network_messages,
+            "coordination_messages": self.coordination_messages,
+            "mean_consultation_delay": self.mean_consultation_delay,
+        }
+
+
+def build_summary(
+    policy_name: str,
+    duration: float,
+    hub: "MetricsHub",
+    registry: "SystemRegistry",
+    mediator: "Mediator",
+    network: "Network",
+) -> RunSummary:
+    """Assemble the :class:`RunSummary` of a finished run."""
+    departures = hub.departures_by_kind()
+    rejoins: Dict[str, int] = {}
+    for rejoin in hub.rejoins:
+        rejoins[rejoin.kind] = rejoins.get(rejoin.kind, 0) + 1
+    initial_capacity = registry.total_capacity(online_only=False)
+    remaining_capacity = registry.total_capacity(online_only=True)
+
+    consumers = [
+        ConsumerSummary(
+            consumer_id=c.participant_id,
+            online=c.online,
+            satisfaction=c.satisfaction,
+            issued=c.stats.queries_issued,
+            completed=c.stats.queries_completed,
+            failed=c.stats.queries_failed,
+            mean_response_time=c.stats.mean_response_time,
+        )
+        for c in registry.consumers
+    ]
+
+    work_done = [p.stats.work_units_done for p in registry.providers]
+
+    return RunSummary(
+        policy=policy_name,
+        duration=duration,
+        queries_issued=hub.queries_issued,
+        queries_completed=hub.queries_completed,
+        queries_failed=hub.queries_failed,
+        queries_timed_out=hub.queries_timed_out,
+        failure_rate=hub.failure_rate,
+        provider_crashes=len(hub.crashes),
+        queries_lost_to_crashes=sum(c.queries_lost for c in hub.crashes),
+        mean_response_time=mean(hub.response_times),
+        p95_response_time=percentile(hub.response_times, 95),
+        p99_response_time=percentile(hub.response_times, 99),
+        tail_response_time=hub.response_time_series.tail_mean(0.25),
+        throughput=hub.queries_completed / duration if duration > 0 else 0.0,
+        consumer_satisfaction_final=hub.consumer_satisfaction.last or 0.0,
+        consumer_satisfaction_mean=hub.consumer_satisfaction.mean(),
+        provider_satisfaction_final=hub.provider_satisfaction.last or 0.0,
+        provider_satisfaction_mean=hub.provider_satisfaction.mean(),
+        providers_total=len(registry.providers),
+        providers_remaining=len(registry.online_providers()),
+        consumers_total=len(registry.consumers),
+        consumers_remaining=len(registry.online_consumers()),
+        provider_departures=departures.get("provider", 0),
+        consumer_departures=departures.get("consumer", 0),
+        provider_rejoins=rejoins.get("provider", 0),
+        consumer_rejoins=rejoins.get("consumer", 0),
+        capacity_remaining_fraction=(
+            remaining_capacity / initial_capacity if initial_capacity > 0 else 0.0
+        ),
+        consumer_allocation_satisfaction=mean(
+            [c.tracker.allocation_satisfaction() for c in registry.consumers]
+        ),
+        utilization_mean=hub.utilization_mean.mean(),
+        utilization_gini=hub.utilization_gini.tail_mean(0.25),
+        work_gini=gini(work_done) if work_done else 0.0,
+        network_messages=network.messages_sent,
+        coordination_messages=mediator.coordination_messages,
+        mean_consultation_delay=mean(hub.consultation_delays),
+        consumers=consumers,
+    )

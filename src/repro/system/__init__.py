@@ -1,0 +1,57 @@
+"""Query and participant model.
+
+This package models the *autonomous environment* of the paper: an open
+distributed system in which **consumers** issue queries and
+**providers** perform them, both with their own interests, mediated by
+a query-allocation component (:mod:`repro.core.mediator`).
+
+Contents:
+
+* :mod:`repro.system.query` -- queries, allocation records, results;
+* :mod:`repro.system.provider` -- volunteer/provider entities with a
+  FIFO work queue, capacity, utilization and a satisfaction window over
+  the k last *proposed* queries (Definition 2 of the paper);
+* :mod:`repro.system.consumer` -- project/consumer entities issuing
+  queries, tracking per-query satisfaction (Equation 1 / Definition 1)
+  and per-provider observed performance (used by reputation- and
+  response-time-based intentions);
+* :mod:`repro.system.autonomy` -- departure policies: captive
+  environments vs. satisfaction-threshold churn (Scenario 2);
+* :mod:`repro.system.registry` -- membership and capability lookup
+  (the set ``P_q`` of providers able to perform a query).
+"""
+
+from repro.system.query import AllocationRecord, Query, QueryResult, QueryStatus
+from repro.system.provider import Provider, ProviderStats
+from repro.system.consumer import Consumer, ConsumerStats
+from repro.system.autonomy import (
+    CaptivePolicy,
+    ChurnMonitor,
+    Departure,
+    DeparturePolicy,
+    Rejoin,
+    SatisfactionDeparturePolicy,
+)
+from repro.system.failures import Crash, CrashInjector, FailureConfig
+from repro.system.registry import SystemRegistry
+
+__all__ = [
+    "Query",
+    "QueryResult",
+    "QueryStatus",
+    "AllocationRecord",
+    "Provider",
+    "ProviderStats",
+    "Consumer",
+    "ConsumerStats",
+    "DeparturePolicy",
+    "CaptivePolicy",
+    "SatisfactionDeparturePolicy",
+    "ChurnMonitor",
+    "Departure",
+    "Rejoin",
+    "FailureConfig",
+    "CrashInjector",
+    "Crash",
+    "SystemRegistry",
+]

@@ -1,0 +1,268 @@
+"""Autonomy: participants may leave the system by dissatisfaction.
+
+The paper's central motivation: in autonomous environments participants
+"may leave the system by dissatisfaction, which causes a loss of
+processing capacity ... As a result, one may have a system with poor
+performance".  Scenario 2 instantiates this with thresholds: a provider
+leaves when its satisfaction drops below 0.35 and a consumer stops
+using the system below 0.5.
+
+Two environments are modelled:
+
+* **captive** (Scenarios 1 and 3): participants cannot quit -- e.g.
+  BOINC used as a grid platform over dedicated machines;
+* **autonomous** (Scenarios 2 and 4): a :class:`ChurnMonitor` polls
+  satisfactions at a fixed interval and executes departures.
+
+Departure checks require a minimum number of recorded interactions so
+that a participant does not quit on cold-start noise, and a warmup
+delay so the window first fills with steady-state behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Union
+
+from repro.des.events import make_repeating
+from repro.des.scheduler import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.system.consumer import Consumer
+    from repro.system.provider import Provider
+
+#: Scenario 2 thresholds from the paper.
+PAPER_PROVIDER_THRESHOLD = 0.35
+PAPER_CONSUMER_THRESHOLD = 0.5
+
+Participant = Union["Consumer", "Provider"]
+
+
+class DeparturePolicy:
+    """Strategy: should this participant leave the system now?"""
+
+    def should_leave(self, participant: Participant, now: float) -> bool:
+        raise NotImplementedError
+
+    @property
+    def is_captive(self) -> bool:
+        """True when the policy can never trigger a departure."""
+        return False
+
+
+class CaptivePolicy(DeparturePolicy):
+    """Captive environments: participants are not allowed to quit."""
+
+    def should_leave(self, participant: Participant, now: float) -> bool:
+        return False
+
+    @property
+    def is_captive(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "CaptivePolicy()"
+
+
+class SatisfactionDeparturePolicy(DeparturePolicy):
+    """Leave when long-run satisfaction falls below a threshold.
+
+    Parameters
+    ----------
+    threshold:
+        Satisfaction below which the participant quits.
+    min_observations:
+        Interactions that must be inside the window before the
+        threshold is armed (cold-start guard).
+    warmup:
+        Simulation time before which no departure happens.
+    """
+
+    def __init__(
+        self,
+        threshold: float,
+        min_observations: int = 10,
+        warmup: float = 0.0,
+    ) -> None:
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        if min_observations < 1:
+            raise ValueError(f"min_observations must be >= 1, got {min_observations}")
+        if warmup < 0:
+            raise ValueError(f"warmup must be non-negative, got {warmup}")
+        self.threshold = threshold
+        self.min_observations = min_observations
+        self.warmup = warmup
+
+    def should_leave(self, participant: Participant, now: float) -> bool:
+        if now < self.warmup:
+            return False
+        if not participant.online:
+            return False
+        tracker = participant.tracker
+        if tracker.observations < self.min_observations:
+            return False
+        return participant.satisfaction < self.threshold
+
+    def __repr__(self) -> str:
+        return (
+            f"SatisfactionDeparturePolicy(threshold={self.threshold}, "
+            f"min_observations={self.min_observations}, warmup={self.warmup})"
+        )
+
+
+@dataclass(frozen=True)
+class Departure:
+    """One departure as recorded by the churn monitor."""
+
+    time: float
+    participant_id: str
+    kind: str  # "consumer" | "provider"
+    satisfaction: float
+
+
+@dataclass(frozen=True)
+class Rejoin:
+    """One return as recorded by the churn monitor (extension).
+
+    The paper's participants leave for good; real volunteer platforms
+    see them come back.  The rejoin extension models a cooldown after
+    which a departed participant returns with a *fresh* satisfaction
+    window -- it gives the system another chance rather than leaving
+    again on its stale memories.
+    """
+
+    time: float
+    participant_id: str
+    kind: str  # "consumer" | "provider"
+    absence: float  # seconds spent offline
+
+
+class ChurnMonitor:
+    """Periodically applies departure policies to all participants.
+
+    The monitor does not remove participants from the registry itself;
+    it flips their ``online`` flag via ``leave()`` (providers drain any
+    accepted backlog; consumers simply stop issuing) and notifies the
+    registered listeners (the metrics hub records the capacity loss).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        consumers: Iterable["Consumer"],
+        providers: Iterable["Provider"],
+        consumer_policy: DeparturePolicy,
+        provider_policy: DeparturePolicy,
+        check_interval: float = 10.0,
+        rejoin_cooldown: Optional[float] = None,
+    ) -> None:
+        if check_interval <= 0:
+            raise ValueError(f"check_interval must be positive, got {check_interval}")
+        if rejoin_cooldown is not None and rejoin_cooldown <= 0:
+            raise ValueError(
+                f"rejoin_cooldown must be positive when set, got {rejoin_cooldown}"
+            )
+        self.sim = sim
+        self.consumers = list(consumers)
+        self.providers = list(providers)
+        self.consumer_policy = consumer_policy
+        self.provider_policy = provider_policy
+        self.check_interval = check_interval
+        self.rejoin_cooldown = rejoin_cooldown
+        self.departures: List[Departure] = []
+        self.rejoins: List[Rejoin] = []
+        self._listeners: List[Callable[[Departure], None]] = []
+        self._rejoin_listeners: List[Callable[[Rejoin], None]] = []
+        self._started = False
+
+    def on_departure(self, listener: Callable[[Departure], None]) -> None:
+        """Register a callback fired on every departure."""
+        self._listeners.append(listener)
+
+    def on_rejoin(self, listener: Callable[[Rejoin], None]) -> None:
+        """Register a callback fired on every rejoin."""
+        self._rejoin_listeners.append(listener)
+
+    def start(self, first_check_in: Optional[float] = None) -> None:
+        """Begin the periodic checks (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        if self.consumer_policy.is_captive and self.provider_policy.is_captive:
+            return  # nothing will ever leave: skip the event churn entirely
+        tick = make_repeating(self.sim.schedule_in, self.check_interval, self.check_once)
+        delay = self.check_interval if first_check_in is None else first_check_in
+        self.sim.schedule_in(delay, tick, label="churn:first-check")
+
+    def check_once(self) -> List[Departure]:
+        """Run one departure sweep; returns the departures it caused."""
+        now = self.sim.now
+        if self.rejoin_cooldown is not None:
+            self._rejoin_sweep(now)
+        new: List[Departure] = []
+        for consumer in self.consumers:
+            if consumer.online and self.consumer_policy.should_leave(consumer, now):
+                consumer.leave(now)
+                new.append(
+                    Departure(now, consumer.participant_id, "consumer", consumer.satisfaction)
+                )
+        for provider in self.providers:
+            if provider.online and self.provider_policy.should_leave(provider, now):
+                provider.leave(now)
+                new.append(
+                    Departure(now, provider.participant_id, "provider", provider.satisfaction)
+                )
+        self.departures.extend(new)
+        for departure in new:
+            for listener in self._listeners:
+                listener(departure)
+        return new
+
+    def _rejoin_sweep(self, now: float) -> None:
+        """Bring back participants whose cooldown elapsed, fresh-windowed."""
+        assert self.rejoin_cooldown is not None
+        for kind, members in (("consumer", self.consumers), ("provider", self.providers)):
+            for participant in members:
+                if participant.online or participant.left_at is None:
+                    continue
+                absence = now - participant.left_at
+                if absence < self.rejoin_cooldown:
+                    continue
+                # fresh window: without it the stale satisfaction would
+                # re-trigger the departure policy on the next sweep
+                participant.tracker.reset()
+                participant.rejoin()
+                rejoin = Rejoin(now, participant.participant_id, kind, absence)
+                self.rejoins.append(rejoin)
+                for listener in self._rejoin_listeners:
+                    listener(rejoin)
+
+    @property
+    def providers_online(self) -> int:
+        return sum(1 for p in self.providers if p.online)
+
+    @property
+    def consumers_online(self) -> int:
+        return sum(1 for c in self.consumers if c.online)
+
+    def __repr__(self) -> str:
+        return (
+            f"ChurnMonitor(consumers={self.consumers_online}/{len(self.consumers)}, "
+            f"providers={self.providers_online}/{len(self.providers)}, "
+            f"departures={len(self.departures)})"
+        )
+
+
+def paper_policies(
+    warmup: float = 0.0,
+    min_observations: int = 10,
+) -> tuple:
+    """The Scenario-2 policy pair: provider < 0.35, consumer < 0.5."""
+    consumer = SatisfactionDeparturePolicy(
+        PAPER_CONSUMER_THRESHOLD, min_observations=min_observations, warmup=warmup
+    )
+    provider = SatisfactionDeparturePolicy(
+        PAPER_PROVIDER_THRESHOLD, min_observations=min_observations, warmup=warmup
+    )
+    return consumer, provider

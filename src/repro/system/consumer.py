@@ -1,0 +1,325 @@
+"""Consumers: the projects issuing queries.
+
+A consumer is a simulation entity that
+
+* **issues queries** (the arrival process lives in
+  :mod:`repro.workloads.arrivals`; it calls :meth:`Consumer.issue`);
+* holds **preferences** over providers in [-1, 1] and a running
+  **reputation** estimate per provider (an exponentially weighted
+  average of observed response times mapped into [0, 1]), from which
+  its :class:`~repro.core.intentions.ConsumerIntentionModel` computes
+  the intentions ``CI_q[p]`` it expresses to the mediator;
+* records its per-query satisfaction (Equation 1) in a Definition-1
+  window, which the churn model reads ("a consumer stops using BOINC
+  if its satisfaction is smaller than 0.5" -- Scenario 2);
+* measures **response times**: a query responds when its last
+  allocated provider returns a result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro.core.intentions import (
+    ConsumerIntentionModel,
+    ReputationBlendIntentions,
+    clamp_intention,
+)
+from repro.core.satisfaction import DEFAULT_MEMORY, ConsumerSatisfactionTracker
+from repro.des.entity import Entity
+from repro.des.network import Message, Network
+from repro.des.scheduler import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.system.provider import Provider
+    from repro.system.query import AllocationRecord, Query, QueryResult
+
+#: Response time (seconds) at which perceived reputation crosses 0.5.
+DEFAULT_RT_REFERENCE = 60.0
+
+#: Smoothing factor of the per-provider response-time EWMA.
+DEFAULT_RT_SMOOTHING = 0.3
+
+
+@dataclass
+class ConsumerStats:
+    """Aggregate counters for one consumer."""
+
+    queries_issued: int = 0
+    queries_completed: int = 0
+    queries_failed: int = 0
+    queries_timed_out: int = 0
+    response_time_sum: float = 0.0
+
+    @property
+    def mean_response_time(self) -> float:
+        """Mean response time over completed queries (0 when none)."""
+        if self.queries_completed == 0:
+            return 0.0
+        return self.response_time_sum / self.queries_completed
+
+
+class Consumer(Entity):
+    """A project that issues queries and judges how they were served.
+
+    Parameters
+    ----------
+    sim, network:
+        Simulation kernel bindings.
+    participant_id:
+        Stable identifier.
+    preferences:
+        Map of provider id -> preference in [-1, 1].
+    default_preference:
+        Fallback preference for unknown providers.
+    intention_model:
+        How ``CI_q[p]`` is computed; defaults to the
+        preference/reputation blend.
+    memory:
+        Window length ``k`` of the satisfaction tracker.
+    default_n_results:
+        ``q.n`` used when :meth:`issue` is not told otherwise (BOINC
+        replicates queries to validate results from possibly malicious
+        volunteers).
+    rt_reference, rt_smoothing:
+        Parameters of the reputation estimate: response times are
+        EWMA-smoothed per provider and mapped through
+        ``ref / (ref + ewma)`` into (0, 1].
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        participant_id: str,
+        preferences: Optional[Dict[str, float]] = None,
+        default_preference: float = 0.0,
+        intention_model: Optional[ConsumerIntentionModel] = None,
+        memory: int = DEFAULT_MEMORY,
+        default_n_results: int = 1,
+        rt_reference: float = DEFAULT_RT_REFERENCE,
+        rt_smoothing: float = DEFAULT_RT_SMOOTHING,
+    ) -> None:
+        super().__init__(sim, name=participant_id)
+        if default_n_results < 1:
+            raise ValueError(f"default_n_results must be >= 1, got {default_n_results}")
+        if rt_reference <= 0:
+            raise ValueError(f"rt_reference must be positive, got {rt_reference}")
+        if not 0.0 < rt_smoothing <= 1.0:
+            raise ValueError(f"rt_smoothing must be in (0, 1], got {rt_smoothing}")
+        self.network = network
+        self.participant_id = participant_id
+        self.preferences = dict(preferences or {})
+        self.default_preference = clamp_intention(default_preference)
+        self.intention_model = intention_model or ReputationBlendIntentions()
+        self.tracker = ConsumerSatisfactionTracker(memory=memory)
+        self.default_n_results = default_n_results
+        self.rt_reference = float(rt_reference)
+        self.rt_smoothing = float(rt_smoothing)
+        self.stats = ConsumerStats()
+
+        self.online = True
+        self.joined_at = sim.now
+        self.left_at: Optional[float] = None
+
+        self._mediator: Optional[Entity] = None
+        self._rt_ewma: Dict[str, float] = {}
+        self._completion_listeners: List[Callable[["AllocationRecord"], None]] = []
+        self._timeout_listeners: List[Callable[["AllocationRecord"], None]] = []
+        #: When set (seconds), a query whose results have not all arrived
+        #: within the deadline is written off (crash extension): it counts
+        #: as timed out, records a zero-satisfaction interaction, and any
+        #: late results no longer count as a completion.
+        self.result_timeout: Optional[float] = None
+        #: Default quorum stamped on issued queries (None = all replicas
+        #: must answer, the paper's behaviour).
+        self.default_quorum: Optional[int] = None
+        self._timed_out_qids: set = set()
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def attach_mediator(self, mediator: Entity) -> None:
+        """Point this consumer at the mediator all its queries go to."""
+        self._mediator = mediator
+
+    def on_completion(self, listener: Callable[["AllocationRecord"], None]) -> None:
+        """Register a callback fired whenever one of this consumer's
+        queries completes (metrics hub, focal-participant probes)."""
+        self._completion_listeners.append(listener)
+
+    def on_timeout(self, listener: Callable[["AllocationRecord"], None]) -> None:
+        """Register a callback fired when a query is written off."""
+        self._timeout_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Preferences, reputation, intentions
+    # ------------------------------------------------------------------
+
+    def preference_for(self, provider_id: str) -> float:
+        """Static preference towards a provider."""
+        return self.preferences.get(provider_id, self.default_preference)
+
+    def reputation_of(self, provider_id: str) -> float:
+        """Perceived responsiveness of a provider, in (0, 1].
+
+        Unknown providers start at the neutral 0.5; every observed
+        response time updates an EWMA which is squashed through
+        ``ref / (ref + ewma)`` -- fast providers approach 1, slow ones
+        approach 0.
+        """
+        ewma = self._rt_ewma.get(provider_id)
+        if ewma is None:
+            return 0.5
+        return self.rt_reference / (self.rt_reference + ewma)
+
+    def observe_response_time(self, provider_id: str, response_time: float) -> None:
+        """Fold one observed response time into the provider's reputation."""
+        if response_time < 0:
+            raise ValueError(f"response time must be non-negative, got {response_time}")
+        previous = self._rt_ewma.get(provider_id)
+        if previous is None:
+            self._rt_ewma[provider_id] = response_time
+        else:
+            a = self.rt_smoothing
+            self._rt_ewma[provider_id] = a * response_time + (1.0 - a) * previous
+
+    def intention_for(self, query: "Query", provider: "Provider") -> float:
+        """``CI_q[p]``: this consumer's intention to allocate to ``provider``."""
+        return self.intention_model.intention(self, query, provider)
+
+    # ------------------------------------------------------------------
+    # Query lifecycle
+    # ------------------------------------------------------------------
+
+    def issue(
+        self,
+        topic: str,
+        service_demand: float,
+        n_results: Optional[int] = None,
+        quorum: Optional[int] = None,
+    ) -> "Query":
+        """Create a query and send it to the mediator.
+
+        Raises if no mediator is attached; offline consumers do not
+        issue (the arrival process checks, but this guards direct use).
+        """
+        from repro.system.query import Query  # local: avoid cycle at import
+
+        if self._mediator is None:
+            raise RuntimeError(
+                f"consumer {self.participant_id!r} has no mediator attached"
+            )
+        if not self.online:
+            raise RuntimeError(f"consumer {self.participant_id!r} is offline")
+        query = Query(
+            consumer=self,
+            topic=topic,
+            service_demand=service_demand,
+            n_results=self.default_n_results if n_results is None else n_results,
+            quorum=self.default_quorum if quorum is None else quorum,
+            issued_at=self.sim.now,
+        )
+        self.stats.queries_issued += 1
+        self.network.send("query", self, self._mediator, payload=query)
+        return query
+
+    def receive(self, message: Message) -> None:
+        """Entity hook: results, mediation outcomes, failure notices."""
+        if message.kind == "result":
+            record, result = message.payload
+            self._on_result(record, result)
+        elif message.kind == "mediation-ok":
+            self._on_allocation(message.payload)
+        elif message.kind == "mediation-failed":
+            self._on_failure(message.payload)
+        else:
+            raise ValueError(
+                f"consumer {self.participant_id!r} got unexpected message "
+                f"{message.kind!r}"
+            )
+
+    def _on_allocation(self, record: "AllocationRecord") -> None:
+        """Mediation result arrived; arm the result deadline if configured."""
+        if self.result_timeout is None:
+            return
+        deadline = record.query.issued_at + self.result_timeout
+        delay = max(0.0, deadline - self.sim.now)
+        self.sim.schedule_in(
+            delay,
+            lambda: self._check_timeout(record),
+            label=f"{self.participant_id}:timeout:{record.query.qid}",
+        )
+
+    def _check_timeout(self, record: "AllocationRecord") -> None:
+        from repro.system.query import QueryStatus  # local: avoid cycle
+
+        if record.completed_at is not None:
+            return  # all results arrived in time
+        qid = record.query.qid
+        if qid in self._timed_out_qids:
+            return
+        self._timed_out_qids.add(qid)
+        record.query.status = QueryStatus.TIMED_OUT
+        self.stats.queries_timed_out += 1
+        # the promised results never came: one zero-satisfaction
+        # interaction reflects the failed delivery (Equation 1 over an
+        # empty performer set)
+        self.record_query_satisfaction(0.0, adequation=0.0)
+        for listener in self._timeout_listeners:
+            listener(record)
+
+    def _on_result(self, record: "AllocationRecord", result: "QueryResult") -> None:
+        arrived_at = self.sim.now  # result message delivery time
+        self.observe_response_time(
+            result.provider_id, arrived_at - record.query.issued_at
+        )
+        completed = record.record_result(result)
+        if completed and record.query.qid not in self._timed_out_qids:
+            # The record's completion time is the provider-side finish;
+            # the consumer-perceived response adds the return latency.
+            record.completed_at = arrived_at
+            self.stats.queries_completed += 1
+            self.stats.response_time_sum += arrived_at - record.query.issued_at
+            for listener in self._completion_listeners:
+                listener(record)
+
+    def _on_failure(self, record: "AllocationRecord") -> None:
+        self.stats.queries_failed += 1
+
+    # ------------------------------------------------------------------
+    # Satisfaction and membership
+    # ------------------------------------------------------------------
+
+    def record_query_satisfaction(self, satisfaction: float, adequation: float = 1.0) -> None:
+        """Append one Equation-1 value to the Definition-1 window."""
+        self.tracker.record_query(satisfaction, adequation)
+
+    @property
+    def satisfaction(self) -> float:
+        """delta_s(c), Definition 1 (neutral before any query)."""
+        return self.tracker.satisfaction()
+
+    def leave(self, now: Optional[float] = None) -> None:
+        """Stop using the system (no further queries are issued)."""
+        if not self.online:
+            return
+        self.online = False
+        self.left_at = self.sim.now if now is None else now
+
+    def rejoin(self) -> None:
+        """Return to the system (used by optional churn extensions)."""
+        if self.online:
+            return
+        self.online = True
+        self.left_at = None
+        self.joined_at = self.sim.now
+
+    def __repr__(self) -> str:
+        state = "online" if self.online else "offline"
+        return (
+            f"Consumer({self.participant_id!r}, issued={self.stats.queries_issued}, "
+            f"sat={self.satisfaction:.2f}, {state})"
+        )

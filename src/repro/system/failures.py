@@ -1,0 +1,147 @@
+"""Failure injection: abrupt provider crashes (robustness extension).
+
+The churn model (:mod:`repro.system.autonomy`) covers *voluntary*
+departure -- a dissatisfied provider finishes its backlog and leaves.
+Real volunteer hosts also fail abruptly: the machine powers off, the
+client crashes, the results in flight are simply lost.  BOINC defends
+against this with replication (``q.n > 1``) and deadlines; this module
+provides the failure side of that story so the defence is testable:
+
+* :meth:`repro.system.provider.Provider.crash` drops the backlog and
+  cancels every scheduled completion;
+* consumers arm a ``result_timeout`` per allocated query and write off
+  queries whose results never arrive;
+* :class:`CrashInjector` drives crashes with exponential
+  time-to-failure per provider and optional repair (the host reboots
+  and rejoins with an empty queue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional
+
+from repro.des.rng import RandomStream
+from repro.des.scheduler import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.system.provider import Provider
+
+
+@dataclass(frozen=True)
+class FailureConfig:
+    """Crash-injection parameters.
+
+    Attributes
+    ----------
+    mttf:
+        Mean time to failure per provider (seconds); each provider's
+        time-to-crash is exponential with this mean, redrawn after each
+        repair.
+    repair_time:
+        Seconds a crashed provider stays offline before rebooting with
+        an empty queue; ``None`` means crashes are permanent.
+    start:
+        No crashes before this simulation time (lets the system warm
+        up).
+    """
+
+    mttf: float = 2000.0
+    repair_time: Optional[float] = 120.0
+    start: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mttf <= 0:
+            raise ValueError(f"mttf must be positive, got {self.mttf}")
+        if self.repair_time is not None and self.repair_time <= 0:
+            raise ValueError(
+                f"repair_time must be positive when set, got {self.repair_time}"
+            )
+        if self.start < 0:
+            raise ValueError(f"start must be non-negative, got {self.start}")
+
+
+@dataclass(frozen=True)
+class Crash:
+    """One injected crash."""
+
+    time: float
+    participant_id: str
+    queries_lost: int
+
+
+class CrashInjector:
+    """Schedules exponential crashes (and optional repairs) per provider."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        providers: Iterable["Provider"],
+        config: FailureConfig,
+        stream: RandomStream,
+    ) -> None:
+        self.sim = sim
+        self.providers = list(providers)
+        self.config = config
+        self._stream = stream
+        self.crashes: List[Crash] = []
+        self._listeners: List[Callable[[Crash], None]] = []
+        self._started = False
+
+    def on_crash(self, listener: Callable[[Crash], None]) -> None:
+        """Register a callback fired on every crash."""
+        self._listeners.append(listener)
+
+    @property
+    def queries_lost(self) -> int:
+        """Total queries dropped across all crashes."""
+        return sum(crash.queries_lost for crash in self.crashes)
+
+    def start(self) -> None:
+        """Arm one crash timer per provider (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for provider in self.providers:
+            self._arm(provider)
+
+    def _arm(self, provider: "Provider") -> None:
+        delay = self._stream.exponential(self.config.mttf)
+        fire_at = max(self.config.start, self.sim.now) + delay
+        self.sim.schedule_at(
+            fire_at,
+            lambda: self._crash(provider),
+            label=f"crash:{provider.participant_id}",
+        )
+
+    def _crash(self, provider: "Provider") -> None:
+        if not provider.online:
+            # already gone (churn or an earlier crash); try again later
+            # only if it may come back
+            if self.config.repair_time is not None:
+                self._arm(provider)
+            return
+        lost = provider.crash()
+        crash = Crash(self.sim.now, provider.participant_id, lost)
+        self.crashes.append(crash)
+        for listener in self._listeners:
+            listener(crash)
+        if self.config.repair_time is not None:
+            self.sim.schedule_in(
+                self.config.repair_time,
+                lambda: self._repair(provider),
+                label=f"repair:{provider.participant_id}",
+            )
+
+    def _repair(self, provider: "Provider") -> None:
+        # a provider that decided to *leave* while crashed stays gone
+        if provider.online:
+            return
+        provider.rejoin()
+        self._arm(provider)
+
+    def __repr__(self) -> str:
+        return (
+            f"CrashInjector(providers={len(self.providers)}, "
+            f"crashes={len(self.crashes)}, lost={self.queries_lost})"
+        )

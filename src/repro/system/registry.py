@@ -1,0 +1,118 @@
+"""Membership and capability lookup.
+
+The registry answers the first question of every mediation: *which
+providers are able to perform this query* -- the set ``P_q`` of the
+paper.  A provider is capable when it is online and either serves all
+topics (the default; every BOINC volunteer attaches to all projects in
+the demo scenario) or lists the query's topic among its capabilities.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.system.consumer import Consumer
+    from repro.system.provider import Provider
+    from repro.system.query import Query
+
+
+class SystemRegistry:
+    """Tracks consumers, providers and topic capabilities."""
+
+    def __init__(self) -> None:
+        self._consumers: Dict[str, "Consumer"] = {}
+        self._providers: Dict[str, "Provider"] = {}
+        self._capabilities: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def add_consumer(self, consumer: "Consumer") -> None:
+        if consumer.participant_id in self._consumers:
+            raise ValueError(f"duplicate consumer id {consumer.participant_id!r}")
+        self._consumers[consumer.participant_id] = consumer
+
+    def add_provider(
+        self, provider: "Provider", topics: Optional[Iterable[str]] = None
+    ) -> None:
+        """Register a provider, optionally restricted to some topics.
+
+        ``topics=None`` (the default) means the provider can perform
+        queries of any topic.
+        """
+        if provider.participant_id in self._providers:
+            raise ValueError(f"duplicate provider id {provider.participant_id!r}")
+        self._providers[provider.participant_id] = provider
+        if topics is not None:
+            self._capabilities[provider.participant_id] = set(topics)
+
+    def consumer(self, participant_id: str) -> "Consumer":
+        return self._consumers[participant_id]
+
+    def provider(self, participant_id: str) -> "Provider":
+        return self._providers[participant_id]
+
+    @property
+    def consumers(self) -> List["Consumer"]:
+        """All registered consumers, in insertion order."""
+        return list(self._consumers.values())
+
+    @property
+    def providers(self) -> List["Provider"]:
+        """All registered providers, in insertion order."""
+        return list(self._providers.values())
+
+    def online_consumers(self) -> List["Consumer"]:
+        return [c for c in self._consumers.values() if c.online]
+
+    def online_providers(self) -> List["Provider"]:
+        return [p for p in self._providers.values() if p.online]
+
+    # ------------------------------------------------------------------
+    # Capability lookup
+    # ------------------------------------------------------------------
+
+    def can_serve(self, provider: "Provider", topic: str) -> bool:
+        """Whether ``provider`` declares capability for ``topic``."""
+        topics = self._capabilities.get(provider.participant_id)
+        return topics is None or topic in topics
+
+    def capable_providers(self, query: "Query") -> List["Provider"]:
+        """The set ``P_q``: online providers able to perform the query."""
+        return [
+            p
+            for p in self._providers.values()
+            if p.online and self.can_serve(p, query.topic)
+        ]
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+
+    def total_capacity(self, online_only: bool = True) -> float:
+        """Aggregate provider capacity -- "the total system capacity"
+        whose preservation motivates satisfaction-based allocation."""
+        providers = self.online_providers() if online_only else self.providers
+        return sum(p.capacity for p in providers)
+
+    def mean_provider_satisfaction(self) -> float:
+        """Mean delta_s(p) over online providers (neutral if none)."""
+        online = self.online_providers()
+        if not online:
+            return 0.0
+        return sum(p.satisfaction for p in online) / len(online)
+
+    def mean_consumer_satisfaction(self) -> float:
+        """Mean delta_s(c) over online consumers (neutral if none)."""
+        online = self.online_consumers()
+        if not online:
+            return 0.0
+        return sum(c.satisfaction for c in online) / len(online)
+
+    def __repr__(self) -> str:
+        return (
+            f"SystemRegistry(consumers={len(self._consumers)}, "
+            f"providers={len(self._providers)})"
+        )

@@ -1,0 +1,54 @@
+"""Workload and population generators.
+
+* :mod:`repro.workloads.arrivals` -- open-loop query arrival processes
+  (Poisson and deterministic), one per consumer;
+* :mod:`repro.workloads.queries` -- service-demand models (lognormal,
+  Pareto, fixed);
+* :mod:`repro.workloads.preferences` -- preference-matrix generators:
+  the provider archetypes (enthusiast / selective / picky) whose mix
+  realises the paper's popular / normal / unpopular project structure,
+  consumer preference draws, and BOINC resource shares derived from
+  preferences;
+* :mod:`repro.workloads.boinc` -- the demo's example scenario: three
+  research projects (SETI@home-like popular, proteins@home-like normal,
+  Einstein@home-like unpopular) and a heterogeneous volunteer
+  population, plus optional focal probe participants for Scenario 7.
+"""
+
+from repro.workloads.arrivals import DeterministicArrivals, PoissonArrivals
+from repro.workloads.queries import DemandModel, FixedDemand, LognormalDemand, ParetoDemand
+from repro.workloads.preferences import (
+    ARCHETYPES,
+    ArchetypeMix,
+    draw_consumer_preferences,
+    draw_provider_archetype,
+    draw_provider_preferences,
+    shares_from_preferences,
+)
+from repro.workloads.boinc import (
+    BoincPopulation,
+    BoincScenarioParams,
+    ProjectSpec,
+    build_boinc_population,
+    paper_projects,
+)
+
+__all__ = [
+    "PoissonArrivals",
+    "DeterministicArrivals",
+    "DemandModel",
+    "FixedDemand",
+    "LognormalDemand",
+    "ParetoDemand",
+    "ARCHETYPES",
+    "ArchetypeMix",
+    "draw_provider_archetype",
+    "draw_provider_preferences",
+    "draw_consumer_preferences",
+    "shares_from_preferences",
+    "BoincScenarioParams",
+    "ProjectSpec",
+    "BoincPopulation",
+    "build_boinc_population",
+    "paper_projects",
+]

@@ -1,0 +1,127 @@
+"""Open-loop query arrival processes.
+
+Each consumer owns one arrival process: a self-rescheduling event chain
+that issues queries until the horizon, pausing forever if the consumer
+leaves the system (a departed project stops submitting work).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.des.rng import RandomStream
+from repro.des.scheduler import Simulator
+from repro.workloads.queries import DemandModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.system.consumer import Consumer
+
+
+class ArrivalProcess:
+    """Base class wiring a consumer, demand model and issue loop."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        consumer: "Consumer",
+        demand_model: DemandModel,
+        topic: Optional[str] = None,
+        n_results: Optional[int] = None,
+        horizon: Optional[float] = None,
+    ) -> None:
+        self.sim = sim
+        self.consumer = consumer
+        self.demand_model = demand_model
+        #: Topic stamped on issued queries; defaults to the consumer id
+        #: (in BOINC a query's "topic" is simply its project).
+        self.topic = topic if topic is not None else consumer.participant_id
+        self.n_results = n_results
+        self.horizon = horizon
+        self.queries_issued = 0
+        self._started = False
+
+    def next_interval(self) -> float:
+        """Delay until the next arrival; subclasses define the law."""
+        raise NotImplementedError
+
+    def start(self, initial_delay: Optional[float] = None) -> None:
+        """Begin issuing (idempotent).  First arrival after
+        ``initial_delay`` (defaults to one drawn interval)."""
+        if self._started:
+            return
+        self._started = True
+        delay = self.next_interval() if initial_delay is None else initial_delay
+        self.sim.schedule_in(delay, self._fire, label=f"arrivals:{self.consumer.participant_id}")
+
+    def _fire(self) -> None:
+        if not self.consumer.online:
+            return  # departed consumers stop issuing, permanently
+        if self.horizon is not None and self.sim.now > self.horizon:
+            return
+        self.consumer.issue(
+            topic=self.topic,
+            service_demand=self.demand_model.sample(),
+            n_results=self.n_results,
+        )
+        self.queries_issued += 1
+        self.sim.schedule_in(
+            self.next_interval(), self._fire, label=f"arrivals:{self.consumer.participant_id}"
+        )
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Poisson arrivals at a fixed rate (exponential inter-arrival times)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        consumer: "Consumer",
+        demand_model: DemandModel,
+        rate: float,
+        stream: RandomStream,
+        topic: Optional[str] = None,
+        n_results: Optional[int] = None,
+        horizon: Optional[float] = None,
+    ) -> None:
+        super().__init__(sim, consumer, demand_model, topic, n_results, horizon)
+        if rate <= 0:
+            raise ValueError(f"arrival rate must be positive, got {rate}")
+        self.rate = float(rate)
+        self._stream = stream
+
+    def next_interval(self) -> float:
+        return self._stream.exponential(1.0 / self.rate)
+
+    def __repr__(self) -> str:
+        return (
+            f"PoissonArrivals(consumer={self.consumer.participant_id!r}, "
+            f"rate={self.rate:.4g}/s, issued={self.queries_issued})"
+        )
+
+
+class DeterministicArrivals(ArrivalProcess):
+    """Fixed inter-arrival interval; exact timing for tests."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        consumer: "Consumer",
+        demand_model: DemandModel,
+        interval: float,
+        topic: Optional[str] = None,
+        n_results: Optional[int] = None,
+        horizon: Optional[float] = None,
+    ) -> None:
+        super().__init__(sim, consumer, demand_model, topic, n_results, horizon)
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.interval = float(interval)
+
+    def next_interval(self) -> float:
+        return self.interval
+
+    def __repr__(self) -> str:
+        return (
+            f"DeterministicArrivals(consumer={self.consumer.participant_id!r}, "
+            f"interval={self.interval:.4g}s, issued={self.queries_issued})"
+        )

@@ -1,0 +1,87 @@
+"""Service-demand models: how much work one query carries.
+
+A demand model is sampled once per issued query; demands are expressed
+in work units, so a provider with ``capacity`` work units per second
+serves demand ``d`` in ``d / capacity`` seconds.
+"""
+
+from __future__ import annotations
+
+from repro.des.rng import RandomStream
+
+
+class DemandModel:
+    """Strategy: draw the service demand of the next query."""
+
+    def sample(self) -> float:
+        raise NotImplementedError
+
+    @property
+    def mean(self) -> float:
+        """Expected demand; used to size arrival rates for a target load."""
+        raise NotImplementedError
+
+
+class FixedDemand(DemandModel):
+    """Every query carries exactly the same demand (tests, micro-benches)."""
+
+    def __init__(self, demand: float) -> None:
+        if demand <= 0:
+            raise ValueError(f"demand must be positive, got {demand}")
+        self._demand = float(demand)
+
+    def sample(self) -> float:
+        return self._demand
+
+    @property
+    def mean(self) -> float:
+        return self._demand
+
+    def __repr__(self) -> str:
+        return f"FixedDemand({self._demand})"
+
+
+class LognormalDemand(DemandModel):
+    """Lognormal demands -- the moderate-variance default of the scenarios."""
+
+    def __init__(self, stream: RandomStream, mean: float = 30.0, cv: float = 0.5) -> None:
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        if cv < 0:
+            raise ValueError(f"cv must be non-negative, got {cv}")
+        self._stream = stream
+        self._mean = float(mean)
+        self._cv = float(cv)
+
+    def sample(self) -> float:
+        return self._stream.lognormal(self._mean, self._cv)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def __repr__(self) -> str:
+        return f"LognormalDemand(mean={self._mean}, cv={self._cv})"
+
+
+class ParetoDemand(DemandModel):
+    """Heavy-tailed demands for stress ablations (a few huge tasks)."""
+
+    def __init__(self, stream: RandomStream, alpha: float = 2.5, minimum: float = 10.0) -> None:
+        if alpha <= 1.0:
+            raise ValueError(f"alpha must exceed 1 for a finite mean, got {alpha}")
+        if minimum <= 0:
+            raise ValueError(f"minimum must be positive, got {minimum}")
+        self._stream = stream
+        self._alpha = float(alpha)
+        self._minimum = float(minimum)
+
+    def sample(self) -> float:
+        return self._stream.pareto(self._alpha, self._minimum)
+
+    @property
+    def mean(self) -> float:
+        return self._alpha * self._minimum / (self._alpha - 1.0)
+
+    def __repr__(self) -> str:
+        return f"ParetoDemand(alpha={self._alpha}, min={self._minimum})"

@@ -1,0 +1,107 @@
+"""Unit tests for the native BOINC resource-shares dispatcher."""
+
+import pytest
+
+from repro.allocation.boinc_shares import BoincSharesPolicy
+from repro.core.policy import AllocationContext
+
+
+def ctx(now=0.0):
+    return AllocationContext(now=now)
+
+
+class TestDebtModel:
+    def test_zero_share_refuses(self, factory):
+        provider = factory.provider(resource_shares={"other": 1.0})
+        policy = BoincSharesPolicy()
+        assert policy.debt(provider, "c0", now=100.0) == float("-inf")
+
+    def test_debt_grows_with_time(self, factory):
+        provider = factory.provider(capacity=2.0, resource_shares={"c0": 1.0})
+        policy = BoincSharesPolicy()
+        assert policy.debt(provider, "c0", now=10.0) == pytest.approx(20.0)
+
+    def test_debt_shrinks_with_granted_work(self, factory):
+        provider = factory.provider(capacity=1.0, resource_shares={"c0": 1.0})
+        consumer = factory.consumer("c0")
+        policy = BoincSharesPolicy()
+        query = factory.query(consumer, demand=30.0, n_results=1)
+        policy.select(query, [provider], ctx(now=100.0))
+        assert policy.debt(provider, "c0", now=100.0) == pytest.approx(70.0)
+
+    def test_shares_normalised(self, factory):
+        provider = factory.provider(capacity=1.0, resource_shares={"a": 8.0, "b": 2.0})
+        policy = BoincSharesPolicy()
+        # share of a = 0.8 -> debt at t=100 is 80
+        assert policy.debt(provider, "a", now=100.0) == pytest.approx(80.0)
+
+    def test_no_shares_at_all_refuses(self, factory):
+        provider = factory.provider(resource_shares={})
+        policy = BoincSharesPolicy()
+        assert policy.debt(provider, "c0", now=100.0) == float("-inf")
+
+    def test_overdraft_validation(self):
+        with pytest.raises(ValueError, match="overdraft"):
+            BoincSharesPolicy(overdraft=-1.0)
+
+
+class TestSelection:
+    def test_highest_debt_wins(self, factory):
+        poor = factory.provider("poor", resource_shares={"c0": 0.2, "x": 0.8})
+        rich = factory.provider("rich", resource_shares={"c0": 1.0})
+        consumer = factory.consumer("c0")
+        query = factory.query(consumer, demand=5.0, n_results=1)
+        decision = BoincSharesPolicy().select(query, [poor, rich], ctx(now=100.0))
+        assert decision.allocated[0].participant_id == "rich"
+
+    def test_rigid_cap_wastes_idle_capacity(self, factory):
+        """The paper's 80/20 example: c_b cannot exceed its 20% share
+        even when the 80% project is silent and the provider idle."""
+        provider = factory.provider(
+            "v", capacity=1.0, resource_shares={"c_a": 0.8, "c_b": 0.2}
+        )
+        consumer_b = factory.consumer("c_b")
+        policy = BoincSharesPolicy(overdraft=0.0)
+        # at t=100 c_b's entitlement is 20 work units
+        q1 = factory.query(consumer_b, demand=15.0, n_results=1)
+        assert not policy.select(q1, [provider], ctx(now=100.0)).is_failure
+        # entitlement nearly consumed: a further query is refused even
+        # though the provider is idle -- wasted capacity
+        q2 = factory.query(consumer_b, demand=15.0, n_results=1)
+        assert policy.select(q2, [provider], ctx(now=100.0)).is_failure
+
+    def test_overdraft_softens_cold_start(self, factory):
+        provider = factory.provider("v", capacity=1.0, resource_shares={"c0": 1.0})
+        consumer = factory.consumer("c0")
+        # at t=0 the entitlement is 0; only the overdraft admits work
+        query = factory.query(consumer, demand=5.0, n_results=1)
+        assert not BoincSharesPolicy(overdraft=30.0).select(
+            query, [provider], ctx(now=0.0)
+        ).is_failure
+        assert BoincSharesPolicy(overdraft=0.0).select(
+            query, [provider], ctx(now=0.0)
+        ).is_failure
+
+    def test_failure_when_no_shares_match(self, factory):
+        provider = factory.provider(resource_shares={"other": 1.0})
+        consumer = factory.consumer("c0")
+        query = factory.query(consumer, n_results=1)
+        assert BoincSharesPolicy().select(query, [provider], ctx(100.0)).is_failure
+
+    def test_replicated_allocation(self, factory):
+        providers = [
+            factory.provider(f"p{i}", resource_shares={"c0": 1.0}) for i in range(3)
+        ]
+        consumer = factory.consumer("c0")
+        query = factory.query(consumer, demand=5.0, n_results=2)
+        decision = BoincSharesPolicy().select(query, providers, ctx(now=100.0))
+        assert len(decision.allocated) == 2
+
+    def test_granted_work_tracked_per_pair(self, factory):
+        provider = factory.provider("p", capacity=1.0, resource_shares={"a": 0.5, "b": 0.5})
+        ca, cb = factory.consumer("a"), factory.consumer("b")
+        policy = BoincSharesPolicy()
+        policy.select(factory.query(ca, demand=10.0, n_results=1), [provider], ctx(100.0))
+        # consumer b's debt is untouched by a's grant
+        assert policy.debt(provider, "b", now=100.0) == pytest.approx(50.0)
+        assert policy.debt(provider, "a", now=100.0) == pytest.approx(40.0)

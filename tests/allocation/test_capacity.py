@@ -1,0 +1,62 @@
+"""Unit tests for the capacity-based baseline [9]."""
+
+import pytest
+
+from repro.allocation.capacity import CapacityBasedPolicy
+from repro.core.policy import AllocationContext
+from repro.system.query import AllocationRecord
+
+
+class TestCapacityBased:
+    def test_picks_highest_available_capacity(self, factory):
+        slow = factory.provider("slow", capacity=0.5)
+        fast = factory.provider("fast", capacity=2.0)
+        consumer = factory.consumer()
+        query = factory.query(consumer, n_results=1)
+        decision = CapacityBasedPolicy().select(
+            query, [slow, fast], AllocationContext(now=0.0)
+        )
+        assert decision.allocated[0].participant_id == "fast"
+
+    def test_busy_fast_machine_loses_to_idle_one(self, factory, sim):
+        busy = factory.provider("busy", capacity=2.0, saturation_horizon=10.0)
+        idle = factory.provider("idle", capacity=1.5)
+        consumer = factory.consumer()
+        # saturate the fast machine
+        q = factory.query(consumer, demand=40.0)
+        busy.execute(AllocationRecord(query=q, decided_at=0.0, allocated=[busy]))
+        query = factory.query(consumer, n_results=1)
+        decision = CapacityBasedPolicy().select(
+            query, [busy, idle], AllocationContext(now=0.0)
+        )
+        assert decision.allocated[0].participant_id == "idle"
+
+    def test_allocates_n_results_providers(self, factory):
+        providers = [factory.provider(f"p{i}") for i in range(5)]
+        consumer = factory.consumer()
+        query = factory.query(consumer, n_results=3)
+        decision = CapacityBasedPolicy().select(
+            query, providers, AllocationContext(now=0.0)
+        )
+        assert len(decision.allocated) == 3
+
+    def test_informed_equals_allocated(self, factory):
+        providers = [factory.provider(f"p{i}") for i in range(3)]
+        consumer = factory.consumer()
+        query = factory.query(consumer, n_results=1)
+        decision = CapacityBasedPolicy().select(
+            query, providers, AllocationContext(now=0.0)
+        )
+        assert decision.informed == decision.allocated
+
+    def test_ties_break_by_id(self, factory):
+        providers = [factory.provider(pid) for pid in ("z", "a", "m")]
+        consumer = factory.consumer()
+        query = factory.query(consumer, n_results=2)
+        decision = CapacityBasedPolicy().select(
+            query, providers, AllocationContext(now=0.0)
+        )
+        assert [p.participant_id for p in decision.allocated] == ["a", "m"]
+
+    def test_no_consultation(self):
+        assert CapacityBasedPolicy.consults_participants is False

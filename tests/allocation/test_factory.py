@@ -1,0 +1,48 @@
+"""Unit tests for the policy factory."""
+
+import pytest
+
+from repro.allocation.boinc_shares import BoincSharesPolicy
+from repro.allocation.capacity import CapacityBasedPolicy
+from repro.allocation.economic import EconomicPolicy
+from repro.allocation.factory import available_policies, make_policy
+from repro.allocation.simple import RandomPolicy, RoundRobinPolicy, ShortestQueuePolicy
+from repro.core.sbqa import SbQAConfig, SbQAPolicy
+from repro.des.rng import RandomRoot
+
+
+class TestFactory:
+    def test_every_advertised_policy_builds(self, root):
+        for name in available_policies():
+            policy = make_policy(name, root)
+            assert policy.name == name
+
+    def test_types(self, root):
+        assert isinstance(make_policy("sbqa", root), SbQAPolicy)
+        assert isinstance(make_policy("capacity", root), CapacityBasedPolicy)
+        assert isinstance(make_policy("economic", root), EconomicPolicy)
+        assert isinstance(make_policy("boinc-shares", root), BoincSharesPolicy)
+        assert isinstance(make_policy("random", root), RandomPolicy)
+        assert isinstance(make_policy("round-robin", root), RoundRobinPolicy)
+        assert isinstance(make_policy("shortest-queue", root), ShortestQueuePolicy)
+
+    def test_case_insensitive(self, root):
+        assert isinstance(make_policy("SBQA", root), SbQAPolicy)
+
+    def test_unknown_name(self, root):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("quantum", root)
+
+    def test_sbqa_config_passed_through(self, root):
+        policy = make_policy("sbqa", root, sbqa=SbQAConfig(k=7, kn=3))
+        assert policy.config.k == 7
+        assert policy.config.kn == 3
+
+    def test_baseline_params_passed_through(self, root):
+        policy = make_policy("economic", root, params={"selfishness": 0.9})
+        assert policy.selfishness == 0.9
+
+    def test_same_root_gives_reproducible_stochastic_policies(self):
+        a = make_policy("random", RandomRoot(5))
+        b = make_policy("random", RandomRoot(5))
+        assert a._stream.seed == b._stream.seed

@@ -1,0 +1,84 @@
+"""Unit tests for sparkline / chart rendering."""
+
+from repro.analysis.ascii_plot import (
+    _resample,
+    multi_sparkline,
+    render_series,
+    sparkline,
+)
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_matches_input(self):
+        assert len(sparkline([1.0, 2.0, 3.0])) == 3
+
+    def test_monotone_series_uses_increasing_blocks(self):
+        line = sparkline([0.0, 0.5, 1.0])
+        assert line[0] < line[1] < line[2]
+
+    def test_flat_series_renders_mid_blocks(self):
+        line = sparkline([2.0, 2.0, 2.0])
+        assert len(set(line)) == 1
+
+    def test_pinned_scale(self):
+        # with scale pinned to [0, 10], value 5 is mid-block
+        line_auto = sparkline([4.9, 5.0, 5.1])
+        line_pinned = sparkline([4.9, 5.0, 5.1], lo=0.0, hi=10.0)
+        assert len(set(line_auto)) > 1
+        assert len(set(line_pinned)) == 1
+
+
+class TestMultiSparkline:
+    def test_labels_aligned(self):
+        text = multi_sparkline({"a": [1.0, 2.0], "longer": [2.0, 1.0]})
+        lines = text.splitlines()
+        # the sparkline starts at the same column on every line
+        starts = [line.index(" ") for line in lines]
+        assert "a      " in lines[0]
+        assert "longer " in lines[1]
+
+    def test_last_value_annotated(self):
+        text = multi_sparkline({"a": [1.0, 2.5]})
+        assert "last=2.500" in text
+
+    def test_empty(self):
+        assert multi_sparkline({}) == ""
+
+
+class TestRenderSeries:
+    def test_renders_axes_and_legend(self):
+        chart = render_series(
+            {"sbqa": [(0.0, 1.0), (10.0, 2.0)], "capacity": [(0.0, 2.0), (10.0, 1.0)]},
+            title="satisfaction",
+        )
+        assert "satisfaction" in chart
+        assert "* sbqa" in chart
+        assert "+ capacity" in chart
+        assert "t=0" in chart
+
+    def test_no_data(self):
+        assert render_series({}) == "(no data)"
+        assert render_series({"a": []}) == "(no data)"
+
+    def test_single_point(self):
+        chart = render_series({"a": [(1.0, 1.0)]})
+        assert "* a" in chart
+
+
+class TestResample:
+    def test_short_series_untouched(self):
+        assert _resample([1.0, 2.0], 10) == [1.0, 2.0]
+
+    def test_downsampling_preserves_mean_roughly(self):
+        values = [float(i) for i in range(100)]
+        out = _resample(values, 10)
+        assert len(out) == 10
+        assert abs(sum(out) / len(out) - sum(values) / len(values)) < 5.0
+
+    def test_monotone_input_stays_monotone(self):
+        values = [float(i) for i in range(100)]
+        out = _resample(values, 10)
+        assert out == sorted(out)

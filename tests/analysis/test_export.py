@@ -1,0 +1,44 @@
+"""Unit tests for CSV export."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis.export import rows_to_csv, series_to_csv
+
+
+class TestRowsToCsv:
+    def test_round_trips_through_csv_reader(self):
+        text = rows_to_csv(["a", "b"], [[1, "x"], [2, "y"]])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows == [["a", "b"], ["1", "x"], ["2", "y"]]
+
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "out.csv"
+        rows_to_csv(["a"], [[1]], path=path)
+        assert path.read_text().startswith("a\n")
+
+    def test_mismatched_rows_rejected(self):
+        with pytest.raises(ValueError, match="as many cells"):
+            rows_to_csv(["a", "b"], [[1]])
+
+    def test_quoting_of_commas(self):
+        text = rows_to_csv(["a"], [["x,y"]])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[1] == ["x,y"]
+
+
+class TestSeriesToCsv:
+    def test_long_format(self):
+        text = series_to_csv({"s1": [(0.0, 1.0), (1.0, 2.0)], "s2": [(0.0, 3.0)]})
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["series", "t", "value"]
+        assert ["s1", "0.0", "1.0"] in rows
+        assert ["s2", "0.0", "3.0"] in rows
+        assert len(rows) == 4
+
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "series.csv"
+        series_to_csv({"s": [(0.0, 1.0)]}, path=path)
+        assert "series,t,value" in path.read_text()

@@ -1,0 +1,119 @@
+"""Unit tests for the departure-prediction analysis."""
+
+import pytest
+
+from repro.analysis.prediction import PredictionReport, predict_departures
+from repro.metrics.collectors import MetricsHub
+
+
+class TestPredictionReport:
+    def make(self, tp=8, fp=2, fn=4, tn=16):
+        return PredictionReport(
+            observed_at=100.0, threshold=0.35,
+            true_positives=tp, false_positives=fp,
+            false_negatives=fn, true_negatives=tn,
+        )
+
+    def test_precision_recall_f1(self):
+        report = self.make()
+        assert report.precision == pytest.approx(0.8)
+        assert report.recall == pytest.approx(8 / 12)
+        assert report.f1 == pytest.approx(2 * 0.8 * (8 / 12) / (0.8 + 8 / 12))
+
+    def test_base_rate(self):
+        assert self.make().base_rate == pytest.approx(12 / 30)
+
+    def test_degenerate_cases(self):
+        empty = self.make(tp=0, fp=0, fn=0, tn=0)
+        assert empty.precision == 0.0
+        assert empty.recall == 0.0
+        assert empty.f1 == 0.0
+        assert empty.base_rate == 0.0
+
+    def test_format(self):
+        text = self.make().format()
+        assert "precision=0.80" in text
+        assert "tp=8" in text
+
+
+class TestPredictDepartures:
+    def _hub_with_snapshots(self, factory, snapshots):
+        hub = MetricsHub()
+        hub.enable_provider_snapshots()
+        hub.provider_snapshots.extend(snapshots)
+        return hub
+
+    def test_requires_snapshots(self, factory):
+        hub = MetricsHub()
+        with pytest.raises(ValueError, match="snapshots"):
+            predict_departures(hub, factory.registry)
+
+    def test_correct_confusion_matrix(self, factory, sim):
+        # four providers: two dissatisfied at t=100, one of each leaves
+        leaver_flagged = factory.provider("leaver-flagged")
+        stayer_flagged = factory.provider("stayer-flagged")
+        leaver_missed = factory.provider("leaver-missed")
+        stayer_clean = factory.provider("stayer-clean")
+        sim.run_until(500.0)
+        leaver_flagged.leave()
+        leaver_missed.leave()
+
+        snapshot = {
+            "leaver-flagged": 0.1,
+            "stayer-flagged": 0.2,
+            "leaver-missed": 0.9,
+            "stayer-clean": 0.8,
+        }
+        hub = self._hub_with_snapshots(factory, [(100.0, snapshot)])
+        report = predict_departures(
+            hub, factory.registry, threshold=0.35, observe_at=100.0
+        )
+        assert report.true_positives == 1
+        assert report.false_positives == 1
+        assert report.false_negatives == 1
+        assert report.true_negatives == 1
+        assert report.precision == 0.5
+        assert report.recall == 0.5
+
+    def test_already_departed_excluded(self, factory, sim):
+        early_leaver = factory.provider("early")
+        sim.run_until(50.0)
+        early_leaver.leave()  # gone before the observation at t=100
+        stayer = factory.provider("stayer")
+        hub = self._hub_with_snapshots(
+            factory, [(100.0, {"early": 0.1, "stayer": 0.9})]
+        )
+        report = predict_departures(
+            hub, factory.registry, threshold=0.35, observe_at=100.0
+        )
+        assert report.population == 1  # only the stayer is evaluable
+
+    def test_default_observation_point(self, factory):
+        provider = factory.provider("p")
+        hub = self._hub_with_snapshots(
+            factory,
+            [(0.0, {"p": 0.9}), (100.0, {"p": 0.9}), (400.0, {"p": 0.9})],
+        )
+        report = predict_departures(hub, factory.registry)
+        # first snapshot at/after 0 + (400-0)/4 = 100
+        assert report.observed_at == 100.0
+
+
+class TestEndToEnd:
+    def test_snapshots_recorded_when_enabled(self):
+        from repro.experiments.config import ExperimentConfig, PolicySpec
+        from repro.experiments.runner import run_once
+        from repro.workloads.boinc import BoincScenarioParams
+
+        config = ExperimentConfig(
+            name="snap",
+            seed=3,
+            duration=100.0,
+            population=BoincScenarioParams(n_providers=8),
+            track_provider_snapshots=True,
+        )
+        result = run_once(config, PolicySpec(name="capacity"))
+        assert result.hub.provider_snapshots
+        t0, snapshot = result.hub.provider_snapshots[0]
+        assert len(snapshot) == 8
+        assert all(0.0 <= v <= 1.0 for v in snapshot.values())

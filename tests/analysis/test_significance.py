@@ -1,0 +1,95 @@
+"""Unit tests for the Welch t-test comparison helpers."""
+
+import pytest
+
+from repro.analysis.significance import Comparison, compare_aggregates, welch_t_test
+
+
+class TestWelchTTest:
+    def test_identical_samples_not_significant(self):
+        t, dof, p = welch_t_test([1.0, 1.0, 1.0], [1.0, 1.0, 1.0])
+        assert t == 0.0
+        assert p == 1.0
+
+    def test_clearly_separated_samples(self):
+        t, dof, p = welch_t_test([1.0, 1.1, 0.9, 1.05], [5.0, 5.1, 4.9, 5.05])
+        assert p < 0.001
+        assert t < 0  # a < b
+
+    def test_matches_scipy_reference(self):
+        from scipy import stats
+
+        a = [2.1, 2.5, 2.3, 2.9, 2.0]
+        b = [2.8, 3.1, 3.3, 2.9]
+        t, dof, p = welch_t_test(a, b)
+        reference = stats.ttest_ind(a, b, equal_var=False)
+        assert t == pytest.approx(reference.statistic)
+        assert p == pytest.approx(reference.pvalue)
+
+    def test_symmetry(self):
+        a = [1.0, 2.0, 3.0]
+        b = [2.0, 3.0, 4.0]
+        t_ab, _, p_ab = welch_t_test(a, b)
+        t_ba, _, p_ba = welch_t_test(b, a)
+        assert t_ab == pytest.approx(-t_ba)
+        assert p_ab == pytest.approx(p_ba)
+
+    def test_sample_size_validation(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            welch_t_test([1.0], [1.0, 2.0])
+
+
+class TestCompareAggregates:
+    def _aggregates(self, replications=3):
+        from repro.experiments.config import ExperimentConfig, PolicySpec
+        from repro.experiments.replication import run_replications
+        from repro.workloads.boinc import BoincScenarioParams
+
+        config = ExperimentConfig(
+            name="sig",
+            seed=11,
+            duration=400.0,
+            population=BoincScenarioParams(n_providers=30),
+        )
+        a = run_replications(config, PolicySpec(name="sbqa"), replications=replications)
+        b = run_replications(config, PolicySpec(name="capacity"), replications=replications)
+        return a, b
+
+    def test_comparison_fields(self):
+        a, b = self._aggregates()
+        comparison = compare_aggregates(a, b, "provider_sat_final")
+        assert comparison.metric == "provider_sat_final"
+        assert comparison.label_a == "sbqa"
+        assert comparison.label_b == "capacity"
+        assert comparison.difference == pytest.approx(
+            comparison.mean_a - comparison.mean_b
+        )
+        assert 0.0 <= comparison.p_value <= 1.0
+        assert "provider_sat_final" in comparison.format()
+
+    def test_sbqa_satisfaction_advantage_is_significant(self):
+        """The core paper effect survives a significance test."""
+        a, b = self._aggregates(replications=4)
+        comparison = compare_aggregates(a, b, "provider_sat_final")
+        assert comparison.difference > 0
+        assert comparison.significant(alpha=0.05)
+
+    def test_requires_kept_runs(self):
+        from repro.experiments.config import ExperimentConfig, PolicySpec
+        from repro.experiments.replication import run_replications
+        from repro.workloads.boinc import BoincScenarioParams
+
+        config = ExperimentConfig(
+            name="sig2",
+            seed=11,
+            duration=120.0,
+            population=BoincScenarioParams(n_providers=10),
+        )
+        a = run_replications(
+            config, PolicySpec(name="sbqa"), replications=2, keep_runs=False
+        )
+        b = run_replications(
+            config, PolicySpec(name="capacity"), replications=2, keep_runs=False
+        )
+        with pytest.raises(ValueError, match="keep_runs"):
+            compare_aggregates(a, b, "mean_rt")

@@ -1,0 +1,73 @@
+"""Unit tests for ASCII table rendering."""
+
+import pytest
+
+from repro.analysis.tables import format_value, render_table, rows_from_dicts
+
+
+class TestFormatValue:
+    def test_none(self):
+        assert format_value(None) == "-"
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_float_rounding(self):
+        assert format_value(3.14159, decimals=3) == "3.142"
+
+    def test_small_float_uses_general_format(self):
+        assert format_value(0.00012) == "0.00012"
+
+    def test_huge_float_uses_general_format(self):
+        assert "e" in format_value(1.5e9) or "+" in format_value(1.5e9)
+
+    def test_nan(self):
+        assert format_value(float("nan")) == "nan"
+
+    def test_int_passthrough(self):
+        assert format_value(42) == "42"
+
+    def test_string_passthrough(self):
+        assert format_value("sbqa") == "sbqa"
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(
+            ["policy", "rt"],
+            [["sbqa", 41.2], ["capacity", 39.9]],
+            title="Results",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Results"
+        assert "policy" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        assert "sbqa" in lines[3]
+
+    def test_numeric_columns_right_aligned(self):
+        text = render_table(["name", "value"], [["a", 1.0], ["bb", 100.0]])
+        rows = text.splitlines()[2:]
+        # the numeric column ends aligned
+        assert rows[0].endswith("1.000")
+        assert rows[1].endswith("100.000")
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError, match="as many cells"):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestRowsFromDicts:
+    def test_column_order_first_seen(self):
+        headers, rows = rows_from_dicts([{"a": 1, "b": 2}, {"b": 3, "c": 4}])
+        assert headers == ["a", "b", "c"]
+        assert rows == [[1, 2, None], [None, 3, 4]]
+
+    def test_explicit_columns(self):
+        headers, rows = rows_from_dicts([{"a": 1, "b": 2}], columns=["b"])
+        assert headers == ["b"]
+        assert rows == [[2]]

@@ -1,0 +1,113 @@
+"""Shared fixtures: a tiny simulation toolkit for unit tests."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import pytest
+
+from repro.des.network import Network
+from repro.des.rng import RandomRoot
+from repro.des.scheduler import Simulator
+from repro.system.consumer import Consumer
+from repro.system.provider import Provider
+from repro.system.query import Query, reset_query_counter
+from repro.system.registry import SystemRegistry
+
+
+@pytest.fixture(autouse=True)
+def _fresh_query_ids():
+    """Reset the global query-id counter so qids are stable per test."""
+    reset_query_counter()
+    yield
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def network(sim) -> Network:
+    """Zero-latency network: message delivery is same-instant events."""
+    return Network(sim)
+
+
+@pytest.fixture
+def root() -> RandomRoot:
+    return RandomRoot(1234)
+
+
+class Factory:
+    """Builds wired participants and queries with terse defaults."""
+
+    def __init__(self, sim: Simulator, network: Network) -> None:
+        self.sim = sim
+        self.network = network
+        self.registry = SystemRegistry()
+        self._consumer_count = 0
+        self._provider_count = 0
+
+    def provider(
+        self,
+        pid: Optional[str] = None,
+        capacity: float = 1.0,
+        preferences: Optional[Dict[str, float]] = None,
+        register: bool = True,
+        **kwargs,
+    ) -> Provider:
+        if pid is None:
+            pid = f"p{self._provider_count}"
+        self._provider_count += 1
+        provider = Provider(
+            self.sim,
+            self.network,
+            participant_id=pid,
+            capacity=capacity,
+            preferences=preferences,
+            **kwargs,
+        )
+        if register:
+            self.registry.add_provider(provider)
+        return provider
+
+    def consumer(
+        self,
+        cid: Optional[str] = None,
+        preferences: Optional[Dict[str, float]] = None,
+        register: bool = True,
+        **kwargs,
+    ) -> Consumer:
+        if cid is None:
+            cid = f"c{self._consumer_count}"
+        self._consumer_count += 1
+        consumer = Consumer(
+            self.sim,
+            self.network,
+            participant_id=cid,
+            preferences=preferences,
+            **kwargs,
+        )
+        if register:
+            self.registry.add_consumer(consumer)
+        return consumer
+
+    def query(
+        self,
+        consumer: Consumer,
+        topic: Optional[str] = None,
+        demand: float = 10.0,
+        n_results: int = 1,
+    ) -> Query:
+        return Query(
+            consumer=consumer,
+            topic=topic if topic is not None else consumer.participant_id,
+            service_demand=demand,
+            n_results=n_results,
+            issued_at=self.sim.now,
+        )
+
+
+@pytest.fixture
+def factory(sim, network) -> Factory:
+    return Factory(sim, network)

@@ -1,0 +1,164 @@
+"""Unit tests for the intention models."""
+
+import pytest
+
+from repro.core.intentions import (
+    LoadOnlyIntentions,
+    PreferenceIntentions,
+    PreferenceUtilizationIntentions,
+    ProviderPreferenceIntentions,
+    ReputationBlendIntentions,
+    ResponseTimeIntentions,
+    clamp_intention,
+    make_consumer_intention_model,
+    make_provider_intention_model,
+)
+
+
+class TestClamp:
+    def test_in_range_untouched(self):
+        assert clamp_intention(0.3) == 0.3
+
+    def test_clamps_both_sides(self):
+        assert clamp_intention(1.7) == 1.0
+        assert clamp_intention(-1.7) == -1.0
+
+
+class TestConsumerModels:
+    def _pair(self, factory, pref=0.6):
+        provider = factory.provider("p1")
+        consumer = factory.consumer("c1", preferences={"p1": pref})
+        query = factory.query(consumer)
+        return consumer, query, provider
+
+    def test_preference_model_returns_static_preference(self, factory):
+        consumer, query, provider = self._pair(factory, pref=0.6)
+        assert PreferenceIntentions().intention(consumer, query, provider) == 0.6
+
+    def test_preference_model_uses_default_for_unknown(self, factory):
+        provider = factory.provider("p9")
+        consumer = factory.consumer("c1", default_preference=-0.2)
+        query = factory.query(consumer)
+        assert PreferenceIntentions().intention(consumer, query, provider) == -0.2
+
+    def test_blend_neutral_reputation_keeps_preference_direction(self, factory):
+        consumer, query, provider = self._pair(factory, pref=0.6)
+        # unknown provider -> reputation 0.5 -> performance term 0
+        value = ReputationBlendIntentions(alpha=0.5).intention(consumer, query, provider)
+        assert value == pytest.approx(0.3)  # 0.5 * 0.6 + 0.5 * 0
+
+    def test_blend_rewards_fast_providers(self, factory):
+        consumer, query, provider = self._pair(factory, pref=0.0)
+        consumer.observe_response_time("p1", 1.0)  # very fast vs rt_reference=60
+        fast = ReputationBlendIntentions(alpha=1.0).intention(consumer, query, provider)
+        consumer.observe_response_time("p1", 10_000.0)  # now very slow
+        consumer.observe_response_time("p1", 10_000.0)
+        slow = ReputationBlendIntentions(alpha=1.0).intention(consumer, query, provider)
+        assert fast > 0.8
+        assert slow < fast
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError, match="alpha"):
+            ReputationBlendIntentions(alpha=1.5)
+
+    def test_response_time_only_ignores_preference(self, factory):
+        consumer, query, provider = self._pair(factory, pref=-1.0)
+        value = ResponseTimeIntentions().intention(consumer, query, provider)
+        assert value == pytest.approx(0.0)  # neutral reputation, pref ignored
+
+    def test_results_always_within_range(self, factory):
+        consumer, query, provider = self._pair(factory, pref=1.0)
+        consumer.observe_response_time("p1", 0.0)
+        for model in (
+            PreferenceIntentions(),
+            ReputationBlendIntentions(0.5),
+            ResponseTimeIntentions(),
+        ):
+            assert -1.0 <= model.intention(consumer, query, provider) <= 1.0
+
+
+class TestProviderModels:
+    def _pair(self, factory, pref=0.4, capacity=1.0):
+        provider = factory.provider("p1", capacity=capacity, preferences={"c1": pref})
+        consumer = factory.consumer("c1")
+        query = factory.query(consumer, demand=30.0)
+        return provider, query
+
+    def test_preference_model(self, factory):
+        provider, query = self._pair(factory, pref=0.4)
+        assert ProviderPreferenceIntentions().intention(provider, query) == 0.4
+
+    def test_blend_idle_provider_wants_work(self, factory):
+        provider, query = self._pair(factory, pref=0.0)
+        # idle: utilization 0 -> load term +1
+        value = PreferenceUtilizationIntentions(beta=0.5).intention(provider, query)
+        assert value == pytest.approx(0.5)
+
+    def test_blend_saturated_provider_declines(self, factory):
+        provider, query = self._pair(factory, pref=0.0)
+        for _ in range(10):  # 10 x 30s of work saturates the 120s horizon
+            provider.execute(_record_for(provider, query))
+        value = PreferenceUtilizationIntentions(beta=0.5).intention(provider, query)
+        assert value == pytest.approx(-0.5)
+
+    def test_beta_validation(self):
+        with pytest.raises(ValueError, match="beta"):
+            PreferenceUtilizationIntentions(beta=-0.1)
+
+    def test_load_only_ignores_preference(self, factory):
+        provider, query = self._pair(factory, pref=-1.0)
+        assert LoadOnlyIntentions().intention(provider, query) == pytest.approx(1.0)
+
+    def test_topic_preference_fallback(self, factory):
+        provider = factory.provider("p1", topic_preferences={"astro": 0.7})
+        consumer = factory.consumer("c1")
+        query = factory.query(consumer, topic="astro")
+        assert ProviderPreferenceIntentions().intention(provider, query) == 0.7
+
+
+class TestFactories:
+    def test_consumer_strings(self):
+        assert isinstance(
+            make_consumer_intention_model("preference"), PreferenceIntentions
+        )
+        assert isinstance(
+            make_consumer_intention_model("reputation-blend"), ReputationBlendIntentions
+        )
+        assert isinstance(
+            make_consumer_intention_model("response-time-only"), ResponseTimeIntentions
+        )
+
+    def test_consumer_passthrough(self):
+        model = ReputationBlendIntentions(0.7)
+        assert make_consumer_intention_model(model) is model
+
+    def test_consumer_unknown(self):
+        with pytest.raises(ValueError, match="unknown consumer"):
+            make_consumer_intention_model("bogus")
+        with pytest.raises(TypeError, match="cannot build"):
+            make_consumer_intention_model(42)
+
+    def test_provider_strings(self):
+        assert isinstance(
+            make_provider_intention_model("preference"), ProviderPreferenceIntentions
+        )
+        assert isinstance(
+            make_provider_intention_model("preference-utilization"),
+            PreferenceUtilizationIntentions,
+        )
+        assert isinstance(make_provider_intention_model("load-only"), LoadOnlyIntentions)
+
+    def test_provider_unknown(self):
+        with pytest.raises(ValueError, match="unknown provider"):
+            make_provider_intention_model("bogus")
+        with pytest.raises(TypeError, match="cannot build"):
+            make_provider_intention_model(3.14)
+
+
+def _record_for(provider, query):
+    """Minimal allocation record for direct provider.execute tests."""
+    from repro.system.query import AllocationRecord
+
+    return AllocationRecord(
+        query=query, decided_at=provider.sim.now, allocated=[provider]
+    )

@@ -1,0 +1,114 @@
+"""Unit and property tests for the KnBest selection strategy [11]."""
+
+from dataclasses import dataclass
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.knbest import KnBestSelector
+from repro.des.rng import RandomStream
+
+
+@dataclass(frozen=True)
+class FakeProvider:
+    participant_id: str
+    utilization: float
+
+
+def providers(utilizations):
+    return [FakeProvider(f"p{i:03d}", u) for i, u in enumerate(utilizations)]
+
+
+class TestValidation:
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError, match="k must be"):
+            KnBestSelector(0, 0, RandomStream(1))
+
+    def test_kn_within_bounds(self):
+        with pytest.raises(ValueError, match="kn must satisfy"):
+            KnBestSelector(5, 6, RandomStream(1))
+        with pytest.raises(ValueError, match="kn must satisfy"):
+            KnBestSelector(5, 0, RandomStream(1))
+
+
+class TestSelection:
+    def test_sizes_match_parameters(self):
+        selector = KnBestSelector(k=5, kn=2, stream=RandomStream(1))
+        selection = selector.select(providers([0.1] * 20))
+        assert selection.k_effective == 5
+        assert selection.kn_effective == 2
+
+    def test_small_candidate_sets_degrade_gracefully(self):
+        selector = KnBestSelector(k=10, kn=4, stream=RandomStream(1))
+        selection = selector.select(providers([0.5, 0.5]))
+        assert selection.k_effective == 2
+        assert selection.kn_effective == 2
+
+    def test_working_set_is_least_utilized_of_sample(self):
+        selector = KnBestSelector(k=4, kn=2, stream=RandomStream(7))
+        candidates = providers([0.9, 0.1, 0.5, 0.3])
+        selection = selector.select(candidates)
+        sampled_utils = sorted(p.utilization for p in selection.sampled)
+        working_utils = sorted(p.utilization for p in selection.working)
+        assert working_utils == sampled_utils[:2]
+
+    def test_working_set_ordered_least_utilized_first(self):
+        selector = KnBestSelector(k=4, kn=4, stream=RandomStream(7))
+        selection = selector.select(providers([0.9, 0.1, 0.5, 0.3]))
+        utils = [p.utilization for p in selection.working]
+        assert utils == sorted(utils)
+
+    def test_utilization_ties_break_by_id(self):
+        selector = KnBestSelector(k=3, kn=3, stream=RandomStream(7))
+        selection = selector.select(providers([0.5, 0.5, 0.5]))
+        ids = [p.participant_id for p in selection.working]
+        assert ids == sorted(ids)
+
+    def test_deterministic_given_stream_seed(self):
+        candidates = providers([i / 30 for i in range(30)])
+        first = KnBestSelector(5, 3, RandomStream(42)).select(candidates)
+        second = KnBestSelector(5, 3, RandomStream(42)).select(candidates)
+        assert [p.participant_id for p in first.sampled] == [
+            p.participant_id for p in second.sampled
+        ]
+        assert [p.participant_id for p in first.working] == [
+            p.participant_id for p in second.working
+        ]
+
+    def test_stage1_randomness_explores_population(self):
+        """Across many queries the random stage must touch most providers."""
+        selector = KnBestSelector(k=5, kn=2, stream=RandomStream(3))
+        candidates = providers([0.5] * 40)
+        seen = set()
+        for _ in range(200):
+            selection = selector.select(candidates)
+            seen.update(p.participant_id for p in selection.sampled)
+        assert len(seen) >= 38  # all but a couple of the 40
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1), min_size=1, max_size=40),
+        st.integers(min_value=1, max_value=15),
+        st.integers(min_value=1, max_value=15),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=60)
+    def test_invariants(self, utils, k, kn_raw, seed):
+        kn = min(kn_raw, k)
+        selector = KnBestSelector(k=k, kn=kn, stream=RandomStream(seed))
+        candidates = providers(utils)
+        selection = selector.select(candidates)
+        sampled_ids = {p.participant_id for p in selection.sampled}
+        working_ids = {p.participant_id for p in selection.working}
+        # sizes
+        assert selection.k_effective == min(k, len(candidates))
+        assert selection.kn_effective == min(kn, selection.k_effective)
+        # subset chain: Kn subset of K subset of P_q
+        assert working_ids <= sampled_ids
+        assert sampled_ids <= {p.participant_id for p in candidates}
+        # no duplicates
+        assert len(sampled_ids) == len(selection.sampled)
+        # stage 2 keeps exactly the least utilized of the sample
+        threshold = max(p.utilization for p in selection.working)
+        outside = [p for p in selection.sampled if p.participant_id not in working_ids]
+        assert all(p.utilization >= threshold for p in outside)

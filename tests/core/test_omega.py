@@ -1,0 +1,98 @@
+"""Unit and property tests for the balance parameter (Equation 2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.omega import (
+    AdaptiveOmega,
+    FixedOmega,
+    adaptive_omega,
+    make_omega_policy,
+)
+
+sats = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestAdaptiveOmega:
+    def test_balanced_satisfaction_gives_half(self):
+        assert adaptive_omega(0.5, 0.5) == 0.5
+        assert adaptive_omega(0.9, 0.9) == 0.5
+
+    def test_happier_consumer_raises_omega(self):
+        """If the consumer is more satisfied, listen to the provider."""
+        assert adaptive_omega(0.9, 0.1) == pytest.approx(0.9)
+
+    def test_happier_provider_lowers_omega(self):
+        assert adaptive_omega(0.1, 0.9) == pytest.approx(0.1)
+
+    def test_extremes(self):
+        assert adaptive_omega(1.0, 0.0) == 1.0
+        assert adaptive_omega(0.0, 1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="consumer"):
+            adaptive_omega(1.5, 0.5)
+        with pytest.raises(ValueError, match="provider"):
+            adaptive_omega(0.5, -0.5)
+
+    @given(sats, sats)
+    def test_always_in_unit_interval(self, cs, ps):
+        assert 0.0 <= adaptive_omega(cs, ps) <= 1.0
+
+    @given(sats, sats)
+    def test_antisymmetric_around_half(self, cs, ps):
+        assert adaptive_omega(cs, ps) + adaptive_omega(ps, cs) == pytest.approx(1.0)
+
+    @given(sats, sats, sats)
+    def test_monotone_in_consumer_satisfaction(self, a, b, ps):
+        lo, hi = sorted((a, b))
+        assert adaptive_omega(lo, ps) <= adaptive_omega(hi, ps)
+
+
+class TestPolicies:
+    def test_adaptive_policy_applies_equation2(self):
+        policy = AdaptiveOmega()
+        assert policy.omega(0.8, 0.2) == pytest.approx(0.8)
+        assert policy.is_adaptive
+
+    def test_fixed_policy_ignores_satisfaction(self):
+        policy = FixedOmega(0.3)
+        assert policy.omega(0.9, 0.1) == 0.3
+        assert policy.omega(0.1, 0.9) == 0.3
+        assert not policy.is_adaptive
+
+    def test_fixed_validation(self):
+        with pytest.raises(ValueError, match="omega"):
+            FixedOmega(1.5)
+
+
+class TestFactory:
+    def test_passthrough(self):
+        policy = FixedOmega(0.4)
+        assert make_omega_policy(policy) is policy
+
+    def test_adaptive_string(self):
+        assert make_omega_policy("adaptive").is_adaptive
+        assert make_omega_policy("ADAPTIVE").is_adaptive
+
+    def test_number_becomes_fixed(self):
+        policy = make_omega_policy(0.25)
+        assert isinstance(policy, FixedOmega)
+        assert policy.value == 0.25
+
+    def test_int_zero_and_one(self):
+        assert make_omega_policy(0).value == 0.0
+        assert make_omega_policy(1).value == 1.0
+
+    def test_unknown_string_raises(self):
+        with pytest.raises(ValueError, match="unknown omega"):
+            make_omega_policy("sometimes")
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError, match="cannot build"):
+            make_omega_policy(True)
+
+    def test_other_types_rejected(self):
+        with pytest.raises(TypeError, match="cannot build"):
+            make_omega_policy([0.5])

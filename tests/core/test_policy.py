@@ -1,0 +1,60 @@
+"""Unit tests for the allocation-policy interface."""
+
+import pytest
+
+from repro.core.policy import (
+    AllocationContext,
+    AllocationDecision,
+    AllocationPolicy,
+    allocation_count,
+)
+
+
+class TestAllocationDecision:
+    def test_informed_defaults_to_allocated(self, factory):
+        consumer = factory.consumer()
+        providers = [factory.provider(), factory.provider()]
+        decision = AllocationDecision(allocated=providers)
+        assert decision.informed == providers
+
+    def test_allocated_must_be_subset_of_informed(self, factory):
+        a = factory.provider("a")
+        b = factory.provider("b")
+        with pytest.raises(ValueError, match="subset"):
+            AllocationDecision(allocated=[a], informed=[b])
+
+    def test_failure_flag(self, factory):
+        assert AllocationDecision(allocated=[]).is_failure
+        assert not AllocationDecision(allocated=[factory.provider()]).is_failure
+
+    def test_informed_can_exceed_allocated(self, factory):
+        a = factory.provider("a")
+        b = factory.provider("b")
+        decision = AllocationDecision(allocated=[a], informed=[a, b])
+        assert len(decision.informed) == 2
+
+
+class TestAllocationCount:
+    def test_limited_by_n_results(self, factory):
+        consumer = factory.consumer()
+        query = factory.query(consumer, n_results=2)
+        assert allocation_count(query, pool_size=10) == 2
+
+    def test_limited_by_pool(self, factory):
+        consumer = factory.consumer()
+        query = factory.query(consumer, n_results=5)
+        assert allocation_count(query, pool_size=3) == 3
+
+
+class TestBasePolicy:
+    def test_select_is_abstract(self, factory):
+        policy = AllocationPolicy()
+        consumer = factory.consumer()
+        query = factory.query(consumer)
+        with pytest.raises(NotImplementedError):
+            policy.select(query, [], AllocationContext(now=0.0))
+
+    def test_describe_and_repr(self):
+        policy = AllocationPolicy()
+        assert policy.describe() == {"name": "abstract"}
+        assert "AllocationPolicy" in repr(policy)

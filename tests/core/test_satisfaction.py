@@ -1,0 +1,285 @@
+"""Unit and property tests for the satisfaction model (Section II)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.satisfaction import (
+    NEUTRAL_SATISFACTION,
+    ConsumerSatisfactionTracker,
+    ProviderSatisfactionTracker,
+    adequation,
+    allocation_satisfaction,
+    consumer_query_satisfaction,
+    intention_to_unit,
+)
+
+intentions = st.floats(min_value=-1.0, max_value=1.0)
+
+
+class TestIntentionToUnit:
+    def test_extremes(self):
+        assert intention_to_unit(-1.0) == 0.0
+        assert intention_to_unit(1.0) == 1.0
+        assert intention_to_unit(0.0) == 0.5
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match=r"\[-1, 1\]"):
+            intention_to_unit(1.5)
+        with pytest.raises(ValueError, match=r"\[-1, 1\]"):
+            intention_to_unit(-1.5)
+
+    @given(intentions)
+    def test_stays_in_unit_interval(self, intention):
+        assert 0.0 <= intention_to_unit(intention) <= 1.0
+
+    @given(intentions, intentions)
+    def test_monotone(self, a, b):
+        if a <= b:
+            assert intention_to_unit(a) <= intention_to_unit(b)
+
+
+class TestConsumerQuerySatisfaction:
+    """Equation 1 of the paper."""
+
+    def test_full_allocation_of_wanted_providers(self):
+        # two providers, both with intention 1, n=2 -> satisfaction 1
+        assert consumer_query_satisfaction([1.0, 1.0], 2) == 1.0
+
+    def test_unwanted_providers_give_zero(self):
+        assert consumer_query_satisfaction([-1.0, -1.0], 2) == 0.0
+
+    def test_neutral_providers_give_half(self):
+        assert consumer_query_satisfaction([0.0, 0.0], 2) == 0.5
+
+    def test_missing_results_depress_satisfaction(self):
+        # one wanted provider but two results required -> only 1/2
+        assert consumer_query_satisfaction([1.0], 2) == 0.5
+
+    def test_empty_performer_set_is_zero(self):
+        assert consumer_query_satisfaction([], 3) == 0.0
+
+    def test_n_validation(self):
+        with pytest.raises(ValueError, match="n_results"):
+            consumer_query_satisfaction([0.5], 0)
+
+    def test_worked_example_from_definition(self):
+        # n=2, performers with CI 0.6 and -0.2:
+        # ((0.6+1)/2 + (-0.2+1)/2) / 2 = (0.8 + 0.4) / 2 = 0.6
+        assert consumer_query_satisfaction([0.6, -0.2], 2) == pytest.approx(0.6)
+
+    @given(st.lists(intentions, max_size=8), st.integers(min_value=1, max_value=8))
+    def test_always_in_unit_interval(self, values, n):
+        performers = values[:n]  # the mediator allocates at most n
+        assert 0.0 <= consumer_query_satisfaction(performers, n) <= 1.0
+
+    @given(st.lists(intentions, min_size=1, max_size=5))
+    def test_more_required_results_never_increase_satisfaction(self, values):
+        n = len(values)
+        assert consumer_query_satisfaction(values, n + 1) <= consumer_query_satisfaction(
+            values, n
+        )
+
+
+class TestAdequation:
+    def test_takes_best_n(self):
+        # best 2 of {-1, 0.5, 1} -> (1 + 0.75)/2... units: (1.0 + 0.75)/2
+        value = adequation([-1.0, 0.5, 1.0], 2)
+        assert value == pytest.approx((1.0 + 0.75) / 2)
+
+    def test_empty_candidates(self):
+        assert adequation([], 2) == 0.0
+
+    @given(st.lists(intentions, max_size=10), st.integers(min_value=1, max_value=5))
+    def test_adequation_bounds_achieved(self, values, n):
+        """No subset of size <= n can beat the adequation."""
+        ach = consumer_query_satisfaction(sorted(values, reverse=True)[:n], n)
+        assert adequation(values, n) == pytest.approx(ach)
+
+
+class TestAllocationSatisfaction:
+    def test_perfect_allocation(self):
+        assert allocation_satisfaction(0.8, 0.8) == 1.0
+
+    def test_partial_allocation(self):
+        assert allocation_satisfaction(0.4, 0.8) == 0.5
+
+    def test_zero_achievable_means_blameless(self):
+        assert allocation_satisfaction(0.0, 0.0) == 1.0
+
+    def test_clamped_to_one(self):
+        assert allocation_satisfaction(0.9, 0.8) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="achieved"):
+            allocation_satisfaction(1.2, 0.5)
+        with pytest.raises(ValueError, match="achievable"):
+            allocation_satisfaction(0.5, -0.1)
+
+
+class TestConsumerTracker:
+    """Definition 1."""
+
+    def test_neutral_before_any_query(self):
+        tracker = ConsumerSatisfactionTracker()
+        assert tracker.satisfaction() == NEUTRAL_SATISFACTION
+        assert tracker.satisfaction(default=0.0) == 0.0
+
+    def test_mean_of_recorded_values(self):
+        tracker = ConsumerSatisfactionTracker(memory=10)
+        tracker.record_query(0.2)
+        tracker.record_query(0.8)
+        assert tracker.satisfaction() == pytest.approx(0.5)
+
+    def test_window_evicts_oldest(self):
+        tracker = ConsumerSatisfactionTracker(memory=2)
+        tracker.record_query(0.0)
+        tracker.record_query(1.0)
+        tracker.record_query(1.0)
+        assert tracker.satisfaction() == 1.0
+        assert tracker.observations == 2
+        assert tracker.total_recorded == 3
+
+    def test_memory_validation(self):
+        with pytest.raises(ValueError, match="memory"):
+            ConsumerSatisfactionTracker(memory=0)
+
+    def test_satisfaction_validation(self):
+        tracker = ConsumerSatisfactionTracker()
+        with pytest.raises(ValueError, match="satisfaction"):
+            tracker.record_query(1.2)
+        with pytest.raises(ValueError, match="adequation"):
+            tracker.record_query(0.5, adequation_value=1.5)
+
+    def test_allocation_satisfaction_ratio(self):
+        tracker = ConsumerSatisfactionTracker()
+        tracker.record_query(0.4, adequation_value=0.8)
+        assert tracker.allocation_satisfaction() == pytest.approx(0.5)
+
+    def test_adequation_mean(self):
+        tracker = ConsumerSatisfactionTracker()
+        tracker.record_query(0.4, adequation_value=0.8)
+        tracker.record_query(0.4, adequation_value=0.4)
+        assert tracker.adequation() == pytest.approx(0.6)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1), min_size=1, max_size=50))
+    def test_satisfaction_always_in_unit_interval(self, values):
+        tracker = ConsumerSatisfactionTracker(memory=10)
+        for v in values:
+            tracker.record_query(v)
+        assert 0.0 <= tracker.satisfaction() <= 1.0
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1), min_size=1, max_size=50),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_window_mean_matches_manual_computation(self, values, memory):
+        tracker = ConsumerSatisfactionTracker(memory=memory)
+        for v in values:
+            tracker.record_query(v)
+        window = values[-memory:]
+        assert tracker.satisfaction() == pytest.approx(sum(window) / len(window))
+
+
+class TestProviderTracker:
+    """Definition 2."""
+
+    def test_neutral_before_any_proposal(self):
+        tracker = ProviderSatisfactionTracker()
+        assert tracker.satisfaction() == NEUTRAL_SATISFACTION
+
+    def test_zero_when_proposed_but_never_performed(self):
+        """The paper's explicit '0 if SQ empty' rule."""
+        tracker = ProviderSatisfactionTracker()
+        tracker.record_proposal(0.9, performed=False)
+        tracker.record_proposal(0.9, performed=False)
+        assert tracker.satisfaction() == 0.0
+
+    def test_mean_over_performed_only(self):
+        tracker = ProviderSatisfactionTracker()
+        tracker.record_proposal(1.0, performed=True)   # unit 1.0
+        tracker.record_proposal(-1.0, performed=False)  # ignored
+        tracker.record_proposal(0.0, performed=True)   # unit 0.5
+        assert tracker.satisfaction() == pytest.approx(0.75)
+
+    def test_window_eviction_can_revive_satisfaction(self):
+        tracker = ProviderSatisfactionTracker(memory=2)
+        tracker.record_proposal(0.5, performed=False)
+        tracker.record_proposal(0.5, performed=False)
+        assert tracker.satisfaction() == 0.0
+        tracker.record_proposal(1.0, performed=True)
+        tracker.record_proposal(1.0, performed=True)
+        assert tracker.satisfaction() == 1.0
+
+    def test_performed_fraction(self):
+        tracker = ProviderSatisfactionTracker()
+        assert tracker.performed_fraction() == 0.0
+        tracker.record_proposal(0.5, performed=True)
+        tracker.record_proposal(0.5, performed=False)
+        assert tracker.performed_fraction() == 0.5
+
+    def test_counters(self):
+        tracker = ProviderSatisfactionTracker(memory=1)
+        tracker.record_proposal(0.5, performed=True)
+        tracker.record_proposal(0.5, performed=False)
+        assert tracker.total_proposed == 2
+        assert tracker.total_performed == 1
+        assert tracker.observations == 1  # window evicted the first
+
+    def test_window_entries_order(self):
+        tracker = ProviderSatisfactionTracker()
+        tracker.record_proposal(0.1, performed=False)
+        tracker.record_proposal(0.2, performed=True)
+        assert tracker.window_entries() == [(0.1, False), (0.2, True)]
+
+    def test_intention_validation(self):
+        tracker = ProviderSatisfactionTracker()
+        with pytest.raises(ValueError, match="intention"):
+            tracker.record_proposal(2.0, performed=True)
+
+    def test_memory_validation(self):
+        with pytest.raises(ValueError, match="memory"):
+            ProviderSatisfactionTracker(memory=0)
+
+    @given(
+        st.lists(
+            st.tuples(intentions, st.booleans()),
+            min_size=1,
+            max_size=60,
+        ),
+        st.integers(min_value=1, max_value=15),
+    )
+    def test_definition2_matches_manual_computation(self, proposals, memory):
+        tracker = ProviderSatisfactionTracker(memory=memory)
+        for intention, performed in proposals:
+            tracker.record_proposal(intention, performed)
+        window = proposals[-memory:]
+        performed = [(i + 1) / 2 for i, p in window if p]
+        expected = sum(performed) / len(performed) if performed else 0.0
+        assert tracker.satisfaction() == pytest.approx(expected)
+
+    @given(st.lists(st.tuples(intentions, st.booleans()), max_size=40))
+    def test_satisfaction_always_in_unit_interval(self, proposals):
+        tracker = ProviderSatisfactionTracker()
+        for intention, performed in proposals:
+            tracker.record_proposal(intention, performed)
+        assert 0.0 <= tracker.satisfaction() <= 1.0
+
+
+class TestTrackerReset:
+    def test_consumer_reset_restores_neutrality(self):
+        tracker = ConsumerSatisfactionTracker()
+        tracker.record_query(0.1, adequation_value=0.9)
+        tracker.reset()
+        assert tracker.observations == 0
+        assert tracker.satisfaction() == NEUTRAL_SATISFACTION
+        # total_recorded is lifetime, not window
+        assert tracker.total_recorded == 1
+
+    def test_provider_reset_restores_neutrality(self):
+        tracker = ProviderSatisfactionTracker()
+        tracker.record_proposal(-0.9, performed=True)
+        tracker.reset()
+        assert tracker.observations == 0
+        assert tracker.satisfaction() == NEUTRAL_SATISFACTION
+        assert tracker.total_proposed == 1

@@ -1,0 +1,61 @@
+"""Unit tests for repro.des.entity."""
+
+import pytest
+
+from repro.des.entity import Entity, RecordingEntity, format_entity
+from repro.des.network import Network
+
+
+class TestEntity:
+    def test_requires_name(self, sim):
+        with pytest.raises(ValueError, match="non-empty"):
+            Entity(sim, "")
+
+    def test_ids_are_unique(self, sim):
+        a = Entity(sim, "a")
+        b = Entity(sim, "b")
+        assert a.entity_id != b.entity_id
+
+    def test_now_mirrors_simulator(self, sim):
+        entity = Entity(sim, "e")
+        sim.run_until(12.0)
+        assert entity.now == 12.0
+
+    def test_call_in_schedules_relative(self, sim):
+        entity = Entity(sim, "e")
+        fired = []
+        entity.call_in(5.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [5.0]
+
+    def test_call_at_schedules_absolute(self, sim):
+        entity = Entity(sim, "e")
+        fired = []
+        entity.call_at(7.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [7.0]
+
+    def test_default_receive_raises(self, sim, network):
+        sender = Entity(sim, "sender")
+        receiver = Entity(sim, "receiver")
+        network.send("ping", sender, receiver)
+        with pytest.raises(NotImplementedError, match="unexpected message"):
+            sim.run()
+
+    def test_repr_contains_name(self, sim):
+        assert "'e'" in repr(Entity(sim, "e"))
+
+    def test_format_entity(self, sim):
+        entity = Entity(sim, "node")
+        assert format_entity(entity) == f"node#{entity.entity_id}"
+
+
+class TestRecordingEntity:
+    def test_records_payloads_in_order(self, sim, network):
+        sender = Entity(sim, "s")
+        sink = RecordingEntity(sim, "sink")
+        network.send("a", sender, sink, payload=1)
+        network.send("b", sender, sink, payload=2)
+        sim.run()
+        assert sink.payloads() == [1, 2]
+        assert [m.kind for m in sink.inbox] == ["a", "b"]

@@ -1,0 +1,138 @@
+"""Unit tests for repro.des.events."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.des.events import DEFAULT_PRIORITY, Event, EventHandle, make_repeating
+
+
+def noop() -> None:
+    pass
+
+
+class TestEventOrdering:
+    def test_orders_by_time_first(self):
+        early = Event(1.0, seq=5, action=noop)
+        late = Event(2.0, seq=1, action=noop)
+        assert early < late
+
+    def test_priority_breaks_time_ties(self):
+        high = Event(1.0, seq=5, action=noop, priority=-1)
+        low = Event(1.0, seq=1, action=noop, priority=0)
+        assert high < low
+
+    def test_sequence_breaks_remaining_ties(self):
+        first = Event(1.0, seq=1, action=noop)
+        second = Event(1.0, seq=2, action=noop)
+        assert first < second
+
+    def test_equal_keys_compare_equal(self):
+        a = Event(1.0, seq=1, action=noop)
+        b = Event(1.0, seq=1, action=lambda: None)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_comparison_with_non_event_is_not_implemented(self):
+        event = Event(1.0, seq=1, action=noop)
+        assert event.__eq__(42) is NotImplemented
+        assert event.__lt__(42) is NotImplemented
+
+    def test_total_ordering_provides_le_gt(self):
+        a = Event(1.0, seq=1, action=noop)
+        b = Event(2.0, seq=2, action=noop)
+        assert a <= b
+        assert b > a
+        assert b >= a
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e6),
+                st.integers(min_value=-5, max_value=5),
+            ),
+            min_size=2,
+            max_size=30,
+        )
+    )
+    def test_sorted_events_are_time_monotone(self, specs):
+        events = [
+            Event(t, seq=i, action=noop, priority=p) for i, (t, p) in enumerate(specs)
+        ]
+        ordered = sorted(events)
+        times = [e.time for e in ordered]
+        assert times == sorted(times)
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            Event(math.nan, seq=0, action=noop)
+
+
+class TestEventCancellation:
+    def test_events_start_uncancelled(self):
+        event = Event(1.0, seq=0, action=noop)
+        assert not event.cancelled
+
+    def test_cancel_marks_event(self):
+        event = Event(1.0, seq=0, action=noop)
+        event.cancel()
+        assert event.cancelled
+
+    def test_handle_reflects_cancellation(self):
+        event = Event(3.0, seq=0, action=noop, label="x")
+        handle = EventHandle(event)
+        assert handle.time == 3.0
+        assert handle.label == "x"
+        assert not handle.cancelled
+        handle.cancel()
+        assert event.cancelled
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        event = Event(1.0, seq=0, action=noop)
+        handle = EventHandle(event)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_repr_mentions_cancellation(self):
+        event = Event(1.0, seq=0, action=noop)
+        event.cancel()
+        assert "CANCELLED" in repr(event)
+
+
+class TestMakeRepeating:
+    def test_rejects_non_positive_interval(self):
+        with pytest.raises(ValueError, match="interval"):
+            make_repeating(lambda d, f: None, 0.0, noop)
+
+    def test_reschedules_itself(self):
+        scheduled = []
+
+        def fake_schedule(delay, fn):
+            scheduled.append((delay, fn))
+
+        calls = []
+        tick = make_repeating(fake_schedule, 5.0, lambda: calls.append(1))
+        tick()
+        assert calls == [1]
+        assert len(scheduled) == 1
+        assert scheduled[0][0] == 5.0
+        # the rescheduled callable is the tick itself
+        scheduled[0][1]()
+        assert calls == [1, 1]
+
+    def test_stop_when_halts_rescheduling(self):
+        scheduled = []
+        state = {"stop": False}
+
+        tick = make_repeating(
+            lambda d, f: scheduled.append(f), 1.0, noop, stop_when=lambda: state["stop"]
+        )
+        tick()
+        assert len(scheduled) == 1
+        state["stop"] = True
+        scheduled[0]()
+        assert len(scheduled) == 1  # no further reschedule

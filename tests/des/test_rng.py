@@ -1,0 +1,196 @@
+"""Unit and property tests for repro.des.rng."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des.rng import (
+    RandomRoot,
+    RandomStream,
+    default_root,
+    derive_seed,
+    spawn_replication_root,
+)
+
+
+class TestDerivation:
+    def test_same_inputs_same_seed(self):
+        assert derive_seed(42, "a") == derive_seed(42, "a")
+
+    def test_different_names_differ(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_different_roots_differ(self):
+        assert derive_seed(41, "a") != derive_seed(42, "a")
+
+    def test_streams_are_reproducible(self):
+        root = RandomRoot(7)
+        a = [root.stream("x").uniform() for _ in range(3)]
+        b = [root.stream("x").uniform() for _ in range(3)]
+        assert a == b
+
+    def test_new_stream_does_not_perturb_existing(self):
+        root = RandomRoot(7)
+        s1 = root.stream("x")
+        first = s1.uniform()
+        root2 = RandomRoot(7)
+        s2 = root2.stream("x")
+        root2.stream("brand-new")  # extra stream must not shift x's draws
+        assert s2.uniform() == first
+
+    def test_spawn_creates_independent_root(self):
+        root = RandomRoot(7)
+        child = root.spawn("rep1")
+        assert child.seed != root.seed
+        assert child.stream("x").uniform() != root.stream("x").uniform()
+
+    def test_replication_roots_distinct(self):
+        a = spawn_replication_root(100, 0)
+        b = spawn_replication_root(100, 1)
+        assert a.seed != b.seed
+
+    def test_replication_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_replication_root(100, -1)
+
+    def test_default_root_is_stable(self):
+        assert default_root().seed == default_root().seed
+        assert default_root(5).seed == 5
+
+    def test_streams_bulk(self):
+        root = RandomRoot(7)
+        streams = root.streams(["a", "b"])
+        assert [s.name for s in streams] == ["a", "b"]
+
+
+class TestDistributions:
+    def setup_method(self):
+        self.stream = RandomStream(12345, name="test")
+
+    def test_uniform_within_bounds(self):
+        for _ in range(200):
+            v = self.stream.uniform(2.0, 5.0)
+            assert 2.0 <= v < 5.0
+
+    def test_randint_inclusive(self):
+        values = {self.stream.randint(1, 3) for _ in range(200)}
+        assert values == {1, 2, 3}
+
+    def test_choice_requires_non_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            self.stream.choice([])
+
+    def test_sample_clamps_oversized_k(self):
+        out = self.stream.sample([1, 2, 3], 10)
+        assert sorted(out) == [1, 2, 3]
+
+    def test_sample_rejects_negative_k(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            self.stream.sample([1], -1)
+
+    def test_sample_draws_distinct_elements(self):
+        out = self.stream.sample(list(range(100)), 10)
+        assert len(out) == len(set(out)) == 10
+
+    def test_exponential_mean_roughly_matches(self):
+        n = 4000
+        mean = sum(self.stream.exponential(10.0) for _ in range(n)) / n
+        assert 9.0 < mean < 11.0
+
+    def test_exponential_rejects_non_positive_mean(self):
+        with pytest.raises(ValueError, match="positive"):
+            self.stream.exponential(0.0)
+
+    def test_lognormal_mean_roughly_matches(self):
+        n = 4000
+        mean = sum(self.stream.lognormal(30.0, 0.5) for _ in range(n)) / n
+        assert 27.0 < mean < 33.0
+
+    def test_lognormal_zero_cv_is_deterministic(self):
+        assert self.stream.lognormal(30.0, 0.0) == 30.0
+
+    def test_lognormal_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            self.stream.lognormal(-1.0, 0.5)
+        with pytest.raises(ValueError, match="non-negative"):
+            self.stream.lognormal(1.0, -0.5)
+
+    def test_pareto_bounded_below(self):
+        for _ in range(200):
+            assert self.stream.pareto(2.5, minimum=4.0) >= 4.0
+
+    def test_pareto_validation(self):
+        with pytest.raises(ValueError, match="alpha"):
+            self.stream.pareto(0.0)
+        with pytest.raises(ValueError, match="minimum"):
+            self.stream.pareto(2.0, minimum=0.0)
+
+    def test_zipf_weights_sum_to_one_and_decrease(self):
+        weights = self.stream.zipf_weights(5, 1.0)
+        assert abs(sum(weights) - 1.0) < 1e-12
+        assert weights == sorted(weights, reverse=True)
+
+    def test_zipf_zero_skew_uniform(self):
+        weights = self.stream.zipf_weights(4, 0.0)
+        assert all(abs(w - 0.25) < 1e-12 for w in weights)
+
+    def test_zipf_validation(self):
+        with pytest.raises(ValueError, match="rank"):
+            self.stream.zipf_weights(0, 1.0)
+        with pytest.raises(ValueError, match="skew"):
+            self.stream.zipf_weights(3, -1.0)
+
+    def test_weighted_choice_respects_zero_weight(self):
+        for _ in range(100):
+            assert self.stream.weighted_choice(["a", "b"], [1.0, 0.0]) == "a"
+
+    def test_weighted_choice_validation(self):
+        with pytest.raises(ValueError, match="length"):
+            self.stream.weighted_choice(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError, match="empty"):
+            self.stream.weighted_choice([], [])
+        with pytest.raises(ValueError, match="positive"):
+            self.stream.weighted_choice(["a"], [0.0])
+
+    def test_weighted_choice_rejects_negative_weight(self):
+        with pytest.raises(ValueError, match="negative"):
+            self.stream.weighted_choice(["a", "b"], [2.0, -1.0])
+
+    def test_bernoulli_bounds(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            self.stream.bernoulli(1.5)
+
+    def test_bernoulli_extremes(self):
+        assert not any(self.stream.bernoulli(0.0) for _ in range(50))
+        assert all(self.stream.bernoulli(1.0) for _ in range(50))
+
+    def test_shuffle_preserves_elements(self):
+        items = list(range(20))
+        shuffled = list(items)
+        self.stream.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+
+class TestProperties:
+    @given(st.integers(min_value=0, max_value=2**31), st.text(max_size=30))
+    @settings(max_examples=50)
+    def test_derive_seed_is_64_bit(self, seed, name):
+        value = derive_seed(seed, name)
+        assert 0 <= value < 2**64
+
+    @given(st.floats(min_value=0.01, max_value=1e3))
+    @settings(max_examples=50)
+    def test_exponential_non_negative(self, mean):
+        stream = RandomStream(1)
+        assert stream.exponential(mean) >= 0.0
+
+    @given(
+        st.floats(min_value=0.01, max_value=1e3),
+        st.floats(min_value=0.0, max_value=3.0),
+    )
+    @settings(max_examples=50)
+    def test_lognormal_positive(self, mean, cv):
+        stream = RandomStream(1)
+        assert stream.lognormal(mean, cv) > 0.0

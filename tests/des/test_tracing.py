@@ -1,0 +1,80 @@
+"""Unit tests for repro.des.tracing."""
+
+import pytest
+
+from repro.des.tracing import NULL_RECORDER, TraceEvent, TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_records_events(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "alloc", "query 1 allocated", qid=1)
+        assert len(trace) == 1
+        event = trace.events[0]
+        assert event.time == 1.0
+        assert event.category == "alloc"
+        assert event.data == {"qid": 1}
+
+    def test_disabled_recorder_drops_everything(self):
+        trace = TraceRecorder(enabled=False)
+        trace.record(1.0, "alloc", "x")
+        assert len(trace) == 0
+
+    def test_null_recorder_is_disabled(self):
+        NULL_RECORDER.record(1.0, "x", "y")
+        assert len(NULL_RECORDER) == 0
+
+    def test_category_filter(self):
+        trace = TraceRecorder(categories=["keep"])
+        trace.record(1.0, "keep", "a")
+        trace.record(2.0, "drop", "b")
+        assert [e.category for e in trace] == ["keep"]
+
+    def test_by_category(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "a", "first")
+        trace.record(2.0, "b", "second")
+        trace.record(3.0, "a", "third")
+        assert [e.message for e in trace.by_category("a")] == ["first", "third"]
+        assert trace.categories() == {"a", "b"}
+
+    def test_ring_buffer_capacity(self):
+        trace = TraceRecorder(capacity=3)
+        for i in range(5):
+            trace.record(float(i), "c", f"event{i}")
+        assert len(trace) == 3
+        assert trace.dropped == 2
+        assert [e.message for e in trace] == ["event2", "event3", "event4"]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            TraceRecorder(capacity=0)
+
+    def test_clear(self):
+        trace = TraceRecorder(capacity=1)
+        trace.record(1.0, "c", "a")
+        trace.record(2.0, "c", "b")
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.dropped == 0
+
+    def test_events_returns_copy(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "c", "a")
+        trace.events.clear()
+        assert len(trace) == 1
+
+
+class TestFormatting:
+    def test_event_format_includes_data(self):
+        event = TraceEvent(1.5, "alloc", "hello", {"b": 2, "a": 1})
+        text = event.format()
+        assert "alloc" in text
+        assert "hello" in text
+        assert "[a=1, b=2]" in text  # sorted keys
+
+    def test_recorder_format_limit(self):
+        trace = TraceRecorder()
+        for i in range(5):
+            trace.record(float(i), "c", f"e{i}")
+        assert trace.format(limit=2).count("\n") == 1

@@ -1,0 +1,66 @@
+"""Tests for replication aggregation."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, PolicySpec
+from repro.experiments.replication import (
+    AGGREGATED_FIELDS,
+    compare_policies,
+    run_replications,
+)
+from repro.workloads.boinc import BoincScenarioParams
+
+TINY = ExperimentConfig(
+    name="tiny-rep",
+    seed=42,
+    duration=150.0,
+    population=BoincScenarioParams(n_providers=12),
+)
+
+
+class TestRunReplications:
+    def test_aggregates_all_fields(self):
+        result = run_replications(TINY, PolicySpec(name="capacity"), replications=2)
+        assert result.replications == 2
+        assert set(result.means) == set(AGGREGATED_FIELDS)
+        assert set(result.stdevs) == set(AGGREGATED_FIELDS)
+        assert len(result.runs) == 2
+
+    def test_replication_count_validation(self):
+        with pytest.raises(ValueError, match="replication"):
+            run_replications(TINY, PolicySpec(name="capacity"), replications=0)
+
+    def test_mean_matches_runs(self):
+        result = run_replications(TINY, PolicySpec(name="capacity"), replications=3)
+        rts = [r.summary.mean_response_time for r in result.runs]
+        assert result.means["mean_rt"] == pytest.approx(sum(rts) / len(rts))
+
+    def test_cell_rendering(self):
+        result = run_replications(TINY, PolicySpec(name="capacity"), replications=2)
+        cell = result.cell("mean_rt", decimals=2)
+        assert "±" in cell
+        with pytest.raises(KeyError, match="not aggregated"):
+            result.cell("bogus")
+
+    def test_getitem(self):
+        result = run_replications(TINY, PolicySpec(name="capacity"), replications=2)
+        assert result["mean_rt"] == result.means["mean_rt"]
+
+    def test_keep_runs_false_drops_raw_results(self):
+        result = run_replications(
+            TINY, PolicySpec(name="capacity"), replications=2, keep_runs=False
+        )
+        assert result.runs == []
+        assert result.means["mean_rt"] > 0
+
+
+class TestComparePolicies:
+    def test_compares_on_same_seeds(self):
+        results = compare_policies(
+            TINY,
+            [PolicySpec(name="capacity"), PolicySpec(name="shortest-queue")],
+            replications=2,
+        )
+        assert [r.label for r in results] == ["capacity", "shortest-queue"]
+        # both aggregated the same number of replications
+        assert all(r.replications == 2 for r in results)

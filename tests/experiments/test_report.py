@@ -1,0 +1,72 @@
+"""Unit tests for scenario report rendering."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, PolicySpec
+from repro.experiments.report import (
+    render_claims,
+    render_comparison,
+    render_group_series,
+    render_run_series,
+)
+from repro.experiments.runner import run_once
+from repro.experiments.scenarios import Claim
+from repro.workloads.boinc import BoincScenarioParams
+
+TINY = ExperimentConfig(
+    name="tiny-report",
+    seed=42,
+    duration=100.0,
+    population=BoincScenarioParams(n_providers=10),
+)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return [
+        run_once(TINY, PolicySpec(name="capacity")),
+        run_once(TINY, PolicySpec(name="random")),
+    ]
+
+
+class TestComparison:
+    def test_one_row_per_run(self, runs):
+        table = render_comparison(runs, title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "capacity" in table
+        assert "random" in table
+
+    def test_custom_columns(self, runs):
+        table = render_comparison(runs, columns=("mean_rt", "work_gini"))
+        assert "mean rt (s)" in table
+        assert "work gini" in table
+        assert "prov online" not in table
+
+
+class TestClaims:
+    def test_pass_fail_rendering(self):
+        table = render_claims(
+            [
+                Claim("always true", True, "ok"),
+                Claim("always false", False, "nope"),
+            ]
+        )
+        assert "PASS" in table
+        assert "FAIL" in table
+
+
+class TestSeries:
+    def test_run_series_sparklines(self, runs):
+        text = render_run_series(runs, "provider_satisfaction")
+        assert "capacity" in text
+        assert "last=" in text
+
+    def test_run_series_custom_title(self, runs):
+        text = render_run_series(runs, "throughput", title="THPT")
+        assert text.startswith("THPT")
+
+    def test_group_series(self, runs):
+        text = render_group_series(runs[0], group_prefix="consumer:")
+        assert "consumer:seti" in text
+        assert "archetype:" not in text

@@ -1,0 +1,137 @@
+"""Integration tests: the seven demo scenarios at reduced scale.
+
+These are the repository's primary end-to-end checks -- each scenario
+runs its full simulation stack and its paper claims must hold at the
+reduced scale used here (seed-pinned; the benches run larger scales).
+"""
+
+import pytest
+
+from repro.experiments.scenarios import (
+    ALL_SCENARIOS,
+    scenario1_satisfaction_model,
+    scenario2_departures,
+    scenario3_captive,
+    scenario4_autonomous,
+    scenario5_expectation_adaptation,
+    scenario6_application_adaptability,
+    scenario7_focal_participant,
+)
+
+SCALE = {"duration": 1000.0, "n_providers": 70}
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run each scenario once per test module (they are expensive)."""
+    return {}
+
+
+def run_cached(results, name, fn, **kwargs):
+    if name not in results:
+        results[name] = fn(**kwargs)
+    return results[name]
+
+
+class TestScenario1:
+    def test_claims_hold(self, results):
+        result = run_cached(results, "s1", scenario1_satisfaction_model, **SCALE)
+        for claim in result.claims:
+            assert claim.passed, f"{claim.description}: {claim.details}"
+
+    def test_compares_the_two_baselines(self, results):
+        result = run_cached(results, "s1", scenario1_satisfaction_model, **SCALE)
+        assert [r.label for r in result.runs] == ["capacity", "economic"]
+
+    def test_report_renders(self, results):
+        result = run_cached(results, "s1", scenario1_satisfaction_model, **SCALE)
+        report = result.report()
+        assert "scenario1" in report
+        assert "PASS" in report
+
+
+class TestScenario2:
+    def test_claims_hold(self, results):
+        result = run_cached(results, "s2", scenario2_departures, **SCALE)
+        for claim in result.claims:
+            assert claim.passed, f"{claim.description}: {claim.details}"
+
+    def test_departures_recorded_with_timeline(self, results):
+        result = run_cached(results, "s2", scenario2_departures, **SCALE)
+        for run in result.runs:
+            for departure in run.hub.departures:
+                assert 0.0 < departure.time <= 1000.0
+
+
+class TestScenario3:
+    def test_claims_hold(self, results):
+        result = run_cached(results, "s3", scenario3_captive, **SCALE)
+        for claim in result.claims:
+            assert claim.passed, f"{claim.description}: {claim.details}"
+
+    def test_sbqa_included(self, results):
+        result = run_cached(results, "s3", scenario3_captive, **SCALE)
+        assert result.run("sbqa").summary.queries_completed > 0
+
+
+class TestScenario4:
+    def test_claims_hold(self, results):
+        result = run_cached(results, "s4", scenario4_autonomous, **SCALE)
+        for claim in result.claims:
+            assert claim.passed, f"{claim.description}: {claim.details}"
+
+    def test_sbqa_preserves_most_providers(self, results):
+        result = run_cached(results, "s4", scenario4_autonomous, **SCALE)
+        sbqa = result.run("sbqa").summary
+        assert sbqa.providers_remaining_fraction >= 0.6
+
+
+class TestScenario5:
+    def test_claims_hold(self, results):
+        result = run_cached(results, "s5", scenario5_expectation_adaptation, **SCALE)
+        for claim in result.claims:
+            assert claim.passed, f"{claim.description}: {claim.details}"
+
+
+class TestScenario6:
+    def test_claims_hold(self, results):
+        result = run_cached(
+            results, "s6", scenario6_application_adaptability,
+            duration=600.0, n_providers=60,
+        )
+        for claim in result.claims:
+            assert claim.passed, f"{claim.description}: {claim.details}"
+
+    def test_sweep_covers_kn_and_omega(self, results):
+        result = run_cached(
+            results, "s6", scenario6_application_adaptability,
+            duration=600.0, n_providers=60,
+        )
+        labels = [r.label for r in result.runs]
+        assert any("kn=1" in l for l in labels)
+        assert any("w=0" in l for l in labels)
+        assert any("adaptive" in l for l in labels)
+
+
+class TestScenario7:
+    def test_claims_hold(self, results):
+        result = run_cached(results, "s7", scenario7_focal_participant, **SCALE)
+        for claim in result.claims:
+            assert claim.passed, f"{claim.description}: {claim.details}"
+
+    def test_focal_probes_present_in_every_run(self, results):
+        result = run_cached(results, "s7", scenario7_focal_participant, **SCALE)
+        for run in result.runs:
+            run.registry.provider("focal-provider")
+            run.registry.consumer("focal-consumer")
+
+
+class TestScenarioRegistry:
+    def test_all_scenarios_registered(self):
+        assert set(ALL_SCENARIOS) == {f"scenario{i}" for i in range(1, 8)}
+
+    def test_result_lookup_by_label(self, results):
+        result = run_cached(results, "s1", scenario1_satisfaction_model, **SCALE)
+        assert result.run("capacity").label == "capacity"
+        with pytest.raises(KeyError, match="no run labelled"):
+            result.run("bogus")

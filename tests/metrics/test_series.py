@@ -1,0 +1,81 @@
+"""Unit tests for TimeSeries."""
+
+import pytest
+
+from repro.metrics.series import TimeSeries
+
+
+class TestAppend:
+    def test_append_and_access(self):
+        series = TimeSeries("s")
+        series.append(0.0, 1.0)
+        series.append(1.0, 2.0)
+        assert series.times == [0.0, 1.0]
+        assert series.values == [1.0, 2.0]
+        assert series.points() == [(0.0, 1.0), (1.0, 2.0)]
+        assert len(series) == 2
+        assert list(series) == [(0.0, 1.0), (1.0, 2.0)]
+
+    def test_time_must_not_go_backwards(self):
+        series = TimeSeries("s")
+        series.append(5.0, 1.0)
+        with pytest.raises(ValueError, match="backwards"):
+            series.append(4.0, 1.0)
+
+    def test_equal_times_allowed(self):
+        series = TimeSeries("s")
+        series.append(1.0, 1.0)
+        series.append(1.0, 2.0)
+        assert len(series) == 2
+
+
+class TestAccessors:
+    def make(self):
+        series = TimeSeries("s")
+        for t, v in [(0.0, 10.0), (10.0, 20.0), (20.0, 30.0), (30.0, 40.0)]:
+            series.append(t, v)
+        return series
+
+    def test_last(self):
+        assert TimeSeries("s").last is None
+        assert self.make().last == 40.0
+
+    def test_value_at_step_interpolation(self):
+        series = self.make()
+        assert series.value_at(-1.0) is None
+        assert series.value_at(0.0) == 10.0
+        assert series.value_at(15.0) == 20.0
+        assert series.value_at(100.0) == 40.0
+
+    def test_window(self):
+        series = self.make()
+        assert series.window(5.0, 25.0) == [(10.0, 20.0), (20.0, 30.0)]
+        with pytest.raises(ValueError, match="empty window"):
+            series.window(10.0, 5.0)
+
+    def test_mean(self):
+        series = self.make()
+        assert series.mean() == 25.0
+        assert series.mean(10.0, 20.0) == 25.0
+
+    def test_mean_empty(self):
+        assert TimeSeries("s").mean() == 0.0
+
+    def test_tail_mean(self):
+        series = self.make()
+        assert series.tail_mean(0.5) == 35.0  # last two samples
+        assert series.tail_mean(1.0) == 25.0
+        # fraction so small it keeps at least one sample
+        assert series.tail_mean(0.01) == 40.0
+
+    def test_tail_mean_validation(self):
+        with pytest.raises(ValueError, match="fraction"):
+            self.make().tail_mean(0.0)
+
+    def test_tail_mean_empty(self):
+        assert TimeSeries("s").tail_mean() == 0.0
+
+    def test_defensive_copies(self):
+        series = self.make()
+        series.times.append(99.0)
+        assert len(series.times) == 4

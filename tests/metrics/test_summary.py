@@ -1,0 +1,87 @@
+"""Unit tests for RunSummary assembly."""
+
+import pytest
+
+from repro.allocation.capacity import CapacityBasedPolicy
+from repro.core.mediator import Mediator
+from repro.metrics.collectors import MetricsHub
+from repro.metrics.summary import build_summary
+
+
+def run_tiny_system(factory, sim, n_queries=3, fail_after=None):
+    """Drive a tiny mediated system and return its pieces."""
+    providers = [factory.provider(f"p{i}") for i in range(2)]
+    consumer = factory.consumer("c0")
+    hub = MetricsHub()
+    mediator = Mediator(
+        factory.sim, factory.network, factory.registry, CapacityBasedPolicy(),
+        observer=hub,
+    )
+    consumer.attach_mediator(mediator)
+    consumer.on_completion(hub.record_completion)
+    hub.start_sampling(sim, factory.registry, interval=5.0)
+    for i in range(n_queries):
+        sim.schedule_at(float(i), lambda: consumer.issue("c0", service_demand=2.0))
+    sim.run_until(50.0)
+    return providers, consumer, hub, mediator
+
+
+class TestBuildSummary:
+    def test_core_fields(self, factory, sim, network):
+        providers, consumer, hub, mediator = run_tiny_system(factory, sim)
+        summary = build_summary("capacity", 50.0, hub, factory.registry, mediator, network)
+        assert summary.policy == "capacity"
+        assert summary.duration == 50.0
+        assert summary.queries_issued == 3
+        assert summary.queries_completed == 3
+        assert summary.queries_failed == 0
+        assert summary.mean_response_time > 0
+        assert summary.throughput == pytest.approx(3 / 50.0)
+        assert summary.providers_total == 2
+        assert summary.providers_remaining == 2
+        assert summary.capacity_remaining_fraction == 1.0
+        assert summary.network_messages == network.messages_sent
+
+    def test_per_consumer_breakdown(self, factory, sim, network):
+        providers, consumer, hub, mediator = run_tiny_system(factory, sim)
+        summary = build_summary("capacity", 50.0, hub, factory.registry, mediator, network)
+        assert len(summary.consumers) == 1
+        row = summary.consumers[0]
+        assert row.consumer_id == "c0"
+        assert row.issued == 3
+        assert row.completed == 3
+        assert row.online
+
+    def test_remaining_fraction_property(self, factory, sim, network):
+        providers, consumer, hub, mediator = run_tiny_system(factory, sim)
+        providers[0].leave()
+        summary = build_summary("capacity", 50.0, hub, factory.registry, mediator, network)
+        assert summary.providers_remaining == 1
+        assert summary.providers_remaining_fraction == 0.5
+        assert summary.capacity_remaining_fraction == 0.5
+
+    def test_as_dict_is_flat_and_complete(self, factory, sim, network):
+        providers, consumer, hub, mediator = run_tiny_system(factory, sim)
+        summary = build_summary("capacity", 50.0, hub, factory.registry, mediator, network)
+        flat = summary.as_dict()
+        assert flat["policy"] == "capacity"
+        assert "mean_rt" in flat
+        assert "provider_sat_final" in flat
+        assert all(not isinstance(v, (list, dict)) for v in flat.values())
+
+    def test_zero_duration_throughput(self, factory, sim, network):
+        hub = MetricsHub()
+        mediator = Mediator(
+            factory.sim, factory.network, factory.registry, CapacityBasedPolicy()
+        )
+        summary = build_summary("x", 0.0, hub, factory.registry, mediator, network)
+        assert summary.throughput == 0.0
+
+    def test_empty_population_fractions(self, factory, sim, network):
+        hub = MetricsHub()
+        mediator = Mediator(
+            factory.sim, factory.network, factory.registry, CapacityBasedPolicy()
+        )
+        summary = build_summary("x", 10.0, hub, factory.registry, mediator, network)
+        assert summary.providers_remaining_fraction == 0.0
+        assert summary.capacity_remaining_fraction == 0.0

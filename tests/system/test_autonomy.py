@@ -1,0 +1,258 @@
+"""Unit tests for departure policies and the churn monitor."""
+
+import pytest
+
+from repro.system.autonomy import (
+    PAPER_CONSUMER_THRESHOLD,
+    PAPER_PROVIDER_THRESHOLD,
+    CaptivePolicy,
+    ChurnMonitor,
+    SatisfactionDeparturePolicy,
+    paper_policies,
+)
+
+
+def dissatisfied_provider(factory, pid="sad"):
+    provider = factory.provider(pid)
+    for _ in range(20):
+        provider.record_proposal(-0.9, performed=True)
+    return provider
+
+
+def happy_provider(factory, pid="happy"):
+    provider = factory.provider(pid)
+    for _ in range(20):
+        provider.record_proposal(0.9, performed=True)
+    return provider
+
+
+class TestPolicies:
+    def test_captive_never_leaves(self, factory):
+        provider = dissatisfied_provider(factory)
+        policy = CaptivePolicy()
+        assert not policy.should_leave(provider, now=1e9)
+        assert policy.is_captive
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError, match="threshold"):
+            SatisfactionDeparturePolicy(1.5)
+        with pytest.raises(ValueError, match="min_observations"):
+            SatisfactionDeparturePolicy(0.5, min_observations=0)
+        with pytest.raises(ValueError, match="warmup"):
+            SatisfactionDeparturePolicy(0.5, warmup=-1.0)
+
+    def test_leaves_below_threshold(self, factory):
+        provider = dissatisfied_provider(factory)
+        policy = SatisfactionDeparturePolicy(0.35, min_observations=5)
+        assert policy.should_leave(provider, now=100.0)
+
+    def test_stays_above_threshold(self, factory):
+        provider = happy_provider(factory)
+        policy = SatisfactionDeparturePolicy(0.35, min_observations=5)
+        assert not policy.should_leave(provider, now=100.0)
+
+    def test_warmup_defers_departure(self, factory):
+        provider = dissatisfied_provider(factory)
+        policy = SatisfactionDeparturePolicy(0.35, min_observations=5, warmup=500.0)
+        assert not policy.should_leave(provider, now=100.0)
+        assert policy.should_leave(provider, now=600.0)
+
+    def test_min_observations_guard(self, factory):
+        provider = factory.provider()
+        provider.record_proposal(-0.9, performed=True)  # 1 observation only
+        policy = SatisfactionDeparturePolicy(0.35, min_observations=10)
+        assert not policy.should_leave(provider, now=100.0)
+
+    def test_offline_participant_never_flagged(self, factory):
+        provider = dissatisfied_provider(factory)
+        provider.leave()
+        policy = SatisfactionDeparturePolicy(0.35, min_observations=5)
+        assert not policy.should_leave(provider, now=100.0)
+
+    def test_paper_policies_thresholds(self):
+        consumer_policy, provider_policy = paper_policies()
+        assert consumer_policy.threshold == PAPER_CONSUMER_THRESHOLD == 0.5
+        assert provider_policy.threshold == PAPER_PROVIDER_THRESHOLD == 0.35
+
+
+class TestChurnMonitor:
+    def test_check_once_executes_departures(self, factory, sim):
+        sad = dissatisfied_provider(factory, "sad")
+        happy = happy_provider(factory, "happy")
+        monitor = ChurnMonitor(
+            sim,
+            consumers=[],
+            providers=[sad, happy],
+            consumer_policy=CaptivePolicy(),
+            provider_policy=SatisfactionDeparturePolicy(0.35, min_observations=5),
+        )
+        departures = monitor.check_once()
+        assert [d.participant_id for d in departures] == ["sad"]
+        assert not sad.online
+        assert happy.online
+        assert monitor.providers_online == 1
+
+    def test_departure_records_satisfaction(self, factory, sim):
+        sad = dissatisfied_provider(factory)
+        monitor = ChurnMonitor(
+            sim, [], [sad], CaptivePolicy(),
+            SatisfactionDeparturePolicy(0.35, min_observations=5),
+        )
+        departure = monitor.check_once()[0]
+        assert departure.kind == "provider"
+        assert departure.satisfaction < 0.35
+
+    def test_listeners_notified(self, factory, sim):
+        sad = dissatisfied_provider(factory)
+        monitor = ChurnMonitor(
+            sim, [], [sad], CaptivePolicy(),
+            SatisfactionDeparturePolicy(0.35, min_observations=5),
+        )
+        seen = []
+        monitor.on_departure(seen.append)
+        monitor.check_once()
+        assert len(seen) == 1
+
+    def test_periodic_checks_via_simulator(self, factory, sim):
+        provider = factory.provider()
+        monitor = ChurnMonitor(
+            sim, [], [provider], CaptivePolicy(),
+            SatisfactionDeparturePolicy(0.35, min_observations=5),
+            check_interval=10.0,
+        )
+        monitor.start()
+        # make the provider dissatisfied after t=15
+        sim.schedule_at(
+            15.0,
+            lambda: [provider.record_proposal(-0.9, performed=True) for _ in range(10)],
+        )
+        sim.run_until(50.0)
+        assert not provider.online
+        assert monitor.departures[0].time == 20.0  # first check after t=15
+
+    def test_captive_monitor_schedules_nothing(self, factory, sim):
+        monitor = ChurnMonitor(
+            sim, [], [factory.provider()], CaptivePolicy(), CaptivePolicy()
+        )
+        monitor.start()
+        assert sim.events_pending == 0
+
+    def test_start_is_idempotent(self, factory, sim):
+        monitor = ChurnMonitor(
+            sim, [], [factory.provider()], CaptivePolicy(),
+            SatisfactionDeparturePolicy(0.35),
+        )
+        monitor.start()
+        monitor.start()
+        assert sim.events_pending == 1
+
+    def test_consumer_departures(self, factory, sim):
+        consumer = factory.consumer()
+        for _ in range(20):
+            consumer.record_query_satisfaction(0.1)
+        monitor = ChurnMonitor(
+            sim, [consumer], [],
+            SatisfactionDeparturePolicy(0.5, min_observations=5),
+            CaptivePolicy(),
+        )
+        departures = monitor.check_once()
+        assert departures[0].kind == "consumer"
+        assert not consumer.online
+        assert monitor.consumers_online == 0
+
+    def test_interval_validation(self, factory, sim):
+        with pytest.raises(ValueError, match="check_interval"):
+            ChurnMonitor(sim, [], [], CaptivePolicy(), CaptivePolicy(), check_interval=0.0)
+
+    def test_departed_participants_not_rechecked(self, factory, sim):
+        sad = dissatisfied_provider(factory)
+        monitor = ChurnMonitor(
+            sim, [], [sad], CaptivePolicy(),
+            SatisfactionDeparturePolicy(0.35, min_observations=5),
+        )
+        monitor.check_once()
+        monitor.check_once()
+        assert len(monitor.departures) == 1
+
+
+class TestRejoinExtension:
+    def _monitor(self, factory, sim, provider, cooldown=50.0):
+        from repro.system.autonomy import ChurnMonitor
+
+        return ChurnMonitor(
+            sim, [], [provider], CaptivePolicy(),
+            SatisfactionDeparturePolicy(0.35, min_observations=5),
+            check_interval=10.0,
+            rejoin_cooldown=cooldown,
+        )
+
+    def test_cooldown_validation(self, factory, sim):
+        with pytest.raises(ValueError, match="rejoin_cooldown"):
+            self._monitor(factory, sim, factory.provider(), cooldown=0.0)
+
+    def test_participant_returns_after_cooldown(self, factory, sim):
+        provider = dissatisfied_provider(factory)
+        monitor = self._monitor(factory, sim, provider, cooldown=50.0)
+        monitor.start()
+        sim.run_until(200.0)
+        assert provider.online
+        assert len(monitor.departures) >= 1
+        assert len(monitor.rejoins) >= 1
+        rejoin = monitor.rejoins[0]
+        assert rejoin.absence >= 50.0
+        assert rejoin.participant_id == provider.participant_id
+
+    def test_rejoin_resets_satisfaction_window(self, factory, sim):
+        provider = dissatisfied_provider(factory)
+        monitor = self._monitor(factory, sim, provider, cooldown=50.0)
+        monitor.start()
+        sim.run_until(200.0)
+        # fresh window: neutral satisfaction, no stale dissatisfaction
+        assert provider.tracker.observations == 0
+        assert provider.satisfaction == 0.5
+
+    def test_no_rejoin_before_cooldown(self, factory, sim):
+        provider = dissatisfied_provider(factory)
+        monitor = self._monitor(factory, sim, provider, cooldown=1000.0)
+        monitor.start()
+        sim.run_until(200.0)
+        assert not provider.online
+        assert monitor.rejoins == []
+
+    def test_rejoin_listener_notified(self, factory, sim):
+        provider = dissatisfied_provider(factory)
+        monitor = self._monitor(factory, sim, provider, cooldown=50.0)
+        seen = []
+        monitor.on_rejoin(seen.append)
+        monitor.start()
+        sim.run_until(200.0)
+        assert len(seen) == len(monitor.rejoins) >= 1
+
+    def test_without_cooldown_departures_are_final(self, factory, sim):
+        from repro.system.autonomy import ChurnMonitor
+
+        provider = dissatisfied_provider(factory)
+        monitor = ChurnMonitor(
+            sim, [], [provider], CaptivePolicy(),
+            SatisfactionDeparturePolicy(0.35, min_observations=5),
+            check_interval=10.0,
+        )
+        monitor.start()
+        sim.run_until(500.0)
+        assert not provider.online
+        assert monitor.rejoins == []
+
+    def test_rejoined_participant_can_leave_again(self, factory, sim):
+        provider = dissatisfied_provider(factory)
+        monitor = self._monitor(factory, sim, provider, cooldown=30.0)
+        monitor.start()
+        # keep feeding dissatisfaction whenever it is online
+        def poison():
+            if provider.online and provider.tracker.observations < 5:
+                for _ in range(10):
+                    provider.record_proposal(-0.9, performed=True)
+            sim.schedule_in(5.0, poison)
+        sim.schedule_in(1.0, poison)
+        sim.run_until(400.0)
+        assert len(monitor.departures) >= 2
+        assert len(monitor.rejoins) >= 1

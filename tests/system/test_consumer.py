@@ -1,0 +1,146 @@
+"""Unit tests for the consumer entity: issuing, reputation, satisfaction."""
+
+import pytest
+
+from repro.core.mediator import Mediator
+from repro.allocation.capacity import CapacityBasedPolicy
+
+
+class TestConstruction:
+    def test_validation(self, factory):
+        with pytest.raises(ValueError, match="default_n_results"):
+            factory.consumer(default_n_results=0)
+        with pytest.raises(ValueError, match="rt_reference"):
+            factory.consumer(rt_reference=0.0)
+        with pytest.raises(ValueError, match="rt_smoothing"):
+            factory.consumer(rt_smoothing=0.0)
+
+
+class TestIssuing:
+    def test_requires_mediator(self, factory):
+        consumer = factory.consumer()
+        with pytest.raises(RuntimeError, match="no mediator"):
+            consumer.issue("t", service_demand=1.0)
+
+    def test_offline_consumer_cannot_issue(self, factory):
+        consumer = factory.consumer()
+        consumer.attach_mediator(factory.provider(register=False))  # any entity
+        consumer.leave()
+        with pytest.raises(RuntimeError, match="offline"):
+            consumer.issue("t", service_demand=1.0)
+
+    def test_issue_stamps_fields(self, factory, sim):
+        provider = factory.provider()
+        consumer = factory.consumer()
+        mediator = Mediator(sim, factory.network, factory.registry, CapacityBasedPolicy())
+        consumer.attach_mediator(mediator)
+        sim.run_until(5.0)
+        query = consumer.issue("topic", service_demand=3.0, n_results=1)
+        assert query.issued_at == 5.0
+        assert query.topic == "topic"
+        assert query.consumer is consumer
+        assert consumer.stats.queries_issued == 1
+
+    def test_default_n_results_used(self, factory, sim):
+        provider = factory.provider()
+        consumer = factory.consumer(default_n_results=3)
+        mediator = Mediator(sim, factory.network, factory.registry, CapacityBasedPolicy())
+        consumer.attach_mediator(mediator)
+        query = consumer.issue("t", service_demand=1.0)
+        assert query.n_results == 3
+
+
+class TestReputation:
+    def test_unknown_provider_is_neutral(self, factory):
+        assert factory.consumer().reputation_of("nobody") == 0.5
+
+    def test_fast_provider_earns_high_reputation(self, factory):
+        consumer = factory.consumer(rt_reference=60.0)
+        consumer.observe_response_time("p", 1.0)
+        assert consumer.reputation_of("p") > 0.9
+
+    def test_slow_provider_earns_low_reputation(self, factory):
+        consumer = factory.consumer(rt_reference=60.0)
+        consumer.observe_response_time("p", 10_000.0)
+        assert consumer.reputation_of("p") < 0.01
+
+    def test_ewma_smooths(self, factory):
+        consumer = factory.consumer(rt_reference=60.0, rt_smoothing=0.5)
+        consumer.observe_response_time("p", 100.0)
+        first = consumer.reputation_of("p")
+        consumer.observe_response_time("p", 0.0)  # instant response
+        second = consumer.reputation_of("p")
+        assert second > first  # improved, but
+        assert second < 1.0  # not fully reset: memory of the slow one
+
+    def test_negative_response_time_rejected(self, factory):
+        with pytest.raises(ValueError, match="non-negative"):
+            factory.consumer().observe_response_time("p", -1.0)
+
+    def test_reputation_in_unit_interval(self, factory):
+        consumer = factory.consumer()
+        for rt in (0.0, 1.0, 60.0, 1e9):
+            consumer.observe_response_time("p", rt)
+            assert 0.0 < consumer.reputation_of("p") <= 1.0
+
+
+class TestCompletionFlow:
+    def _wired(self, factory, n_providers=2):
+        providers = [factory.provider(f"p{i}") for i in range(n_providers)]
+        consumer = factory.consumer("c0")
+        mediator = Mediator(
+            factory.sim, factory.network, factory.registry, CapacityBasedPolicy()
+        )
+        consumer.attach_mediator(mediator)
+        return consumer, providers, mediator
+
+    def test_completion_listener_fires_once(self, factory, sim):
+        consumer, providers, mediator = self._wired(factory)
+        completions = []
+        consumer.on_completion(completions.append)
+        consumer.default_n_results = 2
+        consumer.issue("c0", service_demand=4.0)
+        sim.run()
+        assert len(completions) == 1
+        assert completions[0].response_time is not None
+
+    def test_response_time_stats(self, factory, sim):
+        consumer, providers, mediator = self._wired(factory, n_providers=1)
+        consumer.issue("c0", service_demand=8.0)
+        sim.run()
+        assert consumer.stats.mean_response_time == pytest.approx(8.0)
+
+    def test_reputation_updated_per_result(self, factory, sim):
+        consumer, providers, mediator = self._wired(factory, n_providers=1)
+        consumer.issue("c0", service_demand=8.0)
+        sim.run()
+        assert consumer.reputation_of("p0") != 0.5
+
+    def test_mean_response_time_zero_without_completions(self, factory):
+        consumer = factory.consumer()
+        assert consumer.stats.mean_response_time == 0.0
+
+    def test_unknown_message_kind_rejected(self, factory, sim):
+        from repro.des.entity import Entity
+
+        consumer = factory.consumer()
+        sender = Entity(sim, "x")
+        factory.network.send("bogus", sender, consumer)
+        with pytest.raises(ValueError, match="unexpected message"):
+            sim.run()
+
+
+class TestMembership:
+    def test_leave_is_idempotent(self, factory, sim):
+        consumer = factory.consumer()
+        sim.run_until(3.0)
+        consumer.leave()
+        consumer.leave()
+        assert consumer.left_at == 3.0
+
+    def test_rejoin(self, factory, sim):
+        consumer = factory.consumer()
+        consumer.leave()
+        consumer.rejoin()
+        assert consumer.online
+        assert consumer.left_at is None

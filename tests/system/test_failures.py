@@ -1,0 +1,207 @@
+"""Unit tests for crash injection and result timeouts."""
+
+import pytest
+
+from repro.allocation.capacity import CapacityBasedPolicy
+from repro.core.mediator import Mediator
+from repro.des.rng import RandomStream
+from repro.system.failures import Crash, CrashInjector, FailureConfig
+from repro.system.query import AllocationRecord, QueryStatus
+
+
+def record_for(factory, provider, consumer, demand=10.0):
+    query = factory.query(consumer, demand=demand)
+    return AllocationRecord(query=query, decided_at=factory.sim.now, allocated=[provider])
+
+
+class TestProviderCrash:
+    def test_crash_drops_backlog_and_cancels_results(self, factory, sim):
+        provider = factory.provider(capacity=1.0)
+        consumer = factory.consumer()
+        provider.execute(record_for(factory, provider, consumer, demand=10.0))
+        provider.execute(record_for(factory, provider, consumer, demand=10.0))
+        assert provider.queries_in_progress == 2
+        lost = provider.crash()
+        assert lost == 2
+        assert provider.queries_in_progress == 0
+        assert provider.backlog_seconds == 0.0
+        assert not provider.online
+        sim.run()
+        # no results were ever delivered
+        assert consumer.stats.queries_completed == 0
+
+    def test_crash_contrasts_with_graceful_leave(self, factory, sim):
+        graceful = factory.provider("graceful")
+        crashing = factory.provider("crashing")
+        consumer = factory.consumer()
+        graceful.execute(record_for(factory, graceful, consumer))
+        crashing.execute(record_for(factory, crashing, consumer))
+        graceful.leave()   # lame-duck: drains its backlog
+        crashing.crash()   # abrupt: loses it
+        sim.run()
+        assert consumer.stats.queries_completed == 1
+
+    def test_crash_counter(self, factory):
+        provider = factory.provider()
+        provider.crash()
+        provider.rejoin()
+        provider.crash()
+        assert provider.crashes == 2
+
+    def test_completed_work_not_affected(self, factory, sim):
+        provider = factory.provider(capacity=1.0)
+        consumer = factory.consumer()
+        provider.execute(record_for(factory, provider, consumer, demand=5.0))
+        sim.run_until(6.0)  # work finished at t=5
+        assert provider.crash() == 0
+        assert consumer.stats.queries_completed == 1
+
+
+class TestFailureConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mttf"):
+            FailureConfig(mttf=0.0)
+        with pytest.raises(ValueError, match="repair_time"):
+            FailureConfig(repair_time=0.0)
+        with pytest.raises(ValueError, match="start"):
+            FailureConfig(start=-1.0)
+
+
+class TestCrashInjector:
+    def test_crashes_happen_and_are_recorded(self, factory, sim):
+        providers = [factory.provider(f"p{i}") for i in range(5)]
+        injector = CrashInjector(
+            sim, providers, FailureConfig(mttf=50.0, repair_time=None),
+            RandomStream(3),
+        )
+        injector.start()
+        sim.run_until(1000.0)
+        assert len(injector.crashes) == 5  # permanent: everyone eventually dies
+        assert all(not p.online for p in providers)
+
+    def test_repair_brings_providers_back(self, factory, sim):
+        providers = [factory.provider(f"p{i}") for i in range(5)]
+        injector = CrashInjector(
+            sim, providers, FailureConfig(mttf=100.0, repair_time=10.0),
+            RandomStream(3),
+        )
+        injector.start()
+        sim.run_until(2000.0)
+        assert len(injector.crashes) > 5  # crash / repair loops
+        # with a 10s repair after ~100s uptime, most are online at any instant
+        assert sum(1 for p in providers if p.online) >= 3
+
+    def test_listener_notified(self, factory, sim):
+        provider = factory.provider()
+        injector = CrashInjector(
+            sim, [provider], FailureConfig(mttf=10.0, repair_time=None),
+            RandomStream(1),
+        )
+        seen = []
+        injector.on_crash(seen.append)
+        injector.start()
+        sim.run_until(500.0)
+        assert len(seen) == 1
+        assert isinstance(seen[0], Crash)
+
+    def test_no_crashes_before_start_time(self, factory, sim):
+        provider = factory.provider()
+        injector = CrashInjector(
+            sim, [provider], FailureConfig(mttf=1.0, repair_time=None, start=100.0),
+            RandomStream(1),
+        )
+        injector.start()
+        sim.run_until(99.0)
+        assert injector.crashes == []
+
+    def test_deterministic_per_seed(self, factory, sim):
+        providers = [factory.provider(f"p{i}") for i in range(3)]
+        injector = CrashInjector(
+            sim, providers, FailureConfig(mttf=100.0, repair_time=None),
+            RandomStream(9),
+        )
+        injector.start()
+        sim.run_until(1000.0)
+        times_a = [c.time for c in injector.crashes]
+
+        from repro.des.scheduler import Simulator
+        from repro.des.network import Network
+        from tests.conftest import Factory
+
+        sim2 = Simulator()
+        factory2 = Factory(sim2, Network(sim2))
+        providers2 = [factory2.provider(f"p{i}") for i in range(3)]
+        injector2 = CrashInjector(
+            sim2, providers2, FailureConfig(mttf=100.0, repair_time=None),
+            RandomStream(9),
+        )
+        injector2.start()
+        sim2.run_until(1000.0)
+        assert [c.time for c in injector2.crashes] == times_a
+
+    def test_churn_departed_provider_not_crashed(self, factory, sim):
+        provider = factory.provider()
+        provider.leave()
+        injector = CrashInjector(
+            sim, [provider], FailureConfig(mttf=10.0, repair_time=None),
+            RandomStream(1),
+        )
+        injector.start()
+        sim.run_until(500.0)
+        assert injector.crashes == []
+        assert provider.crashes == 0
+
+
+class TestConsumerTimeout:
+    def _wired(self, factory, timeout=30.0):
+        provider = factory.provider("p0", capacity=1.0)
+        consumer = factory.consumer("c0")
+        consumer.result_timeout = timeout
+        mediator = Mediator(
+            factory.sim, factory.network, factory.registry, CapacityBasedPolicy()
+        )
+        consumer.attach_mediator(mediator)
+        return provider, consumer, mediator
+
+    def test_fast_results_do_not_time_out(self, factory, sim):
+        provider, consumer, mediator = self._wired(factory, timeout=30.0)
+        consumer.issue("c0", service_demand=5.0)
+        sim.run()
+        assert consumer.stats.queries_completed == 1
+        assert consumer.stats.queries_timed_out == 0
+
+    def test_crashed_provider_triggers_timeout(self, factory, sim):
+        provider, consumer, mediator = self._wired(factory, timeout=30.0)
+        query = consumer.issue("c0", service_demand=10.0)
+        sim.schedule_at(2.0, provider.crash)
+        timeouts = []
+        consumer.on_timeout(timeouts.append)
+        sim.run()
+        assert consumer.stats.queries_timed_out == 1
+        assert consumer.stats.queries_completed == 0
+        assert query.status is QueryStatus.TIMED_OUT
+        assert len(timeouts) == 1
+
+    def test_timeout_records_zero_satisfaction(self, factory, sim):
+        provider, consumer, mediator = self._wired(factory, timeout=30.0)
+        consumer.issue("c0", service_demand=10.0)
+        sim.schedule_at(2.0, provider.crash)
+        sim.run()
+        assert consumer.satisfaction < 0.5  # the zero interaction pulled it down
+
+    def test_slow_results_time_out_even_without_crash(self, factory, sim):
+        provider, consumer, mediator = self._wired(factory, timeout=5.0)
+        consumer.issue("c0", service_demand=100.0)  # needs 100s, deadline 5s
+        sim.run()
+        assert consumer.stats.queries_timed_out == 1
+        # the late result still arrived but no longer counts as completion
+        assert consumer.stats.queries_completed == 0
+
+    def test_no_timeout_configured_means_no_writeoffs(self, factory, sim):
+        provider, consumer, mediator = self._wired(factory, timeout=None)
+        consumer.result_timeout = None
+        consumer.issue("c0", service_demand=10.0)
+        sim.schedule_at(2.0, provider.crash)
+        sim.run()
+        assert consumer.stats.queries_timed_out == 0
+        assert consumer.stats.queries_completed == 0  # hangs silently

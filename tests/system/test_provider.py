@@ -1,0 +1,164 @@
+"""Unit tests for the provider entity: queue, utilization, satisfaction."""
+
+import pytest
+
+from repro.system.query import AllocationRecord
+
+
+def record_for(factory, provider, consumer, demand=10.0):
+    query = factory.query(consumer, demand=demand)
+    return AllocationRecord(query=query, decided_at=factory.sim.now, allocated=[provider])
+
+
+class TestConstruction:
+    def test_capacity_validation(self, factory):
+        with pytest.raises(ValueError, match="capacity"):
+            factory.provider(capacity=0.0)
+
+    def test_saturation_horizon_validation(self, factory):
+        with pytest.raises(ValueError, match="saturation_horizon"):
+            factory.provider(saturation_horizon=0.0)
+
+    def test_starts_online_and_idle(self, factory):
+        provider = factory.provider()
+        assert provider.online
+        assert provider.utilization == 0.0
+        assert provider.backlog_seconds == 0.0
+
+
+class TestServiceModel:
+    def test_service_time_scales_with_capacity(self, factory):
+        fast = factory.provider("fast", capacity=2.0)
+        slow = factory.provider("slow", capacity=0.5)
+        assert fast.service_time(10.0) == 5.0
+        assert slow.service_time(10.0) == 20.0
+
+    def test_service_time_rejects_non_positive_demand(self, factory):
+        with pytest.raises(ValueError, match="demand"):
+            factory.provider().service_time(0.0)
+
+    def test_fifo_queueing(self, factory, sim):
+        provider = factory.provider(capacity=1.0, saturation_horizon=100.0)
+        consumer = factory.consumer()
+        provider.execute(record_for(factory, provider, consumer, demand=10.0))
+        provider.execute(record_for(factory, provider, consumer, demand=10.0))
+        assert provider.backlog_seconds == 20.0
+        assert provider.utilization == pytest.approx(0.2)
+
+    def test_backlog_drains_with_time(self, factory, sim):
+        provider = factory.provider(capacity=1.0)
+        consumer = factory.consumer()
+        provider.execute(record_for(factory, provider, consumer, demand=10.0))
+        sim.run_until(4.0)
+        assert provider.backlog_seconds == pytest.approx(6.0)
+        sim.run_until(20.0)
+        assert provider.backlog_seconds == 0.0
+
+    def test_utilization_saturates_at_one(self, factory):
+        provider = factory.provider(capacity=1.0, saturation_horizon=10.0)
+        consumer = factory.consumer()
+        for _ in range(5):
+            provider.execute(record_for(factory, provider, consumer, demand=10.0))
+        assert provider.utilization == 1.0
+
+    def test_available_capacity(self, factory):
+        provider = factory.provider(capacity=2.0, saturation_horizon=10.0)
+        consumer = factory.consumer()
+        provider.execute(record_for(factory, provider, consumer, demand=10.0))
+        # backlog 5s of 10 -> utilization 0.5 -> available 1.0
+        assert provider.available_capacity == pytest.approx(1.0)
+
+    def test_estimated_completion_delay(self, factory):
+        provider = factory.provider(capacity=1.0)
+        consumer = factory.consumer()
+        provider.execute(record_for(factory, provider, consumer, demand=10.0))
+        assert provider.estimated_completion_delay(5.0) == pytest.approx(15.0)
+
+    def test_execution_sends_result_to_consumer(self, factory, sim):
+        provider = factory.provider(capacity=1.0)
+        consumer = factory.consumer()
+        record = record_for(factory, provider, consumer, demand=10.0)
+        provider.execute(record)
+        sim.run()
+        assert consumer.stats.queries_completed == 1
+        assert record.results[0].provider_id == provider.participant_id
+        assert record.results[0].finished_at == 10.0
+
+    def test_stats_accumulate(self, factory, sim):
+        provider = factory.provider(capacity=2.0)
+        consumer = factory.consumer("proj")
+        provider.execute(record_for(factory, provider, consumer, demand=10.0))
+        provider.execute(record_for(factory, provider, consumer, demand=6.0))
+        sim.run()
+        assert provider.stats.queries_received == 2
+        assert provider.stats.queries_completed == 2
+        assert provider.stats.work_units_done == 16.0
+        assert provider.stats.busy_seconds == pytest.approx(8.0)
+        assert provider.stats.work_by_consumer == {"proj": 16.0}
+
+
+class TestPreferences:
+    def test_consumer_preference_first(self, factory):
+        provider = factory.provider(
+            preferences={"c0": 0.8}, topic_preferences={"c0": -0.5}
+        )
+        consumer = factory.consumer("c0")
+        query = factory.query(consumer, topic="c0")
+        assert provider.preference_for(query) == 0.8
+
+    def test_topic_fallback(self, factory):
+        provider = factory.provider(topic_preferences={"astro": 0.6})
+        consumer = factory.consumer("c0")
+        query = factory.query(consumer, topic="astro")
+        assert provider.preference_for(query) == 0.6
+
+    def test_default_fallback(self, factory):
+        provider = factory.provider(default_preference=-0.3)
+        consumer = factory.consumer("c0")
+        assert provider.preference_for(factory.query(consumer)) == -0.3
+
+    def test_intention_for_uses_model(self, factory):
+        provider = factory.provider(preferences={"c0": 0.5})
+        consumer = factory.consumer("c0")
+        query = factory.query(consumer)
+        # default blend: idle provider -> beta 0.5: 0.5*0.5 + 0.5*1 = 0.75
+        assert provider.intention_for(query) == pytest.approx(0.75)
+
+
+class TestMembership:
+    def test_leave_and_rejoin(self, factory, sim):
+        provider = factory.provider()
+        sim.run_until(5.0)
+        provider.leave()
+        assert not provider.online
+        assert provider.left_at == 5.0
+        provider.leave()  # idempotent
+        assert provider.left_at == 5.0
+        provider.rejoin()
+        assert provider.online
+        assert provider.left_at is None
+        assert provider.joined_at == 5.0
+
+    def test_lame_duck_draining(self, factory, sim):
+        """Work accepted before leaving still completes."""
+        provider = factory.provider(capacity=1.0)
+        consumer = factory.consumer()
+        provider.execute(record_for(factory, provider, consumer, demand=10.0))
+        provider.leave()
+        sim.run()
+        assert consumer.stats.queries_completed == 1
+
+    def test_satisfaction_property_mirrors_tracker(self, factory):
+        provider = factory.provider()
+        assert provider.satisfaction == 0.5  # neutral
+        provider.record_proposal(1.0, performed=True)
+        assert provider.satisfaction == 1.0
+
+    def test_receive_rejects_unknown_kind(self, factory, sim):
+        from repro.des.entity import Entity
+
+        provider = factory.provider()
+        sender = Entity(sim, "x")
+        factory.network.send("bogus", sender, provider)
+        with pytest.raises(ValueError, match="unexpected message"):
+            sim.run()

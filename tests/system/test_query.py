@@ -1,0 +1,163 @@
+"""Unit tests for queries, results and allocation records."""
+
+import pytest
+
+from repro.system.query import (
+    AllocationRecord,
+    Query,
+    QueryResult,
+    QueryStatus,
+)
+
+
+class TestQuery:
+    def test_validation(self, factory):
+        consumer = factory.consumer()
+        with pytest.raises(ValueError, match="service_demand"):
+            factory.query(consumer, demand=0.0)
+        with pytest.raises(ValueError, match="n_results"):
+            factory.query(consumer, n_results=0)
+
+    def test_qids_increase(self, factory):
+        consumer = factory.consumer()
+        a = factory.query(consumer)
+        b = factory.query(consumer)
+        assert b.qid > a.qid
+
+    def test_consumer_id(self, factory):
+        consumer = factory.consumer("proj")
+        assert factory.query(consumer).consumer_id == "proj"
+
+    def test_identity_semantics(self, factory):
+        consumer = factory.consumer()
+        a = factory.query(consumer)
+        b = factory.query(consumer)
+        assert a == a
+        assert a != b
+        assert len({a, b, a}) == 2
+
+    def test_initial_status(self, factory):
+        consumer = factory.consumer()
+        assert factory.query(consumer).status is QueryStatus.ISSUED
+
+    def test_repr_mentions_status(self, factory):
+        consumer = factory.consumer()
+        assert "issued" in repr(factory.query(consumer))
+
+
+class TestQueryResult:
+    def test_service_span(self, factory):
+        consumer = factory.consumer()
+        query = factory.query(consumer)
+        result = QueryResult(query=query, provider_id="p", started_at=2.0, finished_at=5.0)
+        assert result.service_span == 3.0
+
+
+class TestAllocationRecord:
+    def test_failure_record(self, factory):
+        consumer = factory.consumer()
+        record = AllocationRecord(query=factory.query(consumer), decided_at=0.0)
+        assert record.is_failure
+        assert record.response_time is None
+
+    def test_completion_requires_all_results(self, factory):
+        providers = [factory.provider("a"), factory.provider("b")]
+        consumer = factory.consumer()
+        query = factory.query(consumer, n_results=2)
+        record = AllocationRecord(query=query, decided_at=0.0, allocated=providers)
+        r1 = QueryResult(query=query, provider_id="a", started_at=0.0, finished_at=5.0)
+        assert record.record_result(r1) is False
+        assert record.completed_at is None
+        r2 = QueryResult(query=query, provider_id="b", started_at=0.0, finished_at=9.0)
+        assert record.record_result(r2) is True
+        assert record.completed_at == 9.0
+        assert query.status is QueryStatus.COMPLETED
+        assert record.response_time == 9.0
+
+    def test_result_for_wrong_query_rejected(self, factory):
+        consumer = factory.consumer()
+        query = factory.query(consumer)
+        other = factory.query(consumer)
+        record = AllocationRecord(
+            query=query, decided_at=0.0, allocated=[factory.provider()]
+        )
+        bad = QueryResult(query=other, provider_id="p", started_at=0.0, finished_at=1.0)
+        with pytest.raises(ValueError, match="recorded on record"):
+            record.record_result(bad)
+
+    def test_id_accessors(self, factory):
+        a, b = factory.provider("a"), factory.provider("b")
+        consumer = factory.consumer()
+        record = AllocationRecord(
+            query=factory.query(consumer),
+            decided_at=0.0,
+            allocated=[a],
+            informed=[a, b],
+        )
+        assert record.allocated_ids == ["a"]
+        assert record.informed_ids == ["a", "b"]
+
+
+class TestQuorum:
+    def test_quorum_validation(self, factory):
+        consumer = factory.consumer()
+        with pytest.raises(ValueError, match="quorum"):
+            Query(
+                consumer=consumer, topic="t", service_demand=1.0,
+                n_results=2, quorum=3, issued_at=0.0,
+            )
+        with pytest.raises(ValueError, match="quorum"):
+            Query(
+                consumer=consumer, topic="t", service_demand=1.0,
+                n_results=2, quorum=0, issued_at=0.0,
+            )
+
+    def test_quorum_completion_at_first_result(self, factory):
+        providers = [factory.provider("a"), factory.provider("b")]
+        consumer = factory.consumer()
+        query = Query(
+            consumer=consumer, topic="t", service_demand=1.0,
+            n_results=2, quorum=1, issued_at=0.0,
+        )
+        record = AllocationRecord(query=query, decided_at=0.0, allocated=providers)
+        assert record.results_required == 1
+        first = QueryResult(query=query, provider_id="a", started_at=0.0, finished_at=3.0)
+        assert record.record_result(first) is True
+        assert record.completed_at == 3.0
+        # the second (slower) replica no longer changes completion
+        second = QueryResult(query=query, provider_id="b", started_at=0.0, finished_at=9.0)
+        assert record.record_result(second) is False
+        assert record.completed_at == 3.0
+
+    def test_no_quorum_requires_all_allocated(self, factory):
+        providers = [factory.provider("a"), factory.provider("b")]
+        consumer = factory.consumer()
+        query = factory.query(consumer, n_results=2)
+        record = AllocationRecord(query=query, decided_at=0.0, allocated=providers)
+        assert record.results_required == 2
+
+    def test_quorum_bounded_by_allocated(self, factory):
+        provider = factory.provider("a")
+        consumer = factory.consumer()
+        query = Query(
+            consumer=consumer, topic="t", service_demand=1.0,
+            n_results=3, quorum=2, issued_at=0.0,
+        )
+        # only one provider could be allocated
+        record = AllocationRecord(query=query, decided_at=0.0, allocated=[provider])
+        assert record.results_required == 1
+
+    def test_consumer_default_quorum_stamped(self, factory, sim):
+        from repro.allocation.capacity import CapacityBasedPolicy
+        from repro.core.mediator import Mediator
+
+        factory.provider("a")
+        factory.provider("b")
+        consumer = factory.consumer(default_n_results=2)
+        consumer.default_quorum = 1
+        mediator = Mediator(sim, factory.network, factory.registry, CapacityBasedPolicy())
+        consumer.attach_mediator(mediator)
+        query = consumer.issue("t", service_demand=5.0)
+        assert query.quorum == 1
+        override = consumer.issue("t", service_demand=5.0, quorum=2)
+        assert override.quorum == 2

@@ -1,0 +1,94 @@
+"""Unit tests for the system registry (membership + capability)."""
+
+import pytest
+
+from repro.system.registry import SystemRegistry
+
+
+class TestMembership:
+    def test_duplicate_ids_rejected(self, factory):
+        factory.provider("p0")
+        with pytest.raises(ValueError, match="duplicate provider"):
+            factory.registry.add_provider(factory.provider("p0", register=False))
+        factory.consumer("c0")
+        with pytest.raises(ValueError, match="duplicate consumer"):
+            factory.registry.add_consumer(factory.consumer("c0", register=False))
+
+    def test_lookup(self, factory):
+        provider = factory.provider("p0")
+        consumer = factory.consumer("c0")
+        assert factory.registry.provider("p0") is provider
+        assert factory.registry.consumer("c0") is consumer
+        with pytest.raises(KeyError):
+            factory.registry.provider("missing")
+
+    def test_listing_preserves_insertion_order(self, factory):
+        for pid in ("b", "a", "c"):
+            factory.provider(pid)
+        assert [p.participant_id for p in factory.registry.providers] == ["b", "a", "c"]
+
+    def test_online_filters(self, factory):
+        a = factory.provider("a")
+        b = factory.provider("b")
+        b.leave()
+        online = factory.registry.online_providers()
+        assert [p.participant_id for p in online] == ["a"]
+
+
+class TestCapabilities:
+    def test_default_provider_serves_all_topics(self, factory):
+        provider = factory.provider("p0")
+        consumer = factory.consumer("c0")
+        query = factory.query(consumer, topic="anything")
+        assert factory.registry.capable_providers(query) == [provider]
+
+    def test_topic_restriction(self, factory, sim, network):
+        from repro.system.provider import Provider
+
+        registry = factory.registry
+        specialist = Provider(sim, network, "astro-only")
+        registry.add_provider(specialist, topics=["astro"])
+        generalist = factory.provider("generalist")
+        consumer = factory.consumer("c0")
+
+        astro_query = factory.query(consumer, topic="astro")
+        bio_query = factory.query(consumer, topic="bio")
+        assert {p.participant_id for p in registry.capable_providers(astro_query)} == {
+            "astro-only",
+            "generalist",
+        }
+        assert [p.participant_id for p in registry.capable_providers(bio_query)] == [
+            "generalist"
+        ]
+
+    def test_offline_providers_not_capable(self, factory):
+        provider = factory.provider("p0")
+        provider.leave()
+        consumer = factory.consumer("c0")
+        assert factory.registry.capable_providers(factory.query(consumer)) == []
+
+
+class TestAggregates:
+    def test_total_capacity(self, factory):
+        factory.provider("a", capacity=2.0)
+        b = factory.provider("b", capacity=3.0)
+        assert factory.registry.total_capacity() == 5.0
+        b.leave()
+        assert factory.registry.total_capacity() == 2.0
+        assert factory.registry.total_capacity(online_only=False) == 5.0
+
+    def test_mean_satisfactions(self, factory):
+        a = factory.provider("a")
+        a.record_proposal(1.0, performed=True)  # sat 1.0
+        b = factory.provider("b")
+        b.record_proposal(-1.0, performed=True)  # sat 0.0
+        assert factory.registry.mean_provider_satisfaction() == pytest.approx(0.5)
+
+        c = factory.consumer("c")
+        c.record_query_satisfaction(0.8)
+        assert factory.registry.mean_consumer_satisfaction() == pytest.approx(0.8)
+
+    def test_means_with_empty_population(self):
+        registry = SystemRegistry()
+        assert registry.mean_provider_satisfaction() == 0.0
+        assert registry.mean_consumer_satisfaction() == 0.0

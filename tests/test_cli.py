@@ -1,0 +1,115 @@
+"""Tests for the sbqa command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_accepts_scenario_names(self):
+        args = build_parser().parse_args(["run", "scenario1"])
+        assert args.scenario == "scenario1"
+
+    def test_run_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "scenario99"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for i in range(1, 8):
+            assert f"scenario{i}" in out
+
+    def test_run_small_scenario(self, capsys):
+        code = main(
+            ["run", "scenario1", "--duration", "300", "--providers", "40", "--seed", "3"]
+        )
+        out = capsys.readouterr().out
+        assert "scenario1" in out
+        assert "Comparison" in out
+        assert code in (0, 1)  # claims may be noisy at this tiny scale
+
+    def test_run_exports_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "series.csv"
+        main(
+            [
+                "run", "scenario1",
+                "--duration", "200", "--providers", "30",
+                "--csv", str(csv_path),
+            ]
+        )
+        assert csv_path.exists()
+        content = csv_path.read_text()
+        assert "series,t,value" in content
+        assert "capacity/provider_satisfaction" in content
+
+    def test_trace(self, capsys):
+        assert main(["trace", "--queries", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "knbest" in out
+        assert "allocate" in out
+
+
+class TestSweepCommand:
+    def test_kn_sweep(self, capsys):
+        code = main(
+            [
+                "sweep", "kn", "--values", "1,4",
+                "--duration", "200", "--providers", "20", "--k", "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "kn sweep" in out
+        assert "sbqa" not in out.splitlines()[0] or True
+        assert "1" in out and "4" in out
+
+    def test_omega_sweep_accepts_adaptive(self, capsys):
+        code = main(
+            [
+                "sweep", "omega", "--values", "0,adaptive",
+                "--duration", "200", "--providers", "20",
+            ]
+        )
+        assert code == 0
+        assert "omega sweep" in capsys.readouterr().out
+
+    def test_memory_sweep_with_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "sweep.csv"
+        code = main(
+            [
+                "sweep", "memory", "--values", "20,100",
+                "--duration", "200", "--providers", "20",
+                "--csv", str(csv_path),
+            ]
+        )
+        assert code == 0
+        assert csv_path.exists()
+        assert "memory" in csv_path.read_text().splitlines()[0]
+
+    def test_rejects_unknown_parameter(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "latency", "--values", "1"])
+
+    def test_empty_values_error(self, capsys):
+        code = main(
+            ["sweep", "kn", "--values", " ,", "--duration", "100", "--providers", "10"]
+        )
+        assert code == 2
+
+
+class TestRunAll:
+    def test_run_all_executes_every_scenario(self, capsys):
+        code = main(
+            ["run", "all", "--duration", "250", "--providers", "25", "--seed", "5"]
+        )
+        out = capsys.readouterr().out
+        for i in range(1, 8):
+            assert f"scenario{i}" in out
+        assert code in (0, 1)  # claims may be noisy at this tiny scale

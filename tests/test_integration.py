@@ -1,0 +1,139 @@
+"""Cross-module integration tests: determinism, conservation, autonomy.
+
+These assert whole-system invariants that no single-module test can:
+bit-for-bit reproducibility of full runs, query conservation through
+the pipeline, and the monotone effect of autonomy on population size.
+"""
+
+import pytest
+
+from repro.experiments.config import AutonomyConfig, ExperimentConfig, PolicySpec
+from repro.experiments.runner import run_once
+from repro.workloads.boinc import BoincScenarioParams
+
+
+def tiny_config(**overrides) -> ExperimentConfig:
+    defaults = dict(
+        name="integration",
+        seed=7,
+        duration=300.0,
+        sample_interval=10.0,
+        population=BoincScenarioParams(n_providers=20),
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+POLICIES = ("sbqa", "capacity", "economic", "random", "round-robin", "shortest-queue")
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_full_run_reproducible(self, policy):
+        a = run_once(tiny_config(), PolicySpec(name=policy))
+        b = run_once(tiny_config(), PolicySpec(name=policy))
+        assert a.summary.as_dict() == b.summary.as_dict()
+        assert a.hub.provider_satisfaction.points() == b.hub.provider_satisfaction.points()
+
+    def test_seed_changes_outcome(self):
+        a = run_once(tiny_config(seed=7), PolicySpec(name="sbqa"))
+        b = run_once(tiny_config(seed=8), PolicySpec(name="sbqa"))
+        assert a.summary.mean_response_time != b.summary.mean_response_time
+
+
+class TestConservation:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_queries_conserved(self, policy):
+        """issued == completed + failed + still-in-flight at horizon."""
+        result = run_once(tiny_config(), PolicySpec(name=policy))
+        s = result.summary
+        in_flight = s.queries_issued - s.queries_completed - s.queries_failed
+        assert in_flight >= 0
+        # nothing in flight can exceed what the allocated backlog explains
+        assert in_flight <= s.queries_issued
+
+    def test_provider_work_matches_completed_queries(self):
+        result = run_once(tiny_config(), PolicySpec(name="capacity"))
+        total_executed = sum(
+            p.stats.queries_completed for p in result.registry.providers
+        )
+        # every completed query ran on n_results providers
+        n = result.config.population.n_results
+        assert total_executed >= result.summary.queries_completed * n
+
+    def test_consumer_stats_match_hub(self):
+        result = run_once(tiny_config(), PolicySpec(name="capacity"))
+        issued = sum(c.stats.queries_issued for c in result.registry.consumers)
+        assert issued == result.summary.queries_issued
+        completed = sum(c.stats.queries_completed for c in result.registry.consumers)
+        assert completed == result.summary.queries_completed
+
+
+class TestAutonomyEffects:
+    def test_captive_population_is_stable(self):
+        result = run_once(tiny_config(), PolicySpec(name="capacity"))
+        assert result.summary.providers_remaining == 20
+        assert result.summary.consumer_departures == 0
+
+    def test_autonomous_population_is_never_larger(self):
+        captive = run_once(tiny_config(duration=600.0), PolicySpec(name="capacity"))
+        autonomous = run_once(
+            tiny_config(
+                duration=600.0,
+                autonomy=AutonomyConfig(
+                    mode="autonomous", warmup=100.0, min_observations=10
+                ),
+            ),
+            PolicySpec(name="capacity"),
+        )
+        assert (
+            autonomous.summary.providers_remaining
+            <= captive.summary.providers_remaining
+        )
+
+    def test_departed_providers_drain_backlog(self):
+        """Lame-duck draining: allocated work completes even after churn."""
+        result = run_once(
+            tiny_config(
+                duration=600.0,
+                autonomy=AutonomyConfig(
+                    mode="autonomous", warmup=100.0, min_observations=10
+                ),
+            ),
+            PolicySpec(name="capacity"),
+        )
+        # every provider that left has no pending backlog by the horizon
+        # (unless it received work moments before the end)
+        for provider in result.registry.providers:
+            if not provider.online and provider.left_at < 500.0:
+                assert provider.backlog_seconds == 0.0
+
+
+class TestSatisfactionDynamicsEndToEnd:
+    def test_sbqa_provider_satisfaction_beats_capacity(self):
+        """The core paper effect at integration scale."""
+        sbqa = run_once(tiny_config(duration=500.0), PolicySpec(name="sbqa"))
+        capacity = run_once(tiny_config(duration=500.0), PolicySpec(name="capacity"))
+        assert (
+            sbqa.summary.provider_satisfaction_final
+            > capacity.summary.provider_satisfaction_final
+        )
+
+    def test_adaptive_omega_values_recorded_in_unit_interval(self):
+        config = tiny_config(keep_records=True)
+        result = run_once(config, PolicySpec(name="sbqa"))
+        omegas = [w for r in result.mediator.records for w in r.omegas.values()]
+        assert omegas
+        assert all(0.0 <= w <= 1.0 for w in omegas)
+
+    def test_scores_sign_matches_intentions(self):
+        config = tiny_config(keep_records=True)
+        result = run_once(config, PolicySpec(name="sbqa"))
+        for record in result.mediator.records[:200]:
+            for pid, score in record.scores.items():
+                pi = record.provider_intentions[pid]
+                ci = record.consumer_intentions[pid]
+                if pi > 0 and ci > 0:
+                    assert score > 0
+                else:
+                    assert score <= 0

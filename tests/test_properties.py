@@ -1,0 +1,181 @@
+"""Whole-system property tests.
+
+Hypothesis generates small random systems -- arbitrary preference
+matrices, capacities, policies, workloads -- and every one of them must
+uphold the global invariants no matter what: satisfactions stay in
+[0, 1], queries are conserved, allocations stay inside the capable set,
+SQLB score signs follow the intention signs, and seeded runs replay
+bit-for-bit.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allocation.factory import make_policy
+from repro.core.mediator import Mediator
+from repro.core.sbqa import SbQAConfig
+from repro.des.network import Network, UniformLatency
+from repro.des.rng import RandomRoot
+from repro.des.scheduler import Simulator
+from repro.system.consumer import Consumer
+from repro.system.provider import Provider
+from repro.system.registry import SystemRegistry
+from repro.system.query import reset_query_counter
+
+POLICIES = ("sbqa", "capacity", "economic", "random", "round-robin", "shortest-queue")
+
+
+@st.composite
+def system_specs(draw):
+    """A compact random system description."""
+    n_providers = draw(st.integers(min_value=1, max_value=8))
+    n_consumers = draw(st.integers(min_value=1, max_value=3))
+    policy = draw(st.sampled_from(POLICIES))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    prefs = draw(
+        st.lists(
+            st.floats(min_value=-1.0, max_value=1.0),
+            min_size=n_providers * n_consumers * 2,
+            max_size=n_providers * n_consumers * 2,
+        )
+    )
+    capacities = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=4.0),
+            min_size=n_providers,
+            max_size=n_providers,
+        )
+    )
+    n_queries = draw(st.integers(min_value=1, max_value=12))
+    n_results = draw(st.integers(min_value=1, max_value=3))
+    return {
+        "n_providers": n_providers,
+        "n_consumers": n_consumers,
+        "policy": policy,
+        "seed": seed,
+        "prefs": prefs,
+        "capacities": capacities,
+        "n_queries": n_queries,
+        "n_results": n_results,
+    }
+
+
+def build_and_run(spec):
+    """Wire the random system, push queries through it, run to quiet."""
+    reset_query_counter()
+    sim = Simulator()
+    root = RandomRoot(spec["seed"])
+    network = Network(sim, UniformLatency(0.0, 0.05, root.stream("latency")))
+    registry = SystemRegistry()
+
+    prefs = iter(spec["prefs"])
+    providers = []
+    for i in range(spec["n_providers"]):
+        provider = Provider(
+            sim,
+            network,
+            participant_id=f"p{i}",
+            capacity=spec["capacities"][i],
+            preferences={
+                f"c{j}": next(prefs) for j in range(spec["n_consumers"])
+            },
+        )
+        providers.append(provider)
+        registry.add_provider(provider)
+
+    consumers = []
+    for j in range(spec["n_consumers"]):
+        consumer = Consumer(
+            sim,
+            network,
+            participant_id=f"c{j}",
+            preferences={f"p{i}": next(prefs) for i in range(spec["n_providers"])},
+            default_n_results=spec["n_results"],
+        )
+        consumers.append(consumer)
+        registry.add_consumer(consumer)
+
+    policy = make_policy(
+        spec["policy"], root, sbqa=SbQAConfig(k=4, kn=2)
+    )
+    mediator = Mediator(sim, network, registry, policy, keep_records=True)
+    for consumer in consumers:
+        consumer.attach_mediator(mediator)
+
+    for q in range(spec["n_queries"]):
+        consumer = consumers[q % len(consumers)]
+        demand = 1.0 + (q % 5) * 3.0
+        sim.schedule_at(
+            float(q), lambda c=consumer, d=demand: c.issue(c.participant_id, d)
+        )
+    sim.run()
+    return sim, registry, mediator, consumers, providers
+
+
+class TestSystemInvariants:
+    @given(system_specs())
+    @settings(max_examples=25, deadline=None)
+    def test_satisfactions_always_in_unit_interval(self, spec):
+        _, registry, _, consumers, providers = build_and_run(spec)
+        for provider in providers:
+            assert 0.0 <= provider.satisfaction <= 1.0
+        for consumer in consumers:
+            assert 0.0 <= consumer.satisfaction <= 1.0
+
+    @given(system_specs())
+    @settings(max_examples=25, deadline=None)
+    def test_queries_conserved(self, spec):
+        _, _, mediator, consumers, _ = build_and_run(spec)
+        issued = sum(c.stats.queries_issued for c in consumers)
+        completed = sum(c.stats.queries_completed for c in consumers)
+        failed = sum(c.stats.queries_failed for c in consumers)
+        assert issued == spec["n_queries"]
+        assert completed + failed == issued  # the run drained fully
+        assert mediator.mediations == issued
+
+    @given(system_specs())
+    @settings(max_examples=25, deadline=None)
+    def test_allocations_stay_inside_capable_set(self, spec):
+        _, registry, mediator, _, providers = build_and_run(spec)
+        provider_ids = {p.participant_id for p in providers}
+        for record in mediator.records:
+            allocated = set(record.allocated_ids)
+            informed = set(record.informed_ids)
+            assert allocated <= informed <= provider_ids
+            assert len(record.allocated) <= record.query.n_results
+
+    @given(system_specs())
+    @settings(max_examples=20, deadline=None)
+    def test_sbqa_score_signs_follow_intentions(self, spec):
+        spec = dict(spec, policy="sbqa")
+        _, _, mediator, _, _ = build_and_run(spec)
+        for record in mediator.records:
+            for pid, score in record.scores.items():
+                pi = record.provider_intentions[pid]
+                ci = record.consumer_intentions[pid]
+                if pi > 0 and ci > 0:
+                    assert score > 0
+                else:
+                    assert score <= 0
+
+    @given(system_specs())
+    @settings(max_examples=15, deadline=None)
+    def test_runs_replay_identically(self, spec):
+        _, _, mediator_a, consumers_a, _ = build_and_run(spec)
+        _, _, mediator_b, consumers_b, _ = build_and_run(spec)
+        assert [r.allocated_ids for r in mediator_a.records] == [
+            r.allocated_ids for r in mediator_b.records
+        ]
+        assert [c.satisfaction for c in consumers_a] == [
+            c.satisfaction for c in consumers_b
+        ]
+
+    @given(system_specs())
+    @settings(max_examples=20, deadline=None)
+    def test_network_fully_drained(self, spec):
+        sim, _, _, _, providers = build_and_run(spec)
+        # after run-to-quiet: no pending events, no in-flight work
+        assert sim.events_pending == 0
+        for provider in providers:
+            assert provider.backlog_seconds == 0.0
+            assert provider.queries_in_progress == 0

@@ -1,0 +1,49 @@
+"""The public API surface: everything advertised in repro.__all__ works."""
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ advertises missing {name!r}"
+
+    def test_core_quickstart_pieces(self):
+        """The README quickstart must work from the top-level package."""
+        score = repro.sqlb_score(0.5, 0.5, 0.5)
+        assert score == pytest.approx(0.5)
+        omega = repro.adaptive_omega(0.8, 0.2)
+        assert omega == pytest.approx(0.8)
+
+    def test_policy_factory_from_top_level(self):
+        root = repro.RandomRoot(1)
+        policy = repro.make_policy("sbqa", root, sbqa=repro.SbQAConfig(k=4, kn=2))
+        assert policy.name == "sbqa"
+        assert set(repro.available_policies()) >= {"sbqa", "capacity", "economic"}
+
+    def test_scenario_entrypoints_exported(self):
+        for i in range(1, 8):
+            assert any(
+                name.startswith(f"scenario{i}_") for name in repro.__all__
+            ), f"scenario {i} missing from the public API"
+
+    def test_manual_assembly(self):
+        """Build a minimal mediated system from public names only."""
+        sim = repro.Simulator()
+        network = repro.Network(sim)
+        registry = repro.SystemRegistry()
+        provider = repro.Provider(sim, network, "p0")
+        registry.add_provider(provider)
+        consumer = repro.Consumer(sim, network, "c0", preferences={"p0": 0.8})
+        registry.add_consumer(consumer)
+        policy = repro.CapacityBasedPolicy()
+        mediator = repro.Mediator(sim, network, registry, policy)
+        consumer.attach_mediator(mediator)
+        consumer.issue("c0", service_demand=5.0)
+        sim.run()
+        assert consumer.stats.queries_completed == 1

@@ -1,0 +1,121 @@
+"""Substrate validation: the simulator against queueing theory.
+
+A reproduction's simulator is only as credible as its service model.
+These tests drive a single provider as an M/G/1 queue -- Poisson
+arrivals, general service times, one server -- and compare the measured
+mean response time against the Pollaczek-Khinchine formula::
+
+    E[W_q] = lambda * E[S^2] / (2 * (1 - rho)),   rho = lambda * E[S]
+    E[T]   = E[W_q] + E[S]
+
+and the latency accounting against exact arithmetic under fixed network
+delays.  Tolerances are statistical (thousands of queries per run).
+"""
+
+import pytest
+
+from repro.allocation.capacity import CapacityBasedPolicy
+from repro.core.mediator import Mediator
+from repro.des.network import FixedLatency, Network
+from repro.des.rng import RandomStream
+from repro.des.scheduler import Simulator
+from repro.system.consumer import Consumer
+from repro.system.provider import Provider
+from repro.system.registry import SystemRegistry
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.queries import FixedDemand, LognormalDemand
+
+
+def run_mg1(demand_model, rate, horizon=150_000.0, latency=0.0, seed=5):
+    """One provider, open-loop Poisson arrivals; returns (consumer, sim)."""
+    sim = Simulator()
+    network = Network(sim, FixedLatency(latency))
+    registry = SystemRegistry()
+    provider = Provider(sim, network, participant_id="server", capacity=1.0)
+    registry.add_provider(provider)
+    consumer = Consumer(sim, network, participant_id="source", default_n_results=1)
+    registry.add_consumer(consumer)
+    mediator = Mediator(
+        sim, network, registry, CapacityBasedPolicy(), keep_records=False
+    )
+    consumer.attach_mediator(mediator)
+    arrivals = PoissonArrivals(
+        sim, consumer, demand_model, rate=rate,
+        stream=RandomStream(seed), horizon=horizon,
+    )
+    arrivals.start()
+    sim.run()
+    return consumer, sim
+
+
+def pollaczek_khinchine(rate, mean_service, second_moment):
+    """Theoretical M/G/1 mean response time."""
+    rho = rate * mean_service
+    assert rho < 1.0, "theory requires a stable queue"
+    waiting = rate * second_moment / (2.0 * (1.0 - rho))
+    return waiting + mean_service
+
+
+class TestMG1:
+    def test_md1_deterministic_service(self):
+        """M/D/1 at rho = 0.6: fixed 30 s jobs."""
+        mean_service = 30.0
+        rate = 0.02  # rho = 0.6
+        consumer, _ = run_mg1(FixedDemand(mean_service), rate)
+        theory = pollaczek_khinchine(rate, mean_service, mean_service**2)
+        measured = consumer.stats.mean_response_time
+        assert consumer.stats.queries_completed > 2000
+        assert measured == pytest.approx(theory, rel=0.10)
+
+    def test_mg1_lognormal_service(self):
+        """M/G/1 at rho = 0.6 with cv = 0.5 lognormal service."""
+        mean_service, cv = 30.0, 0.5
+        rate = 0.02
+        model = LognormalDemand(RandomStream(77), mean=mean_service, cv=cv)
+        consumer, _ = run_mg1(model, rate)
+        second_moment = mean_service**2 * (1.0 + cv**2)
+        theory = pollaczek_khinchine(rate, mean_service, second_moment)
+        measured = consumer.stats.mean_response_time
+        assert measured == pytest.approx(theory, rel=0.10)
+
+    def test_variance_increases_waiting(self):
+        """P-K's core prediction: same mean, higher variance, longer waits."""
+        rate = 0.02
+        low_var = LognormalDemand(RandomStream(1), mean=30.0, cv=0.2)
+        high_var = LognormalDemand(RandomStream(1), mean=30.0, cv=1.0)
+        rt_low = run_mg1(low_var, rate)[0].stats.mean_response_time
+        rt_high = run_mg1(high_var, rate)[0].stats.mean_response_time
+        assert rt_high > rt_low
+
+    def test_load_increases_waiting_nonlinearly(self):
+        """Approaching saturation blows the queue up faster than linearly."""
+        service = FixedDemand(30.0)
+        rt_low = run_mg1(service, rate=0.01, horizon=100_000.0)[0].stats.mean_response_time
+        rt_mid = run_mg1(service, rate=0.02, horizon=100_000.0)[0].stats.mean_response_time
+        rt_high = run_mg1(service, rate=0.03, horizon=100_000.0)[0].stats.mean_response_time
+        assert rt_low < rt_mid < rt_high
+        # convexity: the second step hurts more than the first
+        assert (rt_high - rt_mid) > (rt_mid - rt_low)
+
+    def test_light_traffic_response_is_service_time(self):
+        """At vanishing load the response time is just the service time."""
+        consumer, _ = run_mg1(FixedDemand(30.0), rate=0.0005, horizon=200_000.0)
+        # rho = 0.015: rare collisions add a fraction of a second
+        assert consumer.stats.mean_response_time == pytest.approx(30.0, rel=0.05)
+
+
+class TestLatencyAccounting:
+    def test_response_time_includes_both_network_legs(self):
+        """Unloaded system, fixed latency L: rt = 2L + service.
+
+        Leg 1 (consumer -> mediator) delays mediation start; leg 2
+        (mediator -> provider) delays execution start; leg 3 (provider
+        -> consumer) delays the result; service = demand / capacity.
+        """
+        latency = 0.5
+        consumer, _ = run_mg1(
+            FixedDemand(10.0), rate=0.0005, horizon=50_000.0, latency=latency
+        )
+        # consumer->mediator + mediator->provider + provider->consumer
+        expected = 3 * latency + 10.0
+        assert consumer.stats.mean_response_time == pytest.approx(expected, abs=1e-6)

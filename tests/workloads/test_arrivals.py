@@ -1,0 +1,137 @@
+"""Unit tests for arrival processes."""
+
+import pytest
+
+from repro.allocation.capacity import CapacityBasedPolicy
+from repro.core.mediator import Mediator
+from repro.des.rng import RandomStream
+from repro.workloads.arrivals import DeterministicArrivals, PoissonArrivals
+from repro.workloads.queries import FixedDemand
+
+
+def wire(factory, n_providers=2):
+    providers = [factory.provider(f"p{i}") for i in range(n_providers)]
+    consumer = factory.consumer("c0")
+    mediator = Mediator(
+        factory.sim, factory.network, factory.registry, CapacityBasedPolicy()
+    )
+    consumer.attach_mediator(mediator)
+    return consumer, mediator
+
+
+class TestDeterministicArrivals:
+    def test_issues_at_fixed_interval(self, factory, sim):
+        consumer, mediator = wire(factory)
+        arrivals = DeterministicArrivals(
+            sim, consumer, FixedDemand(1.0), interval=10.0, horizon=100.0
+        )
+        arrivals.start()
+        sim.run_until(100.0)
+        # arrivals at t=10, 20, ..., 100
+        assert arrivals.queries_issued == 10
+
+    def test_initial_delay_override(self, factory, sim):
+        consumer, mediator = wire(factory)
+        arrivals = DeterministicArrivals(
+            sim, consumer, FixedDemand(1.0), interval=10.0, horizon=25.0
+        )
+        arrivals.start(initial_delay=0.0)
+        sim.run_until(25.0)
+        # arrivals at t=0, 10, 20
+        assert arrivals.queries_issued == 3
+
+    def test_horizon_stops_issuing(self, factory, sim):
+        consumer, mediator = wire(factory)
+        arrivals = DeterministicArrivals(
+            sim, consumer, FixedDemand(1.0), interval=10.0, horizon=35.0
+        )
+        arrivals.start()
+        sim.run_until(200.0)
+        assert arrivals.queries_issued == 3  # t=10, 20, 30
+
+    def test_departed_consumer_stops_issuing(self, factory, sim):
+        consumer, mediator = wire(factory)
+        arrivals = DeterministicArrivals(sim, consumer, FixedDemand(1.0), interval=10.0)
+        arrivals.start()
+        sim.schedule_at(25.0, consumer.leave)
+        sim.run_until(100.0)
+        assert arrivals.queries_issued == 2  # t=10, 20 only
+
+    def test_start_is_idempotent(self, factory, sim):
+        consumer, mediator = wire(factory)
+        arrivals = DeterministicArrivals(
+            sim, consumer, FixedDemand(1.0), interval=10.0, horizon=15.0
+        )
+        arrivals.start()
+        arrivals.start()
+        sim.run_until(15.0)
+        assert arrivals.queries_issued == 1
+
+    def test_topic_defaults_to_consumer_id(self, factory, sim):
+        consumer, mediator = wire(factory)
+        arrivals = DeterministicArrivals(
+            sim, consumer, FixedDemand(1.0), interval=5.0, horizon=6.0
+        )
+        arrivals.start()
+        sim.run_until(6.0)
+        assert mediator.records[0].query.topic == "c0"
+
+    def test_interval_validation(self, factory, sim):
+        consumer, mediator = wire(factory)
+        with pytest.raises(ValueError, match="interval"):
+            DeterministicArrivals(sim, consumer, FixedDemand(1.0), interval=0.0)
+
+    def test_n_results_override(self, factory, sim):
+        consumer, mediator = wire(factory)
+        arrivals = DeterministicArrivals(
+            sim, consumer, FixedDemand(1.0), interval=5.0, n_results=2, horizon=6.0
+        )
+        arrivals.start()
+        sim.run_until(6.0)
+        assert mediator.records[0].query.n_results == 2
+
+
+class TestPoissonArrivals:
+    def test_rate_validation(self, factory, sim):
+        consumer, mediator = wire(factory)
+        with pytest.raises(ValueError, match="rate"):
+            PoissonArrivals(sim, consumer, FixedDemand(1.0), rate=0.0, stream=RandomStream(1))
+
+    def test_empirical_rate_near_parameter(self, factory, sim):
+        consumer, mediator = wire(factory)
+        arrivals = PoissonArrivals(
+            sim, consumer, FixedDemand(0.001), rate=2.0,
+            stream=RandomStream(9), horizon=1000.0,
+        )
+        arrivals.start()
+        sim.run_until(1000.0)
+        # ~2000 expected; allow generous tolerance
+        assert 1700 < arrivals.queries_issued < 2300
+
+    def test_reproducible_per_seed(self, factory, sim):
+        consumer, mediator = wire(factory)
+        a = PoissonArrivals(
+            sim, consumer, FixedDemand(0.001), rate=1.0,
+            stream=RandomStream(4), horizon=200.0,
+        )
+        a.start()
+        sim.run_until(200.0)
+        first = a.queries_issued
+
+        # fresh simulation, same seed
+        import repro.des.scheduler as sched
+        from repro.des.network import Network
+
+        sim2 = sched.Simulator()
+        network2 = Network(sim2)
+        from tests.conftest import Factory
+
+        factory2 = Factory(sim2, network2)
+        consumer2, mediator2 = wire(factory2)
+        b = PoissonArrivals(
+            sim2, consumer2, FixedDemand(0.001), rate=1.0,
+            stream=RandomStream(4), horizon=200.0,
+        )
+        b.start()
+        sim2.run_until(200.0)
+        assert b.queries_issued == first

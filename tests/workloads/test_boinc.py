@@ -1,0 +1,217 @@
+"""Unit tests for the BOINC population builder."""
+
+import pytest
+
+from repro.des.network import Network
+from repro.des.rng import RandomRoot
+from repro.des.scheduler import Simulator
+from repro.workloads.boinc import (
+    BoincScenarioParams,
+    FocalConsumerSpec,
+    FocalProviderSpec,
+    build_boinc_population,
+    paper_projects,
+)
+
+
+def build(params=None, seed=77):
+    sim = Simulator()
+    network = Network(sim)
+    root = RandomRoot(seed)
+    return build_boinc_population(
+        sim, network, root, params or BoincScenarioParams(n_providers=60)
+    )
+
+
+class TestParams:
+    def test_paper_projects_popularity_order(self):
+        projects = paper_projects()
+        assert [p.name for p in projects] == ["seti", "proteins", "einstein"]
+        weights = [p.popularity_weight for p in projects]
+        assert weights == sorted(weights, reverse=True)
+        rates = [p.rate_scale for p in projects]
+        assert sum(rates) == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="provider"):
+            BoincScenarioParams(n_providers=0)
+        with pytest.raises(ValueError, match="target_load"):
+            BoincScenarioParams(target_load=0.0)
+        with pytest.raises(ValueError, match="n_results"):
+            BoincScenarioParams(n_results=0)
+        with pytest.raises(ValueError, match="project"):
+            BoincScenarioParams(projects=())
+
+    def test_arrival_rate_hits_target_load(self):
+        params = BoincScenarioParams(n_providers=100, target_load=0.6)
+        total_capacity = 100.0
+        rate = params.arrival_rate(total_capacity)
+        consumers = len(params.consumer_ids)
+        implied_load = (
+            rate * consumers * params.demand_mean * params.n_results / total_capacity
+        )
+        assert implied_load == pytest.approx(0.6)
+
+    def test_consumer_ids_include_focal(self):
+        params = BoincScenarioParams(focal_consumer=FocalConsumerSpec())
+        assert "focal-consumer" in params.consumer_ids
+
+
+class TestPopulation:
+    def test_counts(self):
+        population = build()
+        assert len(population.providers) == 60
+        assert len(population.consumers) == 3
+        assert len(population.registry.providers) == 60
+
+    def test_archetypes_assigned(self):
+        population = build()
+        archetypes = set(population.archetype_of.values())
+        assert archetypes <= {"enthusiast", "selective", "picky"}
+        assert len(archetypes) == 3  # all present at this size
+
+    def test_popularity_structure_holds(self):
+        """Paper: seti popular (majority positive), proteins normal,
+        einstein unpopular (small minority positive)."""
+        population = build(BoincScenarioParams(n_providers=300))
+        def liking(project):
+            return sum(
+                1 for p in population.providers if p.preferences[project] > 0
+            ) / len(population.providers)
+
+        assert liking("seti") > 0.5          # the majority
+        assert 0.3 < liking("proteins") < liking("seti")  # great number, not most
+        assert liking("einstein") < liking("proteins")    # unpopular
+
+    def test_deterministic_in_seed(self):
+        a = build(seed=5)
+        b = build(seed=5)
+        for pa, pb in zip(a.providers, b.providers):
+            assert pa.preferences == pb.preferences
+            assert pa.capacity == pb.capacity
+
+    def test_different_seeds_differ(self):
+        a = build(seed=5)
+        b = build(seed=6)
+        assert any(
+            pa.preferences != pb.preferences
+            for pa, pb in zip(a.providers, b.providers)
+        )
+
+    def test_resource_shares_attached(self):
+        population = build()
+        for provider in population.providers:
+            assert provider.resource_shares
+            assert sum(provider.resource_shares.values()) == pytest.approx(1.0)
+
+    def test_consumer_preferences_cover_all_providers(self):
+        population = build()
+        provider_ids = {p.participant_id for p in population.providers}
+        for consumer in population.consumers:
+            assert set(consumer.preferences) == provider_ids
+
+    def test_providers_of_archetype(self):
+        population = build()
+        total = sum(
+            len(population.providers_of_archetype(a))
+            for a in ("enthusiast", "selective", "picky")
+        )
+        assert total == len(population.providers)
+
+
+class TestFocalProbes:
+    def test_focal_provider_added(self):
+        params = BoincScenarioParams(
+            n_providers=20, focal_provider=FocalProviderSpec(loves="einstein")
+        )
+        population = build(params)
+        focal = population.registry.provider("focal-provider")
+        assert focal.preferences["einstein"] == 0.9
+        assert focal.preferences["seti"] == -0.8
+        assert population.archetype_of["focal-provider"] == "focal"
+
+    def test_focal_consumer_added(self):
+        params = BoincScenarioParams(
+            n_providers=20, focal_consumer=FocalConsumerSpec(n_trusted=5)
+        )
+        population = build(params)
+        focal = population.registry.consumer("focal-consumer")
+        trusted = [pid for pid, v in focal.preferences.items() if v > 0]
+        assert len(trusted) == 5
+        # providers drew a preference for the focal consumer too
+        assert all(
+            "focal-consumer" in p.preferences for p in population.providers
+        )
+
+
+class TestMemoryHeterogeneity:
+    def test_zero_jitter_gives_uniform_memory(self):
+        population = build(BoincScenarioParams(n_providers=30, memory=80))
+        assert all(p.tracker.memory == 80 for p in population.providers)
+        assert all(c.tracker.memory == 80 for c in population.consumers)
+
+    def test_jitter_spreads_memories(self):
+        params = BoincScenarioParams(n_providers=60, memory=100, memory_jitter=0.5)
+        population = build(params)
+        memories = {p.tracker.memory for p in population.providers}
+        assert len(memories) > 10  # genuinely heterogeneous
+        assert all(50 <= m <= 150 for m in memories)
+
+    def test_jitter_validation(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError, match="memory_jitter"):
+            BoincScenarioParams(memory_jitter=1.0)
+
+    def test_jitter_is_deterministic_per_seed(self):
+        params = BoincScenarioParams(n_providers=20, memory_jitter=0.3)
+        a = build(params, seed=9)
+        b = build(BoincScenarioParams(n_providers=20, memory_jitter=0.3), seed=9)
+        assert [p.tracker.memory for p in a.providers] == [
+            p.tracker.memory for p in b.providers
+        ]
+
+
+class TestDemandDistribution:
+    def test_default_is_lognormal(self):
+        from repro.des.rng import RandomStream
+        from repro.workloads.queries import LognormalDemand
+
+        params = BoincScenarioParams(n_providers=5)
+        model = params.make_demand_model(RandomStream(1))
+        assert isinstance(model, LognormalDemand)
+        assert model.mean == params.demand_mean
+
+    def test_pareto_model_built_with_matching_mean(self):
+        from repro.des.rng import RandomStream
+        from repro.workloads.queries import ParetoDemand
+
+        params = BoincScenarioParams(
+            n_providers=5, demand_distribution="pareto", demand_mean=30.0
+        )
+        model = params.make_demand_model(RandomStream(1))
+        assert isinstance(model, ParetoDemand)
+        assert model.mean == pytest.approx(30.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="demand_distribution"):
+            BoincScenarioParams(demand_distribution="weibull")
+        with pytest.raises(ValueError, match="pareto"):
+            BoincScenarioParams(
+                demand_distribution="pareto", demand_mean=5.0, pareto_minimum=10.0
+            )
+
+    def test_pareto_runs_end_to_end(self):
+        from repro.experiments.config import ExperimentConfig, PolicySpec
+        from repro.experiments.runner import run_once
+
+        config = ExperimentConfig(
+            name="pareto",
+            seed=3,
+            duration=150.0,
+            population=BoincScenarioParams(
+                n_providers=10, demand_distribution="pareto"
+            ),
+        )
+        result = run_once(config, PolicySpec(name="sbqa"))
+        assert result.summary.queries_completed > 0

@@ -1,0 +1,127 @@
+"""Unit tests for preference-matrix generators."""
+
+import pytest
+
+from repro.des.rng import RandomStream
+from repro.workloads.preferences import (
+    ARCHETYPES,
+    ArchetypeMix,
+    draw_consumer_preferences,
+    draw_provider_archetype,
+    draw_provider_preferences,
+    shares_from_preferences,
+)
+
+CONSUMERS = ["seti", "proteins", "einstein"]
+WEIGHTS = [0.6, 0.3, 0.1]
+
+
+class TestArchetypeMix:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            ArchetypeMix(enthusiast=0.5, selective=0.5, picky=0.5)
+
+    def test_fractions_must_be_non_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ArchetypeMix(enthusiast=1.2, selective=-0.2, picky=0.0)
+
+    def test_draw_respects_degenerate_mix(self):
+        mix = ArchetypeMix(enthusiast=1.0, selective=0.0, picky=0.0)
+        stream = RandomStream(1)
+        assert all(
+            draw_provider_archetype(stream, mix) == "enthusiast" for _ in range(50)
+        )
+
+    def test_draw_covers_all_archetypes(self):
+        mix = ArchetypeMix()
+        stream = RandomStream(2)
+        seen = {draw_provider_archetype(stream, mix) for _ in range(300)}
+        assert seen == set(ARCHETYPES)
+
+
+class TestProviderPreferences:
+    def test_enthusiast_likes_everything(self):
+        prefs = draw_provider_preferences(
+            RandomStream(1), "enthusiast", CONSUMERS, WEIGHTS
+        )
+        assert set(prefs) == set(CONSUMERS)
+        assert all(v >= 0.2 for v in prefs.values())
+
+    def test_selective_loves_exactly_one(self):
+        prefs = draw_provider_preferences(
+            RandomStream(3), "selective", CONSUMERS, WEIGHTS
+        )
+        loved = [c for c, v in prefs.items() if v > 0]
+        hated = [c for c, v in prefs.items() if v < 0]
+        assert len(loved) == 1
+        assert len(hated) == 2
+        assert prefs[loved[0]] >= 0.7
+        assert all(prefs[c] <= -0.85 for c in hated)
+
+    def test_selective_favourites_follow_popularity(self):
+        favourites = []
+        for i in range(400):
+            prefs = draw_provider_preferences(
+                RandomStream(i), "selective", CONSUMERS, WEIGHTS
+            )
+            favourites.append(max(prefs, key=prefs.get))
+        seti = favourites.count("seti")
+        einstein = favourites.count("einstein")
+        assert seti > 2 * einstein  # popular project attracts far more devotees
+
+    def test_picky_dislikes_everything_mildly(self):
+        prefs = draw_provider_preferences(RandomStream(5), "picky", CONSUMERS, WEIGHTS)
+        assert all(-0.6 <= v <= -0.2 for v in prefs.values())
+
+    def test_unknown_archetype(self):
+        with pytest.raises(ValueError, match="unknown archetype"):
+            draw_provider_preferences(RandomStream(1), "zealot", CONSUMERS, WEIGHTS)
+
+    def test_weight_alignment_checked(self):
+        with pytest.raises(ValueError, match="align"):
+            draw_provider_preferences(RandomStream(1), "picky", CONSUMERS, [0.5])
+
+
+class TestConsumerPreferences:
+    def test_draws_for_every_provider(self):
+        providers = [f"p{i}" for i in range(50)]
+        prefs = draw_consumer_preferences(RandomStream(1), providers)
+        assert set(prefs) == set(providers)
+        assert all(-0.2 <= v <= 0.9 for v in prefs.values())
+
+    def test_preferred_fraction_extremes(self):
+        providers = [f"p{i}" for i in range(50)]
+        all_preferred = draw_consumer_preferences(
+            RandomStream(1), providers, preferred_fraction=1.0
+        )
+        assert all(v >= 0.4 for v in all_preferred.values())
+        none_preferred = draw_consumer_preferences(
+            RandomStream(1), providers, preferred_fraction=0.0
+        )
+        assert all(v <= 0.5 for v in none_preferred.values())
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError, match="preferred_fraction"):
+            draw_consumer_preferences(RandomStream(1), ["p"], preferred_fraction=1.5)
+
+
+class TestShares:
+    def test_shares_normalised(self):
+        shares = shares_from_preferences({"a": 0.8, "b": 0.2, "c": -0.5})
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares["a"] > shares["b"] > shares["c"] > 0.0
+
+    def test_negative_preferences_get_floor_only(self):
+        shares = shares_from_preferences({"a": -0.9, "b": 0.9}, floor=0.02)
+        assert shares["a"] == pytest.approx(0.02 / (0.02 + 0.92))
+
+    def test_all_negative_with_zero_floor_uniform(self):
+        shares = shares_from_preferences({"a": -0.9, "b": -0.5}, floor=0.0)
+        assert shares == {"a": 0.5, "b": 0.5}
+
+    def test_empty_preferences(self):
+        assert shares_from_preferences({}) == {}
+
+    def test_floor_validation(self):
+        with pytest.raises(ValueError, match="floor"):
+            shares_from_preferences({"a": 0.5}, floor=-0.1)

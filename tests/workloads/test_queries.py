@@ -1,0 +1,54 @@
+"""Unit tests for service-demand models."""
+
+import pytest
+
+from repro.des.rng import RandomStream
+from repro.workloads.queries import FixedDemand, LognormalDemand, ParetoDemand
+
+
+class TestFixedDemand:
+    def test_constant(self):
+        model = FixedDemand(12.0)
+        assert model.sample() == 12.0
+        assert model.mean == 12.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            FixedDemand(0.0)
+
+
+class TestLognormalDemand:
+    def test_samples_positive(self):
+        model = LognormalDemand(RandomStream(1), mean=30.0, cv=0.5)
+        assert all(model.sample() > 0 for _ in range(200))
+
+    def test_empirical_mean_near_parameter(self):
+        model = LognormalDemand(RandomStream(1), mean=30.0, cv=0.5)
+        n = 5000
+        empirical = sum(model.sample() for _ in range(n)) / n
+        assert 27.0 < empirical < 33.0
+
+    def test_mean_property(self):
+        assert LognormalDemand(RandomStream(1), mean=42.0).mean == 42.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mean"):
+            LognormalDemand(RandomStream(1), mean=-1.0)
+        with pytest.raises(ValueError, match="cv"):
+            LognormalDemand(RandomStream(1), mean=1.0, cv=-0.5)
+
+
+class TestParetoDemand:
+    def test_bounded_below(self):
+        model = ParetoDemand(RandomStream(1), alpha=2.5, minimum=10.0)
+        assert all(model.sample() >= 10.0 for _ in range(200))
+
+    def test_mean_formula(self):
+        model = ParetoDemand(RandomStream(1), alpha=2.0, minimum=10.0)
+        assert model.mean == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="alpha"):
+            ParetoDemand(RandomStream(1), alpha=1.0)
+        with pytest.raises(ValueError, match="minimum"):
+            ParetoDemand(RandomStream(1), alpha=2.0, minimum=0.0)
