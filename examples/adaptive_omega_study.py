@@ -23,21 +23,10 @@ Run:  python examples/adaptive_omega_study.py        (~15 s)
 from repro.analysis.ascii_plot import multi_sparkline
 from repro.analysis.stats import mean
 from repro.analysis.tables import render_table
-from repro.core.sbqa import SbQAConfig
-from repro.experiments.config import ExperimentConfig, PolicySpec
-from repro.experiments.runner import run_once
-from repro.workloads.boinc import BoincScenarioParams
+from repro.api import Experiment
 
 DURATION = 1200.0
 N_PROVIDERS = 80
-
-config = ExperimentConfig(
-    name="omega-study",
-    seed=20090301,
-    duration=DURATION,
-    population=BoincScenarioParams(n_providers=N_PROVIDERS),
-    keep_records=True,
-)
 
 SETTINGS = [
     ("omega=0 (consumers rule)", 0.0),
@@ -46,10 +35,17 @@ SETTINGS = [
 ]
 
 print(f"Running 3 x SbQA ({N_PROVIDERS} providers, {DURATION:.0f} s simulated)...")
-runs = []
+builder = (
+    Experiment.builder()
+    .named("omega-study")
+    .seed(20090301)
+    .duration(DURATION)
+    .providers(N_PROVIDERS)
+    .keep_records()
+)
 for label, omega in SETTINGS:
-    spec = PolicySpec(name="sbqa", label=label, sbqa=SbQAConfig(omega=omega))
-    runs.append(run_once(config, spec))
+    builder.policy("sbqa", label=label, omega=omega)
+runs = builder.run().runs
 
 # ----------------------------------------------------------------------
 # 1. Satisfaction gap over time

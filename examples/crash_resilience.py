@@ -18,10 +18,8 @@ Run:  python examples/crash_resilience.py        (~10 s)
 """
 
 from repro.analysis.tables import render_table
-from repro.experiments.config import ExperimentConfig, PolicySpec
-from repro.experiments.runner import run_once
+from repro.api import Experiment
 from repro.system.failures import FailureConfig
-from repro.workloads.boinc import BoincScenarioParams
 
 DURATION = 1200.0
 N_PROVIDERS = 80
@@ -43,15 +41,19 @@ print(
 rows = []
 results = []
 for label, overrides in VARIANTS:
-    config = ExperimentConfig(
-        name=f"crash-{label}",
-        seed=20090301,
-        duration=DURATION,
-        population=BoincScenarioParams(n_providers=N_PROVIDERS, **overrides),
-        failures=FAILURES,
-        result_timeout=DEADLINE,
+    result = (
+        Experiment.builder()
+        .named(f"crash-{label}")
+        .seed(20090301)
+        .duration(DURATION)
+        .providers(N_PROVIDERS)
+        .population(**overrides)
+        .failures(FAILURES.mttf, FAILURES.repair_time, FAILURES.start,
+                  result_timeout=DEADLINE)
+        .policy("sbqa", label=label)
+        .run()
+        .runs[0]
     )
-    result = run_once(config, PolicySpec(name="sbqa", label=label))
     results.append(result)
     s = result.summary
     rows.append(

@@ -8,134 +8,148 @@ BOINC-like volunteer-computing system model, the KnBest and SQLB
 components, the capacity-based / economic / resource-shares baselines,
 and the seven demo scenarios as runnable experiments.
 
-Quickstart::
+The supported way to drive the system is the layered API of
+:mod:`repro.api` -- declarative spec, fluent builder, session runtime::
 
-    from repro import scenario3_captive
+    from repro import Experiment
 
-    result = scenario3_captive(duration=600.0, n_providers=60)
-    print(result.report())
+    result = (
+        Experiment.from_scenario("scenario4", duration=1200.0)
+        .replications(4)
+        .run(parallel=True)
+    )
+    print(result.comparison_table())
 
-Or assemble the pieces yourself -- see ``examples/quickstart.py``.
+The classic entry points (``scenario3_captive(...)``, ``run_once``,
+manual assembly -- see ``examples/quickstart.py``) keep working; this
+module is a curated facade that resolves every name lazily from its
+defining subpackage, so ``import repro`` stays light.
 """
 
-from repro.core import (
-    AdaptiveOmega,
-    AllocationPolicy,
-    ConsumerSatisfactionTracker,
-    FixedOmega,
-    KnBestSelector,
-    Mediator,
-    ProviderSatisfactionTracker,
-    SbQAConfig,
-    SbQAPolicy,
-    adaptive_omega,
-    consumer_query_satisfaction,
-    sqlb_score,
-)
-from repro.allocation import (
-    BoincSharesPolicy,
-    CapacityBasedPolicy,
-    EconomicPolicy,
-    RandomPolicy,
-    RoundRobinPolicy,
-    ShortestQueuePolicy,
-    available_policies,
-    make_policy,
-)
-from repro.des import Network, RandomRoot, Simulator, TraceRecorder
-from repro.experiments import (
-    AutonomyConfig,
-    ExperimentConfig,
-    PolicySpec,
-    RunResult,
-    ScenarioResult,
-    run_once,
-    run_replications,
-    scenario1_satisfaction_model,
-    scenario2_departures,
-    scenario3_captive,
-    scenario4_autonomous,
-    scenario5_expectation_adaptation,
-    scenario6_application_adaptability,
-    scenario7_focal_participant,
-)
-from repro.analysis import (
-    Comparison,
-    PredictionReport,
-    compare_aggregates,
-    predict_departures,
-    welch_t_test,
-)
-from repro.system import (
-    Consumer,
-    CrashInjector,
-    FailureConfig,
-    Provider,
-    Query,
-    SystemRegistry,
-)
-from repro.workloads import BoincScenarioParams, build_boinc_population
+import warnings as _warnings
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = [
+#: name -> defining module.  The facade resolves these lazily (PEP 562).
+_EXPORTS = {
+    # layered API (the supported entry points)
+    "Experiment": "repro.api",
+    "ExperimentBuilder": "repro.api",
+    "ExperimentSpec": "repro.api",
+    "Session": "repro.api",
+    "ExperimentResult": "repro.api",
+    "PolicyResult": "repro.api",
+    "scenario_spec": "repro.api",
+    "available_scenarios": "repro.api",
     # core
-    "SbQAPolicy",
-    "SbQAConfig",
-    "Mediator",
-    "KnBestSelector",
-    "sqlb_score",
-    "adaptive_omega",
-    "AdaptiveOmega",
-    "FixedOmega",
-    "consumer_query_satisfaction",
-    "ConsumerSatisfactionTracker",
-    "ProviderSatisfactionTracker",
-    "AllocationPolicy",
+    "SbQAPolicy": "repro.core",
+    "SbQAConfig": "repro.core",
+    "Mediator": "repro.core",
+    "KnBestSelector": "repro.core",
+    "sqlb_score": "repro.core",
+    "adaptive_omega": "repro.core",
+    "AdaptiveOmega": "repro.core",
+    "FixedOmega": "repro.core",
+    "consumer_query_satisfaction": "repro.core",
+    "ConsumerSatisfactionTracker": "repro.core",
+    "ProviderSatisfactionTracker": "repro.core",
+    "AllocationPolicy": "repro.core",
     # baselines
-    "CapacityBasedPolicy",
-    "EconomicPolicy",
-    "BoincSharesPolicy",
-    "RandomPolicy",
-    "RoundRobinPolicy",
-    "ShortestQueuePolicy",
-    "available_policies",
-    "make_policy",
+    "CapacityBasedPolicy": "repro.allocation",
+    "EconomicPolicy": "repro.allocation",
+    "BoincSharesPolicy": "repro.allocation",
+    "RandomPolicy": "repro.allocation",
+    "RoundRobinPolicy": "repro.allocation",
+    "ShortestQueuePolicy": "repro.allocation",
+    "available_policies": "repro.allocation",
+    "make_policy": "repro.allocation",
     # kernel
-    "Simulator",
-    "Network",
-    "RandomRoot",
-    "TraceRecorder",
+    "Simulator": "repro.des",
+    "Network": "repro.des",
+    "RandomRoot": "repro.des",
+    "TraceRecorder": "repro.des",
     # system
-    "Consumer",
-    "Provider",
-    "Query",
-    "SystemRegistry",
-    "FailureConfig",
-    "CrashInjector",
+    "Consumer": "repro.system",
+    "Provider": "repro.system",
+    "Query": "repro.system",
+    "SystemRegistry": "repro.system",
+    "FailureConfig": "repro.system",
+    "CrashInjector": "repro.system",
     # analysis
-    "PredictionReport",
-    "predict_departures",
-    "Comparison",
-    "compare_aggregates",
-    "welch_t_test",
+    "PredictionReport": "repro.analysis",
+    "predict_departures": "repro.analysis",
+    "Comparison": "repro.analysis",
+    "compare_aggregates": "repro.analysis",
+    "welch_t_test": "repro.analysis",
     # workloads
-    "BoincScenarioParams",
-    "build_boinc_population",
-    # experiments
-    "ExperimentConfig",
-    "PolicySpec",
-    "AutonomyConfig",
-    "RunResult",
-    "ScenarioResult",
-    "run_once",
-    "run_replications",
-    "scenario1_satisfaction_model",
-    "scenario2_departures",
-    "scenario3_captive",
-    "scenario4_autonomous",
-    "scenario5_expectation_adaptation",
-    "scenario6_application_adaptability",
-    "scenario7_focal_participant",
-    "__version__",
-]
+    "BoincScenarioParams": "repro.workloads",
+    "build_boinc_population": "repro.workloads",
+    # experiments (imperative layer)
+    "ExperimentConfig": "repro.experiments",
+    "PolicySpec": "repro.experiments",
+    "AutonomyConfig": "repro.experiments",
+    "RunResult": "repro.experiments",
+    "LiveRun": "repro.experiments",
+    "ScenarioResult": "repro.experiments",
+    "run_once": "repro.experiments",
+    "run_replications": "repro.experiments",
+    "scenario1_satisfaction_model": "repro.experiments",
+    "scenario2_departures": "repro.experiments",
+    "scenario3_captive": "repro.experiments",
+    "scenario4_autonomous": "repro.experiments",
+    "scenario5_expectation_adaptation": "repro.experiments",
+    "scenario6_application_adaptability": "repro.experiments",
+    "scenario7_focal_participant": "repro.experiments",
+}
+
+#: Top-level shims superseded by the layered API; accessing them through
+#: ``repro`` warns once, the canonical homes stay silent.
+_DEPRECATED = {
+    "run_once": "Session(spec).run() / repro.experiments.runner.run_once",
+    "run_replications": (
+        "Session(spec).run() with spec.replications > 1 / "
+        "repro.experiments.replication.run_replications"
+    ),
+}
+
+# Deprecated shims stay importable (`from repro import run_once` works,
+# with a warning) but are excluded from __all__, so enumerating or
+# star-importing the public API does not trigger DeprecationWarning.
+__all__ = sorted(set(_EXPORTS) - set(_DEPRECATED)) + ["__version__"]
+
+
+#: Subpackages reachable as ``repro.<name>`` without an explicit
+#: ``import repro.<name>`` (the eager facade used to bind these).
+_SUBMODULES = frozenset({
+    "allocation", "analysis", "api", "cli", "core", "des",
+    "experiments", "metrics", "system", "workloads",
+})
+
+
+def __getattr__(name: str):
+    if name in _SUBMODULES:
+        import importlib
+
+        module = importlib.import_module(f"repro.{name}")
+        globals()[name] = module
+        return module
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    if name in _DEPRECATED:
+        _warnings.warn(
+            f"repro.{name} is deprecated; use {_DEPRECATED[name]}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    if name not in _DEPRECATED:  # cache so __getattr__ (and the warning) fires once
+        globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

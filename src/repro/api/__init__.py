@@ -1,0 +1,90 @@
+"""The layered public API of the reproduction.
+
+Three layers, from declarative to executable:
+
+1. :class:`ExperimentSpec` -- a validated, serializable description of
+   an experiment (JSON round-trip: specs live in files, get diffed and
+   shared);
+2. :class:`ExperimentBuilder` / :class:`Experiment` -- a fluent builder
+   over every configuration knob, plus demo scenario presets;
+3. :class:`Session` -- the runtime: all policies x replications,
+   serial or parallel (bit-identical results), or incremental
+   ``step_until`` execution with live inspection.
+
+Quickstart::
+
+    from repro.api import Experiment, Session
+
+    result = (
+        Experiment.builder()
+        .named("churn-study")
+        .duration(1200)
+        .providers(80)
+        .autonomous(rejoin_cooldown=120)
+        .policy("sbqa", kn=5)
+        .policy("capacity")
+        .replications(4)
+        .run(parallel=True)
+    )
+    print(result.comparison_table())
+
+Attributes resolve lazily (PEP 562) so importing a single submodule
+(e.g. :mod:`repro.api.presets` from the scenario layer) does not drag
+in the whole package.
+"""
+
+from typing import TYPE_CHECKING
+
+#: name -> defining submodule, resolved on first attribute access.
+_EXPORTS = {
+    "ExperimentSpec": "repro.api.spec",
+    "SPEC_VERSION": "repro.api.spec",
+    "Experiment": "repro.api.builder",
+    "ExperimentBuilder": "repro.api.builder",
+    "Session": "repro.api.session",
+    "ExperimentResult": "repro.api.results",
+    "PolicyResult": "repro.api.results",
+    "scenario_spec": "repro.api.presets",
+    "available_scenarios": "repro.api.presets",
+    "SCENARIO_PRESETS": "repro.api.presets",
+    "sbqa_policy": "repro.api.presets",
+}
+
+__all__ = sorted(_EXPORTS)
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from repro.api.builder import Experiment, ExperimentBuilder
+    from repro.api.presets import (
+        SCENARIO_PRESETS,
+        available_scenarios,
+        sbqa_policy,
+        scenario_spec,
+    )
+    from repro.api.results import ExperimentResult, PolicyResult
+    from repro.api.session import Session
+    from repro.api.spec import SPEC_VERSION, ExperimentSpec
+
+
+_SUBMODULES = frozenset(
+    {"builder", "presets", "results", "serialization", "session", "spec"}
+)
+
+
+def __getattr__(name: str):
+    import importlib
+
+    if name in _SUBMODULES:
+        module = importlib.import_module(f"repro.api.{name}")
+        globals()[name] = module
+        return module
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro.api' has no attribute {name!r}") from None
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: __getattr__ fires once per name
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

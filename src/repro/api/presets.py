@@ -1,0 +1,264 @@
+"""Scenario presets: the demo's experiments as :class:`ExperimentSpec`\\ s.
+
+Each preset reproduces the configuration of the corresponding
+``scenarioN_*`` function of :mod:`repro.experiments.scenarios` --
+population scale, autonomy regime, the policies compared -- as a
+declarative spec, so the demo experiments can be replicated, scaled,
+serialized and parallelised through the layered API::
+
+    spec = scenario_spec("scenario4", duration=1200.0, replications=8)
+    result = Session(spec).run(parallel=True)
+
+The scenario functions themselves import these presets, which keeps the
+two entry points (claim-checking scenario reports, spec-driven
+sessions) structurally identical by construction.
+
+Note Scenario 5 compares *two* populations (interest-driven vs
+performance-driven intentions); its preset is the performance-driven
+arm, which is the configuration the scenario's headline claims are
+about.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.api.spec import ExperimentSpec
+from repro.core.sbqa import SbQAConfig
+from repro.experiments.config import (
+    AutonomyConfig,
+    DEFAULT_SEED,
+    PolicySpec,
+)
+from repro.workloads.boinc import (
+    BoincScenarioParams,
+    FocalConsumerSpec,
+    FocalProviderSpec,
+)
+
+#: The two interest-blind baselines every scenario compares against.
+BASELINE_POLICIES: Tuple[PolicySpec, ...] = (
+    PolicySpec(name="capacity"),
+    PolicySpec(name="economic"),
+)
+
+
+def sbqa_policy(label: str = "sbqa", **sbqa_kwargs) -> PolicySpec:
+    """An SbQA policy entry (kwargs are :class:`SbQAConfig` fields)."""
+    return PolicySpec(name="sbqa", label=label, sbqa=SbQAConfig(**sbqa_kwargs))
+
+
+def scenario_autonomy(autonomous: bool, duration: float) -> AutonomyConfig:
+    """The demo's autonomy regime at a given horizon.
+
+    The warmup shrinks with short benches (``min(300, duration / 8)``)
+    so scaled-down runs still see churn.
+    """
+    return AutonomyConfig(
+        mode="autonomous" if autonomous else "captive",
+        warmup=min(300.0, duration / 8.0),
+    )
+
+
+def _spec(
+    scenario_id: str,
+    seed: int,
+    duration: float,
+    n_providers: int,
+    autonomous: bool,
+    policies: Tuple[PolicySpec, ...],
+    replications: int,
+    population_overrides: Dict[str, object],
+    track_provider_snapshots: bool = False,
+) -> ExperimentSpec:
+    population = BoincScenarioParams(n_providers=n_providers, **population_overrides)
+    return ExperimentSpec(
+        name=scenario_id,
+        seed=seed,
+        duration=duration,
+        population=population,
+        autonomy=scenario_autonomy(autonomous, duration),
+        track_provider_snapshots=track_provider_snapshots,
+        policies=policies,
+        replications=replications,
+    )
+
+
+def scenario1_spec(
+    seed: int = DEFAULT_SEED,
+    duration: float = 2400.0,
+    n_providers: int = 120,
+    replications: int = 1,
+    **population_overrides,
+) -> ExperimentSpec:
+    """Capacity vs economic under the satisfaction lens (captive)."""
+    return _spec(
+        "scenario1", seed, duration, n_providers, False,
+        BASELINE_POLICIES, replications, population_overrides,
+    )
+
+
+def scenario2_spec(
+    seed: int = DEFAULT_SEED,
+    duration: float = 2400.0,
+    n_providers: int = 120,
+    replications: int = 1,
+    **population_overrides,
+) -> ExperimentSpec:
+    """Baselines under churn; provider snapshots feed the departure
+    prediction analysis."""
+    return _spec(
+        "scenario2", seed, duration, n_providers, True,
+        BASELINE_POLICIES, replications, population_overrides,
+        track_provider_snapshots=True,
+    )
+
+
+def scenario3_spec(
+    seed: int = DEFAULT_SEED,
+    duration: float = 2400.0,
+    n_providers: int = 120,
+    replications: int = 1,
+    **population_overrides,
+) -> ExperimentSpec:
+    """SbQA vs baselines where nobody can leave."""
+    return _spec(
+        "scenario3", seed, duration, n_providers, False,
+        (sbqa_policy(),) + BASELINE_POLICIES, replications, population_overrides,
+    )
+
+
+def scenario4_spec(
+    seed: int = DEFAULT_SEED,
+    duration: float = 2400.0,
+    n_providers: int = 120,
+    replications: int = 1,
+    **population_overrides,
+) -> ExperimentSpec:
+    """SbQA vs baselines under churn (the paper's headline)."""
+    return _spec(
+        "scenario4", seed, duration, n_providers, True,
+        (sbqa_policy(),) + BASELINE_POLICIES, replications, population_overrides,
+    )
+
+
+def scenario5_spec(
+    seed: int = DEFAULT_SEED,
+    duration: float = 2400.0,
+    n_providers: int = 120,
+    replications: int = 1,
+    **population_overrides,
+) -> ExperimentSpec:
+    """The performance-intentions arm of the adaptation study: SbQA as
+    a load balancer vs the dedicated capacity balancer."""
+    overrides = {
+        "consumer_intentions": {"model": "response-time-only"},
+        "provider_intentions": {"model": "load-only"},
+    }
+    overrides.update(population_overrides)
+    return _spec(
+        "scenario5", seed, duration, n_providers, False,
+        (sbqa_policy("sbqa[performance]"), PolicySpec(name="capacity")),
+        replications, overrides,
+    )
+
+
+def scenario6_spec(
+    seed: int = DEFAULT_SEED,
+    duration: float = 2400.0,
+    n_providers: int = 120,
+    replications: int = 1,
+    k: int = 20,
+    **population_overrides,
+) -> ExperimentSpec:
+    """The kn / omega tuning sweep of the application-adaptability study."""
+    policies = tuple(scenario6_policies(k))
+    return _spec(
+        "scenario6", seed, duration, n_providers, False,
+        policies, replications, population_overrides,
+    )
+
+
+def scenario6_kn_values(k: int = 20) -> list:
+    """The kn settings Scenario 6 sweeps for a given pool size.
+
+    Single source of truth: the scenario's claim checks look sweep
+    entries up by these values, so the label set and the checks cannot
+    drift apart.
+    """
+    return sorted({1, max(2, k // 8), k // 2, k})
+
+
+def scenario6_policies(k: int = 20):
+    """The sweep entries Scenario 6 compares, for a given pool size."""
+    kn_values = scenario6_kn_values(k)
+    policies = [
+        sbqa_policy(f"sbqa[kn={kn}]", k=k, kn=kn, omega="adaptive")
+        for kn in kn_values
+    ]
+    policies += [
+        sbqa_policy(f"sbqa[w={omega:g}]", k=k, kn=k // 2, omega=omega)
+        for omega in (0.0, 0.5, 1.0)
+    ]
+    policies.append(sbqa_policy("sbqa[w=adaptive]", k=k, kn=k // 2, omega="adaptive"))
+    return policies
+
+
+def scenario7_spec(
+    seed: int = DEFAULT_SEED,
+    duration: float = 2400.0,
+    n_providers: int = 120,
+    replications: int = 1,
+    **population_overrides,
+) -> ExperimentSpec:
+    """Every mediation probed by a focal volunteer and a focal project."""
+    overrides = {
+        "focal_provider": FocalProviderSpec(loves="einstein"),
+        "focal_consumer": FocalConsumerSpec(),
+    }
+    overrides.update(population_overrides)
+    policies = (
+        sbqa_policy(),
+        PolicySpec(name="capacity"),
+        PolicySpec(name="economic"),
+        PolicySpec(name="boinc-shares"),
+        PolicySpec(name="random"),
+    )
+    return _spec(
+        "scenario7", seed, duration, n_providers, False,
+        policies, replications, overrides,
+    )
+
+
+#: Scenario id -> preset spec factory.
+SCENARIO_PRESETS: Dict[str, Callable[..., ExperimentSpec]] = {
+    "scenario1": scenario1_spec,
+    "scenario2": scenario2_spec,
+    "scenario3": scenario3_spec,
+    "scenario4": scenario4_spec,
+    "scenario5": scenario5_spec,
+    "scenario6": scenario6_spec,
+    "scenario7": scenario7_spec,
+}
+
+
+def available_scenarios() -> Tuple[str, ...]:
+    """The scenario ids :func:`scenario_spec` accepts, sorted."""
+    return tuple(sorted(SCENARIO_PRESETS))
+
+
+def scenario_spec(scenario_id: str, **kwargs) -> ExperimentSpec:
+    """The preset spec of one demo scenario, with overrides.
+
+    ``kwargs`` are the preset's parameters (``seed``, ``duration``,
+    ``n_providers``, ``replications``, plus any
+    :class:`BoincScenarioParams` field as a population override).
+    """
+    try:
+        factory = SCENARIO_PRESETS[scenario_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {scenario_id!r}; "
+            f"available: {', '.join(available_scenarios())}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,206 @@
+"""Aggregated experiment outcomes: :class:`ExperimentResult`.
+
+One :class:`Session.run` produces one :class:`ExperimentResult`: a
+:class:`PolicyResult` per compared policy, each holding the per-
+replication :class:`RunSummary` values (and, in serial mode, the full
+:class:`RunResult` objects for deep inspection).  The aggregate unifies
+what ``RunResult`` / ``AggregateResult`` / ``ScenarioResult`` exposed
+separately: comparison tables, mean +- stdev cells, CSV and JSON
+export.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
+
+from repro.analysis.export import rows_to_csv
+from repro.analysis.stats import mean, stdev
+from repro.analysis.tables import render_table
+from repro.experiments.config import PolicySpec
+from repro.experiments.replication import AGGREGATED_FIELDS, AggregateResult
+from repro.experiments.report import DEFAULT_COLUMNS, _HEADERS
+from repro.metrics.summary import RunSummary
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.spec import ExperimentSpec
+    from repro.experiments.runner import RunResult
+
+
+@dataclass
+class PolicyResult:
+    """All replications of one policy within an experiment."""
+
+    policy: PolicySpec
+    summaries: List[RunSummary]
+    #: Full run objects, serial execution with ``keep_runs`` only.
+    runs: List["RunResult"] = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        return self.policy.label
+
+    @property
+    def replications(self) -> int:
+        return len(self.summaries)
+
+    @property
+    def summary(self) -> RunSummary:
+        """The first replication's summary (the common single-rep case)."""
+        return self.summaries[0]
+
+    def run(self, replication: int = 0) -> "RunResult":
+        """The full :class:`RunResult` of one replication.
+
+        Available only after serial execution with ``keep_runs`` (the
+        parallel path ships summaries back from worker processes, not
+        live simulation objects).
+        """
+        if not self.runs:
+            raise RuntimeError(
+                f"no RunResults kept for policy {self.label!r}; "
+                "run the session serially with keep_runs=True to inspect runs"
+            )
+        return self.runs[replication]
+
+    def values(self, key: str) -> List[float]:
+        """The per-replication values of one aggregated summary field."""
+        if key not in AGGREGATED_FIELDS:
+            raise KeyError(
+                f"field {key!r} is not aggregated; "
+                f"aggregated fields: {', '.join(AGGREGATED_FIELDS)}"
+            )
+        return [float(s.as_dict()[key]) for s in self.summaries]
+
+    @property
+    def means(self) -> Dict[str, float]:
+        return {key: mean(self.values(key)) for key in AGGREGATED_FIELDS}
+
+    @property
+    def stdevs(self) -> Dict[str, float]:
+        return {key: stdev(self.values(key)) for key in AGGREGATED_FIELDS}
+
+    def cell(self, key: str, decimals: int = 3) -> str:
+        """``mean +- stdev`` rendering of one aggregated field."""
+        values = self.values(key)
+        if len(values) == 1:
+            return f"{values[0]:.{decimals}f}"
+        return f"{mean(values):.{decimals}f}±{stdev(values):.{decimals}f}"
+
+    def __getitem__(self, key: str) -> float:
+        return mean(self.values(key))
+
+    def aggregate(self) -> AggregateResult:
+        """Bridge to the legacy :class:`AggregateResult` shape."""
+        return AggregateResult(
+            label=self.label,
+            replications=self.replications,
+            means=self.means,
+            stdevs=self.stdevs,
+            runs=list(self.runs),
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one executed experiment produced."""
+
+    spec: "ExperimentSpec"
+    policies: List[PolicyResult]
+    parallel: bool = False
+
+    @property
+    def labels(self) -> List[str]:
+        return [p.label for p in self.policies]
+
+    def policy(self, label: str) -> PolicyResult:
+        """The results of the policy with the given label."""
+        for policy in self.policies:
+            if policy.label == label:
+                return policy
+        raise KeyError(f"no policy labelled {label!r}; have {self.labels}")
+
+    @property
+    def runs(self) -> List["RunResult"]:
+        """All kept runs, (policy, replication) ordered; serial only."""
+        return [run for policy in self.policies for run in policy.runs]
+
+    def run(self, label: str, replication: int = 0) -> "RunResult":
+        """One policy's full run (serial execution with kept runs)."""
+        return self.policy(label).run(replication)
+
+    def best(self, key: str, minimize: bool = False) -> PolicyResult:
+        """The policy with the best mean value of one aggregated field."""
+        chooser = min if minimize else max
+        return chooser(self.policies, key=lambda p: p[key])
+
+    # ------------------------------------------------------------------
+    # Tables and export
+    # ------------------------------------------------------------------
+
+    def comparison_table(
+        self,
+        columns: Sequence[str] = DEFAULT_COLUMNS,
+        decimals: int = 3,
+        title: Optional[str] = None,
+    ) -> str:
+        """One row per policy; ``mean±stdev`` cells when replicated."""
+        headers = ["policy"] + [_HEADERS.get(col, col) for col in columns]
+        rows = [
+            [policy.label] + [policy.cell(col, decimals) for col in columns]
+            for policy in self.policies
+        ]
+        if title is None:
+            title = (
+                f"{self.spec.name} "
+                f"({self.spec.replications} replication(s) per policy)"
+            )
+        return render_table(headers, rows, title=title)
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        """One flat dict per (policy, replication): the long-format data."""
+        rows = []
+        for policy in self.policies:
+            for replication, summary in enumerate(policy.summaries):
+                row: Dict[str, object] = {
+                    "experiment": self.spec.name,
+                    "policy": policy.label,
+                    "replication": replication,
+                }
+                row.update(summary.as_dict())
+                rows.append(row)
+        return rows
+
+    def to_csv(self, path: Optional[Union[str, Path]] = None) -> str:
+        """Long-format CSV of every replication's flat summary."""
+        rows = self.to_rows()
+        headers = list(rows[0].keys())
+        return rows_to_csv(headers, [[r[h] for h in headers] for r in rows], path=path)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly digest: the spec plus per-policy aggregates."""
+        return {
+            "spec": self.spec.to_dict(),
+            "parallel": self.parallel,
+            "policies": [
+                {
+                    "label": policy.label,
+                    "replications": policy.replications,
+                    "means": policy.means,
+                    "stdevs": policy.stdevs,
+                    "summaries": [s.as_dict() for s in policy.summaries],
+                }
+                for policy in self.policies
+            ],
+        }
+
+    def to_json(
+        self, path: Optional[Union[str, Path]] = None, indent: int = 2
+    ) -> str:
+        """The digest as JSON text, optionally written to ``path``."""
+        text = json.dumps(self.to_dict(), indent=indent, sort_keys=True) + "\n"
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text

@@ -1,0 +1,211 @@
+"""Dict <-> dataclass converters behind :class:`~repro.api.spec.ExperimentSpec`.
+
+Every configuration dataclass the experiment layer exposes gets a pair
+of converters here, so a whole experiment can round-trip through plain
+JSON-friendly dicts (``spec -> dict -> spec`` is the identity).  The
+converters validate keys eagerly and list the valid field names on a
+typo, mirroring :meth:`ExperimentConfig.with_overrides`.
+
+Intention models are serialized through their canonical declarative
+form (see :func:`repro.core.intentions.consumer_intentions_to_spec`),
+which is also what :func:`canonical_population` normalizes live model
+objects to -- the reason two specs built from equivalent inputs compare
+equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields, replace
+from typing import Any, Dict, Optional, Type
+
+from repro.core.intentions import (
+    consumer_intentions_to_spec,
+    provider_intentions_to_spec,
+)
+from repro.core.sbqa import SbQAConfig
+from repro.experiments.config import AutonomyConfig, PolicySpec
+from repro.system.failures import FailureConfig
+from repro.workloads.boinc import (
+    BoincScenarioParams,
+    FocalConsumerSpec,
+    FocalProviderSpec,
+    ProjectSpec,
+)
+from repro.workloads.preferences import ArchetypeMix
+
+
+def dataclass_kwargs(cls: Type, data: Dict[str, Any], what: str) -> Dict[str, Any]:
+    """Validate ``data``'s keys against ``cls``'s fields; helpful error."""
+    if not isinstance(data, dict):
+        raise TypeError(f"{what} must be a dict, got {type(data).__name__}")
+    valid = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - valid)
+    if unknown:
+        raise ValueError(
+            f"unknown {what} field(s): {', '.join(unknown)}. "
+            f"Valid fields: {', '.join(sorted(valid))}"
+        )
+    return dict(data)
+
+
+def _scalar_dict(obj) -> Dict[str, Any]:
+    """Field dict of a dataclass whose values are all JSON scalars."""
+    return {f.name: getattr(obj, f.name) for f in fields(obj)}
+
+
+# ----------------------------------------------------------------------
+# Leaf dataclasses (scalar fields only)
+# ----------------------------------------------------------------------
+
+project_spec_to_dict = _scalar_dict
+archetype_mix_to_dict = _scalar_dict
+focal_provider_to_dict = _scalar_dict
+focal_consumer_to_dict = _scalar_dict
+autonomy_to_dict = _scalar_dict
+failures_to_dict = _scalar_dict
+sbqa_config_to_dict = _scalar_dict
+
+
+def project_spec_from_dict(data: Dict[str, Any]) -> ProjectSpec:
+    return ProjectSpec(**dataclass_kwargs(ProjectSpec, data, "ProjectSpec"))
+
+
+def archetype_mix_from_dict(data: Dict[str, Any]) -> ArchetypeMix:
+    return ArchetypeMix(**dataclass_kwargs(ArchetypeMix, data, "ArchetypeMix"))
+
+
+def focal_provider_from_dict(data: Dict[str, Any]) -> FocalProviderSpec:
+    return FocalProviderSpec(
+        **dataclass_kwargs(FocalProviderSpec, data, "FocalProviderSpec")
+    )
+
+
+def focal_consumer_from_dict(data: Dict[str, Any]) -> FocalConsumerSpec:
+    return FocalConsumerSpec(
+        **dataclass_kwargs(FocalConsumerSpec, data, "FocalConsumerSpec")
+    )
+
+
+def autonomy_from_dict(data: Dict[str, Any]) -> AutonomyConfig:
+    return AutonomyConfig(**dataclass_kwargs(AutonomyConfig, data, "AutonomyConfig"))
+
+
+def failures_from_dict(data: Dict[str, Any]) -> FailureConfig:
+    return FailureConfig(**dataclass_kwargs(FailureConfig, data, "FailureConfig"))
+
+
+def sbqa_config_from_dict(data: Dict[str, Any]) -> SbQAConfig:
+    return SbQAConfig(**dataclass_kwargs(SbQAConfig, data, "SbQAConfig"))
+
+
+# ----------------------------------------------------------------------
+# PolicySpec
+# ----------------------------------------------------------------------
+
+
+def policy_spec_to_dict(spec: PolicySpec) -> Dict[str, Any]:
+    data: Dict[str, Any] = {"name": spec.name, "label": spec.label}
+    if spec.sbqa is not None:
+        data["sbqa"] = sbqa_config_to_dict(spec.sbqa)
+    if spec.params:
+        data["params"] = dict(spec.params)
+    return data
+
+
+def policy_spec_from_dict(data: Dict[str, Any]) -> PolicySpec:
+    kwargs = dataclass_kwargs(PolicySpec, data, "PolicySpec")
+    if "name" not in kwargs:
+        raise ValueError(f"PolicySpec dict needs a 'name' key, got {data!r}")
+    sbqa = kwargs.get("sbqa")
+    if isinstance(sbqa, dict):
+        kwargs["sbqa"] = sbqa_config_from_dict(sbqa)
+    kwargs.setdefault("label", "")
+    kwargs["params"] = dict(kwargs.get("params") or {})
+    return PolicySpec(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# BoincScenarioParams (the population)
+# ----------------------------------------------------------------------
+
+#: Population fields that are plain JSON scalars.
+_POPULATION_SCALARS = (
+    "n_providers",
+    "capacity_mean",
+    "capacity_cv",
+    "demand_mean",
+    "demand_cv",
+    "demand_distribution",
+    "pareto_minimum",
+    "n_results",
+    "quorum",
+    "target_load",
+    "memory",
+    "memory_jitter",
+    "saturation_horizon",
+    "rt_reference",
+    "preferred_fraction",
+)
+
+
+def canonical_population(params: BoincScenarioParams) -> BoincScenarioParams:
+    """Normalize a population to its declarative, comparable form.
+
+    Intention models become their canonical dict specs (the builders in
+    :mod:`repro.workloads.boinc` accept those directly) and ``projects``
+    becomes a tuple, so two equivalent populations compare equal and
+    serialization is order-independent of how they were authored.
+    """
+    return replace(
+        params,
+        projects=tuple(params.projects),
+        consumer_intentions=consumer_intentions_to_spec(params.consumer_intentions),
+        provider_intentions=provider_intentions_to_spec(params.provider_intentions),
+    )
+
+
+def population_to_dict(params: BoincScenarioParams) -> Dict[str, Any]:
+    data: Dict[str, Any] = {
+        name: getattr(params, name) for name in _POPULATION_SCALARS
+    }
+    data["projects"] = [project_spec_to_dict(p) for p in params.projects]
+    data["archetype_mix"] = archetype_mix_to_dict(params.archetype_mix)
+    data["consumer_intentions"] = consumer_intentions_to_spec(
+        params.consumer_intentions
+    )
+    data["provider_intentions"] = provider_intentions_to_spec(
+        params.provider_intentions
+    )
+    data["focal_provider"] = (
+        None
+        if params.focal_provider is None
+        else focal_provider_to_dict(params.focal_provider)
+    )
+    data["focal_consumer"] = (
+        None
+        if params.focal_consumer is None
+        else focal_consumer_to_dict(params.focal_consumer)
+    )
+    return data
+
+
+def population_from_dict(data: Dict[str, Any]) -> BoincScenarioParams:
+    kwargs = dataclass_kwargs(BoincScenarioParams, data, "BoincScenarioParams")
+    if "projects" in kwargs:
+        kwargs["projects"] = tuple(
+            project_spec_from_dict(p) if isinstance(p, dict) else p
+            for p in kwargs["projects"]
+        )
+    if isinstance(kwargs.get("archetype_mix"), dict):
+        kwargs["archetype_mix"] = archetype_mix_from_dict(kwargs["archetype_mix"])
+    if isinstance(kwargs.get("focal_provider"), dict):
+        kwargs["focal_provider"] = focal_provider_from_dict(kwargs["focal_provider"])
+    if isinstance(kwargs.get("focal_consumer"), dict):
+        kwargs["focal_consumer"] = focal_consumer_from_dict(kwargs["focal_consumer"])
+    return canonical_population(BoincScenarioParams(**kwargs))
+
+
+def optional_failures_from_dict(data) -> Optional[FailureConfig]:
+    if data is None or isinstance(data, FailureConfig):
+        return data
+    return failures_from_dict(data)

@@ -1,0 +1,197 @@
+"""The :class:`Session` runtime: executing an :class:`ExperimentSpec`.
+
+A session turns a declarative spec into results:
+
+* :meth:`Session.run` executes all ``policies x replications`` runs,
+  serially or across worker processes
+  (:class:`~concurrent.futures.ProcessPoolExecutor`).  Replication
+  seeding is deterministic -- replication ``i`` derives its random root
+  from ``(spec.seed, i)`` regardless of which process executes it or in
+  which order futures complete -- so parallel aggregates are
+  bit-identical to serial ones.
+* :meth:`Session.start` wires a single run and returns the
+  :class:`~repro.experiments.runner.LiveRun` for incremental
+  ``step_until(t)`` execution with live inspection of the mediator and
+  metrics hub.
+
+Workers receive the *serialized* spec (``spec.to_dict()``), which keeps
+the task payload picklable and exercises exactly the round-trip the
+spec layer guarantees.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.api.results import ExperimentResult, PolicyResult
+from repro.api.spec import ExperimentSpec
+from repro.des.tracing import NULL_RECORDER, TraceRecorder
+from repro.experiments.config import PolicySpec
+from repro.experiments.runner import LiveRun, RunResult, run_once, wire_run
+from repro.metrics.summary import RunSummary
+
+
+def _execute_task(payload: Tuple[dict, int, int]) -> Tuple[int, int, RunSummary]:
+    """Worker entry: one (policy, replication) run from a spec dict.
+
+    Module-level so it pickles; returns the summary only (live
+    simulation objects stay in the worker).
+    """
+    spec_dict, policy_index, replication = payload
+    spec = ExperimentSpec.from_dict(spec_dict)
+    config = spec.to_config()
+    result = run_once(config, spec.policies[policy_index], replication=replication)
+    return policy_index, replication, result.summary
+
+
+class Session:
+    """Executes one :class:`ExperimentSpec`.
+
+    A session is cheap to construct and stateless between calls; the
+    expensive part is :meth:`run`.
+    """
+
+    def __init__(self, spec: ExperimentSpec) -> None:
+        if not isinstance(spec, ExperimentSpec):
+            raise TypeError(
+                f"Session needs an ExperimentSpec, got {type(spec).__name__} "
+                "(build one with Experiment.builder() or ExperimentSpec.load)"
+            )
+        self.spec = spec
+
+    # ------------------------------------------------------------------
+    # Task enumeration
+    # ------------------------------------------------------------------
+
+    def tasks(self) -> Iterator[Tuple[int, int]]:
+        """Every (policy_index, replication) pair, deterministic order."""
+        for policy_index in range(len(self.spec.policies)):
+            for replication in range(self.spec.replications):
+                yield policy_index, replication
+
+    def __len__(self) -> int:
+        """Total number of runs the session will execute."""
+        return len(self.spec.policies) * self.spec.replications
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        parallel: bool = False,
+        max_workers: Optional[int] = None,
+        keep_runs: Optional[bool] = None,
+    ) -> ExperimentResult:
+        """Execute all policies x replications; aggregate the outcome.
+
+        Parameters
+        ----------
+        parallel:
+            Fan replications out over a process pool.  Results are
+            bit-identical to serial execution (deterministic seeding,
+            deterministic collection order); only wall-clock changes.
+        max_workers:
+            Process count, parallel mode only (default: CPU count,
+            capped at the task count).
+        keep_runs:
+            Retain full :class:`RunResult` objects on the result for
+            deep inspection.  Defaults to True when serial, and is
+            unavailable (forced False) in parallel mode, where runs
+            execute in worker processes.
+        """
+        if keep_runs is None:
+            keep_runs = not parallel
+        if parallel and keep_runs:
+            raise ValueError(
+                "keep_runs is unavailable in parallel mode: full runs "
+                "(simulator, hub, population) live in the worker processes"
+            )
+        if parallel:
+            summaries = self._run_parallel(max_workers)
+            kept: Dict[Tuple[int, int], RunResult] = {}
+        else:
+            summaries, kept = self._run_serial(keep_runs)
+
+        policies: List[PolicyResult] = []
+        for policy_index, policy in enumerate(self.spec.policies):
+            policy_summaries = [
+                summaries[(policy_index, replication)]
+                for replication in range(self.spec.replications)
+            ]
+            policy_runs = [
+                kept[(policy_index, replication)]
+                for replication in range(self.spec.replications)
+                if (policy_index, replication) in kept
+            ]
+            policies.append(
+                PolicyResult(
+                    policy=policy, summaries=policy_summaries, runs=policy_runs
+                )
+            )
+        return ExperimentResult(spec=self.spec, policies=policies, parallel=parallel)
+
+    def _run_serial(
+        self, keep_runs: bool
+    ) -> Tuple[Dict[Tuple[int, int], RunSummary], Dict[Tuple[int, int], RunResult]]:
+        config = self.spec.to_config()
+        summaries: Dict[Tuple[int, int], RunSummary] = {}
+        kept: Dict[Tuple[int, int], RunResult] = {}
+        for policy_index, replication in self.tasks():
+            result = run_once(
+                config, self.spec.policies[policy_index], replication=replication
+            )
+            summaries[(policy_index, replication)] = result.summary
+            if keep_runs:
+                kept[(policy_index, replication)] = result
+        return summaries, kept
+
+    def _run_parallel(
+        self, max_workers: Optional[int]
+    ) -> Dict[Tuple[int, int], RunSummary]:
+        task_list = list(self.tasks())
+        if max_workers is None:
+            max_workers = os.cpu_count() or 1
+        max_workers = max(1, min(max_workers, len(task_list)))
+        spec_dict = self.spec.to_dict()
+        payloads = [
+            (spec_dict, policy_index, replication)
+            for policy_index, replication in task_list
+        ]
+        summaries: Dict[Tuple[int, int], RunSummary] = {}
+        with ProcessPoolExecutor(max_workers=max_workers) as executor:
+            for policy_index, replication, summary in executor.map(
+                _execute_task, payloads
+            ):
+                summaries[(policy_index, replication)] = summary
+        return summaries
+
+    # ------------------------------------------------------------------
+    # Incremental execution
+    # ------------------------------------------------------------------
+
+    def start(
+        self,
+        policy: Union[None, int, str] = None,
+        replication: int = 0,
+        trace: TraceRecorder = NULL_RECORDER,
+    ) -> LiveRun:
+        """Wire one run for incremental ``step_until(t)`` execution.
+
+        ``policy`` selects by label, by index, or defaults to the
+        spec's first policy.  The returned :class:`LiveRun` exposes the
+        live ``mediator``, ``hub`` and ``registry`` between steps.
+        """
+        spec = self._resolve_policy(policy)
+        return wire_run(
+            self.spec.to_config(), spec, replication=replication, trace=trace
+        )
+
+    def _resolve_policy(self, policy: Union[None, int, str]) -> PolicySpec:
+        if policy is None:
+            return self.spec.policies[0]
+        if isinstance(policy, int):
+            return self.spec.policies[policy]
+        return self.spec.policy(policy)

@@ -1,0 +1,224 @@
+"""The declarative experiment description: :class:`ExperimentSpec`.
+
+An ``ExperimentSpec`` is the complete, validated, *serializable* value
+describing one experiment: the population and workload, the autonomy
+regime, optional failure injection, one or more allocation policies to
+compare, and how many replications to run.  It is the input of
+:class:`repro.api.session.Session` and the output of
+:class:`repro.api.builder.ExperimentBuilder`.
+
+Being plain data with ``to_dict()/from_dict()`` and JSON round-tripping
+means specs can live in files, be diffed and shared, and be shipped to
+worker processes for parallel replication execution::
+
+    spec = ExperimentSpec.load("experiment.json")
+    assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.api.serialization import (
+    autonomy_from_dict,
+    autonomy_to_dict,
+    canonical_population,
+    failures_to_dict,
+    optional_failures_from_dict,
+    policy_spec_from_dict,
+    policy_spec_to_dict,
+    population_from_dict,
+    population_to_dict,
+)
+from repro.experiments.config import (
+    AutonomyConfig,
+    DEFAULT_SEED,
+    ExperimentConfig,
+    PolicySpec,
+)
+from repro.system.failures import FailureConfig
+from repro.workloads.boinc import BoincScenarioParams
+
+#: Format tag written into serialized specs; bump on breaking layout
+#: changes so old files fail loudly instead of silently misparsing.
+SPEC_VERSION = 1
+
+
+@dataclass
+class ExperimentSpec:
+    """A fully declarative experiment: config + policies + replications.
+
+    The first block of fields mirrors
+    :class:`~repro.experiments.config.ExperimentConfig` one-to-one (see
+    :meth:`to_config`); ``policies`` and ``replications`` describe the
+    comparison on top: every policy runs ``replications`` times, each
+    replication deriving an independent random root from ``seed``.
+    """
+
+    name: str = "experiment"
+    seed: int = DEFAULT_SEED
+    duration: float = 2400.0
+    sample_interval: float = 10.0
+    population: BoincScenarioParams = field(default_factory=BoincScenarioParams)
+    autonomy: AutonomyConfig = field(default_factory=AutonomyConfig)
+    latency_low: float = 0.02
+    latency_high: float = 0.08
+    failures: Optional[FailureConfig] = None
+    result_timeout: Optional[float] = None
+    adequation_over_candidates: bool = False
+    keep_records: bool = False
+    track_provider_snapshots: bool = False
+    # default_factory: PolicySpec is frozen but its params dict is not,
+    # so a shared class-level default instance would let one spec's
+    # mutation poison every other default-constructed spec.
+    policies: Tuple[PolicySpec, ...] = field(
+        default_factory=lambda: (PolicySpec(name="sbqa"),)
+    )
+    replications: int = 1
+
+    def __post_init__(self) -> None:
+        self.population = canonical_population(self.population)
+        self.policies = tuple(self.policies)
+        if not self.policies:
+            raise ValueError("an experiment needs at least one policy")
+        labels = [p.label for p in self.policies]
+        duplicates = sorted({l for l in labels if labels.count(l) > 1})
+        if duplicates:
+            raise ValueError(
+                f"policy labels must be unique, duplicated: {', '.join(duplicates)} "
+                "(pass label= to disambiguate sweep entries)"
+            )
+        if self.replications < 1:
+            raise ValueError(
+                f"need at least one replication, got {self.replications}"
+            )
+        # Delegate the cross-field invariants (latency band, failure /
+        # timeout coupling, positive durations) to ExperimentConfig so
+        # a spec that constructs is a spec that runs.
+        self.to_config()
+
+    # ------------------------------------------------------------------
+    # Bridges to the imperative layer
+    # ------------------------------------------------------------------
+
+    def to_config(self) -> ExperimentConfig:
+        """The :class:`ExperimentConfig` this spec describes."""
+        return ExperimentConfig(
+            name=self.name,
+            seed=self.seed,
+            duration=self.duration,
+            sample_interval=self.sample_interval,
+            population=self.population,
+            autonomy=self.autonomy,
+            latency_low=self.latency_low,
+            latency_high=self.latency_high,
+            failures=self.failures,
+            result_timeout=self.result_timeout,
+            adequation_over_candidates=self.adequation_over_candidates,
+            keep_records=self.keep_records,
+            track_provider_snapshots=self.track_provider_snapshots,
+        )
+
+    @classmethod
+    def from_config(
+        cls,
+        config: ExperimentConfig,
+        policies,
+        replications: int = 1,
+    ) -> "ExperimentSpec":
+        """Lift an imperative ``(config, policies)`` pair into a spec."""
+        if isinstance(policies, PolicySpec):
+            policies = (policies,)
+        kwargs = {
+            f.name: getattr(config, f.name) for f in fields(ExperimentConfig)
+        }
+        return cls(policies=tuple(policies), replications=replications, **kwargs)
+
+    def policy(self, label: str) -> PolicySpec:
+        """The policy with the given label (KeyError if absent)."""
+        for spec in self.policies:
+            if spec.label == label:
+                return spec
+        raise KeyError(
+            f"no policy labelled {label!r}; have {[p.label for p in self.policies]}"
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly dict; inverse of :meth:`from_dict`."""
+        return {
+            "spec_version": SPEC_VERSION,
+            "name": self.name,
+            "seed": self.seed,
+            "duration": self.duration,
+            "sample_interval": self.sample_interval,
+            "population": population_to_dict(self.population),
+            "autonomy": autonomy_to_dict(self.autonomy),
+            "latency_low": self.latency_low,
+            "latency_high": self.latency_high,
+            "failures": (
+                None if self.failures is None else failures_to_dict(self.failures)
+            ),
+            "result_timeout": self.result_timeout,
+            "adequation_over_candidates": self.adequation_over_candidates,
+            "keep_records": self.keep_records,
+            "track_provider_snapshots": self.track_provider_snapshots,
+            "policies": [policy_spec_to_dict(p) for p in self.policies],
+            "replications": self.replications,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentSpec":
+        """Build a spec from :meth:`to_dict` output (keys validated)."""
+        if not isinstance(data, dict):
+            raise TypeError(f"spec must be a dict, got {type(data).__name__}")
+        payload = dict(data)
+        version = payload.pop("spec_version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise ValueError(
+                f"unsupported spec_version {version!r} (this build reads "
+                f"version {SPEC_VERSION})"
+            )
+        valid = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - valid)
+        if unknown:
+            raise ValueError(
+                f"unknown ExperimentSpec field(s): {', '.join(unknown)}. "
+                f"Valid fields: {', '.join(sorted(valid))}"
+            )
+        if isinstance(payload.get("population"), dict):
+            payload["population"] = population_from_dict(payload["population"])
+        if isinstance(payload.get("autonomy"), dict):
+            payload["autonomy"] = autonomy_from_dict(payload["autonomy"])
+        payload["failures"] = optional_failures_from_dict(payload.get("failures"))
+        if "policies" in payload:
+            payload["policies"] = tuple(
+                policy_spec_from_dict(p) if isinstance(p, dict) else p
+                for p in payload["policies"]
+            )
+        return cls(**payload)
+
+    def to_json(self, indent: int = 2) -> str:
+        """The spec as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the spec to a JSON file; returns the path."""
+        path = Path(path)
+        path.write_text(self.to_json(), encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ExperimentSpec":
+        """Read a spec from a JSON file."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))

@@ -1,23 +1,29 @@
-"""Command-line interface: run scenarios and export their data.
+"""Command-line interface: run scenarios, specs, and export their data.
 
 Usage::
 
     sbqa list
     sbqa run scenario3 --duration 900 --providers 80 --seed 7
     sbqa run scenario4 --csv out.csv
+    sbqa run scenario3 --replications 8 --parallel   # replicated session
+    sbqa run --spec experiment.json                  # declarative spec file
+    sbqa spec scenario4 -o experiment.json           # emit a preset spec
     sbqa trace --queries 3                      # Figure-1 pipeline trace
     sbqa sweep kn --values 1,2,5,10,20          # tuning tables
     sbqa sweep omega --values 0,0.5,1,adaptive
 
-The CLI is a thin veneer over :mod:`repro.experiments.scenarios`; it
-exists so the reproduction can be driven without writing Python,
-mirroring how the original demo was driven from its GUIs.
+The CLI is a thin veneer over :mod:`repro.api` (spec / builder /
+session) and :mod:`repro.experiments.scenarios`; it exists so the
+reproduction can be driven without writing Python, mirroring how the
+original demo was driven from its GUIs.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.export import series_to_csv
@@ -33,9 +39,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available scenarios")
 
-    run = sub.add_parser("run", help="run one scenario (or 'all') and print reports")
+    run = sub.add_parser(
+        "run", help="run one scenario (or 'all'), or a JSON spec file"
+    )
     run.add_argument(
-        "scenario", choices=sorted(ALL_SCENARIOS) + ["all"], help="scenario id"
+        "scenario",
+        nargs="?",
+        choices=sorted(ALL_SCENARIOS) + ["all"],
+        default=None,
+        help="scenario id (omit when using --spec)",
+    )
+    run.add_argument(
+        "--spec", type=str, default=None,
+        help="run a declarative ExperimentSpec JSON file instead of a scenario",
     )
     run.add_argument("--seed", type=int, default=None, help="root random seed")
     run.add_argument(
@@ -45,8 +61,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--providers", type=int, default=None, help="volunteer population size (default 120)"
     )
     run.add_argument(
-        "--csv", type=str, default=None, help="export every run's sampled series to CSV"
+        "--replications", type=int, default=None,
+        help="replications per policy (switches to the comparison table output)",
     )
+    run.add_argument(
+        "--parallel", action="store_true",
+        help="execute replications across worker processes",
+    )
+    run.add_argument(
+        "--workers", type=int, default=None,
+        help="worker process count for --parallel (default: CPU count)",
+    )
+    run.add_argument(
+        "--csv", type=str, default=None, help="export run data to CSV"
+    )
+    run.add_argument(
+        "--json", dest="json_out", type=str, default=None,
+        help="export the aggregated result digest to JSON (spec/session runs)",
+    )
+
+    spec_cmd = sub.add_parser(
+        "spec", help="emit a scenario preset as an ExperimentSpec JSON file"
+    )
+    spec_cmd.add_argument(
+        "scenario", choices=sorted(ALL_SCENARIOS), help="scenario id"
+    )
+    spec_cmd.add_argument(
+        "-o", "--output", type=str, default=None,
+        help="destination file (default: stdout)",
+    )
+    spec_cmd.add_argument("--seed", type=int, default=None)
+    spec_cmd.add_argument("--duration", type=float, default=None)
+    spec_cmd.add_argument("--providers", type=int, default=None)
+    spec_cmd.add_argument("--replications", type=int, default=None)
 
     trace = sub.add_parser("trace", help="trace the SbQA mediation pipeline (Figure 1)")
     trace.add_argument("--queries", type=int, default=3, help="queries to trace")
@@ -71,7 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_scenario(args: argparse.Namespace) -> int:
+def _scenario_kwargs(args: argparse.Namespace) -> dict:
     kwargs = {}
     if args.seed is not None:
         kwargs["seed"] = args.seed
@@ -79,6 +126,114 @@ def _run_scenario(args: argparse.Namespace) -> int:
         kwargs["duration"] = args.duration
     if args.providers is not None:
         kwargs["n_providers"] = args.providers
+    return kwargs
+
+
+def _print_session_result(
+    result, args: argparse.Namespace, suffix: str = ""
+) -> None:
+    """Print the comparison table and export; ``suffix`` keeps per-
+    scenario exports of a ``run all`` session from overwriting each
+    other (``out.csv`` -> ``out.scenario2.csv``)."""
+
+    def _suffixed(path: str) -> str:
+        if not suffix:
+            return path
+        p = Path(path)
+        return str(p.with_name(f"{p.stem}.{suffix}{p.suffix}"))
+
+    print(result.comparison_table())
+    if args.csv:
+        path = _suffixed(args.csv)
+        result.to_csv(path)
+        print(f"replication data exported to {path}")
+    if args.json_out:
+        path = _suffixed(args.json_out)
+        result.to_json(path)
+        print(f"result digest exported to {path}")
+
+
+def _run_spec_file(args: argparse.Namespace) -> int:
+    """``sbqa run --spec experiment.json``: the declarative entry point."""
+    from repro.api.builder import Experiment
+
+    try:
+        builder = Experiment.load(args.spec)
+    except OSError as err:
+        print(f"error: cannot read spec file: {err}", file=sys.stderr)
+        return 2
+    except (ValueError, TypeError) as err:
+        print(f"error: invalid spec {args.spec}: {err}", file=sys.stderr)
+        return 2
+    # CLI overrides rebuild the spec, so __post_init__ re-validates.
+    if args.seed is not None:
+        builder.seed(args.seed)
+    if args.duration is not None:
+        builder.duration(args.duration)
+    if args.providers is not None:
+        builder.providers(args.providers)
+    if args.replications is not None:
+        builder.replications(args.replications)
+    try:
+        session = builder.session()
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    # Only summaries are printed/exported: drop each full run (live
+    # simulator + population) as soon as its summary is extracted.
+    result = session.run(
+        parallel=args.parallel, max_workers=args.workers, keep_runs=False
+    )
+    _print_session_result(result, args)
+    return 0
+
+
+def _run_session(args: argparse.Namespace) -> int:
+    """``sbqa run scenarioN --replications R [--parallel]``: a replicated
+    comparison over the scenario's preset spec."""
+    from repro.api.presets import scenario_spec
+    from repro.api.session import Session
+
+    kwargs = _scenario_kwargs(args)
+    if args.replications is not None:
+        kwargs["replications"] = args.replications
+    names = sorted(ALL_SCENARIOS) if args.scenario == "all" else [args.scenario]
+    for name in names:
+        try:
+            spec = scenario_spec(name, **kwargs)
+        except ValueError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+        result = Session(spec).run(
+            parallel=args.parallel, max_workers=args.workers, keep_runs=False
+        )
+        _print_session_result(result, args, suffix=name if len(names) > 1 else "")
+        print()
+    return 0
+
+
+def _run_scenario(args: argparse.Namespace) -> int:
+    if args.spec is not None:
+        if args.scenario is not None:
+            print(
+                "error: give either a scenario id or --spec FILE, not both",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_spec_file(args)
+    if args.scenario is None:
+        print("error: give a scenario id or --spec FILE", file=sys.stderr)
+        return 2
+    if args.replications is not None or args.parallel:
+        return _run_session(args)
+    if args.json_out:
+        print(
+            "error: --json needs a session run (--spec, --replications "
+            "or --parallel); the classic scenario path exports with --csv",
+            file=sys.stderr,
+        )
+        return 2
+    kwargs = _scenario_kwargs(args)
 
     names = sorted(ALL_SCENARIOS) if args.scenario == "all" else [args.scenario]
     combined = {}
@@ -95,6 +250,23 @@ def _run_scenario(args: argparse.Namespace) -> int:
         series_to_csv(combined, path=args.csv)
         print(f"series exported to {args.csv}")
     return 0 if all_pass else 1
+
+
+def _emit_spec(args: argparse.Namespace) -> int:
+    """``sbqa spec scenarioN -o file.json``: author spec files from presets."""
+    from repro.api.presets import scenario_spec
+
+    kwargs = _scenario_kwargs(args)
+    if args.replications is not None:
+        kwargs["replications"] = args.replications
+    spec = scenario_spec(args.scenario, **kwargs)
+    text = spec.to_json()
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"spec written to {args.output}")
+    else:
+        print(text, end="")
+    return 0
 
 
 def _run_trace(args: argparse.Namespace) -> int:
@@ -187,6 +359,20 @@ def _run_sweep(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``sbqa`` console script."""
+    try:
+        return _dispatch(argv)
+    except BrokenPipeError:
+        # Piping into `head` closes stdout early; that is not an error.
+        # Point stdout at devnull so the interpreter's exit-time flush
+        # does not raise a second time.
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except (OSError, ValueError):  # pragma: no cover - capture streams
+            pass
+        return 0
+
+
+def _dispatch(argv: Optional[List[str]]) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         for name in sorted(ALL_SCENARIOS):
@@ -196,6 +382,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "run":
         return _run_scenario(args)
+    if args.command == "spec":
+        return _emit_spec(args)
     if args.command == "trace":
         return _run_trace(args)
     if args.command == "sweep":

@@ -180,11 +180,28 @@ class LoadOnlyIntentions(PreferenceUtilizationIntentions):
 def make_consumer_intention_model(spec) -> ConsumerIntentionModel:
     """Coerce a config value into a consumer intention model.
 
-    Accepts a model instance or one of the strings ``"preference"``,
-    ``"reputation-blend"``, ``"response-time-only"``.
+    Accepts a model instance, one of the strings ``"preference"``,
+    ``"reputation-blend"``, ``"response-time-only"``, or a declarative
+    dict like ``{"model": "reputation-blend", "alpha": 0.3}`` (the form
+    :func:`consumer_intentions_to_spec` emits for serialized specs).
     """
     if isinstance(spec, ConsumerIntentionModel):
         return spec
+    if isinstance(spec, dict):
+        kwargs = dict(spec)
+        name = kwargs.pop("model", None)
+        if name is None:
+            raise ValueError(
+                f"consumer intention dict needs a 'model' key, got {spec!r}"
+            )
+        key = str(name).lower()
+        if key == "preference":
+            return PreferenceIntentions(**kwargs)
+        if key == "reputation-blend":
+            return ReputationBlendIntentions(**kwargs)
+        if key == "response-time-only":
+            return ResponseTimeIntentions(**kwargs)
+        raise ValueError(f"unknown consumer intention model {name!r}")
     if isinstance(spec, str):
         key = spec.lower()
         if key == "preference":
@@ -200,11 +217,27 @@ def make_consumer_intention_model(spec) -> ConsumerIntentionModel:
 def make_provider_intention_model(spec) -> ProviderIntentionModel:
     """Coerce a config value into a provider intention model.
 
-    Accepts a model instance or one of the strings ``"preference"``,
-    ``"preference-utilization"``, ``"load-only"``.
+    Accepts a model instance, one of the strings ``"preference"``,
+    ``"preference-utilization"``, ``"load-only"``, or a declarative
+    dict like ``{"model": "preference-utilization", "beta": 0.1}``.
     """
     if isinstance(spec, ProviderIntentionModel):
         return spec
+    if isinstance(spec, dict):
+        kwargs = dict(spec)
+        name = kwargs.pop("model", None)
+        if name is None:
+            raise ValueError(
+                f"provider intention dict needs a 'model' key, got {spec!r}"
+            )
+        key = str(name).lower()
+        if key == "preference":
+            return ProviderPreferenceIntentions(**kwargs)
+        if key == "preference-utilization":
+            return PreferenceUtilizationIntentions(**kwargs)
+        if key == "load-only":
+            return LoadOnlyIntentions(**kwargs)
+        raise ValueError(f"unknown provider intention model {name!r}")
     if isinstance(spec, str):
         key = spec.lower()
         if key == "preference":
@@ -215,3 +248,38 @@ def make_provider_intention_model(spec) -> ProviderIntentionModel:
             return LoadOnlyIntentions()
         raise ValueError(f"unknown provider intention model {spec!r}")
     raise TypeError(f"cannot build a provider intention model from {spec!r}")
+
+
+def consumer_intentions_to_spec(spec) -> dict:
+    """Canonical declarative (JSON-friendly) form of a consumer model.
+
+    The inverse of the dict branch of
+    :func:`make_consumer_intention_model`; custom model classes outside
+    the registry cannot be serialized and raise ``TypeError``.
+    """
+    model = make_consumer_intention_model(spec)
+    if isinstance(model, ResponseTimeIntentions):
+        return {"model": "response-time-only"}
+    if isinstance(model, ReputationBlendIntentions):
+        return {"model": "reputation-blend", "alpha": model.alpha}
+    if isinstance(model, PreferenceIntentions):
+        return {"model": "preference"}
+    raise TypeError(
+        f"cannot serialize custom consumer intention model {model!r}; "
+        "declarative specs support the built-in models only"
+    )
+
+
+def provider_intentions_to_spec(spec) -> dict:
+    """Canonical declarative (JSON-friendly) form of a provider model."""
+    model = make_provider_intention_model(spec)
+    if isinstance(model, LoadOnlyIntentions):
+        return {"model": "load-only"}
+    if isinstance(model, PreferenceUtilizationIntentions):
+        return {"model": "preference-utilization", "beta": model.beta}
+    if isinstance(model, ProviderPreferenceIntentions):
+        return {"model": "preference"}
+    raise TypeError(
+        f"cannot serialize custom provider intention model {model!r}; "
+        "declarative specs support the built-in models only"
+    )

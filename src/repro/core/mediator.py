@@ -165,7 +165,11 @@ class Mediator(Entity):
             pid = provider.participant_id
             if pid not in consumer_intentions:
                 consumer_intentions[pid] = consumer.intention_for(query, provider)
-        performer_intentions = [consumer_intentions[pid] for pid in allocated_ids]
+        # Iterate in decision order, not set order: Equation-1 float
+        # summation must not depend on PYTHONHASHSEED.
+        performer_intentions = [
+            consumer_intentions[p.participant_id] for p in decision.allocated
+        ]
         satisfaction = consumer_query_satisfaction(performer_intentions, query.n_results)
 
         adequation_pool = candidates if self.adequation_over_candidates else decision.informed

@@ -1,7 +1,10 @@
 """Wire one full simulation run and execute it.
 
-``run_once(config, policy_spec)`` performs the complete assembly that
-the demo prototype's setup GUIs performed interactively:
+``wire_run(config, policy_spec)`` performs the complete assembly that
+the demo prototype's setup GUIs performed interactively and returns a
+:class:`LiveRun` that can be stepped incrementally (``step_until``) or
+driven straight to the horizon; ``run_once`` is the one-shot form.
+The assembly:
 
 1. kernel: simulator + latency-modelled network + seeded random root;
 2. population: the BOINC-like consumers and providers;
@@ -65,13 +68,95 @@ class RunResult:
             return registry.provider(participant_id).satisfaction
 
 
-def run_once(
+@dataclass
+class LiveRun:
+    """A fully wired simulation that has not (necessarily) run yet.
+
+    Produced by :func:`wire_run`; supports incremental execution with
+    live inspection of the mediator / metrics-hub / registry state
+    between steps, which is what the demo's "drawing results on-line"
+    window did::
+
+        live = wire_run(config, PolicySpec(name="sbqa"))
+        live.step_until(600.0)
+        print(live.hub.queries_completed, live.mediator.mediations)
+        result = live.finalize()          # runs the remaining horizon
+
+    ``finalize()`` is idempotent and returns the same :class:`RunResult`
+    on repeated calls.
+    """
+
+    config: ExperimentConfig
+    policy_spec: PolicySpec
+    sim: Simulator
+    network: Network
+    hub: MetricsHub
+    mediator: Mediator
+    population: BoincPopulation
+    _result: Optional[RunResult] = None
+
+    @property
+    def label(self) -> str:
+        return self.policy_spec.label
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.sim.now
+
+    @property
+    def registry(self):
+        return self.population.registry
+
+    @property
+    def finished(self) -> bool:
+        """True once the horizon has been reached."""
+        return self.sim.now >= self.config.duration
+
+    def step_until(self, t: float) -> "LiveRun":
+        """Advance the simulation to time ``t`` (clamped to the horizon)."""
+        if self._result is not None:
+            raise RuntimeError("run already finalized")
+        self.sim.run_until(min(float(t), self.config.duration))
+        return self
+
+    def finalize(self) -> RunResult:
+        """Run any remaining horizon and assemble the :class:`RunResult`."""
+        if self._result is not None:
+            return self._result
+        if self.sim.now < self.config.duration:
+            self.sim.run_until(self.config.duration)
+        summary = build_summary(
+            policy_name=self.policy_spec.label,
+            duration=self.config.duration,
+            hub=self.hub,
+            registry=self.registry,
+            mediator=self.mediator,
+            network=self.network,
+        )
+        self._result = RunResult(
+            label=self.policy_spec.label,
+            config=self.config,
+            policy_spec=self.policy_spec,
+            summary=summary,
+            hub=self.hub,
+            population=self.population,
+            mediator=self.mediator,
+        )
+        return self._result
+
+
+def wire_run(
     config: ExperimentConfig,
     policy_spec: PolicySpec,
     replication: int = 0,
     trace: TraceRecorder = NULL_RECORDER,
-) -> RunResult:
-    """Execute one simulation run; deterministic in all arguments."""
+) -> LiveRun:
+    """Assemble one simulation run without executing it.
+
+    Deterministic in all arguments; ``run_once`` is exactly
+    ``wire_run(...).finalize()``.
+    """
     root = spawn_replication_root(config.seed, replication)
 
     # 1. kernel -----------------------------------------------------------
@@ -185,26 +270,27 @@ def run_once(
         hub.enable_provider_snapshots()
     hub.start_sampling(sim, registry, interval=config.sample_interval)
 
-    # run -------------------------------------------------------------
-    sim.run_until(config.duration)
-
-    summary = build_summary(
-        policy_name=policy_spec.label,
-        duration=config.duration,
-        hub=hub,
-        registry=registry,
-        mediator=mediator,
-        network=network,
-    )
-    return RunResult(
-        label=policy_spec.label,
+    return LiveRun(
         config=config,
         policy_spec=policy_spec,
-        summary=summary,
+        sim=sim,
+        network=network,
         hub=hub,
-        population=population,
         mediator=mediator,
+        population=population,
     )
+
+
+def run_once(
+    config: ExperimentConfig,
+    policy_spec: PolicySpec,
+    replication: int = 0,
+    trace: TraceRecorder = NULL_RECORDER,
+) -> RunResult:
+    """Execute one simulation run; deterministic in all arguments."""
+    return wire_run(
+        config, policy_spec, replication=replication, trace=trace
+    ).finalize()
 
 
 def run_policies(

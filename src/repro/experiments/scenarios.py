@@ -14,31 +14,28 @@ depend on the simulated substrate and are recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
 
 from repro.analysis.prediction import predict_departures
-from repro.core.intentions import LoadOnlyIntentions, ResponseTimeIntentions
-from repro.core.sbqa import SbQAConfig
-from repro.experiments.config import (
-    AutonomyConfig,
-    DEFAULT_SEED,
-    ExperimentConfig,
-    PolicySpec,
+from repro.api.presets import (
+    sbqa_policy,
+    scenario6_kn_values,
+    scenario_autonomy,
+    scenario_spec,
 )
+from repro.api.session import Session
+from repro.api.spec import ExperimentSpec
+from repro.experiments.config import DEFAULT_SEED
 from repro.experiments.report import (
     DEFAULT_COLUMNS,
     render_claims,
     render_comparison,
     render_run_series,
 )
-from repro.experiments.runner import RunResult, run_once, run_policies
+from repro.experiments.runner import RunResult
 from repro.system.autonomy import PAPER_PROVIDER_THRESHOLD
-from repro.workloads.boinc import (
-    BoincScenarioParams,
-    FocalConsumerSpec,
-    FocalProviderSpec,
-)
+from repro.workloads.boinc import BoincScenarioParams
 
 
 @dataclass(frozen=True)
@@ -94,41 +91,17 @@ class ScenarioResult:
 # ----------------------------------------------------------------------
 # Shared building blocks
 # ----------------------------------------------------------------------
+#
+# Every scenario builds its preset :class:`ExperimentSpec` through
+# :func:`repro.api.presets.scenario_spec` and executes it through a
+# serial :class:`Session` -- the same objects `sbqa run --spec` and the
+# builder API drive -- then layers the paper's machine-checked claims
+# on top of the kept :class:`RunResult` objects.
 
 
-def _population(n_providers: int, **overrides) -> BoincScenarioParams:
-    """The demo population at the requested scale."""
-    return BoincScenarioParams(n_providers=n_providers, **overrides)
-
-
-def _config(
-    name: str,
-    seed: int,
-    duration: float,
-    population: BoincScenarioParams,
-    autonomous: bool,
-) -> ExperimentConfig:
-    autonomy = AutonomyConfig(
-        mode="autonomous" if autonomous else "captive",
-        warmup=min(300.0, duration / 8.0),
-    )
-    return ExperimentConfig(
-        name=name,
-        seed=seed,
-        duration=duration,
-        population=population,
-        autonomy=autonomy,
-    )
-
-
-def _sbqa_spec(label: str = "sbqa", **sbqa_kwargs) -> PolicySpec:
-    return PolicySpec(name="sbqa", label=label, sbqa=SbQAConfig(**sbqa_kwargs))
-
-
-BASELINE_SPECS = (
-    PolicySpec(name="capacity"),
-    PolicySpec(name="economic"),
-)
+def _scenario_runs(scenario_id: str, **kwargs) -> List[RunResult]:
+    """Run a scenario's preset spec; one RunResult per policy."""
+    return Session(scenario_spec(scenario_id, **kwargs)).run().runs
 
 
 def _fraction_dissatisfied(run: RunResult, threshold: float = PAPER_PROVIDER_THRESHOLD) -> float:
@@ -171,10 +144,9 @@ def scenario1_satisfaction_model(
     interest-blind techniques leave an interest-driven minority of
     providers poorly satisfied.
     """
-    config = _config(
-        "scenario1", seed, duration, _population(n_providers), autonomous=False
+    runs = _scenario_runs(
+        "scenario1", seed=seed, duration=duration, n_providers=n_providers
     )
-    runs = run_policies(config, list(BASELINE_SPECS))
     capacity, economic = runs
 
     sat_gap = abs(
@@ -229,11 +201,9 @@ def scenario2_departures(
     leave -- the interest-starved archetypes -- and the baselines shed
     capacity.
     """
-    config = _config(
-        "scenario2", seed, duration, _population(n_providers), autonomous=True
+    runs = _scenario_runs(
+        "scenario2", seed=seed, duration=duration, n_providers=n_providers
     )
-    config = config.with_overrides(track_provider_snapshots=True)
-    runs = run_policies(config, list(BASELINE_SPECS))
     capacity, economic = runs
 
     picky_cap = _archetype_departure_fraction(capacity, "picky")
@@ -313,10 +283,9 @@ def scenario3_captive(
     designed for".  Expected shape: response times within a small
     factor of the capacity baseline, satisfaction strictly higher.
     """
-    config = _config(
-        "scenario3", seed, duration, _population(n_providers), autonomous=False
+    runs = _scenario_runs(
+        "scenario3", seed=seed, duration=duration, n_providers=n_providers
     )
-    runs = run_policies(config, [_sbqa_spec()] + list(BASELINE_SPECS))
     sbqa, capacity, economic = runs
 
     claims = [
@@ -369,10 +338,9 @@ def scenario4_autonomous(
     performance of BOINC-based projects by preserving most volunteers
     online and hence more computational resources."
     """
-    config = _config(
-        "scenario4", seed, duration, _population(n_providers), autonomous=True
+    runs = _scenario_runs(
+        "scenario4", seed=seed, duration=duration, n_providers=n_providers
     )
-    runs = run_policies(config, [_sbqa_spec()] + list(BASELINE_SPECS))
     sbqa, capacity, economic = runs
 
     claims = [
@@ -440,22 +408,26 @@ def scenario5_expectation_adaptation(
     volunteers" -- i.e. the *same* allocation process becomes a load
     balancer when that is what participants want.
     """
-    interests_population = _population(n_providers)
-    performance_population = _population(
-        n_providers,
-        consumer_intentions=ResponseTimeIntentions(),
-        provider_intentions=LoadOnlyIntentions(),
+    # Two populations, so two specs: the interest-driven arm runs SbQA
+    # alone; the performance-driven arm is the scenario5 preset (SbQA
+    # vs the dedicated load balancer).
+    interests_spec = ExperimentSpec(
+        name="scenario5-interests",
+        seed=seed,
+        duration=duration,
+        population=BoincScenarioParams(n_providers=n_providers),
+        autonomy=scenario_autonomy(False, duration),
+        policies=(sbqa_policy("sbqa[interests]"),),
     )
-    config_interests = _config(
-        "scenario5-interests", seed, duration, interests_population, autonomous=False
-    )
-    config_performance = _config(
-        "scenario5-performance", seed, duration, performance_population, autonomous=False
-    )
+    performance = Session(
+        scenario_spec(
+            "scenario5", seed=seed, duration=duration, n_providers=n_providers
+        )
+    ).run()
 
-    run_interests = run_once(config_interests, _sbqa_spec("sbqa[interests]"))
-    run_performance = run_once(config_performance, _sbqa_spec("sbqa[performance]"))
-    run_capacity = run_once(config_performance, PolicySpec(name="capacity"))
+    run_interests = Session(interests_spec).run().runs[0]
+    run_performance = performance.run("sbqa[performance]")
+    run_capacity = performance.run("capacity")
     runs = [run_interests, run_performance, run_capacity]
 
     claims = [
@@ -509,20 +481,10 @@ def scenario6_application_adaptability(
     intentions only; Equation 2 sits in between adaptively.  Captive
     environment so the tuning effects are not confounded by churn.
     """
-    config = _config(
-        "scenario6", seed, duration, _population(n_providers), autonomous=False
+    runs = _scenario_runs(
+        "scenario6", seed=seed, duration=duration, n_providers=n_providers, k=k
     )
-    kn_values = sorted({1, max(2, k // 8), k // 2, k})
-    kn_specs = [
-        _sbqa_spec(f"sbqa[kn={kn}]", k=k, kn=kn, omega="adaptive") for kn in kn_values
-    ]
-    omega_values = (0.0, 0.5, 1.0)
-    omega_specs = [
-        _sbqa_spec(f"sbqa[w={omega:g}]", k=k, kn=k // 2, omega=omega)
-        for omega in omega_values
-    ]
-    adaptive_spec = _sbqa_spec("sbqa[w=adaptive]", k=k, kn=k // 2, omega="adaptive")
-    runs = run_policies(config, kn_specs + omega_specs + [adaptive_spec])
+    kn_values = scenario6_kn_values(k)
 
     by_label = {run.label: run for run in runs}
     rt_small_kn = by_label[f"sbqa[kn={kn_values[0]}]"].summary.mean_response_time
@@ -605,20 +567,9 @@ def scenario7_focal_participant(
     unpopular project, and a project that trusts a small provider
     subset.
     """
-    population = _population(
-        n_providers,
-        focal_provider=FocalProviderSpec(loves="einstein"),
-        focal_consumer=FocalConsumerSpec(),
+    runs = _scenario_runs(
+        "scenario7", seed=seed, duration=duration, n_providers=n_providers
     )
-    config = _config("scenario7", seed, duration, population, autonomous=False)
-    specs = [
-        _sbqa_spec(),
-        PolicySpec(name="capacity"),
-        PolicySpec(name="economic"),
-        PolicySpec(name="boinc-shares"),
-        PolicySpec(name="random"),
-    ]
-    runs = run_policies(config, specs)
 
     def focal_provider_sat(run: RunResult) -> float:
         return run.registry.provider("focal-provider").satisfaction

@@ -1,0 +1,227 @@
+"""ExperimentBuilder / Experiment facade: knob coverage and errors."""
+
+import dataclasses
+
+import pytest
+
+from repro.api.builder import Experiment, ExperimentBuilder
+from repro.api.presets import scenario_spec
+from repro.api.spec import ExperimentSpec
+from repro.experiments.config import ExperimentConfig, PolicySpec
+from repro.workloads.boinc import BoincScenarioParams, ProjectSpec
+
+
+class TestFluency:
+    def test_issue_chain_builds(self):
+        spec = (
+            Experiment.builder()
+            .named("churn")
+            .duration(2400)
+            .policy("sbqa", kn=5)
+            .policy("capacity")
+            .autonomous(rejoin_cooldown=120)
+            .replications(8)
+            .build()
+        )
+        assert spec.name == "churn"
+        assert spec.duration == 2400.0
+        assert spec.replications == 8
+        assert spec.autonomy.mode == "autonomous"
+        assert spec.autonomy.rejoin_cooldown == 120
+        assert [p.name for p in spec.policies] == ["sbqa", "capacity"]
+        assert spec.policies[0].sbqa.kn == 5
+
+    def test_every_method_returns_builder(self):
+        b = Experiment.builder()
+        for call in (
+            lambda: b.named("x"),
+            lambda: b.seed(1),
+            lambda: b.duration(100),
+            lambda: b.sample_interval(5),
+            lambda: b.latency(0.01, 0.02),
+            lambda: b.providers(10),
+            lambda: b.capacity(mean=2.0, cv=0.1),
+            lambda: b.demand(mean=20.0, cv=0.4),
+            lambda: b.target_load(0.5),
+            lambda: b.replication_factor(2, quorum=1),
+            lambda: b.memory(50, jitter=0.1),
+            lambda: b.intentions(consumer="preference", provider="load-only"),
+            lambda: b.focal_provider(loves="einstein"),
+            lambda: b.focal_consumer(n_trusted=3),
+            lambda: b.archetype_mix(enthusiast=0.4, selective=0.4, picky=0.2),
+            lambda: b.captive(),
+            lambda: b.autonomous(warmup=10.0),
+            lambda: b.failures(500.0, result_timeout=100.0),
+            lambda: b.result_timeout(150.0),
+            lambda: b.adequation_over_candidates(),
+            lambda: b.keep_records(),
+            lambda: b.track_provider_snapshots(),
+            lambda: b.policy("sbqa"),
+            lambda: b.clear_policies(),
+            lambda: b.replications(2),
+        ):
+            assert call() is b
+
+    def test_defaults_to_sbqa_policy(self):
+        spec = Experiment.builder().build()
+        assert [p.name for p in spec.policies] == ["sbqa"]
+
+    def test_covers_every_config_field(self):
+        """Every ExperimentConfig field is reachable through the builder."""
+        spec = (
+            Experiment.builder()
+            .named("all-knobs")
+            .seed(5)
+            .duration(111.0)
+            .sample_interval(7.0)
+            .providers(13)
+            .autonomous(provider_threshold=0.2, consumer_threshold=0.4,
+                        min_observations=3, warmup=11.0, check_interval=9.0,
+                        rejoin_cooldown=50.0)
+            .latency(0.001, 0.002)
+            .failures(400.0, repair_time=60.0, start=10.0, result_timeout=99.0)
+            .adequation_over_candidates()
+            .keep_records()
+            .track_provider_snapshots()
+            .build()
+        )
+        config = spec.to_config()
+        defaults = ExperimentConfig()
+        changed = {
+            f.name
+            for f in dataclasses.fields(ExperimentConfig)
+            if getattr(config, f.name) != getattr(defaults, f.name)
+        }
+        assert changed == {f.name for f in dataclasses.fields(ExperimentConfig)}
+
+    def test_population_covers_every_field(self):
+        valid = {f.name for f in dataclasses.fields(BoincScenarioParams)}
+        b = Experiment.builder()
+        # The generic escape hatch accepts any population field...
+        b.population(n_providers=9, target_load=0.3)
+        assert b.build().population.n_providers == 9
+        # ...and rejects anything else, listing the valid names.
+        with pytest.raises(ValueError) as err:
+            b.population(n_provider=9)
+        for name in list(valid)[:3]:
+            assert name in str(err.value)
+
+    def test_projects_accept_dicts(self):
+        spec = (
+            Experiment.builder()
+            .projects(
+                {"name": "a", "popularity": "popular", "popularity_weight": 0.8},
+                ProjectSpec("b", "unpopular", 0.2),
+            )
+            .build()
+        )
+        assert [p.name for p in spec.population.projects] == ["a", "b"]
+
+    def test_sbqa_policy_kwargs_validated(self):
+        with pytest.raises(ValueError, match="knn"):
+            Experiment.builder().policy("sbqa", knn=5)
+
+    def test_baseline_policy_params_pass_through(self):
+        spec = (
+            Experiment.builder().policy("economic", selfishness=0.9).build()
+        )
+        assert spec.policies[0].params == {"selfishness": 0.9}
+
+    def test_source_spec_not_mutated(self):
+        source = scenario_spec("scenario3")
+        Experiment.from_spec(source).providers(5).duration(10).build()
+        assert source.population.n_providers == 120
+        assert source.duration == 2400.0
+
+
+class TestFacade:
+    def test_not_instantiable(self):
+        with pytest.raises(TypeError, match="namespace"):
+            Experiment()
+
+    def test_from_scenario_matches_preset(self):
+        built = Experiment.from_scenario("scenario4", duration=600.0).build()
+        assert built == scenario_spec("scenario4", duration=600.0)
+
+    def test_from_scenario_override_chain(self):
+        spec = (
+            Experiment.from_scenario("scenario3", n_providers=30)
+            .replications(3)
+            .build()
+        )
+        assert spec.population.n_providers == 30
+        assert spec.replications == 3
+        assert len(spec.policies) == 3  # preset policies preserved
+
+    def test_from_spec_accepts_dict(self):
+        spec = scenario_spec("scenario1")
+        assert Experiment.from_spec(spec.to_dict()).build() == spec
+
+    def test_from_config(self):
+        config = ExperimentConfig(name="lifted", duration=100.0)
+        spec = Experiment.from_config(
+            config, PolicySpec(name="capacity"), replications=2
+        ).build()
+        assert spec.name == "lifted"
+        assert spec.replications == 2
+        assert spec.policies[0].name == "capacity"
+
+    def test_load(self, tmp_path):
+        spec = scenario_spec("scenario1", duration=120.0)
+        path = spec.save(tmp_path / "s.json")
+        assert Experiment.load(path).build() == spec
+
+
+class TestBuilderSeeding:
+    def test_blank_builder_policy_list_is_fresh(self):
+        # Two builders must not share the accumulating policy list.
+        a = ExperimentBuilder()
+        b = ExperimentBuilder()
+        a.policy("capacity")
+        assert b.build().policies == (PolicySpec(name="sbqa"),)
+
+    def test_clear_policies_then_rebuild(self):
+        spec = (
+            Experiment.from_scenario("scenario3")
+            .clear_policies()
+            .policy("random")
+            .build()
+        )
+        assert [p.name for p in spec.policies] == ["random"]
+
+
+class TestReplicationFactor:
+    def test_omitting_quorum_preserves_it(self):
+        spec = (
+            Experiment.builder()
+            .population(n_results=2, quorum=2)
+            .replication_factor(4)
+            .build()
+        )
+        assert spec.population.n_results == 4
+        assert spec.population.quorum == 2
+
+    def test_explicit_none_clears_quorum(self):
+        spec = (
+            Experiment.builder()
+            .population(n_results=2, quorum=2)
+            .replication_factor(4, quorum=None)
+            .build()
+        )
+        assert spec.population.quorum is None
+
+
+class TestSeededBuilderConsistency:
+    def test_policy_appends_even_on_default_valued_spec(self):
+        # Seeding is what decides append-vs-define, not the spec's value:
+        # a loaded spec that happens to equal the defaults behaves like
+        # any other seeded spec.
+        spec = Experiment.from_spec(ExperimentSpec())
+        with pytest.raises(ValueError, match="unique"):
+            spec.policy("sbqa").build()
+
+    def test_default_specs_do_not_share_policy_instances(self):
+        a, b = ExperimentSpec(), ExperimentSpec()
+        assert a.policies[0] is not b.policies[0]
+        a.policies[0].params["x"] = 1
+        assert "x" not in b.policies[0].params

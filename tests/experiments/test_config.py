@@ -59,3 +59,15 @@ class TestExperimentConfig:
         assert other.duration == 50.0
         assert other.name == "a"
         assert config.duration == 100.0  # original untouched
+
+    def test_with_overrides_rejects_unknown_field(self):
+        config = ExperimentConfig()
+        with pytest.raises(ValueError) as err:
+            config.with_overrides(durration=50.0)
+        message = str(err.value)
+        assert "durration" in message
+        assert "duration" in message  # valid names are listed
+
+    def test_with_overrides_points_nested_fields_at_population(self):
+        with pytest.raises(ValueError, match="population"):
+            ExperimentConfig().with_overrides(n_providers=10)

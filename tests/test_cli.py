@@ -113,3 +113,79 @@ class TestRunAll:
         for i in range(1, 8):
             assert f"scenario{i}" in out
         assert code in (0, 1)  # claims may be noisy at this tiny scale
+
+
+class TestSpecDrivenRun:
+    def test_run_without_scenario_or_spec_errors(self, capsys):
+        assert main(["run"]) == 2
+        assert "scenario id or --spec" in capsys.readouterr().err
+
+    def test_spec_subcommand_writes_file(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        code = main(
+            ["spec", "scenario3", "--duration", "150", "--providers", "20",
+             "--replications", "2", "-o", str(path)]
+        )
+        assert code == 0
+        assert path.exists()
+        from repro.api.spec import ExperimentSpec
+
+        spec = ExperimentSpec.load(path)
+        assert spec.name == "scenario3"
+        assert spec.duration == 150.0
+        assert spec.replications == 2
+
+    def test_spec_subcommand_stdout(self, capsys):
+        assert main(["spec", "scenario1", "--duration", "100"]) == 0
+        out = capsys.readouterr().out
+        assert '"spec_version"' in out
+
+    def test_run_spec_file(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        main(["spec", "scenario1", "--duration", "120", "--providers", "15",
+              "-o", str(path)])
+        capsys.readouterr()
+        csv_path = tmp_path / "runs.csv"
+        json_path = tmp_path / "digest.json"
+        code = main(
+            ["run", "--spec", str(path), "--csv", str(csv_path),
+             "--json", str(json_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "capacity" in out and "economic" in out
+        assert csv_path.exists() and json_path.exists()
+
+    def test_run_scenario_with_replications(self, capsys):
+        code = main(
+            ["run", "scenario1", "--duration", "120", "--providers", "15",
+             "--replications", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 replication(s)" in out
+        assert "±" in out
+
+    def test_run_spec_file_parallel_matches_serial(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        main(["spec", "scenario1", "--duration", "120", "--providers", "15",
+              "--replications", "2", "-o", str(path)])
+        capsys.readouterr()
+        assert main(["run", "--spec", str(path)]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["run", "--spec", str(path), "--parallel",
+                     "--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert serial_out == parallel_out
+
+    def test_json_rejected_on_classic_path(self, capsys):
+        assert main(["run", "scenario1", "--duration", "60",
+                     "--json", "out.json"]) == 2
+        assert "--json" in capsys.readouterr().err
+
+    def test_scenario_and_spec_together_rejected(self, tmp_path, capsys):
+        path = tmp_path / "s.json"
+        main(["spec", "scenario1", "--duration", "60", "-o", str(path)])
+        capsys.readouterr()
+        assert main(["run", "scenario1", "--spec", str(path)]) == 2
+        assert "not both" in capsys.readouterr().err

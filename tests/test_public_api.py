@@ -47,3 +47,25 @@ class TestPublicSurface:
         consumer.issue("c0", service_demand=5.0)
         sim.run()
         assert consumer.stats.queries_completed == 1
+
+
+class TestSubmoduleAccess:
+    def test_submodules_reachable_as_attributes(self):
+        """`import repro; repro.experiments.runner...` must keep working
+        (the eager facade used to bind subpackages as attributes).
+
+        Runs in a fresh interpreter: within the test session other
+        imports would already have bound the submodule attributes,
+        masking a lazy-facade regression.
+        """
+        import subprocess
+        import sys
+
+        code = (
+            "import repro; "
+            "assert repro.experiments.runner.run_once; "
+            "assert repro.core.Mediator; "
+            "assert repro.api.presets.scenario_spec; "
+            "assert repro.api.Session"
+        )
+        subprocess.run([sys.executable, "-c", code], check=True)
