@@ -13,59 +13,66 @@ repair after 120 s) and compares:
 Expected shape: the write-off (timeout) rate of ``n=2, quorum=1`` is
 the lowest -- a single crash cannot kill the query -- and its response
 time beats ``quorum=2`` (first answer wins).
+
+The three variants vary ``n_results`` and ``quorum`` *together*, which
+is exactly what the sweep engine's zipped axes express: both axes share
+a ``zip_group`` and advance in lockstep instead of crossing.
 """
 
-import dataclasses
-
 from repro.analysis.tables import render_table
-from repro.experiments.config import ExperimentConfig, PolicySpec
-from repro.experiments.runner import run_once
-from repro.system.failures import FailureConfig
-from repro.workloads.boinc import BoincScenarioParams
+from repro.api.builder import Experiment
+from repro.api.sweep import SweepSession
 
-VARIANTS = (
-    ("n=1", dict(n_results=1, quorum=None)),
-    ("n=2 quorum=2", dict(n_results=2, quorum=None)),
-    ("n=2 quorum=1", dict(n_results=2, quorum=1)),
-)
+#: The zipped variant coordinates: (n_results, quorum) per point.
+N_RESULTS = (1, 2, 2)
+QUORUMS = (None, None, 1)
+
+
+def build_sweep(duration: float, n_providers: int):
+    """The A5 grid: replication factor x quorum, zipped."""
+    return (
+        Experiment.builder()
+        .named("ablation-crash")
+        .seed(20090301)
+        .duration(duration)
+        .providers(n_providers)
+        .failures(mttf=600.0, repair_time=120.0, start=60.0, result_timeout=240.0)
+        .policy("sbqa")
+        .sweep()
+        .named("ablation-crash")
+        .axis("population.n_results", N_RESULTS, label="n", zip_group="variant")
+        .axis("population.quorum", QUORUMS, label="quorum", zip_group="variant")
+        .build()
+    )
 
 
 def bench_crash_replication(benchmark, scenario_scale):
     duration = scenario_scale["duration"] / 2
     n_providers = scenario_scale["n_providers"]
+    sweep = build_sweep(duration, n_providers)
+    assert len(sweep) == 3  # zipped, not a 3x3 product
 
-    def sweep():
-        results = []
-        for label, overrides in VARIANTS:
-            population = BoincScenarioParams(n_providers=n_providers, **overrides)
-            config = ExperimentConfig(
-                name=f"ablation-crash-{label}",
-                seed=20090301,
-                duration=duration,
-                population=population,
-                failures=FailureConfig(mttf=600.0, repair_time=120.0, start=60.0),
-                result_timeout=240.0,
-            )
-            results.append(run_once(config, PolicySpec(name="sbqa", label=label)))
-        return results
+    def run_sweep():
+        return SweepSession(sweep).run()
 
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
 
     rows = []
-    for result in results:
-        s = result.summary
+    by_label = {}
+    for point in result.points:
+        s = point.policies[0].summary
         write_off_rate = s.queries_timed_out / max(1, s.queries_issued)
-        rows.append(
-            [
-                result.label,
-                s.provider_crashes,
-                s.queries_lost_to_crashes,
-                s.queries_timed_out,
-                write_off_rate,
-                s.mean_response_time,
-                s.queries_completed,
-            ]
-        )
+        row = [
+            point.label,
+            s.provider_crashes,
+            s.queries_lost_to_crashes,
+            s.queries_timed_out,
+            write_off_rate,
+            s.mean_response_time,
+            s.queries_completed,
+        ]
+        rows.append(row)
+        by_label[point.label] = row
     print()
     print(
         render_table(
@@ -84,13 +91,15 @@ def bench_crash_replication(benchmark, scenario_scale):
         )
     )
 
-    by_label = {row[0]: row for row in rows}
+    solo = by_label["n=1, quorum=none"]
+    both = by_label["n=2, quorum=none"]
+    first = by_label["n=2, quorum=1"]
     # crashes actually happened in every variant
     assert all(row[1] > 0 for row in rows)
     # the quorum defence: lowest write-off rate of the three
-    assert by_label["n=2 quorum=1"][4] <= by_label["n=1"][4]
-    assert by_label["n=2 quorum=1"][4] <= by_label["n=2 quorum=2"][4]
+    assert first[4] <= solo[4]
+    assert first[4] <= both[4]
     # requiring both replicas is the most exposed variant
-    assert by_label["n=2 quorum=2"][4] >= by_label["n=1"][4]
+    assert both[4] >= solo[4]
     # first-answer-wins also beats both-required on response time
-    assert by_label["n=2 quorum=1"][5] <= by_label["n=2 quorum=2"][5]
+    assert first[5] <= both[5]

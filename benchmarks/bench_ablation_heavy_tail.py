@@ -12,54 +12,67 @@ expected delay; SbQA filters by utilization in KnBest stage 2) degrade
 less than the headroom-snapshot capacity baseline, whose "most
 available capacity" choice says nothing about the monster job just
 enqueued elsewhere.
+
+Expressed through the sweep engine: one ``population.demand_distribution``
+axis (a *string-valued* knob) over a three-policy base comparison.
 """
 
-from benchmarks.conftest import print_scenario
 from repro.analysis.tables import render_table
-from repro.experiments.config import ExperimentConfig, PolicySpec
-from repro.experiments.runner import run_policies
-from repro.workloads.boinc import BoincScenarioParams
+from repro.api.builder import Experiment
+from repro.api.sweep import SweepSession
 
-POLICIES = [PolicySpec(name="sbqa"), PolicySpec(name="capacity"), PolicySpec(name="economic")]
+POLICY_LABELS = ("sbqa", "capacity", "economic")
+DISTRIBUTIONS = ("lognormal", "pareto")
+
+
+def build_sweep(duration: float, n_providers: int):
+    """The A6 grid: demand distribution x the three main techniques."""
+    builder = (
+        Experiment.builder()
+        .named("ablation-tail")
+        .seed(20090301)
+        .duration(duration)
+        .providers(n_providers)
+    )
+    for name in POLICY_LABELS:
+        builder.policy(name)
+    return (
+        builder.sweep()
+        .named("ablation-tail")
+        .axis("population.demand_distribution", DISTRIBUTIONS, label="demand")
+        .build()
+    )
 
 
 def bench_heavy_tail(benchmark, scenario_scale):
     duration = scenario_scale["duration"] / 2
     n_providers = scenario_scale["n_providers"]
+    sweep = build_sweep(duration, n_providers)
 
-    def sweep():
-        out = {}
-        for distribution in ("lognormal", "pareto"):
-            config = ExperimentConfig(
-                name=f"ablation-tail-{distribution}",
-                seed=20090301,
-                duration=duration,
-                population=BoincScenarioParams(
-                    n_providers=n_providers,
-                    demand_distribution=distribution,
-                ),
-            )
-            out[distribution] = run_policies(config, POLICIES)
-        return out
+    def run_sweep():
+        return SweepSession(sweep).run()
 
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
 
+    light = result.point("demand=lognormal")
+    heavy = result.point("demand=pareto")
     rows = []
     degradation = {}
-    for spec in POLICIES:
-        label = spec.label
-        light = next(r for r in results["lognormal"] if r.label == label).summary
-        heavy = next(r for r in results["pareto"] if r.label == label).summary
-        factor = heavy.p99_response_time / max(1e-9, light.p99_response_time)
+    for label in POLICY_LABELS:
+        light_summary = light.policy(label).summary
+        heavy_summary = heavy.policy(label).summary
+        factor = heavy_summary.p99_response_time / max(
+            1e-9, light_summary.p99_response_time
+        )
         degradation[label] = factor
         rows.append(
             [
                 label,
-                light.p99_response_time,
-                heavy.p99_response_time,
+                light_summary.p99_response_time,
+                heavy_summary.p99_response_time,
                 factor,
-                light.mean_response_time,
-                heavy.mean_response_time,
+                light_summary.mean_response_time,
+                heavy_summary.mean_response_time,
             ]
         )
     print()
@@ -83,5 +96,6 @@ def bench_heavy_tail(benchmark, scenario_scale):
     # load-aware selection degrades no worse than the headroom snapshot
     assert degradation["sbqa"] <= degradation["capacity"] * 1.25
     # all runs completed work under both distributions
-    for runs in results.values():
-        assert all(r.summary.queries_completed > 0 for r in runs)
+    assert all(
+        policy.summary.queries_completed > 0 for _, policy in result.cells()
+    )

@@ -6,46 +6,53 @@ small k risks missing the good matches, large k costs more and biases
 stage 2 toward globally idle providers.  This ablation sweeps k at a
 fixed kn and prints response time, satisfaction and coordination
 message counts.
+
+Expressed through the sweep engine (one ``sbqa.k`` axis over the demo
+base experiment) rather than a hand-rolled ``run_once`` loop -- the
+grid, its expansion and its aggregation all come from
+:mod:`repro.api.sweep`.
 """
 
-from benchmarks.conftest import print_scenario
 from repro.analysis.tables import render_table
-from repro.core.sbqa import SbQAConfig
-from repro.experiments.config import ExperimentConfig, PolicySpec
-from repro.experiments.runner import run_once
-from repro.workloads.boinc import BoincScenarioParams
+from repro.api.builder import Experiment
+from repro.api.sweep import SweepSession
 
 K_VALUES = (5, 10, 20, 40)
 KN = 5
 
 
+def build_sweep(duration: float, n_providers: int):
+    """The A3 grid: KnBest pool size k at fixed kn."""
+    return (
+        Experiment.builder()
+        .named("ablation-k")
+        .seed(20090301)
+        .duration(duration)
+        .providers(n_providers)
+        .policy("sbqa", k=K_VALUES[0], kn=KN)
+        .sweep()
+        .named("ablation-k")
+        .axis("sbqa.k", K_VALUES)
+        .build()
+    )
+
+
 def bench_k_pool(benchmark, scenario_scale):
     duration = scenario_scale["duration"] / 2
     n_providers = scenario_scale["n_providers"]
-    config = ExperimentConfig(
-        name="ablation-k",
-        seed=20090301,
-        duration=duration,
-        population=BoincScenarioParams(n_providers=n_providers),
-    )
+    sweep = build_sweep(duration, n_providers)
 
-    def sweep():
-        results = []
-        for k in K_VALUES:
-            spec = PolicySpec(
-                name="sbqa", label=f"sbqa[k={k}]", sbqa=SbQAConfig(k=k, kn=min(KN, k))
-            )
-            results.append(run_once(config, spec))
-        return results
+    def run_sweep():
+        return SweepSession(sweep).run()
 
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
 
     rows = []
-    for k, result in zip(K_VALUES, results):
-        s = result.summary
+    for point in result.points:
+        s = point.policies[0].summary
         rows.append(
             [
-                k,
+                point.point.coords["k"],
                 s.mean_response_time,
                 s.provider_satisfaction_final,
                 s.consumer_satisfaction_final,
@@ -66,4 +73,6 @@ def bench_k_pool(benchmark, scenario_scale):
     messages = [row[4] for row in rows]
     assert max(messages) < 1.6 * min(messages)
     # all runs complete work
-    assert all(r.summary.queries_completed > 0 for r in results)
+    assert all(
+        policy.summary.queries_completed > 0 for _, policy in result.cells()
+    )

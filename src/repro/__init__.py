@@ -39,6 +39,12 @@ _EXPORTS = {
     "Session": "repro.api",
     "ExperimentResult": "repro.api",
     "PolicyResult": "repro.api",
+    "SweepSpec": "repro.api",
+    "SweepAxis": "repro.api",
+    "SweepSession": "repro.api",
+    "SweepBuilder": "repro.api",
+    "SweepResult": "repro.api",
+    "SweepPointResult": "repro.api",
     "scenario_spec": "repro.api",
     "available_scenarios": "repro.api",
     # core

@@ -1,9 +1,40 @@
 """Statistical comparison of replicated experiment results.
 
 Single seeded runs settle "who wins" at one operating point; claims in
-EXPERIMENTS.md deserve better.  This module compares a summary metric
-across two sets of replications with Welch's unequal-variance t-test
-(scipy supplies the t distribution).
+EXPERIMENTS.md -- and the significance annotations in every
+:class:`~repro.api.results.SweepResult` digest -- deserve better.  This
+module compares a summary metric across two sets of replications with
+Welch's unequal-variance t-test; only the t-distribution CDF comes from
+scipy, the statistic itself is computed from the textbook formulas.
+
+Why Welch and not Student: the two cells of a comparison are different
+configurations (different policies, or different sweep coordinates), so
+there is no reason to expect their variances to be equal -- and pooled-
+variance t-tests are badly sized under variance heterogeneity.  Welch's
+test drops the equal-variance assumption at the cost of approximating
+the degrees of freedom (Welch-Satterthwaite).
+
+Assumptions that DO remain, and how this codebase meets them:
+
+* **Independence across samples.**  Each sample is one replication;
+  replication ``i`` derives an independent random root from
+  ``(seed, i)`` (:func:`repro.des.rng.spawn_replication_root`), so
+  within-cell samples are independent draws.  Note that the two *cells*
+  share replication seeds by design (common random numbers); the test
+  treats them as unpaired, which is conservative -- positive correlation
+  between cells shrinks the true variance of the difference below what
+  the unpaired test assumes.
+* **Approximate normality of the cell means.**  Each sample is itself a
+  run-level aggregate (a mean, a final value, a quantile) over thousands
+  of simulated interactions, so the CLT does a lot of work even at small
+  replication counts; still, with fewer than ~5 replications per cell,
+  treat borderline p-values as indicative, not conclusive.
+* **At least two replications per cell** -- a sample variance needs
+  Bessel's ``n - 1 >= 1``.  :func:`welch_t_test` raises below that, and
+  the sweep layer simply omits comparisons for single-replication runs.
+
+Identical (zero-variance) cells return ``t = 0, p = 1`` rather than
+dividing by zero: equality is the strongest possible failure to reject.
 """
 
 from __future__ import annotations
@@ -45,6 +76,20 @@ class Comparison:
             f"t={self.t_statistic:.2f}, dof={self.degrees_of_freedom:.1f}, "
             f"p={self.p_value:.4f})"
         )
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form (the sweep digest's comparison entries)."""
+        return {
+            "metric": self.metric,
+            "label_a": self.label_a,
+            "label_b": self.label_b,
+            "mean_a": self.mean_a,
+            "mean_b": self.mean_b,
+            "difference": self.difference,
+            "t_statistic": self.t_statistic,
+            "degrees_of_freedom": self.degrees_of_freedom,
+            "p_value": self.p_value,
+        }
 
 
 def welch_t_test(samples_a: Sequence[float], samples_b: Sequence[float]) -> tuple:

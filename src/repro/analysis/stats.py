@@ -3,6 +3,22 @@
 Everything here is dependency-free pure Python; numpy is available in
 the environment but these run on small samples inside hot loops where
 conversion overhead would dominate.
+
+Two conventions worth knowing before building on this module (the
+sweep digest and its significance annotations lean on both):
+
+* :func:`stdev` and :attr:`Welford.variance` are **population**
+  moments (divide by ``n``) -- they describe the spread of the data at
+  hand, e.g. the ``mean ± stdev`` cells of comparison tables.  The
+  **sample** variance with Bessel's correction (divide by ``n - 1``),
+  needed when the replications stand in for an infinite population of
+  seeds, is computed where inference happens:
+  :func:`repro.analysis.significance.welch_t_test` applies the
+  correction itself from the raw samples.
+* :class:`Welford` accumulators compose: two accumulators built over
+  disjoint sample streams (e.g. in different worker processes) merge
+  into one that is numerically equivalent to having seen every sample
+  in a single pass -- see :meth:`Welford.merge`.
 """
 
 from __future__ import annotations
@@ -121,7 +137,19 @@ class Welford:
         return math.sqrt(self.variance)
 
     def merge(self, other: "Welford") -> "Welford":
-        """Combine two accumulators (parallel merge); returns a new one."""
+        """Combine two accumulators (parallel merge); returns a new one.
+
+        Implements the Chan et al. parallel update: with
+        ``delta = mean_b - mean_a``, the merged sum of squared
+        deviations is ``m2_a + m2_b + delta^2 * n_a * n_b / n`` -- the
+        within-part spreads plus the between-part separation.  The
+        result is numerically equivalent to :meth:`add`-ing every
+        sample into a single accumulator (exactly equal counts/means,
+        variance equal up to floating-point rounding), which is what
+        lets per-worker accumulators from a parallel session or sweep
+        be folded without re-reading samples.  Neither operand is
+        mutated; empty accumulators are identities of the merge.
+        """
         merged = Welford()
         if self.count == 0:
             merged.count, merged._mean, merged._m2 = other.count, other._mean, other._m2

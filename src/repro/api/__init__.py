@@ -44,6 +44,14 @@ _EXPORTS = {
     "Session": "repro.api.session",
     "ExperimentResult": "repro.api.results",
     "PolicyResult": "repro.api.results",
+    "SweepResult": "repro.api.results",
+    "SweepPointResult": "repro.api.results",
+    "SweepSpec": "repro.api.sweep",
+    "SweepAxis": "repro.api.sweep",
+    "SweepSession": "repro.api.sweep",
+    "SweepBuilder": "repro.api.sweep",
+    "SweepStream": "repro.api.sweep",
+    "SWEEP_VERSION": "repro.api.sweep",
     "scenario_spec": "repro.api.presets",
     "available_scenarios": "repro.api.presets",
     "SCENARIO_PRESETS": "repro.api.presets",
@@ -60,13 +68,26 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         sbqa_policy,
         scenario_spec,
     )
-    from repro.api.results import ExperimentResult, PolicyResult
+    from repro.api.results import (
+        ExperimentResult,
+        PolicyResult,
+        SweepPointResult,
+        SweepResult,
+    )
     from repro.api.session import Session
     from repro.api.spec import SPEC_VERSION, ExperimentSpec
+    from repro.api.sweep import (
+        SWEEP_VERSION,
+        SweepAxis,
+        SweepBuilder,
+        SweepSession,
+        SweepSpec,
+        SweepStream,
+    )
 
 
 _SUBMODULES = frozenset(
-    {"builder", "presets", "results", "serialization", "session", "spec"}
+    {"builder", "presets", "results", "serialization", "session", "spec", "sweep"}
 )
 
 

@@ -358,6 +358,17 @@ class ExperimentBuilder:
         """Build and execute; see :meth:`repro.api.session.Session.run`."""
         return self.session().run(parallel=parallel, max_workers=max_workers)
 
+    def sweep(self):
+        """A :class:`~repro.api.sweep.SweepBuilder` over the built spec.
+
+        Turns the accumulated experiment into the *base* of a parameter
+        grid; chain ``.axis(path, values)`` calls and ``.run()`` /
+        ``.stream()`` from there.
+        """
+        from repro.api.sweep import SweepBuilder
+
+        return SweepBuilder(self.build())
+
 
 class Experiment:
     """Entry points of the layered API (purely static; not instantiated)."""
@@ -407,3 +418,23 @@ class Experiment:
     def load(path: Union[str, Path]) -> ExperimentBuilder:
         """A builder seeded from a JSON spec file."""
         return ExperimentBuilder(ExperimentSpec.load(path))
+
+    @staticmethod
+    def sweep(base=None):
+        """A :class:`~repro.api.sweep.SweepBuilder`, optionally seeded.
+
+        ``base`` may be an :class:`ExperimentSpec`, a builder, or a spec
+        dict; omitted, the sweep derives from the default experiment.
+        """
+        from repro.api.sweep import SweepBuilder
+
+        if isinstance(base, ExperimentBuilder):
+            base = base.build()
+        elif isinstance(base, dict):
+            base = ExperimentSpec.from_dict(base)
+        elif base is not None and not isinstance(base, ExperimentSpec):
+            raise TypeError(
+                "Experiment.sweep() takes an ExperimentSpec, an "
+                f"ExperimentBuilder or a spec dict, got {type(base).__name__}"
+            )
+        return SweepBuilder(base)

@@ -209,3 +209,85 @@ def optional_failures_from_dict(data) -> Optional[FailureConfig]:
     if data is None or isinstance(data, FailureConfig):
         return data
     return failures_from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# Dot-path overrides (the sweep layer's point expansion)
+# ----------------------------------------------------------------------
+
+#: Fields of :class:`SbQAConfig` addressable through the ``sbqa.`` prefix.
+_SBQA_FIELDS = frozenset(f.name for f in fields(SbQAConfig))
+
+
+def apply_spec_override(data: Dict[str, Any], path: str, value: Any) -> None:
+    """Set one dot-path in an ``ExperimentSpec`` dict, in place.
+
+    Two addressing forms:
+
+    * a plain dot-path into the spec's dict form, e.g. ``"duration"``,
+      ``"population.memory"``, ``"autonomy.rejoin_cooldown"`` or
+      ``"failures.mttf"`` -- every intermediate must be a dict and the
+      final key must already exist, so typos fail loudly instead of
+      being swallowed by ``from_dict``'s unknown-key check one level up;
+    * ``"sbqa.<field>"`` fans the value out to every policy entry named
+      ``sbqa`` (creating the explicit config dict when the policy relied
+      on defaults), which is how a sweep axis varies ``omega``, ``kn``,
+      ``k`` or ``epsilon`` across the comparison's SbQA arms.
+    """
+    head, _, rest = path.partition(".")
+    if head == "sbqa":
+        _apply_sbqa_override(data, path, rest, value)
+        return
+    parts = path.split(".")
+    node = data
+    for depth, part in enumerate(parts[:-1]):
+        child = node.get(part) if isinstance(node, dict) else None
+        if not isinstance(child, dict):
+            where = ".".join(parts[: depth + 1])
+            hint = (
+                " (the base spec has no failure injection; give it a "
+                "failures block to sweep over it)"
+                if child is None and part == "failures"
+                else ""
+            )
+            raise ValueError(
+                f"cannot apply override {path!r}: {where!r} is not a "
+                f"nested object in the spec{hint}"
+            )
+        node = child
+    leaf = parts[-1]
+    if not isinstance(node, dict) or leaf not in node:
+        raise ValueError(
+            f"cannot apply override {path!r}: no field {leaf!r} at that "
+            f"path. Top-level spec fields: name, seed, duration, "
+            f"sample_interval, population, autonomy, latency_low, "
+            f"latency_high, failures, result_timeout, policies, "
+            f"replications, ...; SbQA knobs use the 'sbqa.' prefix."
+        )
+    node[leaf] = value
+
+
+def _apply_sbqa_override(
+    data: Dict[str, Any], path: str, field_name: str, value: Any
+) -> None:
+    if field_name not in _SBQA_FIELDS:
+        raise ValueError(
+            f"cannot apply override {path!r}: SbQAConfig has no field "
+            f"{field_name!r}. Valid fields: {', '.join(sorted(_SBQA_FIELDS))}"
+        )
+    targets = [
+        p for p in data.get("policies", ()) if p.get("name", "").lower() == "sbqa"
+    ]
+    if not targets:
+        raise ValueError(
+            f"cannot apply override {path!r}: the base spec has no 'sbqa' "
+            "policy entry to fan the value out to"
+        )
+    for policy in targets:
+        config = policy.get("sbqa")
+        if not isinstance(config, dict):
+            # The entry relied on the default SbQAConfig; materialize it
+            # so a single field can be overridden.
+            config = sbqa_config_to_dict(SbQAConfig())
+            policy["sbqa"] = config
+        config[field_name] = value

@@ -46,6 +46,26 @@ def _execute_task(payload: Tuple[dict, int, int]) -> Tuple[int, int, RunSummary]
     return policy_index, replication, result.summary
 
 
+def _execute_keyed_task(
+    payload: Tuple[dict, int, int, int]
+) -> Tuple[int, int, int, RunSummary]:
+    """Worker entry for sweeps: one run of one grid point.
+
+    Same contract as :func:`_execute_task` with a leading ``key`` (the
+    sweep point index) threaded through, so a single shared pool can
+    interleave tasks of every point with no per-point barrier.
+    """
+    spec_dict, key, policy_index, replication = payload
+    return (key, *_execute_task((spec_dict, policy_index, replication)))
+
+
+def resolve_worker_count(max_workers: Optional[int], task_count: int) -> int:
+    """Effective pool size: CPU count by default, capped at the tasks."""
+    if max_workers is None:
+        max_workers = os.cpu_count() or 1
+    return max(1, min(max_workers, task_count))
+
+
 class Session:
     """Executes one :class:`ExperimentSpec`.
 
@@ -152,9 +172,7 @@ class Session:
         self, max_workers: Optional[int]
     ) -> Dict[Tuple[int, int], RunSummary]:
         task_list = list(self.tasks())
-        if max_workers is None:
-            max_workers = os.cpu_count() or 1
-        max_workers = max(1, min(max_workers, len(task_list)))
+        max_workers = resolve_worker_count(max_workers, len(task_list))
         spec_dict = self.spec.to_dict()
         payloads = [
             (spec_dict, policy_index, replication)

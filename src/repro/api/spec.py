@@ -137,6 +137,29 @@ class ExperimentSpec:
         }
         return cls(policies=tuple(policies), replications=replications, **kwargs)
 
+    def derive(
+        self,
+        overrides: "Dict[str, Any]",
+        name: Optional[str] = None,
+    ) -> "ExperimentSpec":
+        """A copy with dot-path ``overrides`` applied (sweep points).
+
+        Overrides address the spec's dict form (``"duration"``,
+        ``"population.n_providers"``, ``"failures.mttf"``); the
+        ``"sbqa.<field>"`` form fans out to every SbQA policy entry --
+        see :func:`repro.api.serialization.apply_spec_override`.  The
+        derived spec re-validates from scratch, so an override that
+        breaks a cross-field invariant fails here, not mid-run.
+        """
+        from repro.api.serialization import apply_spec_override
+
+        data = self.to_dict()
+        for path, value in overrides.items():
+            apply_spec_override(data, path, value)
+        if name is not None:
+            data["name"] = name
+        return ExperimentSpec.from_dict(data)
+
     def policy(self, label: str) -> PolicySpec:
         """The policy with the given label (KeyError if absent)."""
         for spec in self.policies:

@@ -8,14 +8,16 @@ Usage::
     sbqa run scenario3 --replications 8 --parallel   # replicated session
     sbqa run --spec experiment.json                  # declarative spec file
     sbqa spec scenario4 -o experiment.json           # emit a preset spec
+    sbqa spec scenario3 --sweep "sbqa.omega=0,0.5,1,adaptive" -o grid.json
     sbqa trace --queries 3                      # Figure-1 pipeline trace
-    sbqa sweep kn --values 1,2,5,10,20          # tuning tables
-    sbqa sweep omega --values 0,0.5,1,adaptive
+    sbqa sweep kn --values 1,2,5,10,20          # quick one-axis grids
+    sbqa sweep omega --values 0,0.5,1,adaptive --replications 3
+    sbqa sweep --spec grid.json --workers 4 --stream  # declarative grids
 
 The CLI is a thin veneer over :mod:`repro.api` (spec / builder /
-session) and :mod:`repro.experiments.scenarios`; it exists so the
-reproduction can be driven without writing Python, mirroring how the
-original demo was driven from its GUIs.
+session / sweep) and :mod:`repro.experiments.scenarios`; it exists so
+the reproduction can be driven without writing Python, mirroring how
+the original demo was driven from its GUIs.
 """
 
 from __future__ import annotations
@@ -81,7 +83,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     spec_cmd = sub.add_parser(
-        "spec", help="emit a scenario preset as an ExperimentSpec JSON file"
+        "spec",
+        help="emit a scenario preset as an ExperimentSpec (or, with "
+        "--sweep, a SweepSpec) JSON file",
     )
     spec_cmd.add_argument(
         "scenario", choices=sorted(ALL_SCENARIOS), help="scenario id"
@@ -94,27 +98,87 @@ def build_parser() -> argparse.ArgumentParser:
     spec_cmd.add_argument("--duration", type=float, default=None)
     spec_cmd.add_argument("--providers", type=int, default=None)
     spec_cmd.add_argument("--replications", type=int, default=None)
+    spec_cmd.add_argument(
+        "--sweep", action="append", default=None, metavar="PATH=V1,V2,...",
+        help="add a sweep axis (repeatable) and emit a SweepSpec instead; "
+        "e.g. --sweep 'sbqa.omega=0,0.5,adaptive' --sweep "
+        "'population.n_providers=40,120'",
+    )
+    spec_cmd.add_argument(
+        "--zip", dest="zip_axes", action="store_true",
+        help="advance all --sweep axes in lockstep instead of taking "
+        "their cartesian product",
+    )
+    spec_cmd.add_argument(
+        "--sweep-name", type=str, default=None,
+        help="name of the emitted sweep (default: '<scenario>-sweep')",
+    )
 
     trace = sub.add_parser("trace", help="trace the SbQA mediation pipeline (Figure 1)")
     trace.add_argument("--queries", type=int, default=3, help="queries to trace")
     trace.add_argument("--seed", type=int, default=None, help="root random seed")
 
     sweep = sub.add_parser(
-        "sweep", help="sweep one SbQA parameter and print the trade-off table"
+        "sweep",
+        help="run a parameter grid (a SweepSpec file, or one quick axis) "
+        "and print the trade-off table with significance annotations",
     )
     sweep.add_argument(
-        "parameter", choices=("kn", "omega", "epsilon", "memory"),
-        help="which parameter to sweep",
+        "parameter", nargs="?", choices=("kn", "omega", "epsilon", "memory"),
+        default=None,
+        help="quick single-axis form: which SbQA parameter to sweep "
+        "(omit when using --spec)",
     )
     sweep.add_argument(
-        "--values", type=str, required=True,
-        help="comma-separated values (e.g. '1,2,5,10' or '0,0.5,1,adaptive')",
+        "--values", type=str, default=None,
+        help="comma-separated values for the quick form "
+        "(e.g. '1,2,5,10' or '0,0.5,1,adaptive')",
     )
-    sweep.add_argument("--seed", type=int, default=None)
-    sweep.add_argument("--duration", type=float, default=1200.0)
-    sweep.add_argument("--providers", type=int, default=80)
-    sweep.add_argument("--k", type=int, default=20, help="KnBest pool size")
-    sweep.add_argument("--csv", type=str, default=None, help="export rows to CSV")
+    sweep.add_argument(
+        "--spec", type=str, default=None,
+        help="run a declarative SweepSpec JSON file (see `sbqa spec --sweep`)",
+    )
+    sweep.add_argument("--seed", type=int, default=None, help="root random seed")
+    sweep.add_argument(
+        "--duration", type=float, default=None,
+        help="simulated seconds (quick-form default 1200; overrides the "
+        "spec file's base)",
+    )
+    sweep.add_argument(
+        "--providers", type=int, default=None,
+        help="volunteer population size (quick-form default 80; overrides "
+        "the spec file's base)",
+    )
+    sweep.add_argument(
+        "--k", type=int, default=None,
+        help="KnBest pool size (quick form only; default 20)",
+    )
+    sweep.add_argument(
+        "--replications", type=int, default=None,
+        help="replications per grid cell (>= 2 enables Welch t-test "
+        "annotations; overrides the spec file's base)",
+    )
+    sweep.add_argument(
+        "--parallel", action="store_true",
+        help="execute the whole grid over a shared worker-process pool "
+        "(no per-point barrier; results identical to serial)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=None,
+        help="worker process count (implies --parallel; default: CPU count)",
+    )
+    sweep.add_argument(
+        "--stream", action="store_true",
+        help="print each grid point's aggregate as soon as it completes",
+    )
+    sweep.add_argument(
+        "--csv", type=str, default=None,
+        help="export tidy per-replication rows to CSV",
+    )
+    sweep.add_argument(
+        "--json", dest="json_out", type=str, default=None,
+        help="export the sweep digest (aggregates + Welch comparisons) to JSON",
+    )
     return parser
 
 
@@ -252,14 +316,68 @@ def _run_scenario(args: argparse.Namespace) -> int:
     return 0 if all_pass else 1
 
 
+def _parse_axis_value(raw: str):
+    """Coerce one CLI axis value: JSON scalar if it parses, else string."""
+    import json
+
+    try:
+        return json.loads(raw)
+    except ValueError:
+        return raw
+
+
+def _parse_axis_arg(arg: str, zip_group: Optional[str]):
+    """One ``--sweep 'path=v1,v2,...'`` argument as a SweepAxis."""
+    from repro.api.sweep import SweepAxis
+
+    path, sep, values_text = arg.partition("=")
+    path = path.strip()
+    raw_values = [v.strip() for v in values_text.split(",") if v.strip()]
+    if not sep or not path or not raw_values:
+        raise ValueError(
+            f"bad sweep axis {arg!r}; expected 'path=v1,v2,...' "
+            "(e.g. 'sbqa.omega=0,0.5,adaptive')"
+        )
+    return SweepAxis(
+        path=path,
+        values=tuple(_parse_axis_value(v) for v in raw_values),
+        zip_group=zip_group,
+    )
+
+
 def _emit_spec(args: argparse.Namespace) -> int:
-    """``sbqa spec scenarioN -o file.json``: author spec files from presets."""
+    """``sbqa spec scenarioN -o file.json``: author spec files from presets.
+
+    With ``--sweep`` axes the emitted document is a :class:`SweepSpec`
+    whose base is the scenario preset; otherwise an ``ExperimentSpec``.
+    """
     from repro.api.presets import scenario_spec
 
+    if not args.sweep and (args.zip_axes or args.sweep_name):
+        print(
+            "error: --zip and --sweep-name only apply together with "
+            "--sweep axes; add at least one --sweep 'path=v1,v2,...'",
+            file=sys.stderr,
+        )
+        return 2
     kwargs = _scenario_kwargs(args)
     if args.replications is not None:
         kwargs["replications"] = args.replications
     spec = scenario_spec(args.scenario, **kwargs)
+    if args.sweep:
+        from repro.api.sweep import SweepSpec
+
+        zip_group = "zip" if args.zip_axes else None
+        try:
+            axes = tuple(_parse_axis_arg(arg, zip_group) for arg in args.sweep)
+            spec = SweepSpec(
+                name=args.sweep_name or f"{args.scenario}-sweep",
+                base=spec,
+                axes=axes,
+            )
+        except (ValueError, TypeError) as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
     text = spec.to_json()
     if args.output:
         Path(args.output).write_text(text, encoding="utf-8")
@@ -295,65 +413,166 @@ def _run_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_sweep(args: argparse.Namespace) -> int:
-    from repro.analysis.export import rows_to_csv
-    from repro.analysis.tables import render_table
-    from repro.core.sbqa import SbQAConfig
-    from repro.experiments.config import DEFAULT_SEED, ExperimentConfig, PolicySpec
-    from repro.experiments.runner import run_once
-    from repro.workloads.boinc import BoincScenarioParams
+#: Quick-form parameter -> (axis dot-path, value coercion).
+_QUICK_SWEEP_AXES = {
+    "kn": ("sbqa.kn", int),
+    "omega": ("sbqa.omega", lambda raw: raw if raw == "adaptive" else float(raw)),
+    "epsilon": ("sbqa.epsilon", float),
+    "memory": ("population.memory", int),
+}
 
-    seed = DEFAULT_SEED if args.seed is None else args.seed
+
+def _quick_sweep_spec(args: argparse.Namespace):
+    """The quick form (``sbqa sweep kn --values 1,2,5``) as a SweepSpec."""
+    from repro.api.builder import Experiment
+    from repro.api.sweep import SweepAxis, SweepSpec
+    from repro.experiments.config import DEFAULT_SEED
+
     raw_values = [v.strip() for v in args.values.split(",") if v.strip()]
     if not raw_values:
-        print("no sweep values given", file=sys.stderr)
+        raise ValueError("no sweep values given")
+    path, coerce = _QUICK_SWEEP_AXES[args.parameter]
+    values = tuple(coerce(raw) for raw in raw_values)
+    base = (
+        Experiment.builder()
+        .named(f"sweep-{args.parameter}")
+        .seed(DEFAULT_SEED if args.seed is None else args.seed)
+        .duration(args.duration)
+        .providers(args.providers)
+        .policy("sbqa", k=args.k, kn=max(1, args.k // 2))
+        # None means "default"; an explicit 0 must reach spec validation
+        # and error out, matching the --spec path.
+        .replications(1 if args.replications is None else args.replications)
+        .build()
+    )
+    axis = SweepAxis(path=path, values=values, label=args.parameter)
+    return SweepSpec(name=f"sweep-{args.parameter}", base=base, axes=(axis,))
+
+
+def _sweep_spec_from_file(args: argparse.Namespace):
+    """Load ``--spec grid.json``, applying base overrides.
+
+    ``--seed``, ``--duration``, ``--providers`` and ``--replications``
+    rewrite the loaded grid's *base* experiment, mirroring what
+    ``sbqa run --spec`` accepts; points re-expand and re-validate
+    around the overridden base (the spec caches its expansion, so it is
+    rebuilt rather than mutated in place).
+    """
+    from repro.api.spec import ExperimentSpec
+    from repro.api.sweep import SweepSpec
+
+    spec = SweepSpec.load(args.spec)
+    data = spec.base.to_dict()
+    changed = False
+    if args.seed is not None:
+        data["seed"] = args.seed
+        changed = True
+    if args.duration is not None:
+        data["duration"] = args.duration
+        changed = True
+    if args.providers is not None:
+        data["population"]["n_providers"] = args.providers
+        changed = True
+    if args.replications is not None:
+        data["replications"] = args.replications
+        changed = True
+    if changed:
+        spec = SweepSpec(
+            name=spec.name, base=ExperimentSpec.from_dict(data), axes=spec.axes
+        )
+    return spec
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    """``sbqa sweep``: execute a parameter grid through the sweep engine."""
+    from repro.api.sweep import SweepSession
+
+    if args.spec is not None and args.parameter is not None:
+        print(
+            "error: give either a quick-form parameter or --spec FILE, not both",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print(
+            f"error: --workers must be >= 1, got {args.workers}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.spec is not None:
+            if args.k is not None:
+                print(
+                    "error: --k applies to the quick form only; sweep the "
+                    "pool size of a spec file with an 'sbqa.k' axis",
+                    file=sys.stderr,
+                )
+                return 2
+            if args.values is not None:
+                print(
+                    "error: --values applies to the quick form only; a "
+                    "spec file's axes carry their own values",
+                    file=sys.stderr,
+                )
+                return 2
+            spec = _sweep_spec_from_file(args)
+        elif args.parameter is not None:
+            if args.values is None:
+                print("error: the quick form needs --values", file=sys.stderr)
+                return 2
+            # Quick-form defaults; None elsewhere so the --spec path can
+            # distinguish "explicitly passed" from "untouched".
+            if args.duration is None:
+                args.duration = 1200.0
+            if args.providers is None:
+                args.providers = 80
+            if args.k is None:
+                args.k = 20
+            spec = _quick_sweep_spec(args)
+        else:
+            print("error: give a parameter or --spec FILE", file=sys.stderr)
+            return 2
+    except OSError as err:
+        print(f"error: cannot read sweep spec: {err}", file=sys.stderr)
+        return 2
+    except (ValueError, TypeError) as err:
+        print(f"error: {err}", file=sys.stderr)
         return 2
 
-    headers = [
-        args.parameter, "cons sat", "prov sat", "mean rt (s)",
-        "p95 rt (s)", "work gini", "coord msgs",
-    ]
-    rows = []
-    for raw in raw_values:
-        population = BoincScenarioParams(n_providers=args.providers)
-        sbqa_kwargs = {"k": args.k, "kn": max(1, args.k // 2)}
-        if args.parameter == "kn":
-            sbqa_kwargs["kn"] = int(raw)
-        elif args.parameter == "omega":
-            sbqa_kwargs["omega"] = raw if raw == "adaptive" else float(raw)
-        elif args.parameter == "epsilon":
-            sbqa_kwargs["epsilon"] = float(raw)
-        elif args.parameter == "memory":
-            population.memory = int(raw)
-        config = ExperimentConfig(
-            name=f"sweep-{args.parameter}-{raw}",
-            seed=seed,
-            duration=args.duration,
-            population=population,
-        )
-        spec = PolicySpec(
-            name="sbqa",
-            label=f"sbqa[{args.parameter}={raw}]",
-            sbqa=SbQAConfig(**sbqa_kwargs),
-        )
-        summary = run_once(config, spec).summary
-        rows.append(
-            [
-                raw,
-                summary.consumer_satisfaction_final,
-                summary.provider_satisfaction_final,
-                summary.mean_response_time,
-                summary.p95_response_time,
-                summary.work_gini,
-                summary.coordination_messages,
-            ]
-        )
-    print(
-        render_table(headers, rows, title=f"SbQA {args.parameter} sweep (k={args.k})")
+    session = SweepSession(spec)
+    parallel = args.parallel or args.workers is not None
+    stream = session.stream(parallel=parallel, max_workers=args.workers)
+    if args.stream:
+        # Partial tables while the grid runs: one block per completed
+        # point (completion order in parallel mode; identical final
+        # aggregate regardless).
+        for event in stream:
+            if event.point_result is None:
+                continue
+            print(
+                f"[{event.completed}/{event.total} runs] "
+                f"point {event.point_result.label}:"
+            )
+            for policy in event.point_result.policies:
+                print(
+                    f"  {policy.label}: cons sat {policy.cell('consumer_sat_final')}, "
+                    f"prov sat {policy.cell('provider_sat_final')}, "
+                    f"mean rt {policy.cell('mean_rt')}s"
+                )
+        print()
+    result = stream.result()
+    title = (
+        f"SbQA {args.parameter} sweep (k={args.k})"
+        if args.parameter is not None
+        else None
     )
+    print(result.table(title=title))
     if args.csv:
-        rows_to_csv(headers, rows, path=args.csv)
-        print(f"\nrows exported to {args.csv}")
+        result.to_csv(args.csv)
+        print(f"\ntidy rows exported to {args.csv}")
+    if args.json_out:
+        result.to_json(args.json_out)
+        print(f"sweep digest exported to {args.json_out}")
     return 0
 
 

@@ -33,6 +33,7 @@ AGGREGATED_FIELDS = (
     "capacity_remaining_fraction",
     "utilization_gini",
     "work_gini",
+    "coordination_messages",
 )
 
 

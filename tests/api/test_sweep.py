@@ -1,0 +1,448 @@
+"""Sweep subsystem: grids, round-trips, streaming, parity, significance."""
+
+import json
+
+import pytest
+
+from repro.api.builder import Experiment
+from repro.api.results import SweepResult
+from repro.api.spec import ExperimentSpec
+from repro.api.sweep import SweepAxis, SweepSession, SweepSpec
+from repro.experiments.runner import run_once
+
+
+def small_base(replications=1, policies=("sbqa", "capacity")):
+    builder = (
+        Experiment.builder()
+        .named("sweep-test")
+        .seed(11)
+        .duration(60.0)
+        .providers(10)
+    )
+    for name in policies:
+        builder.policy(name)
+    return builder.replications(replications).build()
+
+
+class TestSweepAxis:
+    def test_label_defaults_to_last_segment(self):
+        assert SweepAxis("population.memory", (10, 20)).label == "memory"
+        assert SweepAxis("duration", (60.0,)).label == "duration"
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError, match="at least one value"):
+            SweepAxis("sbqa.omega", ())
+
+    def test_string_values_rejected_not_char_split(self):
+        # tuple("adaptive") would silently become an 8-point grid
+        with pytest.raises(ValueError, match="wrap it in a list"):
+            SweepAxis("sbqa.omega", "adaptive")
+        with pytest.raises(ValueError, match="wrap it in a list"):
+            SweepAxis.from_dict({"path": "sbqa.omega", "values": "adaptive"})
+        with pytest.raises(ValueError, match="wrap it in a list"):
+            Experiment.sweep(small_base()).axis("sbqa.omega", "adaptive")
+
+    def test_scalar_values_rejected(self):
+        with pytest.raises(ValueError, match="must be a sequence"):
+            SweepAxis("sbqa.kn", 5)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown SweepAxis"):
+            SweepAxis.from_dict({"path": "duration", "values": [1], "vals": [2]})
+
+    def test_from_dict_requires_path_and_values(self):
+        with pytest.raises(ValueError, match="'path' and 'values'"):
+            SweepAxis.from_dict({"path": "duration"})
+
+
+class TestGridExpansion:
+    def test_product_rightmost_fastest(self):
+        sweep = SweepSpec(
+            base=small_base(),
+            axes=(
+                SweepAxis("sbqa.omega", (0.0, 1.0)),
+                SweepAxis("population.memory", (10, 20)),
+            ),
+        )
+        assert len(sweep) == 4
+        assert [p.label for p in sweep.points()] == [
+            "omega=0, memory=10",
+            "omega=0, memory=20",
+            "omega=1, memory=10",
+            "omega=1, memory=20",
+        ]
+
+    def test_zipped_axes_advance_in_lockstep(self):
+        sweep = SweepSpec(
+            base=small_base(),
+            axes=(
+                SweepAxis("sbqa.k", (4, 8), zip_group="pool"),
+                SweepAxis("sbqa.kn", (2, 4), zip_group="pool"),
+                SweepAxis("sbqa.omega", (0.0, 1.0)),
+            ),
+        )
+        # zipped pair (2 positions) x omega (2) = 4, not 2 x 2 x 2 = 8
+        assert len(sweep) == 4
+        assert [p.overrides for p in sweep.points()] == [
+            {"sbqa.k": 4, "sbqa.kn": 2, "sbqa.omega": 0.0},
+            {"sbqa.k": 4, "sbqa.kn": 2, "sbqa.omega": 1.0},
+            {"sbqa.k": 8, "sbqa.kn": 4, "sbqa.omega": 0.0},
+            {"sbqa.k": 8, "sbqa.kn": 4, "sbqa.omega": 1.0},
+        ]
+
+    def test_zip_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equally many values"):
+            SweepSpec(
+                base=small_base(),
+                axes=(
+                    SweepAxis("sbqa.k", (4, 8, 16), zip_group="pool"),
+                    SweepAxis("sbqa.kn", (2, 4), zip_group="pool"),
+                ),
+            )
+
+    def test_point_specs_carry_overrides(self):
+        sweep = SweepSpec(
+            base=small_base(),
+            axes=(SweepAxis("population.memory", (10, 30)),),
+        )
+        memories = [p.spec.population.memory for p in sweep.points()]
+        assert memories == [10, 30]
+        # untouched knobs keep the base's values
+        assert all(p.spec.duration == 60.0 for p in sweep.points())
+
+    def test_sbqa_override_fans_out_to_sbqa_policies_only(self):
+        sweep = SweepSpec(
+            base=small_base(),
+            axes=(SweepAxis("sbqa.omega", (0.25,)),),
+        )
+        point = sweep.points()[0]
+        assert point.spec.policy("sbqa").sbqa.omega == 0.25
+        assert point.spec.policy("capacity").sbqa is None
+
+    def test_requires_an_axis(self):
+        with pytest.raises(ValueError, match="at least one axis"):
+            SweepSpec(base=small_base(), axes=())
+
+    def test_duplicate_paths_rejected(self):
+        with pytest.raises(ValueError, match="paths must be unique"):
+            SweepSpec(
+                base=small_base(),
+                axes=(
+                    SweepAxis("sbqa.omega", (0.0,)),
+                    SweepAxis("sbqa.omega", (1.0,)),
+                ),
+            )
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError, match="labels must be unique"):
+            SweepSpec(
+                base=small_base(),
+                axes=(
+                    SweepAxis("population.memory", (10,)),
+                    SweepAxis("autonomy.memory", (20,), label="memory"),
+                ),
+            )
+
+    def test_unknown_path_rejected_with_context(self):
+        with pytest.raises(ValueError, match="no field 'memoryy'"):
+            SweepSpec(
+                base=small_base(),
+                axes=(SweepAxis("population.memoryy", (10,)),),
+            )
+
+    def test_unknown_sbqa_field_rejected(self):
+        with pytest.raises(ValueError, match="SbQAConfig has no field"):
+            SweepSpec(base=small_base(), axes=(SweepAxis("sbqa.omg", (0.5,)),))
+
+    def test_sbqa_axis_needs_an_sbqa_policy(self):
+        base = small_base(policies=("capacity",))
+        with pytest.raises(ValueError, match="no 'sbqa' policy"):
+            SweepSpec(base=base, axes=(SweepAxis("sbqa.omega", (0.5,)),))
+
+    def test_failures_path_needs_failures_enabled(self):
+        with pytest.raises(ValueError, match="no failure injection"):
+            SweepSpec(base=small_base(), axes=(SweepAxis("failures.mttf", (60.0,)),))
+
+    def test_invalid_point_named_in_error(self):
+        # kn > k is invalid; the error names the offending point.
+        with pytest.raises(ValueError, match=r"sweep point .*kn=99"):
+            SweepSpec(base=small_base(), axes=(SweepAxis("sbqa.kn", (99,)),))
+
+
+class TestDerive:
+    def test_top_level_and_nested_overrides(self):
+        base = small_base()
+        derived = base.derive({"duration": 120.0, "population.memory": 42})
+        assert derived.duration == 120.0
+        assert derived.population.memory == 42
+        # the original is untouched
+        assert base.duration == 60.0
+
+    def test_name_override(self):
+        assert small_base().derive({}, name="renamed").name == "renamed"
+
+    def test_sbqa_fanout_materializes_default_config(self):
+        # A bare PolicySpec("sbqa") has no explicit SbQAConfig; the
+        # override materializes the defaults to set one field.
+        base = ExperimentSpec(name="bare", duration=60.0)
+        assert base.policy("sbqa").sbqa is None
+        derived = base.derive({"sbqa.epsilon": 0.5})
+        assert derived.policy("sbqa").sbqa.epsilon == 0.5
+        # other SbQA fields keep their defaults
+        assert derived.policy("sbqa").sbqa.k == 20
+
+
+class TestRoundTrip:
+    def sweep(self):
+        return SweepSpec(
+            name="rt",
+            base=small_base(replications=2),
+            axes=(
+                SweepAxis("sbqa.omega", (0.0, "adaptive")),
+                SweepAxis("sbqa.k", (4, 8), zip_group="g", label="pool"),
+                SweepAxis("sbqa.kn", (2, 4), zip_group="g"),
+            ),
+        )
+
+    def test_json_round_trip_is_identity(self):
+        sweep = self.sweep()
+        assert SweepSpec.from_json(sweep.to_json()) == sweep
+
+    def test_save_load(self, tmp_path):
+        sweep = self.sweep()
+        path = sweep.save(tmp_path / "sweep.json")
+        assert SweepSpec.load(path) == sweep
+
+    def test_unknown_version_rejected(self):
+        data = self.sweep().to_dict()
+        data["sweep_version"] = 99
+        with pytest.raises(ValueError, match="unsupported sweep_version"):
+            SweepSpec.from_dict(data)
+
+    def test_unknown_field_rejected(self):
+        data = self.sweep().to_dict()
+        data["axis"] = []
+        with pytest.raises(ValueError, match="unknown SweepSpec"):
+            SweepSpec.from_dict(data)
+
+
+SWEEP = SweepSpec(
+    name="exec-test",
+    base=small_base(replications=2),
+    axes=(SweepAxis("sbqa.omega", (0.0, "adaptive")),),
+)
+
+
+class TestSerialExecution:
+    def test_shape(self):
+        session = SweepSession(SWEEP)
+        assert len(session) == 2 * 2 * 2  # points x policies x replications
+        result = session.run()
+        assert result.labels == ["omega=0", "omega=adaptive"]
+        for point in result.points:
+            assert [p.label for p in point.policies] == ["sbqa", "capacity"]
+            assert all(p.replications == 2 for p in point.policies)
+
+    def test_matches_run_once_grid(self):
+        result = SweepSession(SWEEP).run()
+        for point_spec, point in zip(SWEEP.points(), result.points):
+            config = point_spec.spec.to_config()
+            for policy_index, policy in enumerate(point_spec.spec.policies):
+                for replication in range(point_spec.spec.replications):
+                    expected = run_once(config, policy, replication=replication)
+                    got = point.policies[policy_index].summaries[replication]
+                    assert got.as_dict() == expected.summary.as_dict()
+
+    def test_stream_grid_order_and_point_completions(self):
+        stream = SweepSession(SWEEP).stream()
+        events = list(stream)
+        assert len(events) == 8
+        assert [e.completed for e in events] == list(range(1, 9))
+        assert all(e.total == 8 for e in events)
+        # serial streams complete points in grid order, at their last task
+        completions = [e.point_result.label for e in events if e.point_result]
+        assert completions == ["omega=0", "omega=adaptive"]
+        assert events[3].point_result is not None
+        assert events[7].point_result is not None
+        # the drained stream aggregates to the same result as run()
+        assert stream.result().to_json() == SweepSession(SWEEP).run().to_json()
+
+    def test_needs_a_sweep_spec(self):
+        with pytest.raises(TypeError, match="SweepSpec"):
+            SweepSession(small_base())
+
+
+class TestParallelParity:
+    """The acceptance bar: a 12-point x 2-policy x 3-replication grid,
+    executed over 4 workers and consumed incrementally, must serialize
+    byte-identically to the serial barrier path -- including the Welch
+    t-test annotations."""
+
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return SweepSpec(
+            name="parity",
+            base=small_base(replications=3),
+            axes=(
+                SweepAxis("sbqa.omega", (0.0, 0.2, 0.4, 0.6, 0.8, "adaptive")),
+                SweepAxis("sbqa.kn", (2, 10)),
+            ),
+        )
+
+    def test_grid_shape(self, grid):
+        assert len(grid) == 12
+        assert len(grid.base.policies) == 2
+        assert grid.base.replications == 3
+        assert len(SweepSession(grid)) == 12 * 2 * 3
+
+    def test_streamed_parallel_binary_identical_to_serial(self, grid):
+        serial = SweepSession(grid).run()
+        stream = SweepSession(grid).stream(parallel=True, max_workers=4)
+        completions = 0
+        last_completed = 0
+        for event in stream:
+            # incremental consumption: every event observed one by one,
+            # completion counter strictly increasing
+            assert event.completed == last_completed + 1
+            last_completed = event.completed
+            if event.point_result is not None:
+                completions += 1
+        assert completions == 12
+        parallel = stream.result()
+        assert parallel.parallel and not serial.parallel
+        assert parallel.to_json() == serial.to_json()
+        assert parallel.to_csv() == serial.to_csv()
+
+    def test_digest_carries_significance(self, grid):
+        digest = json.loads(SweepSession(grid).run().to_json())
+        point = digest["points"][0]
+        assert point["comparisons"], "3 replications must enable t-tests"
+        comparison = point["comparisons"][0]
+        assert {"metric", "p_value", "t_statistic"} <= set(comparison)
+        assert 0.0 <= comparison["p_value"] <= 1.0
+        for metric, best in digest["best"].items():
+            assert best["point"] in [p["label"] for p in digest["points"]]
+            assert best["significant"] in (True, False)
+
+
+class TestSweepResult:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return SweepSession(SWEEP).run()
+
+    def test_point_lookup(self, result):
+        assert result.point("omega=0").label == "omega=0"
+        assert result.point(1).label == "omega=adaptive"
+        with pytest.raises(KeyError):
+            result.point("omega=7")
+
+    def test_best_direction(self, result):
+        # mean_rt minimizes by default
+        point, policy = result.best("mean_rt")
+        assert policy["mean_rt"] == min(p["mean_rt"] for _, p in result.cells())
+        point, policy = result.best("consumer_sat_final")
+        assert policy["consumer_sat_final"] == max(
+            p["consumer_sat_final"] for _, p in result.cells()
+        )
+
+    def test_best_summary_has_runner_up_and_p(self, result):
+        best = result.best_summary("consumer_sat_final")
+        assert best["runner_up"] is not None
+        assert 0.0 <= best["p_value"] <= 1.0
+        assert best["significant"] == (best["p_value"] < 0.05)
+
+    def test_tidy_rows_carry_axis_columns(self, result):
+        rows = result.to_rows()
+        assert len(rows) == 2 * 2 * 2
+        assert rows[0]["sweep"] == "exec-test"
+        assert "omega" in rows[0]
+        assert {"point", "policy", "replication"} <= set(rows[0])
+
+    def test_csv_export(self, result, tmp_path):
+        path = tmp_path / "sweep.csv"
+        text = result.to_csv(path)
+        assert path.read_text() == text
+        header = text.splitlines()[0]
+        assert header.startswith("sweep,point,omega,policy,replication")
+        assert len(text.strip().splitlines()) == 1 + 8
+
+    def test_table_marks_best(self, result):
+        table = result.table()
+        assert "omega=adaptive" in table
+        assert "*" in table
+        assert "best per column" in table
+
+    def test_table_shows_coordination_cost(self, result):
+        # the overhead side of the paper's trade-off stays visible (the
+        # pre-sweep-engine `sbqa sweep` table always printed it)
+        assert "coord msgs" in result.table()
+        assert "coordination_messages" in result.points[0].policies[0].means
+
+    def test_comparisons_need_replications(self):
+        single = SweepSpec(
+            name="single",
+            base=small_base(replications=1),
+            axes=(SweepAxis("sbqa.omega", (0.0,)),),
+        )
+        result = SweepSession(single).run()
+        assert result.points[0].comparisons() == []
+        best = result.best_summary("mean_rt")
+        assert best["p_value"] is None and best["significant"] is None
+
+
+class TestBuilderEntryPoints:
+    def test_experiment_sweep_accepts_spec_builder_dict_none(self):
+        spec = small_base()
+        for base in (spec, Experiment.from_spec(spec), spec.to_dict(), None):
+            sweep = (
+                Experiment.sweep(base).axis("sbqa.omega", [0.0, 1.0]).build()
+            )
+            assert len(sweep) == 2
+
+    def test_experiment_sweep_rejects_garbage(self):
+        with pytest.raises(TypeError, match="Experiment.sweep"):
+            Experiment.sweep(42)
+
+    def test_builder_chain_into_sweep(self):
+        sweep = (
+            Experiment.builder()
+            .duration(60.0)
+            .providers(10)
+            .policy("sbqa")
+            .replications(2)
+            .sweep()
+            .named("chained")
+            .axis("sbqa.omega", [0.0, 1.0])
+            .build()
+        )
+        assert sweep.name == "chained"
+        assert sweep.base.replications == 2
+
+    def test_zipped_builder_axes(self):
+        sweep = (
+            Experiment.sweep(small_base())
+            .zipped(sbqa__k=[4, 8], sbqa__kn=[2, 4])
+            .build()
+        )
+        assert len(sweep) == 2
+        assert sweep.axes[0].path == "sbqa.k"
+        assert sweep.axes[0].zip_group == sweep.axes[1].zip_group
+
+    def test_zipped_needs_two_axes(self):
+        with pytest.raises(ValueError, match="at least two"):
+            Experiment.sweep(small_base()).zipped(sbqa__k=[4, 8])
+
+    def test_run_shortcut(self):
+        result = (
+            Experiment.sweep(small_base())
+            .axis("sbqa.omega", [0.0])
+            .run()
+        )
+        assert isinstance(result, SweepResult)
+        assert len(result.points) == 1
+
+
+class TestExperimentSpecUntouched:
+    def test_base_spec_still_round_trips(self):
+        base = small_base(replications=2)
+        assert ExperimentSpec.from_json(base.to_json()) == base

@@ -103,6 +103,172 @@ class TestSweepCommand:
         )
         assert code == 2
 
+    def test_missing_values_error(self, capsys):
+        assert main(["sweep", "kn"]) == 2
+        assert "--values" in capsys.readouterr().err
+
+    def test_zero_replications_rejected(self, capsys):
+        code = main(["sweep", "kn", "--values", "1", "--replications", "0",
+                     "--duration", "100", "--providers", "10"])
+        assert code == 2
+        assert "at least one replication" in capsys.readouterr().err
+
+    def test_no_parameter_no_spec_error(self, capsys):
+        assert main(["sweep"]) == 2
+        assert "parameter or --spec" in capsys.readouterr().err
+
+
+class TestSweepSpecDriven:
+    """The declarative sweep path: spec --sweep emitters + sweep --spec."""
+
+    def emit(self, tmp_path, *extra):
+        path = tmp_path / "grid.json"
+        code = main(
+            ["spec", "scenario3", "--duration", "100", "--providers", "12",
+             "--replications", "2",
+             "--sweep", "sbqa.omega=0,adaptive", *extra, "-o", str(path)]
+        )
+        assert code == 0
+        return path
+
+    def test_spec_sweep_emits_sweep_spec(self, tmp_path, capsys):
+        path = self.emit(tmp_path)
+        from repro.api.sweep import SweepSpec
+
+        sweep = SweepSpec.load(path)
+        assert sweep.name == "scenario3-sweep"
+        assert len(sweep) == 2
+        assert sweep.axes[0].path == "sbqa.omega"
+        assert sweep.axes[0].values == (0, "adaptive")
+        assert sweep.base.name == "scenario3"
+        assert sweep.base.replications == 2
+
+    def test_spec_sweep_zip_and_name(self, tmp_path, capsys):
+        path = tmp_path / "grid.json"
+        code = main(
+            ["spec", "scenario3", "--duration", "100", "--providers", "12",
+             "--sweep", "sbqa.k=4,8", "--sweep", "sbqa.kn=2,4",
+             "--zip", "--sweep-name", "pool-grid", "-o", str(path)]
+        )
+        assert code == 0
+        from repro.api.sweep import SweepSpec
+
+        sweep = SweepSpec.load(path)
+        assert sweep.name == "pool-grid"
+        assert len(sweep) == 2  # zipped, not 2 x 2
+        assert {a.zip_group for a in sweep.axes} == {"zip"}
+
+    def test_spec_sweep_bad_axis_errors(self, tmp_path, capsys):
+        code = main(
+            ["spec", "scenario3", "--sweep", "nonsense", "-o",
+             str(tmp_path / "x.json")]
+        )
+        assert code == 2
+        assert "bad sweep axis" in capsys.readouterr().err
+
+    def test_zip_without_sweep_axes_rejected(self, tmp_path, capsys):
+        path = tmp_path / "x.json"
+        assert main(["spec", "scenario3", "--zip", "-o", str(path)]) == 2
+        assert "--sweep" in capsys.readouterr().err
+        assert not path.exists()
+        assert main(["spec", "scenario3", "--sweep-name", "grid",
+                     "-o", str(path)]) == 2
+        assert not path.exists()
+
+    def test_sweep_spec_runs_and_exports(self, tmp_path, capsys):
+        path = self.emit(tmp_path)
+        capsys.readouterr()
+        csv_path = tmp_path / "rows.csv"
+        json_path = tmp_path / "digest.json"
+        code = main(
+            ["sweep", "--spec", str(path), "--csv", str(csv_path),
+             "--json", str(json_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "omega=adaptive" in out
+        assert "best per column" in out
+        assert csv_path.read_text().splitlines()[0].startswith("sweep,point,omega")
+        import json
+
+        digest = json.loads(json_path.read_text())
+        assert [p["label"] for p in digest["points"]] == ["omega=0", "omega=adaptive"]
+        assert digest["points"][0]["comparisons"]  # 2 replications -> t-tests
+
+    def test_sweep_spec_workers_stream_matches_serial_digest(self, tmp_path, capsys):
+        """--workers N implies parallel; streamed output, identical digest."""
+        path = self.emit(tmp_path)
+        capsys.readouterr()
+        serial_json = tmp_path / "serial.json"
+        parallel_json = tmp_path / "parallel.json"
+        assert main(["sweep", "--spec", str(path), "--json", str(serial_json)]) == 0
+        capsys.readouterr()
+        code = main(
+            ["sweep", "--spec", str(path), "--workers", "2", "--stream",
+             "--json", str(parallel_json)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "point omega=0:" in out  # streamed per-point blocks
+        assert serial_json.read_bytes() == parallel_json.read_bytes()
+
+    def test_sweep_replications_override(self, tmp_path, capsys):
+        path = self.emit(tmp_path)
+        capsys.readouterr()
+        code = main(["sweep", "--spec", str(path), "--replications", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "±" not in out  # single replication: no spread cells
+
+    def test_sweep_spec_base_overrides_apply(self, tmp_path, capsys):
+        """--seed/--duration/--providers rewrite the grid's base, like
+        `sbqa run --spec`; they must not be silently dropped."""
+        path = self.emit(tmp_path)
+        capsys.readouterr()
+        json_a = tmp_path / "a.json"
+        json_b = tmp_path / "b.json"
+        assert main(["sweep", "--spec", str(path), "--json", str(json_a)]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "--spec", str(path), "--seed", "99",
+                     "--duration", "80", "--providers", "8",
+                     "--json", str(json_b)]) == 0
+        capsys.readouterr()
+        import json
+
+        base = json.loads(json_b.read_text())["sweep"]["base"]
+        assert base["seed"] == 99
+        assert base["duration"] == 80.0
+        assert base["population"]["n_providers"] == 8
+        assert json_a.read_text() != json_b.read_text()
+
+    def test_sweep_spec_rejects_quick_only_k(self, tmp_path, capsys):
+        path = self.emit(tmp_path)
+        capsys.readouterr()
+        assert main(["sweep", "--spec", str(path), "--k", "10"]) == 2
+        assert "quick form only" in capsys.readouterr().err
+
+    def test_sweep_spec_rejects_quick_only_values(self, tmp_path, capsys):
+        path = self.emit(tmp_path)
+        capsys.readouterr()
+        assert main(["sweep", "--spec", str(path), "--values", "0.25,0.75"]) == 2
+        assert "quick form only" in capsys.readouterr().err
+
+    def test_sweep_spec_and_parameter_rejected(self, tmp_path, capsys):
+        path = self.emit(tmp_path)
+        capsys.readouterr()
+        assert main(["sweep", "kn", "--values", "1", "--spec", str(path)]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_sweep_missing_spec_file_errors(self, capsys):
+        assert main(["sweep", "--spec", "/nonexistent/grid.json"]) == 2
+        assert "cannot read sweep spec" in capsys.readouterr().err
+
+    def test_sweep_rejects_nonpositive_workers(self, tmp_path, capsys):
+        path = self.emit(tmp_path)
+        capsys.readouterr()
+        assert main(["sweep", "--spec", str(path), "--workers", "0"]) == 2
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
 
 class TestRunAll:
     def test_run_all_executes_every_scenario(self, capsys):
@@ -136,13 +302,13 @@ class TestSpecDrivenRun:
         assert spec.replications == 2
 
     def test_spec_subcommand_stdout(self, capsys):
-        assert main(["spec", "scenario1", "--duration", "100"]) == 0
+        assert main(["spec", "scenario3", "--duration", "100"]) == 0
         out = capsys.readouterr().out
         assert '"spec_version"' in out
 
     def test_run_spec_file(self, tmp_path, capsys):
         path = tmp_path / "spec.json"
-        main(["spec", "scenario1", "--duration", "120", "--providers", "15",
+        main(["spec", "scenario3", "--duration", "120", "--providers", "15",
               "-o", str(path)])
         capsys.readouterr()
         csv_path = tmp_path / "runs.csv"
@@ -168,7 +334,7 @@ class TestSpecDrivenRun:
 
     def test_run_spec_file_parallel_matches_serial(self, tmp_path, capsys):
         path = tmp_path / "spec.json"
-        main(["spec", "scenario1", "--duration", "120", "--providers", "15",
+        main(["spec", "scenario3", "--duration", "120", "--providers", "15",
               "--replications", "2", "-o", str(path)])
         capsys.readouterr()
         assert main(["run", "--spec", str(path)]) == 0
@@ -185,7 +351,7 @@ class TestSpecDrivenRun:
 
     def test_scenario_and_spec_together_rejected(self, tmp_path, capsys):
         path = tmp_path / "s.json"
-        main(["spec", "scenario1", "--duration", "60", "-o", str(path)])
+        main(["spec", "scenario3", "--duration", "60", "-o", str(path)])
         capsys.readouterr()
         assert main(["run", "scenario1", "--spec", str(path)]) == 2
         assert "not both" in capsys.readouterr().err

@@ -1,0 +1,47 @@
+"""The documentation suite's relative links must resolve.
+
+Runs the same checker CI uses (``tools/check_links.py``) as a unit
+test, so a renamed example or doc page fails locally before it fails
+the docs job.
+"""
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+
+from check_links import dead_links, default_doc_set, iter_links  # noqa: E402
+
+
+def test_doc_set_is_nonempty():
+    docs = default_doc_set(ROOT)
+    names = {p.name for p in docs}
+    assert "README.md" in names
+    assert "architecture.md" in names
+    assert "sweeps.md" in names
+    assert "api.md" in names
+
+
+def test_no_dead_relative_links():
+    failures = dead_links(default_doc_set(ROOT))
+    assert not failures, "dead documentation links:\n" + "\n".join(failures)
+
+
+def test_checker_sees_links_and_skips_code_fences(tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text(
+        "see [spec](grid.json) and [web](https://example.com)\n"
+        "```bash\n"
+        "echo [not a](link.md)\n"
+        "```\n"
+        "[anchor](#section) and [dead](missing.md)\n",
+        encoding="utf-8",
+    )
+    (tmp_path / "grid.json").write_text("{}", encoding="utf-8")
+    targets = [t for _, t in iter_links(page)]
+    assert targets == ["grid.json", "https://example.com", "#section", "missing.md"]
+    failures = dead_links([page])
+    assert [f.split(": ")[1] for f in failures] == ["missing.md"]
+    (tmp_path / "missing.md").write_text("", encoding="utf-8")
+    assert dead_links([page]) == []

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Fail on dead relative links in the documentation.
+
+Scans Markdown files (``docs/*.md`` and ``README.md`` by default, or
+the paths given as arguments) for inline links and images,
+``[text](target)`` / ``![alt](target)``, and checks that every
+*relative* target resolves to an existing file or directory relative to
+the file containing the link.  External targets (``http(s)://``,
+``mailto:``) and pure in-page anchors (``#section``) are ignored;
+a ``path#anchor`` target is checked for the path part only.
+
+Usage::
+
+    python tools/check_links.py              # default doc set
+    python tools/check_links.py docs/*.md    # explicit files
+
+Exit status 1 lists every dead link as ``file:line: target``; this is
+the check CI runs against the documentation suite.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: Inline Markdown link or image: [text](target) / ![alt](target).
+#: The target group stops at whitespace or ')' (titles after the URL,
+#: e.g. ``(target "title")``, are tolerated).
+_LINK = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)\s>]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+
+#: Targets that are not local files.
+_EXTERNAL = re.compile(r"^(?:[a-z][a-z0-9+.-]*:|//)", re.IGNORECASE)
+
+
+def default_doc_set(root: Path) -> List[Path]:
+    """README.md plus every Markdown file under docs/."""
+    docs = sorted((root / "docs").glob("**/*.md")) if (root / "docs").is_dir() else []
+    readme = root / "README.md"
+    return ([readme] if readme.is_file() else []) + docs
+
+
+def iter_links(path: Path) -> Iterable[Tuple[int, str]]:
+    """Every (line number, target) of an inline link in one file."""
+    in_code_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        for match in _LINK.finditer(line):
+            yield lineno, match.group(1)
+
+
+def dead_links(paths: Iterable[Path]) -> List[str]:
+    """``file:line: target`` for every relative link that resolves nowhere."""
+    failures = []
+    for path in paths:
+        for lineno, target in iter_links(path):
+            if _EXTERNAL.match(target):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:  # pure in-page anchor
+                continue
+            if not (path.parent / relative).exists():
+                failures.append(f"{path}:{lineno}: {target}")
+    return failures
+
+
+def main(argv: List[str]) -> int:
+    root = Path(__file__).resolve().parent.parent
+    paths = [Path(arg) for arg in argv] if argv else default_doc_set(root)
+    missing = [str(p) for p in paths if not p.is_file()]
+    if missing:
+        print("no such file(s): " + ", ".join(missing), file=sys.stderr)
+        return 2
+    failures = dead_links(paths)
+    for failure in failures:
+        print(f"dead link: {failure}", file=sys.stderr)
+    if failures:
+        print(f"{len(failures)} dead link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(paths)} file(s): all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
