@@ -6,47 +6,62 @@ memory capacity."  This ablation sweeps k in an autonomous SbQA run:
 small windows make satisfaction noisy (spurious threshold crossings ->
 more departures), large windows react slowly.  Prints departures and
 satisfaction volatility per k.
+
+Expressed through the sweep engine like the other ablations (one
+``population.memory`` axis), with ``keep_runs`` opted in: satisfaction
+*volatility* is the spread of the per-run satisfaction time series,
+which lives on the metrics hub of each full
+:class:`~repro.experiments.runner.RunResult` -- exactly what
+``keep_runs`` retains through aggregation (serial execution only).
 """
 
-from benchmarks.conftest import print_scenario
 from repro.analysis.stats import stdev
 from repro.analysis.tables import render_table
-from repro.experiments.config import AutonomyConfig, ExperimentConfig, PolicySpec
-from repro.experiments.runner import run_once
-from repro.workloads.boinc import BoincScenarioParams
+from repro.api.builder import Experiment
+from repro.api.sweep import SweepSession
 
 MEMORY_VALUES = (10, 50, 100, 300)
 
 
-def run_with_memory(memory: int, duration: float, n_providers: int):
-    config = ExperimentConfig(
-        name=f"ablation-memory-{memory}",
-        seed=20090301,
-        duration=duration,
-        population=BoincScenarioParams(n_providers=n_providers, memory=memory),
-        autonomy=AutonomyConfig(mode="autonomous", warmup=duration / 8.0),
+def build_sweep(duration: float, n_providers: int):
+    """The A2 grid: satisfaction window k over an autonomous base."""
+    return (
+        Experiment.builder()
+        .named("ablation-memory")
+        .seed(20090301)
+        .duration(duration)
+        .providers(n_providers)
+        .autonomous(warmup=duration / 8.0)
+        .policy("sbqa")
+        .sweep()
+        .named("ablation-memory")
+        .axis("population.memory", MEMORY_VALUES, label="memory")
+        .keep_runs()
+        .build()
     )
-    return run_once(config, PolicySpec(name="sbqa"))
 
 
 def bench_memory_window(benchmark, scenario_scale):
     duration = scenario_scale["duration"] / 2
     n_providers = scenario_scale["n_providers"]
+    sweep = build_sweep(duration, n_providers)
 
-    def sweep():
-        return [run_with_memory(m, duration, n_providers) for m in MEMORY_VALUES]
+    def run_sweep():
+        return SweepSession(sweep).run()
 
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
 
     rows = []
-    for memory, result in zip(MEMORY_VALUES, results):
-        volatility = stdev(result.hub.provider_satisfaction.values)
+    for point in result.points:
+        policy = point.policies[0]
+        run = policy.run(0)  # retained by keep_runs
+        volatility = stdev(run.hub.provider_satisfaction.values)
         rows.append(
             [
-                memory,
-                result.summary.provider_departures,
-                result.summary.providers_remaining,
-                result.summary.provider_satisfaction_final,
+                point.point.coords["memory"],
+                run.summary.provider_departures,
+                run.summary.providers_remaining,
+                run.summary.provider_satisfaction_final,
                 volatility,
             ]
         )
@@ -63,4 +78,6 @@ def bench_memory_window(benchmark, scenario_scale):
     shortest, longest = rows[0], rows[-1]
     assert shortest[4] >= longest[4] * 0.5
     # every configuration keeps a working system
-    assert all(r.summary.queries_completed > 0 for r in results)
+    assert all(
+        policy.summary.queries_completed > 0 for _, policy in result.cells()
+    )

@@ -1,0 +1,85 @@
+"""Adaptive tuning vs exhaustive sweeping on the 12-point omega grid.
+
+The tuner's pitch is "same winner, fewer runs": successive-halving
+rungs with Welch/Holm elimination should retire dominated grid points
+early instead of replicating them to full depth.  This bench runs the
+shipped ``examples/specs/tune_omega.json`` study -- 6 omega values x
+2 KnBest pool sizes over a three-policy comparison, 216 runs
+exhaustively -- both ways and checks the pitch:
+
+* the tune finishes within its run budget (<= 60% of exhaustive);
+* it selects the same winning point as the exhaustive sweep;
+* surviving points aggregate bit-for-bit identically to the sweep.
+
+The grid is pinned to the example spec (not ``scenario_scale``): the
+elimination trace is a deterministic function of the spec, and this is
+the exact configuration the docs and the CI smoke job reference.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.analysis.stats import mean
+from repro.analysis.tables import render_table
+from repro.api.sweep import SweepSession
+from repro.api.tune import TuneSession, TuneSpec
+
+SPEC_PATH = Path(__file__).resolve().parent.parent / "examples" / "specs" / "tune_omega.json"
+
+
+def bench_tune_vs_sweep(benchmark):
+    spec = TuneSpec.load(SPEC_PATH)
+
+    def run_tune():
+        return TuneSession(spec).run(parallel=True)
+
+    tune = benchmark.pedantic(run_tune, rounds=1, iterations=1)
+
+    started = time.perf_counter()
+    sweep = SweepSession(spec.sweep).run(parallel=True)
+    sweep_wall = time.perf_counter() - started
+
+    objective = spec.objective
+    policy = spec.objective_policy.label
+    sweep_best = max(
+        sweep.points, key=lambda p: mean(p.policy(policy).values(objective))
+    )
+
+    print()
+    print(
+        render_table(
+            ["strategy", "runs", "points at full depth", "winner"],
+            [
+                [
+                    "exhaustive sweep",
+                    tune.exhaustive_runs,
+                    len(sweep.points),
+                    sweep_best.label,
+                ],
+                [
+                    "adaptive tune",
+                    tune.runs_executed,
+                    len([o for o in tune.outcomes if o.complete]),
+                    tune.winner.label,
+                ],
+            ],
+            title=f"tune vs sweep on {spec.sweep.name} (objective: {objective})",
+        )
+    )
+    print(
+        f"tune used {tune.run_fraction:.0%} of the exhaustive runs "
+        f"({tune.runs_saved} saved); exhaustive wall {sweep_wall:.1f}s"
+    )
+    print(tune.table())
+
+    # the acceptance bar: same winner at <= 60% of the run count
+    assert tune.status == "completed"
+    assert tune.winner.label == sweep_best.label
+    assert tune.run_fraction <= 0.6
+    # surviving points are bit-for-bit the exhaustive sweep's
+    exhaustive_points = {p["label"]: p for p in sweep.to_dict()["points"]}
+    for point in tune.sweep_result().to_dict()["points"]:
+        assert json.dumps(point, sort_keys=True) == json.dumps(
+            exhaustive_points[point["label"]], sort_keys=True
+        ), f"survivor {point['label']} diverged from the exhaustive sweep"

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""The tuning tour: declare a race, stream the eliminations, read the trace.
+
+Walks the adaptive-experimentation subsystem end to end:
+
+1. **declare** -- a ``TuneSpec``: a sweep grid as the search space, an
+   objective metric raced on one policy, a successive-halving rung
+   schedule, a total run budget, and the elimination level ``alpha``;
+2. **race** -- rung by rung over a shared process pool: each rung deepens
+   the survivors' replications, then challengers *significantly worse*
+   than the incumbent (Welch's t-test, Holm-corrected within the rung)
+   are eliminated -- dominated points never reach full depth;
+3. **read** -- the winner, the elimination trace with p-values, the runs
+   saved versus the exhaustive sweep, and the surviving points bridged
+   back into a regular ``SweepResult``.
+
+Run:  python examples/tune_study.py        (~15 s)
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.api import Experiment, TuneSession, TuneSpec
+from repro.api.tune import TuneRungEvent, TuneStopEvent
+
+# ----------------------------------------------------------------------
+# 1. Declare: race omega x kn for consumer satisfaction under a budget.
+#    The sweep chain builds the search space; .tune() turns it into a
+#    race.  rungs(2, 3, 6) = race at 2 replications, promote survivors
+#    to 3, finish them at 6 (the full experiment).
+# ----------------------------------------------------------------------
+tune = (
+    Experiment.builder()
+    .named("omega-race")
+    .seed(7)
+    .duration(400)
+    .providers(30)
+    .policy("sbqa", k=20, kn=10)
+    .policy("capacity")
+    .replications(6)
+    .sweep()
+    .named("omega-x-kn")
+    .axis("sbqa.omega", [0.0, 0.5, 1.0, "adaptive"])
+    .axis("sbqa.kn", [1, 10])
+    .tune()
+    .named("omega-race")
+    .objective("consumer_sat_final")     # maximized (metric default)
+    .rungs(2, 3, 6)
+    .budget(70)                          # exhaustive would be 96 runs
+    .alpha(0.05)
+    .build()
+)
+print(f"search space: {len(tune.sweep)} points, exhaustive "
+      f"{tune.exhaustive_runs} runs, budget {tune.budget}, "
+      f"rungs {tune.rungs}")
+
+# Tunes are plain data too: save, diff, share, `sbqa tune --spec`.
+path = Path(tempfile.mkdtemp()) / "omega-race.json"
+tune.save(path)
+assert TuneSpec.load(path) == tune
+print(f"spec saved to {path}; rerun it with: sbqa tune --spec {path}\n")
+
+# ----------------------------------------------------------------------
+# 2. Race: stream the rung decisions as they are made.  TuneRunEvents
+#    (one per simulation) are skipped here; TuneRungEvents carry the
+#    promotions and eliminations with their Holm-corrected p-values.
+# ----------------------------------------------------------------------
+stream = TuneSession(tune).stream(parallel=True)
+for event in stream:
+    if isinstance(event, TuneRungEvent):
+        record = event.record
+        print(f"rung {record.rung + 1}: {len(record.contenders)} contenders "
+              f"at {record.replications} reps -> incumbent {record.incumbent}, "
+              f"{len(record.eliminated)} eliminated "
+              f"({record.runs_total} runs so far)")
+        for elimination in record.eliminated:
+            print(f"   x {elimination.label}: mean {elimination.mean:.4f} "
+                  f"vs {elimination.incumbent_mean:.4f}, "
+                  f"p_holm={elimination.p_adjusted:.4f}")
+    elif isinstance(event, TuneStopEvent):
+        print(f"stopped early: {event.reason}")
+result = stream.result()
+
+# ----------------------------------------------------------------------
+# 3. Read: the trace table, the winner, and the sweep-compatible view
+#    of the surviving points (bit-for-bit what the exhaustive sweep
+#    would have produced for them).
+# ----------------------------------------------------------------------
+print()
+print(result.table())
+winner = result.winner
+print(f"\nwinner: {winner.label} with consumer_sat_final "
+      f"{result.objective_cell(winner)} "
+      f"({result.runs_saved} of {result.exhaustive_runs} runs saved)")
+
+survivors = result.sweep_result()
+print(f"\nsurviving points as a SweepResult "
+      f"({len(survivors.points)} of {len(tune.sweep)} points):")
+print(survivors.table(columns=("consumer_sat_final", "mean_rt",
+                               "coordination_messages")))

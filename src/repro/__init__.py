@@ -45,6 +45,10 @@ _EXPORTS = {
     "SweepBuilder": "repro.api",
     "SweepResult": "repro.api",
     "SweepPointResult": "repro.api",
+    "TuneSpec": "repro.api",
+    "TuneSession": "repro.api",
+    "TuneBuilder": "repro.api",
+    "TuneResult": "repro.api",
     "scenario_spec": "repro.api",
     "available_scenarios": "repro.api",
     # core

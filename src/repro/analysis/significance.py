@@ -35,13 +35,23 @@ Assumptions that DO remain, and how this codebase meets them:
 
 Identical (zero-variance) cells return ``t = 0, p = 1`` rather than
 dividing by zero: equality is the strongest possible failure to reject.
+
+**Multiple comparisons.**  A sweep point compares every policy pair on
+every metric, and a tuning rung tests every challenger against the
+incumbent; at a per-test ``alpha`` of 0.05 a 20-test family expects one
+false positive.  :func:`holm_correction` implements the Holm-Bonferroni
+step-down adjustment -- uniformly more powerful than plain Bonferroni,
+valid under arbitrary dependence between the tests -- and
+:func:`holm_adjust` applies it to a family of :class:`Comparison`
+values, filling their ``p_adjusted`` field.  The sweep layer corrects
+within each point's family, the tuner within each rung's.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from scipy import stats as _scipy_stats
 
@@ -53,7 +63,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 @dataclass(frozen=True)
 class Comparison:
-    """Welch t-test of one metric between two replication sets."""
+    """Welch t-test of one metric between two replication sets.
+
+    ``p_adjusted`` is the multiplicity-corrected p-value when the
+    comparison belongs to a family that went through
+    :func:`holm_adjust`; ``None`` for a lone, uncorrected test.
+    """
 
     metric: str
     label_a: str
@@ -64,17 +79,26 @@ class Comparison:
     t_statistic: float
     degrees_of_freedom: float
     p_value: float
+    p_adjusted: Optional[float] = None
 
     def significant(self, alpha: float = 0.05) -> bool:
-        """Two-sided significance at level ``alpha``."""
-        return self.p_value < alpha
+        """Two-sided significance at level ``alpha``.
+
+        Judged on the Holm-adjusted p-value when the comparison was
+        corrected as part of a family, on the raw p-value otherwise.
+        """
+        p = self.p_value if self.p_adjusted is None else self.p_adjusted
+        return p < alpha
 
     def format(self) -> str:
+        adjusted = (
+            "" if self.p_adjusted is None else f", p_holm={self.p_adjusted:.4f}"
+        )
         return (
             f"{self.metric}: {self.label_a}={self.mean_a:.4g} vs "
             f"{self.label_b}={self.mean_b:.4g} (diff {self.difference:+.4g}, "
             f"t={self.t_statistic:.2f}, dof={self.degrees_of_freedom:.1f}, "
-            f"p={self.p_value:.4f})"
+            f"p={self.p_value:.4f}{adjusted})"
         )
 
     def as_dict(self) -> dict:
@@ -89,6 +113,7 @@ class Comparison:
             "t_statistic": self.t_statistic,
             "degrees_of_freedom": self.degrees_of_freedom,
             "p_value": self.p_value,
+            "p_adjusted": self.p_adjusted,
         }
 
 
@@ -116,6 +141,46 @@ def welch_t_test(samples_a: Sequence[float], samples_b: Sequence[float]) -> tupl
     )
     p = 2.0 * float(_scipy_stats.t.sf(abs(t), dof))
     return t, dof, p
+
+
+def holm_correction(p_values: Sequence[float]) -> List[float]:
+    """Holm-Bonferroni adjusted p-values, in the input order.
+
+    Step-down procedure: sort the ``m`` raw p-values ascending, scale
+    the ``i``-th smallest by ``m - i`` (0-based), enforce monotonicity
+    with a running maximum, and clip at 1.  Rejecting where
+    ``adjusted < alpha`` reproduces Holm's sequential test exactly, and
+    controls the family-wise error rate at ``alpha`` under arbitrary
+    dependence between the tests -- important here, where every
+    comparison shares the incumbent cell.
+    """
+    m = len(p_values)
+    if m == 0:
+        return []
+    for p in p_values:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p-values must lie in [0, 1], got {p!r}")
+    order = sorted(range(m), key=lambda i: p_values[i])
+    adjusted = [0.0] * m
+    running = 0.0
+    for rank, index in enumerate(order):
+        running = max(running, (m - rank) * p_values[index])
+        adjusted[index] = min(1.0, running)
+    return adjusted
+
+
+def holm_adjust(comparisons: Sequence[Comparison]) -> List[Comparison]:
+    """One family of comparisons with ``p_adjusted`` filled in (Holm).
+
+    The input order is preserved; each returned :class:`Comparison` is
+    a copy whose :meth:`Comparison.significant` now judges the
+    family-wise corrected p-value.
+    """
+    adjusted = holm_correction([c.p_value for c in comparisons])
+    return [
+        replace(comparison, p_adjusted=p)
+        for comparison, p in zip(comparisons, adjusted)
+    ]
 
 
 def compare_aggregates(

@@ -42,6 +42,7 @@ _EXPORTS = {
     "Experiment": "repro.api.builder",
     "ExperimentBuilder": "repro.api.builder",
     "Session": "repro.api.session",
+    "SessionStream": "repro.api.session",
     "ExperimentResult": "repro.api.results",
     "PolicyResult": "repro.api.results",
     "SweepResult": "repro.api.results",
@@ -52,6 +53,12 @@ _EXPORTS = {
     "SweepBuilder": "repro.api.sweep",
     "SweepStream": "repro.api.sweep",
     "SWEEP_VERSION": "repro.api.sweep",
+    "TuneSpec": "repro.api.tune",
+    "TuneSession": "repro.api.tune",
+    "TuneBuilder": "repro.api.tune",
+    "TuneStream": "repro.api.tune",
+    "TuneResult": "repro.api.tune",
+    "TUNE_VERSION": "repro.api.tune",
     "scenario_spec": "repro.api.presets",
     "available_scenarios": "repro.api.presets",
     "SCENARIO_PRESETS": "repro.api.presets",
@@ -74,7 +81,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         SweepPointResult,
         SweepResult,
     )
-    from repro.api.session import Session
+    from repro.api.session import Session, SessionStream
     from repro.api.spec import SPEC_VERSION, ExperimentSpec
     from repro.api.sweep import (
         SWEEP_VERSION,
@@ -84,10 +91,27 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         SweepSpec,
         SweepStream,
     )
+    from repro.api.tune import (
+        TUNE_VERSION,
+        TuneBuilder,
+        TuneResult,
+        TuneSession,
+        TuneSpec,
+        TuneStream,
+    )
 
 
 _SUBMODULES = frozenset(
-    {"builder", "presets", "results", "serialization", "session", "spec", "sweep"}
+    {
+        "builder",
+        "presets",
+        "results",
+        "serialization",
+        "session",
+        "spec",
+        "sweep",
+        "tune",
+    }
 )
 
 

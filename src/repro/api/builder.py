@@ -438,3 +438,28 @@ class Experiment:
                 f"ExperimentBuilder or a spec dict, got {type(base).__name__}"
             )
         return SweepBuilder(base)
+
+    @staticmethod
+    def tune(search):
+        """A :class:`~repro.api.tune.TuneBuilder` over a search space.
+
+        ``search`` is the parameter grid to race: a
+        :class:`~repro.api.sweep.SweepSpec`, a
+        :class:`~repro.api.sweep.SweepBuilder`, or a sweep dict.  Chain
+        ``.objective(...)``, ``.budget(...)`` and ``.run()`` from the
+        returned builder -- or end a sweep chain with ``.tune()`` for
+        the same thing.
+        """
+        from repro.api.sweep import SweepBuilder, SweepSpec
+        from repro.api.tune import TuneBuilder
+
+        if isinstance(search, SweepBuilder):
+            search = search.build()
+        elif isinstance(search, dict):
+            search = SweepSpec.from_dict(search)
+        elif not isinstance(search, SweepSpec):
+            raise TypeError(
+                "Experiment.tune() takes a SweepSpec, a SweepBuilder or a "
+                f"sweep dict, got {type(search).__name__}"
+            )
+        return TuneBuilder(search)

@@ -306,12 +306,20 @@ class SweepPointResult:
     ) -> List["Comparison"]:
         """Pairwise Welch t-tests between this point's policies.
 
-        Empty when the point ran fewer than two replications (a t-test
-        needs within-cell spread) or compares fewer than two policies.
+        The whole point -- every policy pair on every metric -- is one
+        family for multiple-comparison purposes, so the returned
+        comparisons carry Holm-Bonferroni ``p_adjusted`` values and
+        :meth:`Comparison.significant` judges the corrected p.  Empty
+        when the point ran fewer than two replications (a t-test needs
+        within-cell spread) or compares fewer than two policies.
         """
         # Local import: repro.analysis.significance pulls in scipy,
         # which should not tax `import repro.api` or CLI startup.
-        from repro.analysis.significance import Comparison, welch_t_test
+        from repro.analysis.significance import (
+            Comparison,
+            holm_adjust,
+            welch_t_test,
+        )
 
         results: List[Comparison] = []
         if len(self.policies) < 2:
@@ -336,7 +344,7 @@ class SweepPointResult:
                         p_value=p,
                     )
                 )
-        return results
+        return holm_adjust(results)
 
 
 @dataclass

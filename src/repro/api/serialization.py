@@ -48,6 +48,38 @@ def dataclass_kwargs(cls: Type, data: Dict[str, Any], what: str) -> Dict[str, An
     return dict(data)
 
 
+def versioned_payload(
+    data: Any,
+    kind: str,
+    version_key: str,
+    version: int,
+    valid_fields: "frozenset",
+) -> Dict[str, Any]:
+    """Common ``from_dict`` front door of the serialized spec kinds.
+
+    Checks that ``data`` is a dict, that its ``version_key`` tag (if
+    present) matches the ``version`` this build reads, and that no
+    unknown fields sneaked in; returns a copy with the version tag
+    popped.  ``kind`` names the spec class in error messages.
+    """
+    if not isinstance(data, dict):
+        raise TypeError(f"{kind} document must be a dict, got {type(data).__name__}")
+    payload = dict(data)
+    found = payload.pop(version_key, version)
+    if found != version:
+        raise ValueError(
+            f"unsupported {version_key} {found!r} (this build reads "
+            f"version {version})"
+        )
+    unknown = sorted(set(payload) - valid_fields)
+    if unknown:
+        raise ValueError(
+            f"unknown {kind} field(s): {', '.join(unknown)}. "
+            f"Valid fields: {', '.join(sorted(valid_fields))}"
+        )
+    return payload
+
+
 def _scalar_dict(obj) -> Dict[str, Any]:
     """Field dict of a dataclass whose values are all JSON scalars."""
     return {f.name: getattr(obj, f.name) for f in fields(obj)}

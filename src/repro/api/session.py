@@ -9,6 +9,11 @@ A session turns a declarative spec into results:
   from ``(spec.seed, i)`` regardless of which process executes it or in
   which order futures complete -- so parallel aggregates are
   bit-identical to serial ones.
+* :meth:`Session.stream` is the same execution surfaced incrementally:
+  an iterator of :class:`SessionTaskEvent`\\ s, one per completed
+  replication, whose final :meth:`SessionStream.result` aggregate is
+  byte-identical to :meth:`Session.run` -- the session-level analogue
+  of :meth:`repro.api.sweep.SweepSession.stream`.
 * :meth:`Session.start` wires a single run and returns the
   :class:`~repro.experiments.runner.LiveRun` for incremental
   ``step_until(t)`` execution with live inspection of the mediator and
@@ -22,7 +27,8 @@ spec layer guarantees.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.api.results import ExperimentResult, PolicyResult
@@ -64,6 +70,92 @@ def resolve_worker_count(max_workers: Optional[int], task_count: int) -> int:
     if max_workers is None:
         max_workers = os.cpu_count() or 1
     return max(1, min(max_workers, task_count))
+
+
+@dataclass
+class SessionTaskEvent:
+    """One completed replication, as surfaced by :meth:`Session.stream`.
+
+    ``policy_result`` is set on exactly the event that completes its
+    policy (all of the policy's replications collected) -- the moment
+    the policy's ``mean +- stdev`` row can be rendered.
+    """
+
+    policy: PolicySpec
+    replication: int
+    summary: RunSummary
+    completed: int
+    total: int
+    policy_result: Optional[PolicyResult] = None
+
+
+class SessionStream:
+    """Iterator over session task completions; aggregates at the end.
+
+    Iterating yields :class:`SessionTaskEvent`\\ s as replications
+    finish (serial: task order; parallel: completion order).
+    :meth:`result` drains whatever has not been consumed and returns
+    the :class:`ExperimentResult`, which is identical whether and how
+    the stream was consumed -- and byte-identical to
+    :meth:`Session.run` with the same ``parallel`` flag.
+    """
+
+    def __init__(
+        self,
+        session: "Session",
+        parallel: bool = False,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self._session = session
+        self._parallel = parallel
+        self._total = len(session)
+        self._events = (
+            session._parallel_events(max_workers)
+            if parallel
+            else session._serial_events()
+        )
+        self._summaries: Dict[Tuple[int, int], RunSummary] = {}
+        self._outstanding: Dict[int, int] = {
+            policy_index: session.spec.replications
+            for policy_index in range(len(session.spec.policies))
+        }
+        self._result: Optional[ExperimentResult] = None
+
+    def __iter__(self) -> "SessionStream":
+        return self
+
+    def __next__(self) -> SessionTaskEvent:
+        policy_index, replication, summary = next(self._events)
+        self._summaries[(policy_index, replication)] = summary
+        self._outstanding[policy_index] -= 1
+        policy = self._session.spec.policies[policy_index]
+        policy_result = None
+        if self._outstanding[policy_index] == 0:
+            policy_result = PolicyResult(
+                policy=policy,
+                summaries=[
+                    self._summaries[(policy_index, replication)]
+                    for replication in range(self._session.spec.replications)
+                ],
+            )
+        return SessionTaskEvent(
+            policy=policy,
+            replication=replication,
+            summary=summary,
+            completed=len(self._summaries),
+            total=self._total,
+            policy_result=policy_result,
+        )
+
+    def result(self) -> ExperimentResult:
+        """Drain any unconsumed tasks and aggregate the experiment."""
+        if self._result is None:
+            for _ in self:
+                pass
+            self._result = self._session._build_result(
+                self._summaries, {}, self._parallel
+            )
+        return self._result
 
 
 class Session:
@@ -129,12 +221,30 @@ class Session:
                 "keep_runs is unavailable in parallel mode: full runs "
                 "(simulator, hub, population) live in the worker processes"
             )
-        if parallel:
-            summaries = self._run_parallel(max_workers)
-            kept: Dict[Tuple[int, int], RunResult] = {}
-        else:
-            summaries, kept = self._run_serial(keep_runs)
+        if keep_runs:
+            summaries, kept = self._run_serial(keep_runs=True)
+            return self._build_result(summaries, kept, parallel=False)
+        return self.stream(parallel=parallel, max_workers=max_workers).result()
 
+    def stream(
+        self, parallel: bool = False, max_workers: Optional[int] = None
+    ) -> SessionStream:
+        """Execute the session, yielding each completed replication.
+
+        Returns a :class:`SessionStream`; iterate it for incremental
+        :class:`SessionTaskEvent`\\ s (``event.policy_result`` marks
+        policy completions) and call ``.result()`` for the final
+        :class:`ExperimentResult` -- byte-identical to :meth:`run`
+        however much of the stream was consumed.
+        """
+        return SessionStream(self, parallel=parallel, max_workers=max_workers)
+
+    def _build_result(
+        self,
+        summaries: Dict[Tuple[int, int], RunSummary],
+        kept: Dict[Tuple[int, int], "RunResult"],
+        parallel: bool,
+    ) -> ExperimentResult:
         policies: List[PolicyResult] = []
         for policy_index, policy in enumerate(self.spec.policies):
             policy_summaries = [
@@ -168,23 +278,35 @@ class Session:
                 kept[(policy_index, replication)] = result
         return summaries, kept
 
-    def _run_parallel(
+    def _serial_events(self) -> Iterator[Tuple[int, int, RunSummary]]:
+        config = self.spec.to_config()
+        for policy_index, replication in self.tasks():
+            result = run_once(
+                config, self.spec.policies[policy_index], replication=replication
+            )
+            yield policy_index, replication, result.summary
+
+    def _parallel_events(
         self, max_workers: Optional[int]
-    ) -> Dict[Tuple[int, int], RunSummary]:
-        task_list = list(self.tasks())
-        max_workers = resolve_worker_count(max_workers, len(task_list))
+    ) -> Iterator[Tuple[int, int, RunSummary]]:
         spec_dict = self.spec.to_dict()
         payloads = [
             (spec_dict, policy_index, replication)
-            for policy_index, replication in task_list
+            for policy_index, replication in self.tasks()
         ]
-        summaries: Dict[Tuple[int, int], RunSummary] = {}
-        with ProcessPoolExecutor(max_workers=max_workers) as executor:
-            for policy_index, replication, summary in executor.map(
-                _execute_task, payloads
-            ):
-                summaries[(policy_index, replication)] = summary
-        return summaries
+        workers = resolve_worker_count(max_workers, len(payloads))
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            futures = [
+                executor.submit(_execute_task, payload) for payload in payloads
+            ]
+            try:
+                for future in as_completed(futures):
+                    yield future.result()
+            finally:
+                # An abandoned stream should not run the rest of the
+                # session to completion; started tasks still finish.
+                for future in futures:
+                    future.cancel()
 
     # ------------------------------------------------------------------
     # Incremental execution

@@ -32,6 +32,7 @@ from repro.api.serialization import (
     policy_spec_to_dict,
     population_from_dict,
     population_to_dict,
+    versioned_payload,
 )
 from repro.experiments.config import (
     AutonomyConfig,
@@ -199,22 +200,13 @@ class ExperimentSpec:
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ExperimentSpec":
         """Build a spec from :meth:`to_dict` output (keys validated)."""
-        if not isinstance(data, dict):
-            raise TypeError(f"spec must be a dict, got {type(data).__name__}")
-        payload = dict(data)
-        version = payload.pop("spec_version", SPEC_VERSION)
-        if version != SPEC_VERSION:
-            raise ValueError(
-                f"unsupported spec_version {version!r} (this build reads "
-                f"version {SPEC_VERSION})"
-            )
-        valid = {f.name for f in fields(cls)}
-        unknown = sorted(set(payload) - valid)
-        if unknown:
-            raise ValueError(
-                f"unknown ExperimentSpec field(s): {', '.join(unknown)}. "
-                f"Valid fields: {', '.join(sorted(valid))}"
-            )
+        payload = versioned_payload(
+            data,
+            kind="ExperimentSpec",
+            version_key="spec_version",
+            version=SPEC_VERSION,
+            valid_fields=frozenset(f.name for f in fields(cls)),
+        )
         if isinstance(payload.get("population"), dict):
             payload["population"] = population_from_dict(payload["population"])
         if isinstance(payload.get("autonomy"), dict):

@@ -51,6 +51,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
+    TYPE_CHECKING,
     Any,
     Dict,
     Iterator,
@@ -67,11 +68,16 @@ from repro.api.results import (
     SweepPointResult,
     SweepResult,
 )
+from repro.api.serialization import versioned_payload
 from repro.api.session import _execute_keyed_task, resolve_worker_count
 from repro.api.spec import ExperimentSpec
 from repro.experiments.config import PolicySpec
 from repro.experiments.runner import run_once
 from repro.metrics.summary import RunSummary
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.tune import TuneBuilder
+    from repro.experiments.runner import RunResult
 
 #: Format tag of serialized sweep specs; bump on breaking layout changes.
 SWEEP_VERSION = 1
@@ -181,11 +187,19 @@ class SweepSpec:
     so a sweep that constructs is a sweep that runs.  Like
     :class:`ExperimentSpec`, the value round-trips through JSON
     (:meth:`to_dict`/:meth:`from_dict`, :meth:`save`/:meth:`load`).
+
+    ``keep_runs`` opts into retaining every full
+    :class:`~repro.experiments.runner.RunResult` (live hub, mediator,
+    population) on the aggregated result for post-run series analysis
+    -- serial execution only, since parallel workers ship summaries
+    back, not live simulation objects.  See
+    ``benchmarks/bench_ablation_memory.py`` for the intended use.
     """
 
     name: str = "sweep"
     base: ExperimentSpec = field(default_factory=ExperimentSpec)
     axes: Tuple[SweepAxis, ...] = ()
+    keep_runs: bool = False
 
     def __post_init__(self) -> None:
         if not isinstance(self.base, ExperimentSpec):
@@ -306,25 +320,18 @@ class SweepSpec:
             "name": self.name,
             "base": self.base.to_dict(),
             "axes": [axis.to_dict() for axis in self.axes],
+            "keep_runs": self.keep_runs,
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "SweepSpec":
-        if not isinstance(data, dict):
-            raise TypeError(f"sweep spec must be a dict, got {type(data).__name__}")
-        payload = dict(data)
-        version = payload.pop("sweep_version", SWEEP_VERSION)
-        if version != SWEEP_VERSION:
-            raise ValueError(
-                f"unsupported sweep_version {version!r} (this build reads "
-                f"version {SWEEP_VERSION})"
-            )
-        unknown = sorted(set(payload) - {"name", "base", "axes"})
-        if unknown:
-            raise ValueError(
-                f"unknown SweepSpec field(s): {', '.join(unknown)}. "
-                "Valid fields: axes, base, name"
-            )
+        payload = versioned_payload(
+            data,
+            kind="SweepSpec",
+            version_key="sweep_version",
+            version=SWEEP_VERSION,
+            valid_fields=frozenset({"name", "base", "axes", "keep_runs"}),
+        )
         base = payload.get("base", {})
         if isinstance(base, dict):
             base = ExperimentSpec.from_dict(base)
@@ -332,6 +339,7 @@ class SweepSpec:
             name=payload.get("name", "sweep"),
             base=base,
             axes=tuple(payload.get("axes", ())),
+            keep_runs=bool(payload.get("keep_runs", False)),
         )
 
     def to_json(self, indent: int = 2) -> str:
@@ -389,16 +397,19 @@ class SweepStream:
         session: "SweepSession",
         parallel: bool = False,
         max_workers: Optional[int] = None,
+        keep_runs: bool = False,
     ) -> None:
         self._session = session
         self._parallel = parallel
+        self._keep_runs = keep_runs
         self._total = len(session)
         self._events = (
             session._parallel_events(max_workers)
             if parallel
-            else session._serial_events()
+            else session._serial_events(keep_runs)
         )
         self._summaries: Dict[Tuple[int, int, int], RunSummary] = {}
+        self._kept: Dict[Tuple[int, int, int], "RunResult"] = {}
         self._outstanding: Dict[int, int] = {
             point.index: len(point.spec.policies) * point.spec.replications
             for point in session.points
@@ -409,14 +420,16 @@ class SweepStream:
         return self
 
     def __next__(self) -> SweepTaskEvent:
-        key, policy_index, replication, summary = next(self._events)
+        key, policy_index, replication, summary, run = next(self._events)
         self._summaries[(key, policy_index, replication)] = summary
+        if run is not None:
+            self._kept[(key, policy_index, replication)] = run
         self._outstanding[key] -= 1
         point = self._session.points[key]
         point_result = None
         if self._outstanding[key] == 0:
             point_result = self._session._point_result(
-                point, self._summaries, self._parallel
+                point, self._summaries, self._kept, self._parallel
             )
         return SweepTaskEvent(
             point=point,
@@ -434,7 +447,7 @@ class SweepStream:
             for _ in self:
                 pass
             self._result = self._session._build_result(
-                self._summaries, self._parallel
+                self._summaries, self._kept, self._parallel
             )
         return self._result
 
@@ -480,36 +493,61 @@ class SweepSession:
     # ------------------------------------------------------------------
 
     def run(
-        self, parallel: bool = False, max_workers: Optional[int] = None
+        self,
+        parallel: bool = False,
+        max_workers: Optional[int] = None,
+        keep_runs: Optional[bool] = None,
     ) -> SweepResult:
         """Execute the whole grid and aggregate; see :meth:`stream`."""
-        return self.stream(parallel=parallel, max_workers=max_workers).result()
+        return self.stream(
+            parallel=parallel, max_workers=max_workers, keep_runs=keep_runs
+        ).result()
 
     def stream(
-        self, parallel: bool = False, max_workers: Optional[int] = None
+        self,
+        parallel: bool = False,
+        max_workers: Optional[int] = None,
+        keep_runs: Optional[bool] = None,
     ) -> SweepStream:
         """Execute the grid, yielding each completed run as it lands.
 
         Returns a :class:`SweepStream`; iterate it for incremental
         :class:`SweepTaskEvent`\\ s (``event.point_result`` marks point
         completions) and call ``.result()`` for the final
-        :class:`SweepResult`.
+        :class:`SweepResult`.  ``keep_runs`` (default: the spec's
+        ``keep_runs`` flag) retains every full :class:`RunResult` on
+        the per-point results -- serial execution only.
         """
-        return SweepStream(self, parallel=parallel, max_workers=max_workers)
+        if keep_runs is None:
+            keep_runs = self.spec.keep_runs
+        if parallel and keep_runs:
+            raise ValueError(
+                "keep_runs is unavailable in parallel mode: full runs "
+                "(simulator, hub, population) live in the worker processes"
+            )
+        return SweepStream(
+            self, parallel=parallel, max_workers=max_workers, keep_runs=keep_runs
+        )
 
     def _serial_events(
-        self,
-    ) -> Iterator[Tuple[int, int, int, RunSummary]]:
+        self, keep_runs: bool = False
+    ) -> Iterator[Tuple[int, int, int, RunSummary, Optional["RunResult"]]]:
         for point in self.points:
             config = point.spec.to_config()
             for policy_index, policy in enumerate(point.spec.policies):
                 for replication in range(point.spec.replications):
                     result = run_once(config, policy, replication=replication)
-                    yield point.index, policy_index, replication, result.summary
+                    yield (
+                        point.index,
+                        policy_index,
+                        replication,
+                        result.summary,
+                        result if keep_runs else None,
+                    )
 
     def _parallel_events(
         self, max_workers: Optional[int]
-    ) -> Iterator[Tuple[int, int, int, RunSummary]]:
+    ) -> Iterator[Tuple[int, int, int, RunSummary, Optional["RunResult"]]]:
         payloads = []
         spec_dicts = {point.index: point.spec.to_dict() for point in self.points}
         for key, policy_index, replication in self.tasks():
@@ -522,7 +560,7 @@ class SweepSession:
             ]
             try:
                 for future in as_completed(futures):
-                    yield future.result()
+                    yield (*future.result(), None)
             finally:
                 # An abandoned stream should not run the rest of the
                 # grid to completion; started tasks still finish.
@@ -537,6 +575,7 @@ class SweepSession:
         self,
         point: SweepPoint,
         summaries: Dict[Tuple[int, int, int], RunSummary],
+        kept: Dict[Tuple[int, int, int], "RunResult"],
         parallel: bool,
     ) -> SweepPointResult:
         policies = [
@@ -545,6 +584,11 @@ class SweepSession:
                 summaries=[
                     summaries[(point.index, policy_index, replication)]
                     for replication in range(point.spec.replications)
+                ],
+                runs=[
+                    kept[(point.index, policy_index, replication)]
+                    for replication in range(point.spec.replications)
+                    if (point.index, policy_index, replication) in kept
                 ],
             )
             for policy_index, policy in enumerate(point.spec.policies)
@@ -557,10 +601,12 @@ class SweepSession:
     def _build_result(
         self,
         summaries: Dict[Tuple[int, int, int], RunSummary],
+        kept: Dict[Tuple[int, int, int], "RunResult"],
         parallel: bool,
     ) -> SweepResult:
         points = [
-            self._point_result(point, summaries, parallel) for point in self.points
+            self._point_result(point, summaries, kept, parallel)
+            for point in self.points
         ]
         return SweepResult(spec=self.spec, points=points, parallel=parallel)
 
@@ -594,6 +640,7 @@ class SweepBuilder:
         self._base = base if base is not None else ExperimentSpec()
         self._axes: List[SweepAxis] = []
         self._zip_groups = 0
+        self._keep_runs = False
 
     def named(self, name: str) -> "SweepBuilder":
         """Set the sweep name (table titles, tidy-CSV ``sweep`` column)."""
@@ -641,9 +688,19 @@ class SweepBuilder:
             self.axis(name.replace("__", "."), values, zip_group=group)
         return self
 
+    def keep_runs(self, enabled: bool = True) -> "SweepBuilder":
+        """Retain full :class:`RunResult`\\ s per cell (serial runs only)."""
+        self._keep_runs = bool(enabled)
+        return self
+
     def build(self) -> SweepSpec:
         """Validate and return the accumulated :class:`SweepSpec`."""
-        return SweepSpec(name=self._name, base=self._base, axes=tuple(self._axes))
+        return SweepSpec(
+            name=self._name,
+            base=self._base,
+            axes=tuple(self._axes),
+            keep_runs=self._keep_runs,
+        )
 
     def session(self) -> SweepSession:
         """A :class:`SweepSession` over the built spec."""
@@ -660,3 +717,14 @@ class SweepBuilder:
     ) -> SweepStream:
         """Build and execute incrementally; see :meth:`SweepSession.stream`."""
         return self.session().stream(parallel=parallel, max_workers=max_workers)
+
+    def tune(self) -> "TuneBuilder":
+        """A :class:`~repro.api.tune.TuneBuilder` over the built grid.
+
+        Turns the accumulated sweep into the search space of a budgeted
+        successive-halving tune; chain ``.objective(...)``,
+        ``.budget(...)``, ``.rungs(...)`` and ``.run()`` from there.
+        """
+        from repro.api.tune import TuneBuilder
+
+        return TuneBuilder(self.build())

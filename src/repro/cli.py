@@ -13,6 +13,8 @@ Usage::
     sbqa sweep kn --values 1,2,5,10,20          # quick one-axis grids
     sbqa sweep omega --values 0,0.5,1,adaptive --replications 3
     sbqa sweep --spec grid.json --workers 4 --stream  # declarative grids
+    sbqa tune --spec tune.json --stream         # budgeted adaptive tuning
+    sbqa tune --spec tune.json --budget 80 --json digest.json
 
 The CLI is a thin veneer over :mod:`repro.api` (spec / builder /
 session / sweep) and :mod:`repro.experiments.scenarios`; it exists so
@@ -178,6 +180,56 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--json", dest="json_out", type=str, default=None,
         help="export the sweep digest (aggregates + Welch comparisons) to JSON",
+    )
+    sweep.add_argument(
+        "--alpha", type=float, default=0.05,
+        help="significance level for the table's best-cell stars and the "
+        "digest (default 0.05; pairwise tables are Holm-corrected)",
+    )
+
+    tune = sub.add_parser(
+        "tune",
+        help="race a parameter grid under a run budget (successive "
+        "halving, Welch/Holm elimination) and report the winner plus "
+        "the elimination trace",
+    )
+    tune.add_argument(
+        "--spec", type=str, required=True,
+        help="a declarative TuneSpec JSON file (see docs/tuning.md)",
+    )
+    tune.add_argument(
+        "--budget", type=int, default=None,
+        help="override the spec's total run budget (0 means unlimited)",
+    )
+    tune.add_argument(
+        "--alpha", type=float, default=None,
+        help="override the spec's family-wise elimination level",
+    )
+    tune.add_argument(
+        "--objective", type=str, default=None,
+        help="override the raced metric (an aggregated summary field)",
+    )
+    tune.add_argument(
+        "--parallel", action="store_true",
+        help="race each rung over a shared worker-process pool "
+        "(results and elimination trace identical to serial)",
+    )
+    tune.add_argument(
+        "--workers", type=int, default=None,
+        help="worker process count (implies --parallel; default: CPU count)",
+    )
+    tune.add_argument(
+        "--stream", action="store_true",
+        help="print each rung's promotions and eliminations as decided",
+    )
+    tune.add_argument(
+        "--csv", type=str, default=None,
+        help="export tidy rows of the executed runs to CSV",
+    )
+    tune.add_argument(
+        "--json", dest="json_out", type=str, default=None,
+        help="export the tune digest (winner, trace, budget accounting) "
+        "to JSON",
     )
     return parser
 
@@ -566,13 +618,108 @@ def _run_sweep(args: argparse.Namespace) -> int:
         if args.parameter is not None
         else None
     )
-    print(result.table(title=title))
+    print(result.table(title=title, alpha=args.alpha))
     if args.csv:
         result.to_csv(args.csv)
         print(f"\ntidy rows exported to {args.csv}")
     if args.json_out:
-        result.to_json(args.json_out)
+        result.to_json(args.json_out, alpha=args.alpha)
         print(f"sweep digest exported to {args.json_out}")
+    return 0
+
+
+def _tune_spec_from_file(args: argparse.Namespace):
+    """Load ``--spec tune.json``, applying the CLI overrides.
+
+    ``--budget`` / ``--alpha`` / ``--objective`` rebuild the spec, so
+    ``__post_init__`` re-validates the overridden combination (a budget
+    too small for the first rung fails here, not mid-race).  A
+    ``--budget`` of 0 lifts the cap entirely.
+    """
+    from repro.api.tune import TuneSpec
+
+    spec = TuneSpec.load(args.spec)
+    changed = False
+    data = spec.to_dict()
+    if args.budget is not None:
+        data["budget"] = None if args.budget <= 0 else args.budget
+        changed = True
+    if args.alpha is not None:
+        data["alpha"] = args.alpha
+        changed = True
+    if args.objective is not None:
+        data["objective"] = args.objective
+        # A direction pinned in the file belonged to the file's metric;
+        # the overriding metric gets its own natural direction.
+        data["direction"] = None
+        changed = True
+    if changed:
+        spec = TuneSpec.from_dict(data)
+    return spec
+
+
+def _run_tune(args: argparse.Namespace) -> int:
+    """``sbqa tune``: race a grid through the adaptive tuner."""
+    from repro.api.tune import TuneRungEvent, TuneSession, TuneStopEvent
+
+    if args.workers is not None and args.workers < 1:
+        print(
+            f"error: --workers must be >= 1, got {args.workers}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        spec = _tune_spec_from_file(args)
+    except OSError as err:
+        print(f"error: cannot read tune spec: {err}", file=sys.stderr)
+        return 2
+    except (ValueError, TypeError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    session = TuneSession(spec)
+    parallel = args.parallel or args.workers is not None
+    stream = session.stream(parallel=parallel, max_workers=args.workers)
+    if args.stream:
+        for event in stream:
+            if isinstance(event, TuneRungEvent):
+                record = event.record
+                budget = (
+                    "unlimited"
+                    if record.budget_remaining is None
+                    else f"{record.budget_remaining} left"
+                )
+                print(
+                    f"[rung {record.rung + 1}/{len(spec.rungs)}] "
+                    f"{len(record.contenders)} contender(s) at "
+                    f"{record.replications} rep(s); incumbent "
+                    f"{record.incumbent}; {record.runs_total} run(s) so far, "
+                    f"budget {budget}"
+                )
+                for elimination in record.eliminated:
+                    print(
+                        f"  - eliminated {elimination.label}: "
+                        f"{spec.objective} {elimination.mean:.4f} vs "
+                        f"{elimination.incumbent_mean:.4f} "
+                        f"(p_holm={elimination.p_adjusted:.4f})"
+                    )
+            elif isinstance(event, TuneStopEvent):
+                print(f"budget exhausted: {event.reason}")
+        print()
+    result = stream.result()
+    print(result.table())
+    winner = result.winner
+    print(
+        f"\nwinner: {winner.label} "
+        f"({spec.objective} {result.objective_cell(winner)}, "
+        f"{result.runs_saved} of {result.exhaustive_runs} runs saved)"
+    )
+    if args.csv:
+        result.to_csv(args.csv)
+        print(f"tidy rows exported to {args.csv}")
+    if args.json_out:
+        result.to_json(args.json_out)
+        print(f"tune digest exported to {args.json_out}")
     return 0
 
 
@@ -607,6 +754,8 @@ def _dispatch(argv: Optional[List[str]]) -> int:
         return _run_trace(args)
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "tune":
+        return _run_tune(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.analysis.significance import Comparison, compare_aggregates, welch_t_test
+from repro.analysis.significance import (
+    Comparison,
+    compare_aggregates,
+    holm_adjust,
+    holm_correction,
+    welch_t_test,
+)
 
 
 class TestWelchTTest:
@@ -93,3 +99,91 @@ class TestCompareAggregates:
         )
         with pytest.raises(ValueError, match="keep_runs"):
             compare_aggregates(a, b, "mean_rt")
+
+
+def _comparison(metric, p_value):
+    return Comparison(
+        metric=metric,
+        label_a="a",
+        label_b="b",
+        mean_a=1.0,
+        mean_b=2.0,
+        difference=-1.0,
+        t_statistic=-2.0,
+        degrees_of_freedom=4.0,
+        p_value=p_value,
+    )
+
+
+class TestHolmCorrection:
+    def test_matches_hand_computation(self):
+        # m=3: sorted (0.01, 0.02, 0.05) -> scaled (0.03, 0.04, 0.05),
+        # already monotone; mapped back to the input order.
+        assert holm_correction([0.02, 0.05, 0.01]) == [
+            pytest.approx(0.04),
+            pytest.approx(0.05),
+            pytest.approx(0.03),
+        ]
+
+    def test_monotonicity_enforced(self):
+        # scaled values (0.02, then 1*0.02=0.02) tie; the running
+        # maximum keeps the adjusted sequence monotone in rank order.
+        assert holm_correction([0.01, 0.02]) == [
+            pytest.approx(0.02),
+            pytest.approx(0.02),
+        ]
+        # a genuine inversion: scaled (3*0.01, 2*0.02, 1*0.025) =
+        # (0.03, 0.04, 0.025) -> running max lifts the last to 0.04
+        assert holm_correction([0.01, 0.02, 0.025]) == [
+            pytest.approx(0.03),
+            pytest.approx(0.04),
+            pytest.approx(0.04),
+        ]
+
+    def test_matches_reference_implementation(self):
+        multitest = pytest.importorskip(
+            "statsmodels.stats.multitest", reason="statsmodels not installed"
+        )
+        ps = [0.004, 0.03, 0.02, 0.2, 0.9, 0.049]
+        _, adjusted, _, _ = multitest.multipletests(ps, method="holm")
+        assert holm_correction(ps) == pytest.approx(list(adjusted))
+
+    def test_clips_at_one(self):
+        assert holm_correction([0.9, 0.8, 0.7]) == [1.0, 1.0, 1.0]
+
+    def test_single_and_empty_families(self):
+        assert holm_correction([]) == []
+        assert holm_correction([0.03]) == [pytest.approx(0.03)]
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            holm_correction([0.5, 1.5])
+
+    def test_never_below_raw_p(self):
+        ps = [0.001, 0.04, 0.04, 0.2, 0.6]
+        for raw, adjusted in zip(ps, holm_correction(ps)):
+            assert adjusted >= raw
+
+
+class TestHolmAdjust:
+    def test_fills_p_adjusted_preserving_order(self):
+        family = [_comparison("m1", 0.03), _comparison("m2", 0.01)]
+        adjusted = holm_adjust(family)
+        assert [c.metric for c in adjusted] == ["m1", "m2"]
+        # sorted (0.01, 0.03) -> scaled (0.02, 0.03), mapped back
+        assert adjusted[0].p_adjusted == pytest.approx(0.03)
+        assert adjusted[1].p_adjusted == pytest.approx(0.02)
+        # originals untouched (frozen dataclass, copies returned)
+        assert family[0].p_adjusted is None
+
+    def test_significant_uses_adjusted_p(self):
+        lone = _comparison("m", 0.03)
+        assert lone.significant(alpha=0.05)
+        family = holm_adjust([lone, _comparison("m2", 0.04)])
+        # 0.03 doubles to 0.06 under Holm with m=2
+        assert not family[0].significant(alpha=0.05)
+        assert "p_holm" in family[0].format()
+        assert family[0].as_dict()["p_adjusted"] == pytest.approx(0.06)
+
+    def test_as_dict_carries_none_when_uncorrected(self):
+        assert _comparison("m", 0.5).as_dict()["p_adjusted"] is None

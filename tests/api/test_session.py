@@ -151,3 +151,52 @@ class TestSessionValidation:
 
     def test_len_counts_tasks(self):
         assert len(Session(SPEC)) == 4
+
+
+class TestStream:
+    """Session.stream(): incremental results, aggregate identical to run()."""
+
+    def test_serial_event_order_and_policy_completions(self):
+        stream = Session(SPEC).stream()
+        events = list(stream)
+        assert len(events) == 4
+        assert [e.completed for e in events] == [1, 2, 3, 4]
+        assert all(e.total == 4 for e in events)
+        # serial streams follow task order: policy-major, replications inner
+        assert [(e.policy.label, e.replication) for e in events] == [
+            ("sbqa", 0), ("sbqa", 1), ("capacity", 0), ("capacity", 1),
+        ]
+        # the policy_result marker fires exactly when a policy completes
+        completions = [e.policy_result.label for e in events if e.policy_result]
+        assert completions == ["sbqa", "capacity"]
+        assert events[1].policy_result is not None
+        assert events[1].policy_result.replications == 2
+
+    def test_events_match_run_once(self):
+        config = SPEC.to_config()
+        for event in Session(SPEC).stream():
+            expected = run_once(
+                config, event.policy, replication=event.replication
+            )
+            assert event.summary.as_dict() == expected.summary.as_dict()
+
+    def test_serial_stream_aggregate_byte_identical_to_run(self):
+        run_result = Session(SPEC).run(keep_runs=False)
+        stream_result = Session(SPEC).stream().result()
+        assert stream_result.to_json() == run_result.to_json()
+        assert stream_result.to_csv() == run_result.to_csv()
+
+    def test_parallel_stream_aggregate_byte_identical_to_run(self):
+        run_result = Session(SPEC).run(parallel=True, max_workers=3)
+        stream = Session(SPEC).stream(parallel=True, max_workers=3)
+        seen = 0
+        for event in stream:
+            seen += 1
+            assert event.total == 4
+        assert seen == 4
+        assert stream.result().to_json() == run_result.to_json()
+
+    def test_result_without_consuming_drains(self):
+        result = Session(SPEC).stream().result()
+        assert result.labels == ["sbqa", "capacity"]
+        assert result.runs == []  # streams never keep live runs

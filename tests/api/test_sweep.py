@@ -442,6 +442,60 @@ class TestBuilderEntryPoints:
         assert len(result.points) == 1
 
 
+class TestKeepRuns:
+    """Opt-in retention of full RunResults through sweep aggregation."""
+
+    def sweep(self, keep_runs=True):
+        return SweepSpec(
+            name="kept",
+            base=small_base(replications=2, policies=("sbqa",)),
+            axes=(SweepAxis("population.memory", (10, 50)),),
+            keep_runs=keep_runs,
+        )
+
+    def test_runs_survive_aggregation(self):
+        result = SweepSession(self.sweep()).run()
+        for point in result.points:
+            policy = point.policies[0]
+            assert len(policy.runs) == 2
+            run = policy.run(0)
+            # the live hub (series access) is what keep_runs is for
+            assert run.hub.provider_satisfaction.values
+            assert run.summary.as_dict() == policy.summaries[0].as_dict()
+
+    def test_off_by_default(self):
+        result = SweepSession(self.sweep(keep_runs=False)).run()
+        assert all(p.runs == [] for _, p in result.cells())
+        with pytest.raises(RuntimeError, match="keep_runs"):
+            result.points[0].policies[0].run(0)
+
+    def test_session_argument_overrides_spec(self):
+        result = SweepSession(self.sweep(keep_runs=False)).run(keep_runs=True)
+        assert all(len(p.runs) == 2 for _, p in result.cells())
+
+    def test_unavailable_in_parallel(self):
+        with pytest.raises(ValueError, match="keep_runs"):
+            SweepSession(self.sweep()).run(parallel=True)
+
+    def test_round_trips_and_digest_unaffected(self):
+        sweep = self.sweep()
+        restored = SweepSpec.from_json(sweep.to_json())
+        assert restored == sweep and restored.keep_runs
+        kept = SweepSession(sweep).run()
+        plain = SweepSession(self.sweep(keep_runs=False)).run()
+        # retention is an execution detail; the data is identical
+        assert kept.to_csv() == plain.to_csv()
+
+    def test_builder_flag(self):
+        sweep = (
+            Experiment.sweep(small_base())
+            .axis("sbqa.omega", [0.0])
+            .keep_runs()
+            .build()
+        )
+        assert sweep.keep_runs
+
+
 class TestExperimentSpecUntouched:
     def test_base_spec_still_round_trips(self):
         base = small_base(replications=2)

@@ -1,0 +1,500 @@
+"""Tune subsystem: specs, racing, elimination honesty, parity, budget."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.api.builder import Experiment
+from repro.api.sweep import SweepAxis, SweepSession, SweepSpec
+from repro.api.tune import (
+    TuneRunEvent,
+    TuneRungEvent,
+    TuneSession,
+    TuneSpec,
+    TuneStopEvent,
+    default_rungs,
+)
+from repro.analysis.stats import mean
+
+
+def small_base(replications=3, policies=("sbqa",), duration=60.0):
+    builder = (
+        Experiment.builder()
+        .named("tune-test")
+        .seed(11)
+        .duration(duration)
+        .providers(10)
+    )
+    for name in policies:
+        builder.policy(name)
+    return builder.replications(replications).build()
+
+
+def small_sweep(replications=3, policies=("sbqa",), axes=None):
+    if axes is None:
+        axes = (SweepAxis("sbqa.kn", (1, 5)),)
+    return SweepSpec(
+        name="tune-test-grid",
+        base=small_base(replications=replications, policies=policies),
+        axes=axes,
+    )
+
+
+class TestDefaultRungs:
+    def test_halving_geometry(self):
+        assert default_rungs(1) == (1,)
+        assert default_rungs(2) == (2,)
+        assert default_rungs(3) == (2, 3)
+        assert default_rungs(4) == (2, 4)
+        assert default_rungs(6) == (2, 3, 6)
+        assert default_rungs(8) == (2, 4, 8)
+
+    def test_spec_uses_default_when_unset(self):
+        spec = TuneSpec(sweep=small_sweep(replications=6))
+        assert spec.rungs == (2, 3, 6)
+
+
+class TestTuneSpecValidation:
+    def test_needs_a_sweep(self):
+        with pytest.raises(TypeError, match="SweepSpec"):
+            TuneSpec(sweep=small_base())
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ValueError, match="not an aggregated metric"):
+            TuneSpec(sweep=small_sweep(), objective="consumer_sat")
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError, match="maximize"):
+            TuneSpec(sweep=small_sweep(), direction="up")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="not in the base experiment"):
+            TuneSpec(sweep=small_sweep(), policy="economic")
+
+    def test_rungs_must_increase(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            TuneSpec(sweep=small_sweep(), rungs=(2, 2, 3))
+
+    def test_final_rung_must_complete_the_experiment(self):
+        with pytest.raises(ValueError, match="final rung must equal"):
+            TuneSpec(sweep=small_sweep(replications=4), rungs=(2, 3))
+
+    def test_alpha_range(self):
+        with pytest.raises(ValueError, match="alpha"):
+            TuneSpec(sweep=small_sweep(), alpha=0.0)
+
+    def test_replications_and_policies_axes_rejected(self):
+        # the rung schedule and objective policy are defined against the
+        # base; a grid that varies either has no coherent race
+        cases = (
+            SweepAxis("replications", (1, 2)),
+            SweepAxis("policies", ([{"name": "capacity"}],)),
+        )
+        for axis in cases:
+            sweep = SweepSpec(
+                base=small_base(replications=2),
+                axes=(SweepAxis("sbqa.kn", (1, 5)), axis),
+            )
+            with pytest.raises(ValueError, match="cannot race a grid"):
+                TuneSpec(sweep=sweep)
+
+    def test_budget_must_cover_the_first_rung(self):
+        # 2 points x 2 replications at rung 0 = 4 runs minimum
+        with pytest.raises(ValueError, match="cannot cover the first rung"):
+            TuneSpec(sweep=small_sweep(), budget=3)
+
+    def test_direction_resolution(self):
+        assert not TuneSpec(sweep=small_sweep()).minimizes  # satisfaction
+        assert TuneSpec(sweep=small_sweep(), objective="mean_rt").minimizes
+        forced = TuneSpec(
+            sweep=small_sweep(), objective="mean_rt", direction="maximize"
+        )
+        assert not forced.minimizes
+
+    def test_objective_policy_defaults_to_first(self):
+        spec = TuneSpec(sweep=small_sweep(policies=("capacity", "sbqa")))
+        assert spec.objective_policy.label == "capacity"
+        chosen = TuneSpec(
+            sweep=small_sweep(policies=("capacity", "sbqa")), policy="sbqa"
+        )
+        assert chosen.objective_policy_index == 1
+
+
+class TestRoundTrip:
+    def spec(self):
+        return TuneSpec(
+            name="rt",
+            sweep=small_sweep(replications=3, policies=("sbqa", "capacity")),
+            objective="mean_rt",
+            direction="minimize",
+            policy="sbqa",
+            budget=20,
+            rungs=(2, 3),
+            alpha=0.1,
+        )
+
+    def test_json_round_trip_is_identity(self):
+        spec = self.spec()
+        assert TuneSpec.from_json(spec.to_json()) == spec
+
+    def test_save_load(self, tmp_path):
+        spec = self.spec()
+        path = spec.save(tmp_path / "tune.json")
+        assert TuneSpec.load(path) == spec
+
+    def test_unknown_version_rejected(self):
+        data = self.spec().to_dict()
+        data["tune_version"] = 99
+        with pytest.raises(ValueError, match="unsupported tune_version"):
+            TuneSpec.from_dict(data)
+
+    def test_unknown_field_rejected(self):
+        data = self.spec().to_dict()
+        data["objectives"] = []
+        with pytest.raises(ValueError, match="unknown TuneSpec"):
+            TuneSpec.from_dict(data)
+
+    def test_sweep_doc_nested_not_referenced(self):
+        data = self.spec().to_dict()
+        assert data["sweep"]["sweep_version"] == 1
+        assert data["rungs"] == [2, 3]
+
+
+#: The small race most execution tests share: kn=1 starves replication
+#: (n_results=2 with a single candidate), so its points are decisively
+#: worse on consumer satisfaction and get eliminated at the first,
+#: 3-replication rung -- before the final rung, which is what makes the
+#: race cheaper than the exhaustive sweep.
+TUNE = TuneSpec(
+    name="exec-test",
+    sweep=SweepSpec(
+        name="exec-grid",
+        base=small_base(replications=4),
+        axes=(
+            SweepAxis("sbqa.kn", (1, 5)),
+            SweepAxis("sbqa.omega", (0.0, 1.0)),
+        ),
+    ),
+    objective="consumer_sat_final",
+    rungs=(3, 4),
+)
+
+
+class TestRace:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return TuneSession(TUNE).run()
+
+    def test_eliminates_the_dominated_cluster(self, result):
+        assert result.status == "completed"
+        statuses = {o.label: o.status for o in result.outcomes}
+        assert statuses["kn=1, omega=0"] == "eliminated"
+        assert statuses["kn=1, omega=1"] == "eliminated"
+        assert result.winner.label.startswith("kn=5")
+        assert result.runs_executed < result.exhaustive_runs
+        assert result.runs_saved == result.exhaustive_runs - result.runs_executed
+
+    def test_winner_matches_exhaustive_sweep(self, result):
+        exhaustive = SweepSession(TUNE.sweep).run()
+        best = max(
+            exhaustive.points,
+            key=lambda p: mean(p.policy("sbqa").values("consumer_sat_final")),
+        )
+        assert result.winner.label == best.label
+
+    def test_eliminations_carry_the_evidence(self, result):
+        for elimination in result.eliminations:
+            assert 0.0 <= elimination.p_value <= elimination.p_adjusted <= 1.0
+            assert elimination.p_adjusted < TUNE.alpha
+            assert elimination.mean < elimination.incumbent_mean  # maximizing
+        # the trace records every rung, budget accounting monotone
+        assert [r.rung for r in result.trace] == list(range(len(TUNE.rungs)))
+        totals = [r.runs_total for r in result.trace]
+        assert totals == sorted(totals)
+
+    def test_eliminated_points_ran_objective_policy_only_partially(self, result):
+        eliminated = result.outcome("kn=1, omega=0")
+        assert not eliminated.complete
+        assert [p.label for p in eliminated.policies] == ["sbqa"]
+        assert eliminated.policies[0].replications == eliminated.replications_used
+        survivor = result.winner
+        assert survivor.complete
+        assert survivor.policies[0].replications == TUNE.sweep.base.replications
+
+    def test_survivors_reproduce_the_exhaustive_sweep_bit_for_bit(self, result):
+        """The acceptance bar: unlimited budget => sweep parity."""
+        exhaustive = SweepSession(TUNE.sweep).run()
+        expected = {p["label"]: p for p in exhaustive.to_dict()["points"]}
+        survivors = result.sweep_result().to_dict()["points"]
+        assert survivors, "the race must leave survivors"
+        for point in survivors:
+            assert json.dumps(point, sort_keys=True) == json.dumps(
+                expected[point["label"]], sort_keys=True
+            )
+
+    def test_identical_points_are_never_separated(self):
+        """Statistical honesty: noise alone must not eliminate."""
+        twin = TuneSpec(
+            sweep=SweepSpec(
+                name="twins",
+                base=small_base(replications=2),
+                # two coordinates, same derived experiment: identical
+                # seeds make them literally indistinguishable (p = 1)
+                axes=(SweepAxis("sbqa.epsilon", (1.0, 1.00000001)),),
+            ),
+            objective="consumer_sat_final",
+        )
+        result = TuneSession(twin).run()
+        assert result.status == "completed"
+        assert [o.status for o in result.outcomes] == ["winner", "survivor"]
+        assert result.runs_executed == result.exhaustive_runs  # nothing saved
+
+    def test_minimized_objective(self):
+        spec = TuneSpec(sweep=TUNE.sweep, objective="mean_rt")
+        result = TuneSession(spec).run()
+        means = {
+            o.label: mean(o.policy("sbqa").values("mean_rt"))
+            for o in result.outcomes
+            if o.status != "eliminated"
+        }
+        assert means[result.winner.label] == min(means.values())
+
+    def test_csv_rows_cover_exactly_the_executed_runs(self, result):
+        rows = result.to_csv().strip().splitlines()
+        assert len(rows) == 1 + result.runs_executed
+        assert rows[0].startswith("tune,point,kn,omega,policy,replication,status")
+
+    def test_table_shows_the_race(self, result):
+        table = result.table()
+        assert "winner" in table and "eliminated" in table
+        assert "p_holm" in table
+        assert f"{result.runs_executed} of {result.exhaustive_runs}" in table
+
+
+class TestBudget:
+    def test_budget_stops_before_an_unaffordable_rung(self):
+        # first rung: 4 points x 3 reps = 12 runs; the second rung's
+        # promotions need more than the single run left in the budget
+        spec = TuneSpec(sweep=TUNE.sweep, rungs=(3, 4), budget=13)
+        stream = TuneSession(spec).stream()
+        events = list(stream)
+        result = stream.result()
+        assert result.status == "budget_exhausted"
+        assert result.runs_executed <= 13
+        stops = [e for e in events if isinstance(e, TuneStopEvent)]
+        assert len(stops) == 1 and "budget" in stops[0].reason
+        # a winner is still declared from the last decided rung
+        assert result.winner.status == "winner"
+
+    def test_budget_event_accounting(self):
+        spec = TuneSpec(sweep=TUNE.sweep, rungs=(3, 4), budget=30)
+        remaining = spec.budget
+        for event in TuneSession(spec).stream():
+            if isinstance(event, TuneRunEvent):
+                assert event.budget_remaining == remaining - 1
+                remaining = event.budget_remaining
+        assert remaining == spec.budget - TuneSession(spec).run().runs_executed
+
+    def test_unlimited_budget_reports_none(self):
+        for event in TuneSession(TUNE).stream():
+            if isinstance(event, TuneRunEvent):
+                assert event.budget_remaining is None
+                break
+
+
+class TestStreaming:
+    def test_event_census_matches_result(self):
+        stream = TuneSession(TUNE).stream()
+        events = list(stream)
+        result = stream.result()
+        runs = [e for e in events if isinstance(e, TuneRunEvent)]
+        rungs = [e for e in events if isinstance(e, TuneRungEvent)]
+        assert len(runs) == result.runs_executed
+        assert len(rungs) == len(result.trace)
+        assert [e.record for e in rungs] == result.trace
+        phases = {e.phase for e in runs}
+        assert phases == {"race"}  # single-policy base: nothing to complete
+
+    def test_completion_phase_events_for_multi_policy_base(self):
+        spec = TuneSpec(
+            sweep=small_sweep(policies=("sbqa", "capacity")),
+            policy="sbqa",
+        )
+        events = list(TuneSession(spec).stream())
+        completing = [
+            e
+            for e in events
+            if isinstance(e, TuneRunEvent) and e.phase == "complete"
+        ]
+        assert completing
+        assert all(e.policy.label == "capacity" for e in completing)
+        assert all(e.rung is None for e in completing)
+
+
+class TestParallelParity:
+    """The tentpole determinism bar: a parallel, incrementally consumed
+    tune must reproduce the serial elimination trace and digest
+    byte-for-byte."""
+
+    def test_parallel_digest_and_trace_identical_to_serial(self):
+        serial = TuneSession(TUNE).run()
+        stream = TuneSession(TUNE).stream(parallel=True, max_workers=4)
+        for _ in stream:
+            pass
+        parallel = stream.result()
+        assert parallel.parallel and not serial.parallel
+        assert parallel.to_json() == serial.to_json()
+        assert parallel.to_csv() == serial.to_csv()
+        assert parallel.trace == serial.trace
+
+    def test_multi_policy_parallel_parity(self):
+        spec = TuneSpec(
+            sweep=small_sweep(policies=("sbqa", "capacity")), policy="sbqa"
+        )
+        serial = TuneSession(spec).run()
+        parallel = TuneSession(spec).run(parallel=True, max_workers=3)
+        assert parallel.to_json() == serial.to_json()
+
+
+class TestBuilderEntryPoints:
+    def test_sweep_chain_into_tune(self):
+        spec = (
+            Experiment.builder()
+            .duration(60.0)
+            .providers(10)
+            .policy("sbqa")
+            .replications(4)
+            .sweep()
+            .axis("sbqa.omega", [0.0, 1.0])
+            .tune()
+            .named("chained")
+            .objective("mean_rt")
+            .budget(10)
+            .rungs(2, 4)
+            .alpha(0.1)
+            .build()
+        )
+        assert spec.name == "chained"
+        assert spec.objective == "mean_rt"
+        assert spec.budget == 10
+        assert spec.rungs == (2, 4)
+        assert spec.alpha == 0.1
+
+    def test_experiment_tune_accepts_spec_builder_dict(self):
+        sweep = small_sweep()
+        for search in (sweep, sweep.to_dict()):
+            spec = Experiment.tune(search).build()
+            assert spec.sweep == sweep
+        builder = Experiment.sweep(small_base()).axis("sbqa.kn", [1, 5])
+        assert len(Experiment.tune(builder).build().sweep) == 2
+
+    def test_experiment_tune_rejects_garbage(self):
+        with pytest.raises(TypeError, match="Experiment.tune"):
+            Experiment.tune(42)
+
+    def test_builder_needs_a_search_space(self):
+        from repro.api.tune import TuneBuilder
+
+        with pytest.raises(ValueError, match="search space"):
+            TuneBuilder().build()
+
+    def test_session_needs_a_tune_spec(self):
+        with pytest.raises(TypeError, match="TuneSpec"):
+            TuneSession(small_sweep())
+
+    def test_run_shortcut(self):
+        result = (
+            Experiment.tune(small_sweep(replications=2))
+            .objective("consumer_sat_final")
+            .run()
+        )
+        assert result.winner is not None
+
+
+class TestExampleStudy:
+    """The shipped tune_omega.json study meets the acceptance bar.
+
+    The cross-check against the *exhaustive* sweep (same winner,
+    bit-for-bit survivors) runs in the CI smoke job and in
+    ``benchmarks/bench_tune_vs_sweep.py``; here the study itself is
+    raced once and held to its budget and savings claims.
+    """
+
+    SPEC_PATH = os.path.join(
+        os.path.dirname(__file__), "..", "..", "examples", "specs",
+        "tune_omega.json",
+    )
+
+    def test_budget_is_at_most_sixty_percent_of_exhaustive(self):
+        spec = TuneSpec.load(self.SPEC_PATH)
+        assert spec.budget is not None
+        assert spec.budget <= 0.6 * spec.exhaustive_runs
+
+    def test_race_completes_within_budget_with_the_known_winner(self):
+        spec = TuneSpec.load(self.SPEC_PATH)
+        result = TuneSession(spec).run(parallel=True)
+        assert result.status == "completed"
+        assert result.runs_executed <= spec.budget
+        assert result.run_fraction <= 0.6
+        # deterministic: the paper's consumer-optimal corner of the grid
+        # (cross-checked against the exhaustive sweep in CI and the bench)
+        assert result.winner.label == "omega=0, kn=10"
+        # the dominated kn=1 half of the grid never reaches full depth
+        kn1 = [o for o in result.outcomes if o.point.coords["kn"] == 1]
+        assert len(kn1) == 6
+        assert all(o.status == "eliminated" for o in kn1)
+        assert all(not o.complete for o in kn1)
+
+
+#: Subprocess probe: the full digest (trace, rung ordering, survivors)
+#: printed under a given hash seed.  repr()-level floats: bit-identical.
+_HASHSEED_SCRIPT = """
+import json, sys
+from repro.api.builder import Experiment
+
+result = (
+    Experiment.builder()
+    .named("hashseed-tune")
+    .seed(13)
+    .duration(100.0)
+    .providers(12)
+    .replication_factor(3)
+    .policy("sbqa", k=8, kn=4)
+    .replications(3)
+    .sweep()
+    .axis("sbqa.kn", [1, 4])
+    .tune()
+    .objective("consumer_sat_final")
+    .run()
+)
+sys.stdout.write(result.to_json())
+"""
+
+
+def _tune_digest_with_hash_seed(seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _HASHSEED_SCRIPT],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return proc.stdout
+
+
+def test_rung_ordering_identical_across_hash_seeds():
+    """Elimination decisions must not depend on interpreter hashing.
+
+    The rung trace orders contenders, runs Holm over their p-values and
+    picks incumbents; any set/dict-order dependence in that path would
+    flip eliminations between interpreters.  Two subprocesses with
+    different ``PYTHONHASHSEED`` values must emit identical digests.
+    """
+    assert _tune_digest_with_hash_seed("0") == _tune_digest_with_hash_seed("4242")

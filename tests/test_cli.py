@@ -270,6 +270,162 @@ class TestSweepSpecDriven:
         assert "--workers must be >= 1" in capsys.readouterr().err
 
 
+class TestTuneCommand:
+    """The adaptive-tuning path: tune --spec with overrides and exports."""
+
+    def emit(self, tmp_path, **kwargs):
+        from repro.api.builder import Experiment
+
+        spec = (
+            Experiment.builder()
+            .named("cli-tune")
+            .seed(11)
+            .duration(60.0)
+            .providers(10)
+            .policy("sbqa")
+            .replications(kwargs.pop("replications", 4))
+            .sweep()
+            .named("cli-tune-grid")
+            .axis("sbqa.kn", [1, 5])
+            .tune()
+            .named("cli-tune")
+            .objective("consumer_sat_final")
+            .rungs(3, 4)
+            .build()
+        )
+        path = tmp_path / "tune.json"
+        spec.save(path)
+        return path
+
+    def test_tune_runs_and_reports_winner(self, tmp_path, capsys):
+        path = self.emit(tmp_path)
+        code = main(["tune", "--spec", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "winner" in out
+        assert "exhaustive" in out
+        assert "p_holm" in out
+
+    def test_tune_stream_prints_rung_decisions(self, tmp_path, capsys):
+        path = self.emit(tmp_path)
+        code = main(["tune", "--spec", str(path), "--stream"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[rung 1/2]" in out
+        assert "incumbent" in out
+        assert "eliminated kn=1" in out
+
+    def test_tune_workers_stream_matches_serial_digest(self, tmp_path, capsys):
+        path = self.emit(tmp_path)
+        serial_json = tmp_path / "serial.json"
+        parallel_json = tmp_path / "parallel.json"
+        assert main(["tune", "--spec", str(path), "--json",
+                     str(serial_json)]) == 0
+        assert main(["tune", "--spec", str(path), "--workers", "2",
+                     "--stream", "--json", str(parallel_json)]) == 0
+        assert serial_json.read_bytes() == parallel_json.read_bytes()
+
+    def test_tune_csv_and_json_exports(self, tmp_path, capsys):
+        import json
+
+        path = self.emit(tmp_path)
+        csv_path = tmp_path / "rows.csv"
+        json_path = tmp_path / "digest.json"
+        code = main(["tune", "--spec", str(path), "--csv", str(csv_path),
+                     "--json", str(json_path)])
+        assert code == 0
+        assert csv_path.read_text().splitlines()[0].startswith("tune,point,kn")
+        digest = json.loads(json_path.read_text())
+        assert digest["winner"]["label"].startswith("kn=")
+        assert digest["runs_executed"] + digest["runs_saved"] == digest[
+            "exhaustive_runs"
+        ]
+        assert digest["trace"]
+
+    def test_tune_budget_and_alpha_overrides(self, tmp_path, capsys):
+        import json
+
+        path = self.emit(tmp_path)
+        json_path = tmp_path / "digest.json"
+        # alpha=0.000001: nothing can be eliminated; the budget (7: one
+        # short of both rungs' 6+2) must then stop before the last rung
+        code = main(["tune", "--spec", str(path), "--budget", "7",
+                     "--alpha", "0.000001", "--json", str(json_path)])
+        assert code == 0
+        digest = json.loads(json_path.read_text())
+        assert digest["tune"]["budget"] == 7
+        assert digest["tune"]["alpha"] == 0.000001
+        assert digest["status"] == "budget_exhausted"
+        assert digest["runs_executed"] <= 7
+
+    def test_tune_budget_zero_lifts_the_cap(self, tmp_path, capsys):
+        import json
+
+        path = self.emit(tmp_path)
+        json_path = tmp_path / "digest.json"
+        assert main(["tune", "--spec", str(path), "--budget", "0",
+                     "--json", str(json_path)]) == 0
+        assert json.loads(json_path.read_text())["tune"]["budget"] is None
+
+    def test_tune_objective_override(self, tmp_path, capsys):
+        path = self.emit(tmp_path)
+        code = main(["tune", "--spec", str(path), "--objective", "mean_rt"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mean_rt (minimize)" in out
+
+    def test_tune_objective_override_drops_pinned_direction(self, tmp_path, capsys):
+        """A direction pinned in the file belongs to the file's metric;
+        overriding the objective must fall back to the new metric's
+        natural direction, not race it the wrong way."""
+        import json
+
+        path = self.emit(tmp_path)
+        data = json.loads(path.read_text())
+        data["direction"] = "maximize"  # pinned for consumer_sat_final
+        path.write_text(json.dumps(data))
+        code = main(["tune", "--spec", str(path), "--objective", "mean_rt"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mean_rt (minimize)" in out  # not maximize
+
+    def test_tune_too_small_budget_errors(self, tmp_path, capsys):
+        path = self.emit(tmp_path)
+        assert main(["tune", "--spec", str(path), "--budget", "2"]) == 2
+        assert "cannot cover the first rung" in capsys.readouterr().err
+
+    def test_tune_missing_spec_file_errors(self, capsys):
+        assert main(["tune", "--spec", "/nonexistent/tune.json"]) == 2
+        assert "cannot read tune spec" in capsys.readouterr().err
+
+    def test_tune_requires_spec_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tune"])
+
+    def test_tune_rejects_nonpositive_workers(self, tmp_path, capsys):
+        path = self.emit(tmp_path)
+        assert main(["tune", "--spec", str(path), "--workers", "0"]) == 2
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+
+class TestSweepAlpha:
+    def test_sweep_alpha_flows_into_table_and_digest(self, tmp_path, capsys):
+        import json
+
+        grid = tmp_path / "grid.json"
+        main(["spec", "scenario3", "--duration", "100", "--providers", "12",
+              "--replications", "2", "--sweep", "sbqa.omega=0,adaptive",
+              "-o", str(grid)])
+        capsys.readouterr()
+        json_path = tmp_path / "digest.json"
+        code = main(["sweep", "--spec", str(grid), "--alpha", "0.2",
+                     "--json", str(json_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "p < 0.2" in out
+        assert json.loads(json_path.read_text())["alpha"] == 0.2
+
+
 class TestRunAll:
     def test_run_all_executes_every_scenario(self, capsys):
         code = main(
