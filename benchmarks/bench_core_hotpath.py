@@ -1,0 +1,84 @@
+"""Core hot-path bench: mediation throughput + engine digest parity.
+
+The measurement harness lives in :mod:`repro.perf.hotpath` (shared with
+the ``sbqa bench`` CLI subcommand); this script is the standalone /CI
+entry point::
+
+    PYTHONPATH=src python benchmarks/bench_core_hotpath.py --json BENCH_core.json
+    PYTHONPATH=src python benchmarks/bench_core_hotpath.py --smoke
+
+It times three configurations of a mediation-bound SbQA system --
+the fast engine, the event-faithful engine, and a reconstruction of the
+pre-engine ("seed") hot path with per-read window recomputation and
+eager trace formatting -- and byte-compares the fast/event result
+digests on a mixed scenario (autonomous churn + crashes + two
+policies).  Exit status is non-zero when parity breaks or the fast
+engine falls below the required speedup over the seed baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small, CI-sized configuration",
+    )
+    parser.add_argument(
+        "--mediations", type=int, default=None,
+        help="mediations per timing sample (default 4000; smoke 1200)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="timing samples per engine, best-of (default 3; smoke 2)",
+    )
+    parser.add_argument(
+        "--json", dest="json_out", default=None,
+        help="write the bench record (BENCH_core.json layout) to a file",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=2.0,
+        help="fail when fast-vs-seed speedup is below this (default 2.0)",
+    )
+    parser.add_argument(
+        "--skip-parity", action="store_true",
+        help="skip the digest-parity runs (timing only)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.perf.hotpath import format_report, run_bench, write_record
+
+    record = run_bench(
+        smoke=args.smoke,
+        mediations=args.mediations,
+        repeats=args.repeats,
+        check_parity=not args.skip_parity,
+    )
+    print(format_report(record))
+    if args.json_out:
+        write_record(record, args.json_out)
+        print(f"\nbench record written to {args.json_out}")
+
+    failed = False
+    parity = record.get("parity")
+    if parity is not None and not parity["identical"]:
+        print("FAIL: fast and event engines produced different digests",
+              file=sys.stderr)
+        failed = True
+    speedup = record["speedup"]["fast_vs_seed"]
+    if speedup < args.min_speedup:
+        print(
+            f"FAIL: fast-engine speedup {speedup:.2f}x is below the "
+            f"required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

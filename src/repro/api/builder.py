@@ -64,6 +64,7 @@ class ExperimentBuilder:
         self._seed = spec.seed
         self._duration = spec.duration
         self._sample_interval = spec.sample_interval
+        self._engine = spec.engine
         self._population = spec.population
         self._autonomy = spec.autonomy
         self._latency_low = spec.latency_low
@@ -104,6 +105,16 @@ class ExperimentBuilder:
     def sample_interval(self, seconds: float) -> "ExperimentBuilder":
         """Set the metric sweep period."""
         self._sample_interval = float(seconds)
+        return self
+
+    def engine(self, mode: str) -> "ExperimentBuilder":
+        """Select the allocation runtime: ``"fast"`` or ``"event"``.
+
+        The hot-path engine (default) and the event-faithful reference
+        produce bit-identical results; ``"event"`` is the equivalence
+        escape hatch (see docs/performance.md).
+        """
+        self._engine = str(mode)
         return self
 
     def latency(self, low: float, high: float) -> "ExperimentBuilder":
@@ -335,6 +346,7 @@ class ExperimentBuilder:
             seed=self._seed,
             duration=self._duration,
             sample_interval=self._sample_interval,
+            engine=self._engine,
             population=self._population,
             autonomy=self._autonomy,
             latency_low=self._latency_low,

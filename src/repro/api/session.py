@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.api.results import ExperimentResult, PolicyResult
@@ -48,6 +48,10 @@ def _execute_task(payload: Tuple[dict, int, int]) -> Tuple[int, int, RunSummary]
     spec_dict, policy_index, replication = payload
     spec = ExperimentSpec.from_dict(spec_dict)
     config = spec.to_config()
+    if config.keep_records:
+        # Workers ship summaries back, never live runs, so retaining
+        # every AllocationRecord would only inflate worker peak memory.
+        config = replace(config, keep_records=False)
     result = run_once(config, spec.policies[policy_index], replication=replication)
     return policy_index, replication, result.summary
 
@@ -290,6 +294,9 @@ class Session:
         self, max_workers: Optional[int]
     ) -> Iterator[Tuple[int, int, RunSummary]]:
         spec_dict = self.spec.to_dict()
+        # to_dict() omits the engine (execution metadata, kept out of
+        # digests); workers must still run the session's engine.
+        spec_dict["engine"] = self.spec.engine
         payloads = [
             (spec_dict, policy_index, replication)
             for policy_index, replication in self.tasks()

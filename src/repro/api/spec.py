@@ -63,6 +63,13 @@ class ExperimentSpec:
     seed: int = DEFAULT_SEED
     duration: float = 2400.0
     sample_interval: float = 10.0
+    #: Allocation runtime: "fast" (hot-path engine, the default) or
+    #: "event" (event-faithful reference).  Results are bit-identical
+    #: either way, so the engine is *execution* metadata: like
+    #: ``SweepResult.parallel`` it stays out of :meth:`to_dict` (result
+    #: digests must not depend on how a spec was executed), though
+    #: :meth:`from_dict` accepts it for hand-written spec files.
+    engine: str = "fast"
     population: BoincScenarioParams = field(default_factory=BoincScenarioParams)
     autonomy: AutonomyConfig = field(default_factory=AutonomyConfig)
     latency_low: float = 0.02
@@ -112,6 +119,7 @@ class ExperimentSpec:
             seed=self.seed,
             duration=self.duration,
             sample_interval=self.sample_interval,
+            engine=self.engine,
             population=self.population,
             autonomy=self.autonomy,
             latency_low=self.latency_low,
@@ -155,6 +163,9 @@ class ExperimentSpec:
         from repro.api.serialization import apply_spec_override
 
         data = self.to_dict()
+        # to_dict() deliberately omits the engine (execution metadata);
+        # a derived spec must still run on the same engine as its base.
+        data["engine"] = self.engine
         for path, value in overrides.items():
             apply_spec_override(data, path, value)
         if name is not None:

@@ -48,7 +48,7 @@ from __future__ import annotations
 import itertools
 import json
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import (
     TYPE_CHECKING,
@@ -534,6 +534,11 @@ class SweepSession:
     ) -> Iterator[Tuple[int, int, int, RunSummary, Optional["RunResult"]]]:
         for point in self.points:
             config = point.spec.to_config()
+            if config.keep_records and not keep_runs:
+                # Grid runs are summarised and dropped; retaining every
+                # AllocationRecord inside each run buys nothing unless
+                # the RunResults themselves are kept (keep_runs).
+                config = replace(config, keep_records=False)
             for policy_index, policy in enumerate(point.spec.policies):
                 for replication in range(point.spec.replications):
                     result = run_once(config, policy, replication=replication)
@@ -549,7 +554,12 @@ class SweepSession:
         self, max_workers: Optional[int]
     ) -> Iterator[Tuple[int, int, int, RunSummary, Optional["RunResult"]]]:
         payloads = []
-        spec_dicts = {point.index: point.spec.to_dict() for point in self.points}
+        # to_dict() omits the engine (execution metadata, kept out of
+        # digests); workers must still run each point's engine.
+        spec_dicts = {
+            point.index: dict(point.spec.to_dict(), engine=point.spec.engine)
+            for point in self.points
+        }
         for key, policy_index, replication in self.tasks():
             payloads.append((spec_dicts[key], key, policy_index, replication))
         workers = resolve_worker_count(max_workers, len(payloads))

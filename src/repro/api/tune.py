@@ -64,7 +64,7 @@ from __future__ import annotations
 import json
 import math
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import (
     Any,
@@ -953,8 +953,13 @@ class TuneSession:
     ) -> Iterator[Tuple[int, int, int, RunSummary]]:
         for index, policy_index, replication in tasks:
             point = self.points[index]
+            config = point.spec.to_config()
+            if config.keep_records:
+                # The race keeps summaries only; per-run
+                # AllocationRecord retention would be pure overhead.
+                config = replace(config, keep_records=False)
             result = run_once(
-                point.spec.to_config(),
+                config,
                 point.spec.policies[policy_index],
                 replication=replication,
             )
@@ -969,7 +974,12 @@ class TuneSession:
             executor.submit(
                 _execute_keyed_task,
                 (
-                    self.points[index].spec.to_dict(),
+                    # engine rides along explicitly: to_dict() omits it
+                    # (execution metadata, kept out of digests).
+                    dict(
+                        self.points[index].spec.to_dict(),
+                        engine=self.points[index].spec.engine,
+                    ),
                     index,
                     policy_index,
                     replication,

@@ -83,6 +83,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", dest="json_out", type=str, default=None,
         help="export the aggregated result digest to JSON (spec/session runs)",
     )
+    run.add_argument(
+        "--engine", choices=("fast", "event"), default=None,
+        help="allocation runtime: the hot-path engine (default) or the "
+        "event-faithful reference; results are bit-identical "
+        "(session runs: --spec, --replications or --parallel)",
+    )
 
     spec_cmd = sub.add_parser(
         "spec",
@@ -186,6 +192,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="significance level for the table's best-cell stars and the "
         "digest (default 0.05; pairwise tables are Holm-corrected)",
     )
+    sweep.add_argument(
+        "--engine", choices=("fast", "event"), default=None,
+        help="allocation runtime for every grid run (digests are "
+        "engine-independent)",
+    )
 
     tune = sub.add_parser(
         "tune",
@@ -230,6 +241,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", dest="json_out", type=str, default=None,
         help="export the tune digest (winner, trace, budget accounting) "
         "to JSON",
+    )
+    tune.add_argument(
+        "--engine", choices=("fast", "event"), default=None,
+        help="allocation runtime for every raced run (digests are "
+        "engine-independent)",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark the hot-path allocation engine: mediation "
+        "throughput (fast vs event vs seed-baseline) plus a fast/event "
+        "digest-parity check; see docs/performance.md",
+    )
+    bench.add_argument(
+        "--smoke", action="store_true",
+        help="small, CI-sized configuration (fewer mediations, shorter "
+        "parity runs)",
+    )
+    bench.add_argument(
+        "--mediations", type=int, default=None,
+        help="mediations per timing sample (default 4000; smoke 1200)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=None,
+        help="timing samples per engine, best-of (default 3)",
+    )
+    bench.add_argument(
+        "--json", dest="json_out", type=str, default=None,
+        help="write the bench record (BENCH_core.json layout) to a file",
+    )
+    bench.add_argument(
+        "--min-speedup", type=float, default=2.0,
+        help="fail (exit 1) when the fast engine's mediation throughput "
+        "is below this multiple of the seed baseline (default 2.0)",
     )
     return parser
 
@@ -290,6 +335,8 @@ def _run_spec_file(args: argparse.Namespace) -> int:
         builder.providers(args.providers)
     if args.replications is not None:
         builder.replications(args.replications)
+    if args.engine is not None:
+        builder.engine(args.engine)
     try:
         session = builder.session()
     except ValueError as err:
@@ -310,6 +357,8 @@ def _run_session(args: argparse.Namespace) -> int:
     from repro.api.presets import scenario_spec
     from repro.api.session import Session
 
+    from repro.api.builder import ExperimentBuilder
+
     kwargs = _scenario_kwargs(args)
     if args.replications is not None:
         kwargs["replications"] = args.replications
@@ -317,6 +366,8 @@ def _run_session(args: argparse.Namespace) -> int:
     for name in names:
         try:
             spec = scenario_spec(name, **kwargs)
+            if args.engine is not None:
+                spec = ExperimentBuilder(spec).engine(args.engine).build()
         except ValueError as err:
             print(f"error: {err}", file=sys.stderr)
             return 2
@@ -346,6 +397,14 @@ def _run_scenario(args: argparse.Namespace) -> int:
         print(
             "error: --json needs a session run (--spec, --replications "
             "or --parallel); the classic scenario path exports with --csv",
+            file=sys.stderr,
+        )
+        return 2
+    if args.engine is not None:
+        print(
+            "error: --engine needs a session run (--spec, --replications "
+            "or --parallel); the classic scenario path runs the default "
+            "engine",
             file=sys.stderr,
         )
         return 2
@@ -590,6 +649,18 @@ def _run_sweep(args: argparse.Namespace) -> int:
     except (ValueError, TypeError) as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
+    if args.engine is not None:
+        from repro.api.spec import ExperimentSpec
+        from repro.api.sweep import SweepSpec
+
+        base = spec.base.to_dict()
+        base["engine"] = args.engine
+        spec = SweepSpec(
+            name=spec.name,
+            base=ExperimentSpec.from_dict(base),
+            axes=spec.axes,
+            keep_runs=spec.keep_runs,
+        )
 
     session = SweepSession(spec)
     parallel = args.parallel or args.workers is not None
@@ -670,6 +741,12 @@ def _run_tune(args: argparse.Namespace) -> int:
         return 2
     try:
         spec = _tune_spec_from_file(args)
+        if args.engine is not None:
+            from repro.api.tune import TuneSpec
+
+            data = spec.to_dict()
+            data["sweep"]["base"]["engine"] = args.engine
+            spec = TuneSpec.from_dict(data)
     except OSError as err:
         print(f"error: cannot read tune spec: {err}", file=sys.stderr)
         return 2
@@ -723,6 +800,37 @@ def _run_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_bench(args: argparse.Namespace) -> int:
+    """``sbqa bench``: the core hot-path bench (see docs/performance.md)."""
+    from repro.perf.hotpath import format_report, run_bench, write_record
+
+    record = run_bench(
+        smoke=args.smoke,
+        mediations=args.mediations,
+        repeats=args.repeats,
+    )
+    print(format_report(record))
+    if args.json_out:
+        write_record(record, args.json_out)
+        print(f"\nbench record written to {args.json_out}")
+    parity = record["parity"]
+    if not parity["identical"]:
+        print(
+            "error: fast and event engines produced different digests",
+            file=sys.stderr,
+        )
+        return 1
+    speedup = record["speedup"]["fast_vs_seed"]
+    if speedup < args.min_speedup:
+        print(
+            f"error: fast-engine speedup {speedup:.2f}x is below the "
+            f"required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``sbqa`` console script."""
     try:
@@ -756,6 +864,8 @@ def _dispatch(argv: Optional[List[str]]) -> int:
         return _run_sweep(args)
     if args.command == "tune":
         return _run_tune(args)
+    if args.command == "bench":
+        return _run_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -28,7 +28,12 @@ from repro.core.satisfaction import (
     consumer_query_satisfaction,
     intention_to_unit,
 )
-from repro.core.scoring import ScoredProvider, rank_providers, sqlb_score
+from repro.core.scoring import (
+    ScoredProvider,
+    rank_providers,
+    score_providers_batch,
+    sqlb_score,
+)
 from repro.core.omega import AdaptiveOmega, FixedOmega, OmegaPolicy, adaptive_omega
 from repro.core.knbest import KnBestSelector
 from repro.core.intentions import (
@@ -44,6 +49,15 @@ from repro.core.intentions import (
 from repro.core.policy import AllocationContext, AllocationDecision, AllocationPolicy
 from repro.core.sbqa import SbQAConfig, SbQAPolicy
 from repro.core.mediator import Mediator
+from repro.core.engine import (
+    DEFAULT_ENGINE,
+    ENGINE_MODES,
+    FastMediator,
+    FastNetwork,
+    make_mediator,
+    make_network,
+    resolve_engine,
+)
 
 __all__ = [
     "ConsumerSatisfactionTracker",
@@ -74,4 +88,12 @@ __all__ = [
     "SbQAConfig",
     "SbQAPolicy",
     "Mediator",
+    "score_providers_batch",
+    "DEFAULT_ENGINE",
+    "ENGINE_MODES",
+    "FastMediator",
+    "FastNetwork",
+    "make_mediator",
+    "make_network",
+    "resolve_engine",
 ]

@@ -1,0 +1,325 @@
+"""The hot-path allocation engine: fast mediation, identical results.
+
+The scoring -> rank -> bookkeeping loop runs once per mediation and
+dominates wall-clock for every sweep and tune the repository runs, so
+this module provides a **fast engine** -- a drop-in mediator/network
+pair that produces *bit-identical allocations, records and metrics* to
+the event-faithful core while cutting the per-mediation constant:
+
+* :class:`FastNetwork` delivers messages without constructing
+  :class:`~repro.des.network.Message` envelopes or per-send label
+  strings for the message kinds the entities pre-declare
+  (``Entity.FAST_HANDLERS``): same latency draws in the same order,
+  same scheduling instants, same event ordering -- only the per-send
+  allocations disappear.  Unknown kinds fall back to the envelope path.
+* :class:`FastMediator` asks policies for their batched
+  ``select_fast`` decision when one exists and tracing is off, computes
+  the consultation delay analytically when the latency model is
+  deterministic (every round-trip is ``2c``, so the max over pairs is
+  too), and -- when the one-way delay is a positive constant --
+  collapses the ``len(allocated) + 1`` post-consultation delivery
+  events of one allocation (which all share a clock instant) into a
+  **single** scheduler event, scheduled at the same moments as the
+  faithful chain so tie-breaking order is preserved.
+
+What is allowed to differ between the engines is the *number of
+scheduler events and Python objects*; what must not differ is clock
+values, allocations, satisfaction bookkeeping, records, and the
+coordination-message accounting.  ``tests/core/test_engine_parity.py``
+asserts byte-identical result digests across both engines, and
+``benchmarks/bench_core_hotpath.py`` tracks the speedup.
+
+Select the engine per run with ``ExperimentConfig(engine="fast")`` (the
+default) or ``engine="event"`` -- the equivalence escape hatch that
+keeps the reference implementation one flag away.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.core.mediator import Mediator
+from repro.core.policy import AllocationContext
+from repro.des.network import Network
+from repro.des.tracing import NULL_RECORDER
+from repro.system.query import AllocationRecord, QueryStatus
+
+#: Engine mode names accepted by :func:`resolve_engine`.
+ENGINE_MODES = ("fast", "event")
+
+#: Default engine for newly constructed configs/specs.
+DEFAULT_ENGINE = "fast"
+
+
+def resolve_engine(engine: str) -> str:
+    """Validate and canonicalise an engine mode name."""
+    key = str(engine).lower()
+    if key not in ENGINE_MODES:
+        raise ValueError(
+            f"unknown engine {engine!r}; valid engines: {', '.join(ENGINE_MODES)}"
+        )
+    return key
+
+
+class _FastDelivery:
+    """Scheduled callable delivering one payload to one fast handler."""
+
+    __slots__ = ("network", "handler", "payload")
+
+    def __init__(
+        self, network: "FastNetwork", handler: Callable[[Any], None], payload: Any
+    ) -> None:
+        self.network = network
+        self.handler = handler
+        self.payload = payload
+
+    def __call__(self) -> None:
+        self.network.messages_delivered += 1
+        self.handler(self.payload)
+
+
+class FastNetwork(Network):
+    """A :class:`~repro.des.network.Network` without per-send envelopes.
+
+    ``send`` draws the same latency (same stream, same order) and
+    schedules delivery at the same instant as the base class, but for
+    message kinds the recipient pre-declares in ``FAST_HANDLERS`` it
+    schedules a small payload-carrying callable instead of building a
+    frozen ``Message`` dataclass, a delivery closure and an f-string
+    event label.  Counters (``messages_sent`` / ``messages_delivered``)
+    advance exactly as in the base class.
+    """
+
+    def send(self, kind, sender, recipient, payload=None):
+        handler = recipient.fast_handler(kind)
+        if handler is None:
+            # Unknown kind (tests, custom entities): full envelope path,
+            # including the loud failure inside Entity.receive.
+            return super().send(kind, sender, recipient, payload=payload)
+        delay = self.latency.delay(sender, recipient)
+        if delay < 0:
+            raise ValueError(f"latency model produced negative delay {delay}")
+        self.messages_sent += 1
+        self.sim.schedule_in(delay, _FastDelivery(self, handler, payload))
+        return None
+
+
+class _CollapsedDispatch:
+    """One batched delivery event for a whole allocation's dispatch.
+
+    Under a deterministic latency model every post-consultation
+    delivery of one allocation -- ``execute`` to each allocated
+    provider, then ``mediation-ok`` to the consumer -- lands at the
+    same clock instant, so the ``len(allocated) + 1`` delivery events
+    collapse into this single callable.  The two-hop structure is
+    load-bearing: :meth:`dispatch` is scheduled where the faithful
+    dispatch closure would be, and only when it *fires* does it insert
+    the batched delivery into the heap -- the same insertion moment as
+    the faithful delivery events.  Scheduler ties break on insertion
+    order, so inserting the delivery any earlier (e.g. directly at
+    commit time) would reorder it against third-party events that
+    share its timestamp and diverge from the event engine (a real
+    occurrence under deterministic arrival processes, not a
+    measure-zero float coincidence).  Counters advance exactly as in
+    the faithful chain: ``messages_sent`` at dispatch time,
+    ``messages_delivered`` at delivery time.
+    """
+
+    __slots__ = ("network", "record", "consumer", "delay")
+
+    def __init__(
+        self, network: Network, record: AllocationRecord, consumer, delay: float
+    ) -> None:
+        self.network = network
+        self.record = record
+        self.consumer = consumer
+        self.delay = delay
+
+    def dispatch(self) -> None:
+        """Consultation finished: send the batch (one scheduler event)."""
+        network = self.network
+        network.messages_sent += len(self.record.allocated) + 1
+        network.sim.schedule_in(self.delay, self)
+
+    def __call__(self) -> None:
+        record = self.record
+        network = self.network
+        network.messages_delivered += len(record.allocated) + 1
+        for provider in record.allocated:
+            provider.execute(record)
+        self.consumer._on_allocation(record)
+
+
+class FastMediator(Mediator):
+    """The hot-path mediator: same pipeline, batched and collapsed.
+
+    Three deviations from the base class, none of them observable in
+    the results:
+
+    * when the policy offers ``select_fast`` (SbQA's batched scoring
+      path) and tracing is off, decisions come from it;
+    * when the latency model reports a :meth:`constant one-way delay
+      <repro.des.network.LatencyModel.constant_delay>`, the
+      consultation delay is ``2c`` analytically instead of a max over
+      ``|Kn| + 1`` identical round-trips;
+    * when that constant is positive and tracing is off, the
+      ``len(allocated) + 1`` same-instant deliveries of an allocation
+      are one :class:`_CollapsedDispatch` event (two events per
+      dispatch instead of ``len(allocated) + 2``).  (At ``c == 0``
+      every event of a mediation shares one clock instant, where
+      relative event order *is* semantics, so the faithful
+      per-delivery structure is kept -- :class:`FastNetwork` still
+      strips the envelopes.)
+
+    With a *random* latency model the collapse is disabled entirely:
+    delivery delays must be drawn from the shared latency stream at
+    dispatch time, in dispatch order, or every later draw in the run
+    would shift.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._constant_one_way = self.network.latency.constant_delay()
+        self._fast_select = getattr(self.policy, "select_fast", None)
+        # One reusable context for the hot loop (consumed synchronously
+        # by exactly one select per mediation; only .now changes).
+        self._ctx = AllocationContext(now=0.0, trace=NULL_RECORDER)
+
+    def mediate(self, query) -> AllocationRecord:
+        fast_select = self._fast_select
+        if fast_select is None or self.trace.enabled:
+            return super().mediate(query)
+        self.mediations += 1
+        candidates = self.registry.capable_providers(query)
+        if not candidates:
+            return self._fail(query)
+        ctx = self._ctx
+        ctx.now = self.now
+        decision = fast_select(query, candidates, ctx)
+        if not decision.allocated:
+            return self._fail(query)
+        return self._commit(query, candidates, decision)
+
+    # No _select override: the hot mediate() above routes to select_fast
+    # itself, and every super().mediate() fallback (tracing on, or a
+    # policy without select_fast) wants the faithful policy.select that
+    # the base hook already provides.
+
+    def _commit(self, query, candidates, decision) -> AllocationRecord:
+        if self.trace.enabled:
+            return super()._commit(query, candidates, decision)
+        consumer = query.consumer
+        allocated = decision.allocated
+        informed = decision.informed
+
+        # -- provider-side bookkeeping (Definition 2 windows) -----------
+        # The decision's intention dicts are adopted (and completed in
+        # place) rather than copied: a decision is consumed exactly once
+        # and the record owns the dicts afterwards, so the copy in the
+        # event-faithful _commit buys nothing here.  Membership is
+        # tested on the provider objects themselves (allocated holds the
+        # same objects as informed, and |allocated| <= n is tiny).
+        provider_intentions = decision.provider_intentions
+        for provider in informed:
+            pid = provider.participant_id
+            intention = provider_intentions.get(pid)
+            if intention is None:
+                intention = provider.intention_for(query)
+                provider_intentions[pid] = intention
+            provider.tracker.record_proposal(intention, provider in allocated)
+
+        # -- consumer-side bookkeeping (Equation 1 / Definition 1) ------
+        # Inlined consumer_query_satisfaction / adequation: same
+        # (i + 1) / 2 unit mapping summed in the same (decision) order,
+        # same min(1, total / n) clamp, so the floats are identical.
+        consumer_intentions = decision.consumer_intentions
+        n_results = query.n_results
+        total = 0.0
+        for provider in allocated:
+            pid = provider.participant_id
+            intention = consumer_intentions.get(pid)
+            if intention is None:
+                intention = consumer.intention_for(query, provider)
+                consumer_intentions[pid] = intention
+            total += (intention + 1.0) / 2.0
+        satisfaction = total / n_results
+        if satisfaction > 1.0:
+            satisfaction = 1.0
+
+        adequation_pool = candidates if self.adequation_over_candidates else informed
+        pool_intentions = []
+        for p in adequation_pool:
+            pid = p.participant_id
+            intention = consumer_intentions.get(pid)
+            if intention is None:
+                intention = consumer.intention_for(query, p)
+            pool_intentions.append(intention)
+        pool_intentions.sort(reverse=True)
+        total = 0.0
+        for intention in pool_intentions[:n_results]:
+            total += (intention + 1.0) / 2.0
+        adequation_value = total / n_results
+        if adequation_value > 1.0:
+            adequation_value = 1.0
+        consumer.record_query_satisfaction(satisfaction, adequation=adequation_value)
+
+        # -- consultation cost ------------------------------------------
+        consult_delay = 0.0
+        if self.policy.consults_participants:
+            consult_delay = self._consultation_delay(consumer, informed)
+            self.coordination_messages += decision.consult_messages
+        self.coordination_messages += len(informed)
+
+        record = AllocationRecord(
+            query=query,
+            decided_at=self.now,
+            allocated=allocated,
+            informed=informed,
+            consumer_intentions=consumer_intentions,
+            provider_intentions=provider_intentions,
+            scores=decision.scores,
+            omegas=decision.omegas,
+            adequation=adequation_value,
+            consultation_delay=consult_delay,
+        )
+        query.status = QueryStatus.ALLOCATED
+        self._dispatch_record(record, consumer, consult_delay)
+        self._store(record)
+        return record
+
+    def _consultation_delay(self, consumer, informed) -> float:
+        c = self._constant_one_way
+        if c is not None:
+            # Every request/reply round-trip is exactly c + c, so the
+            # max over the consumer pair and all informed pairs is too.
+            return c + c
+        return super()._consultation_delay(consumer, informed)
+
+    def _dispatch_record(
+        self, record: AllocationRecord, consumer, consult_delay: float
+    ) -> None:
+        c = self._constant_one_way
+        if c is None or c <= 0.0 or self.trace.enabled:
+            super()._dispatch_record(record, consumer, consult_delay)
+            return
+        # Two hops, mirroring the faithful chain's scheduling moments
+        # (and therefore its tie-breaking seq order and its clock
+        # arithmetic: dispatch at now + consult_delay, delivery at
+        # that instant + c); only the per-provider delivery events and
+        # Message envelopes are collapsed away.
+        collapsed = _CollapsedDispatch(self.network, record, consumer, c)
+        self.sim.schedule_in(consult_delay, collapsed.dispatch)
+
+
+def make_network(engine: str, sim, latency=None) -> Network:
+    """The network class for an engine mode, instantiated."""
+    if resolve_engine(engine) == "fast":
+        return FastNetwork(sim, latency)
+    return Network(sim, latency)
+
+
+def make_mediator(engine: str, *args, **kwargs) -> Mediator:
+    """The mediator class for an engine mode, instantiated."""
+    if resolve_engine(engine) == "fast":
+        return FastMediator(*args, **kwargs)
+    return Mediator(*args, **kwargs)

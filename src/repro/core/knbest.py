@@ -90,10 +90,32 @@ class KnBestSelector:
         Utilization ties break on ``participant_id`` so that a seeded
         run is bit-for-bit reproducible.
         """
-        sampled: List[P] = self._stream.sample(list(candidates), self.k)
+        sampled: List[P] = self._stream.sample(candidates, self.k)
         by_load = sorted(sampled, key=lambda p: (p.utilization, p.participant_id))
         working = by_load[: self.kn]
         return KnBestSelection(sampled=tuple(sampled), working=tuple(working))
+
+    def sample_working(
+        self, candidates: Sequence[P]
+    ) -> Tuple[int, List[P], List[float]]:
+        """Both stages without the :class:`KnBestSelection` wrapper.
+
+        The hot-path form used by ``SbQAPolicy.select_fast``: same
+        random draws, same load sort, same tie-breaking as
+        :meth:`select`, returning ``(|K|, Kn, utilizations-of-Kn)``
+        directly.  Decorate-sort replaces the per-element key lambda
+        (tuples compare in C; ``participant_id`` is unique, so the
+        provider in slot 3 never participates in a comparison), and the
+        stage-2 utilizations are handed back so intention models reading
+        load at this same instant reuse them instead of recomputing.
+        """
+        sampled: List[P] = self._stream.sample(candidates, self.k)
+        decorated = [(p.utilization, p.participant_id, p) for p in sampled]
+        decorated.sort()
+        kn = self.kn
+        working = [row[2] for row in decorated[:kn]]
+        loads = [row[0] for row in decorated[:kn]]
+        return len(sampled), working, loads
 
     def __repr__(self) -> str:
         return f"KnBestSelector(k={self.k}, kn={self.kn})"

@@ -101,6 +101,9 @@ class Mediator(Entity):
     # Entity hook
     # ------------------------------------------------------------------
 
+    #: Fast-engine direct delivery (see Entity.FAST_HANDLERS).
+    FAST_HANDLERS = {"query": "mediate"}
+
     def receive(self, message: Message) -> None:
         if message.kind != "query":
             raise ValueError(f"mediator got unexpected message {message.kind!r}")
@@ -114,20 +117,33 @@ class Mediator(Entity):
         """Run the full pipeline for one query; returns its record."""
         self.mediations += 1
         candidates = self.registry.capable_providers(query)
-        self.trace.record(
-            self.now,
-            "mediate",
-            f"query {query.qid} from {query.consumer_id}: |P_q|={len(candidates)}",
-            qid=query.qid,
-        )
+        # Tracing is lazy: the f-string payloads are only built when a
+        # recorder is actually listening, so the common (untraced) case
+        # costs one attribute check per stage.
+        if self.trace.enabled:
+            self.trace.record(
+                self.now,
+                "mediate",
+                f"query {query.qid} from {query.consumer_id}: |P_q|={len(candidates)}",
+                qid=query.qid,
+            )
         if not candidates:
             return self._fail(query)
 
         ctx = AllocationContext(now=self.now, trace=self.trace)
-        decision = self.policy.select(query, candidates, ctx)
+        decision = self._select(query, candidates, ctx)
         if decision.is_failure:
             return self._fail(query)
         return self._commit(query, candidates, decision)
+
+    def _select(
+        self,
+        query: Query,
+        candidates: Sequence["Provider"],
+        ctx: AllocationContext,
+    ) -> AllocationDecision:
+        """Ask the policy for a decision; the fast engine overrides this."""
+        return self.policy.select(query, candidates, ctx)
 
     def _fail(self, query: Query) -> AllocationRecord:
         """No provider could perform the query: zero satisfaction, notify."""
@@ -138,7 +154,10 @@ class Mediator(Entity):
         # Equation 1 with an empty performer set: satisfaction is 0.
         query.consumer.record_query_satisfaction(0.0, adequation=0.0)
         self.network.send("mediation-failed", self, query.consumer, payload=record)
-        self.trace.record(self.now, "fail", f"query {query.qid}: no capable provider")
+        if self.trace.enabled:
+            self.trace.record(
+                self.now, "fail", f"query {query.qid}: no capable provider"
+            )
         self._store(record)
         return record
 
@@ -203,24 +222,40 @@ class Mediator(Entity):
             consultation_delay=consult_delay,
         )
         query.status = QueryStatus.ALLOCATED
+        self._dispatch_record(record, consumer, consult_delay)
+        if self.trace.enabled:
+            self.trace.record(
+                self.now,
+                "allocate",
+                f"query {query.qid}: -> {sorted(allocated_ids)} "
+                f"(informed {len(record.informed)}, consult_delay={consult_delay:.3f})",
+                qid=query.qid,
+            )
+        self._store(record)
+        return record
+
+    def _dispatch_record(
+        self, record: AllocationRecord, consumer, consult_delay: float
+    ) -> None:
+        """Schedule the post-consultation dispatch of one allocation.
+
+        The event-faithful form: one scheduler event at the end of the
+        consultation, which sends one ``execute`` message per allocated
+        provider plus the ``mediation-ok`` notification ("sends the
+        mediation result to the consumer", Section III; consumers use
+        it to arm their result deadline).  The fast engine overrides
+        this with a collapsed single-event path when the latency model
+        is deterministic.
+        """
 
         def dispatch() -> None:
             for provider in record.allocated:
                 self.network.send("execute", self, provider, payload=record)
-            # "sends the mediation result to the consumer" (Section III);
-            # consumers use it to arm their result deadline
             self.network.send("mediation-ok", self, consumer, payload=record)
 
-        self.sim.schedule_in(consult_delay, dispatch, label=f"dispatch:{query.qid}")
-        self.trace.record(
-            self.now,
-            "allocate",
-            f"query {query.qid}: -> {sorted(allocated_ids)} "
-            f"(informed {len(record.informed)}, consult_delay={consult_delay:.3f})",
-            qid=query.qid,
+        self.sim.schedule_in(
+            consult_delay, dispatch, label=f"dispatch:{record.query.qid}"
         )
-        self._store(record)
-        return record
 
     def _consultation_delay(self, consumer, informed: Sequence["Provider"]) -> float:
         """Parallel request/reply round-trips: the slowest pair gates."""

@@ -62,6 +62,53 @@ class AllocationDecision:
         return not self.allocated
 
 
+class FastAllocationDecision:
+    """Duck-typed :class:`AllocationDecision` for the mediation hot path.
+
+    Same attribute surface, no dataclass machinery and no
+    ``__post_init__`` validation -- producers (``select_fast``
+    implementations) guarantee the allocated-subset-of-informed
+    invariant by construction, and the fast mediator consumes the
+    decision exactly once.  Anything written against
+    :class:`AllocationDecision`'s attributes works on either.
+    """
+
+    __slots__ = (
+        "allocated",
+        "informed",
+        "consumer_intentions",
+        "provider_intentions",
+        "scores",
+        "omegas",
+        "consult_messages",
+        "metadata",
+    )
+
+    def __init__(
+        self,
+        allocated,
+        informed,
+        consumer_intentions,
+        provider_intentions,
+        scores,
+        omegas,
+        consult_messages,
+        metadata,
+    ) -> None:
+        self.allocated = allocated
+        self.informed = informed
+        self.consumer_intentions = consumer_intentions
+        self.provider_intentions = provider_intentions
+        self.scores = scores
+        self.omegas = omegas
+        self.consult_messages = consult_messages
+        self.metadata = metadata
+
+    @property
+    def is_failure(self) -> bool:
+        return not self.allocated
+
+
 class AllocationPolicy:
     """Base class of every allocation technique.
 

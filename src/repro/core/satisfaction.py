@@ -31,6 +31,19 @@ and *allocation satisfaction* (how close the mediator's allocation got
 to that possible best).  They are reconstructions faithful to [12]'s
 intent and are used by the analysis layer, never by the allocation
 decision itself.
+
+Both trackers keep *incremental* window aggregates: appends update
+rolling sums in O(1) and reads are O(1), instead of re-summing the
+whole window on every read.  Reads dominate writes system-wide (the
+mediation hot loop reads one provider satisfaction per consulted
+provider per query, churn checks and metric sweeps read every
+participant), so this is the first layer of the hot-path engine.
+Until the window wraps, the rolling sum accumulates in exactly the
+order a left-to-right re-summation would, so values are bit-identical
+to the naive form; once eviction starts, the sums are refreshed from
+the window contents every ``memory`` evictions, which bounds
+floating-point drift to a few ulps, and means are clamped into the
+mathematically guaranteed [0, 1] range.
 """
 
 from __future__ import annotations
@@ -123,6 +136,15 @@ def allocation_satisfaction(achieved: float, achievable: float) -> float:
     return min(1.0, achieved / achievable)
 
 
+def _clamp_unit(value: float) -> float:
+    """Clamp a rolling mean into [0, 1] (guards accumulated ulp drift)."""
+    if value < 0.0:
+        return 0.0
+    if value > 1.0:
+        return 1.0
+    return value
+
+
 class ConsumerSatisfactionTracker:
     """Definition 1: sliding-window mean of per-query satisfactions.
 
@@ -130,6 +152,10 @@ class ConsumerSatisfactionTracker:
     consumer issued (the set ``IQ^k_c``).  It also retains the matching
     adequation values so the analysis layer can compute long-run
     allocation satisfaction.
+
+    All three window means (satisfaction, adequation, allocation
+    satisfaction) are maintained as rolling sums, so reads -- the hot
+    operation -- are O(1) regardless of the window length.
     """
 
     def __init__(self, memory: int = DEFAULT_MEMORY) -> None:
@@ -139,6 +165,10 @@ class ConsumerSatisfactionTracker:
         self._satisfactions: Deque[float] = deque(maxlen=memory)
         self._adequations: Deque[float] = deque(maxlen=memory)
         self.total_recorded = 0
+        self._sat_sum = 0.0
+        self._adq_sum = 0.0
+        self._ratio_sum = 0.0
+        self._evictions_since_rebuild = 0
 
     def record_query(self, satisfaction: float, adequation_value: float = 1.0) -> None:
         """Record the outcome of one query (Equation 1 value + adequation)."""
@@ -146,31 +176,55 @@ class ConsumerSatisfactionTracker:
             raise ValueError(f"satisfaction must be in [0, 1], got {satisfaction}")
         if not 0.0 <= adequation_value <= 1.0:
             raise ValueError(f"adequation must be in [0, 1], got {adequation_value}")
-        self._satisfactions.append(satisfaction)
+        satisfactions = self._satisfactions
+        if len(satisfactions) == self.memory:
+            # The deques evict in lockstep; fold the departing entry out
+            # of each rolling sum before folding the new one in.
+            evicted_sat = satisfactions[0]
+            evicted_adq = self._adequations[0]
+            self._sat_sum -= evicted_sat
+            self._adq_sum -= evicted_adq
+            self._ratio_sum -= allocation_satisfaction(evicted_sat, evicted_adq)
+            self._evictions_since_rebuild += 1
+        satisfactions.append(satisfaction)
         self._adequations.append(adequation_value)
+        self._sat_sum += satisfaction
+        self._adq_sum += adequation_value
+        self._ratio_sum += allocation_satisfaction(satisfaction, adequation_value)
         self.total_recorded += 1
+        if self._evictions_since_rebuild >= self.memory:
+            self._rebuild_sums()
+
+    def _rebuild_sums(self) -> None:
+        """Re-sum the window left-to-right, discarding rolling drift."""
+        self._sat_sum = sum(self._satisfactions)
+        self._adq_sum = sum(self._adequations)
+        self._ratio_sum = sum(
+            allocation_satisfaction(s, a)
+            for s, a in zip(self._satisfactions, self._adequations)
+        )
+        self._evictions_since_rebuild = 0
 
     def satisfaction(self, default: float = NEUTRAL_SATISFACTION) -> float:
         """Long-run satisfaction delta_s(c); ``default`` before any query."""
-        if not self._satisfactions:
+        n = len(self._satisfactions)
+        if not n:
             return default
-        return sum(self._satisfactions) / len(self._satisfactions)
+        return _clamp_unit(self._sat_sum / n)
 
     def allocation_satisfaction(self, default: float = NEUTRAL_SATISFACTION) -> float:
         """Long-run mean of per-query allocation satisfaction."""
-        if not self._satisfactions:
+        n = len(self._satisfactions)
+        if not n:
             return default
-        ratios = [
-            allocation_satisfaction(s, a)
-            for s, a in zip(self._satisfactions, self._adequations)
-        ]
-        return sum(ratios) / len(ratios)
+        return _clamp_unit(self._ratio_sum / n)
 
     def adequation(self, default: float = NEUTRAL_SATISFACTION) -> float:
         """Long-run mean adequation of the system for this consumer."""
-        if not self._adequations:
+        n = len(self._adequations)
+        if not n:
             return default
-        return sum(self._adequations) / len(self._adequations)
+        return _clamp_unit(self._adq_sum / n)
 
     @property
     def observations(self) -> int:
@@ -181,6 +235,10 @@ class ConsumerSatisfactionTracker:
         """Forget the window (a rejoining participant starts afresh)."""
         self._satisfactions.clear()
         self._adequations.clear()
+        self._sat_sum = 0.0
+        self._adq_sum = 0.0
+        self._ratio_sum = 0.0
+        self._evictions_since_rebuild = 0
 
     def __repr__(self) -> str:
         return (
@@ -215,31 +273,54 @@ class ProviderSatisfactionTracker:
         self._proposals: Deque[_Proposal] = deque(maxlen=memory)
         self.total_proposed = 0
         self.total_performed = 0
+        self._performed_in_window = 0
+        self._performed_unit_sum = 0.0
+        self._evictions_since_rebuild = 0
 
     def record_proposal(self, intention: float, performed: bool) -> None:
         """Record one proposed query and whether this provider performs it."""
         if not -1.0 <= intention <= 1.0:
             raise ValueError(f"intention must be in [-1, 1], got {intention}")
-        self._proposals.append(_Proposal(intention, performed))
+        proposals = self._proposals
+        if len(proposals) == self.memory:
+            evicted = proposals[0]
+            if evicted.performed:
+                self._performed_in_window -= 1
+                self._performed_unit_sum -= (evicted.intention + 1.0) / 2.0
+            self._evictions_since_rebuild += 1
+        proposals.append(_Proposal(intention, performed))
         self.total_proposed += 1
         if performed:
             self.total_performed += 1
+            self._performed_in_window += 1
+            self._performed_unit_sum += (intention + 1.0) / 2.0
+        if self._evictions_since_rebuild >= self.memory:
+            self._rebuild_sums()
+
+    def _rebuild_sums(self) -> None:
+        """Re-sum the performed window left-to-right, discarding drift."""
+        self._performed_in_window = 0
+        self._performed_unit_sum = 0.0
+        for proposal in self._proposals:
+            if proposal.performed:
+                self._performed_in_window += 1
+                self._performed_unit_sum += (proposal.intention + 1.0) / 2.0
+        self._evictions_since_rebuild = 0
 
     def satisfaction(self, default: float = NEUTRAL_SATISFACTION) -> float:
         """delta_s(p) per Definition 2; ``default`` before any proposal."""
         if not self._proposals:
             return default
-        performed = [p.intention for p in self._proposals if p.performed]
+        performed = self._performed_in_window
         if not performed:
             return 0.0
-        return sum(intention_to_unit(i) for i in performed) / len(performed)
+        return _clamp_unit(self._performed_unit_sum / performed)
 
     def performed_fraction(self) -> float:
         """Share of window proposals the provider performed (diagnostic)."""
         if not self._proposals:
             return 0.0
-        performed = sum(1 for p in self._proposals if p.performed)
-        return performed / len(self._proposals)
+        return self._performed_in_window / len(self._proposals)
 
     @property
     def observations(self) -> int:
@@ -253,6 +334,9 @@ class ProviderSatisfactionTracker:
     def reset(self) -> None:
         """Forget the window (a rejoining participant starts afresh)."""
         self._proposals.clear()
+        self._performed_in_window = 0
+        self._performed_unit_sum = 0.0
+        self._evictions_since_rebuild = 0
 
     def __repr__(self) -> str:
         return (

@@ -27,19 +27,31 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.core.knbest import KnBestSelector
-from repro.core.omega import AdaptiveOmega, OmegaPolicy, make_omega_policy
+from repro.core.omega import AdaptiveOmega, FixedOmega, OmegaPolicy, make_omega_policy
 from repro.core.policy import (
     AllocationContext,
     AllocationDecision,
     AllocationPolicy,
+    FastAllocationDecision,
     allocation_count,
 )
-from repro.core.scoring import DEFAULT_EPSILON, ScoredProvider, rank_providers, sqlb_score
+from repro.core.scoring import (
+    DEFAULT_EPSILON,
+    ScoredProvider,
+    rank_providers,
+    score_providers_batch,
+    sqlb_score,
+)
 from repro.des.rng import RandomStream
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.system.provider import Provider
     from repro.system.query import Query
+
+
+def _rank_key(row):
+    """Sort key matching :func:`~repro.core.scoring.rank_providers`."""
+    return (-row[0], row[1])
 
 
 @dataclass
@@ -92,6 +104,14 @@ class SbQAPolicy(AllocationPolicy):
         self.config = config or SbQAConfig()
         self.selector = KnBestSelector(self.config.k, self.config.kn, stream)
         self.omega_policy: OmegaPolicy = make_omega_policy(self.config.omega)
+        # Resolved once so the hot path dispatches on plain attributes
+        # instead of per-query isinstance checks.
+        self._omega_adaptive = isinstance(self.omega_policy, AdaptiveOmega)
+        self._omega_fixed = (
+            self.omega_policy.value
+            if isinstance(self.omega_policy, FixedOmega)
+            else None
+        )
 
     def select(
         self,
@@ -102,13 +122,14 @@ class SbQAPolicy(AllocationPolicy):
         consumer = query.consumer
         selection = self.selector.select(candidates)
         working = list(selection.working)
-        ctx.trace.record(
-            ctx.now,
-            "knbest",
-            f"query {query.qid}: |P_q|={len(candidates)} -> |K|={selection.k_effective} "
-            f"-> |Kn|={selection.kn_effective}",
-            qid=query.qid,
-        )
+        if ctx.trace.enabled:
+            ctx.trace.record(
+                ctx.now,
+                "knbest",
+                f"query {query.qid}: |P_q|={len(candidates)} -> |K|={selection.k_effective} "
+                f"-> |Kn|={selection.kn_effective}",
+                qid=query.qid,
+            )
 
         consumer_satisfaction = consumer.satisfaction
         scored = []
@@ -138,16 +159,17 @@ class SbQAPolicy(AllocationPolicy):
 
         ranking = rank_providers(scored)
         take = allocation_count(query, len(working))
-        chosen_ids = {entry.provider_id for entry in ranking[:take]}
         by_id = {p.participant_id: p for p in working}
         allocated = [by_id[entry.provider_id] for entry in ranking[:take]]
-        ctx.trace.record(
-            ctx.now,
-            "sqlb",
-            f"query {query.qid}: ranked {[e.provider_id for e in ranking]}, "
-            f"allocated {sorted(chosen_ids)}",
-            qid=query.qid,
-        )
+        if ctx.trace.enabled:
+            chosen_ids = {entry.provider_id for entry in ranking[:take]}
+            ctx.trace.record(
+                ctx.now,
+                "sqlb",
+                f"query {query.qid}: ranked {[e.provider_id for e in ranking]}, "
+                f"allocated {sorted(chosen_ids)}",
+                qid=query.qid,
+            )
 
         return AllocationDecision(
             allocated=allocated,
@@ -160,6 +182,94 @@ class SbQAPolicy(AllocationPolicy):
             # plus the same exchange with the consumer
             consult_messages=2 * len(working) + 2,
             metadata={"k_effective": selection.k_effective},
+        )
+
+    def select_fast(
+        self,
+        query: "Query",
+        candidates: Sequence["Provider"],
+        ctx: AllocationContext,
+    ) -> AllocationDecision:
+        """Hot-path :meth:`select`: identical decision, fewer allocations.
+
+        Used by the fast engine (:mod:`repro.core.engine`) when tracing
+        is off.  The pipeline is the same -- KnBest sample, intention
+        consultation, per-pair omega, Definition-3 scores, rank, take
+        ``min(n, kn)`` -- but the whole ``Kn`` set is scored through
+        :func:`~repro.core.scoring.score_providers_batch` (inputs
+        validated once), per-provider ``ScoredProvider`` objects are
+        never materialised, and a fixed omega is resolved outside the
+        loop.  Every float is produced by the same expressions in the
+        same order as :meth:`select`, so allocations, scores and omegas
+        are bit-identical.
+        """
+        consumer = query.consumer
+        k_effective, working, loads = self.selector.sample_working(candidates)
+        pids = [provider.participant_id for provider in working]
+
+        # -- intention consultation (batched when the set shares one
+        #    model instance, which the population builder guarantees) --
+        shared_model = working[0].intention_model
+        for provider in working:
+            if provider.intention_model is not shared_model:
+                shared_model = None
+                break
+        if shared_model is not None:
+            provider_intention_list = shared_model.intentions(
+                working, query, utilizations=loads
+            )
+        else:
+            provider_intention_list = [p.intention_for(query) for p in working]
+        consumer_intention_list = consumer.intention_model.intentions(
+            consumer, query, working
+        )
+
+        # -- Equation 2, one omega per (c, p) pair -----------------------
+        if self._omega_adaptive:
+            # Inlined adaptive_omega; trackers guarantee inputs in [0, 1].
+            consumer_satisfaction = consumer.satisfaction
+            omega_list = [
+                ((consumer_satisfaction - p.tracker.satisfaction()) + 1.0) / 2.0
+                for p in working
+            ]
+        elif self._omega_fixed is not None:
+            omega_list = [self._omega_fixed] * len(working)
+        else:
+            consumer_satisfaction = consumer.satisfaction
+            omega_policy = self.omega_policy
+            omega_list = [
+                omega_policy.omega(consumer_satisfaction, p.satisfaction)
+                for p in working
+            ]
+
+        # backend pinned to the python loop: it is the only backend
+        # guaranteed bit-identical to the scalar kernel select() uses,
+        # and the engine parity contract must not hinge on the
+        # SBQA_SCORING_BACKEND environment.
+        scores = score_providers_batch(
+            provider_intention_list,
+            consumer_intention_list,
+            omega_list,
+            self.config.epsilon,
+            backend="python",
+            validate=False,
+        )
+
+        # rank_providers orders by (-score, provider_id); same key here.
+        ranking = sorted(zip(scores, pids), key=_rank_key)
+        take = allocation_count(query, len(working))
+        by_id = dict(zip(pids, working))
+        allocated = [by_id[pid] for _, pid in ranking[:take]]
+
+        return FastAllocationDecision(
+            allocated=allocated,
+            informed=working,
+            consumer_intentions=dict(zip(pids, consumer_intention_list)),
+            provider_intentions=dict(zip(pids, provider_intention_list)),
+            scores={pid: score for score, pid in ranking},
+            omegas=dict(zip(pids, omega_list)),
+            consult_messages=2 * len(working) + 2,
+            metadata={"k_effective": k_effective},
         )
 
     def describe(self) -> dict:

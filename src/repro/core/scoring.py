@@ -27,11 +27,31 @@ Properties (all covered by tests):
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 #: The paper: "Parameter eps > 0, usually set to 1".
 DEFAULT_EPSILON = 1.0
+
+#: Environment switch for the batch-kernel backend ("python" | "numpy").
+#: numpy only pays off for candidate sets far larger than the paper's
+#: kn, and its ``pow`` can differ from CPython's by the final ulp, so
+#: the plain-Python loop -- bit-identical to the scalar kernel -- is
+#: the default; the numpy path stays behind this flag (and the
+#: ``backend=`` argument) with a scalar-parity test pinning it to
+#: within one ulp.  Read once at import (the batch kernel sits on the
+#: mediation hot path); the allocation engine itself always pins
+#: ``backend="python"`` so the fast/event bit-parity contract cannot
+#: be voided from the environment.
+SCORING_BACKEND_ENV = "SBQA_SCORING_BACKEND"
+
+_DEFAULT_BACKEND = os.environ.get(SCORING_BACKEND_ENV, "python")
+
+try:  # gated: the toolchain may not ship numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - environment without numpy
+    _np = None
 
 
 def sqlb_score(
@@ -74,6 +94,119 @@ def sqlb_score(
     penalty_provider = (1.0 - provider_intention + epsilon) ** omega
     penalty_consumer = (1.0 - consumer_intention + epsilon) ** (1.0 - omega)
     return -(penalty_provider * penalty_consumer)
+
+
+def score_providers_batch(
+    provider_intentions: Sequence[float],
+    consumer_intentions: Sequence[float],
+    omegas: Sequence[float],
+    epsilon: float = DEFAULT_EPSILON,
+    backend: Optional[str] = None,
+    validate: bool = True,
+) -> List[float]:
+    """Definition 3 over a whole candidate set in one pass.
+
+    Semantically equivalent to ``[sqlb_score(pi, ci, w, epsilon) for
+    pi, ci, w in zip(...)]`` -- same branch structure, same arithmetic
+    expressions, so the returned floats are *bit-identical* to the
+    scalar kernel -- but validation is hoisted out of the per-provider
+    work and the per-call function overhead disappears.  This is what
+    the mediation hot path scores ``Kn`` with.
+
+    Parameters
+    ----------
+    provider_intentions, consumer_intentions, omegas:
+        Equal-length sequences: ``PI_q[p]``, ``CI_q[p]`` and the
+        Equation-2 balance for each candidate (omega is per *pair*, so
+        it is a sequence, not a scalar).
+    epsilon:
+        Strictly positive guard of the negative branch.
+    backend:
+        ``"python"`` or ``"numpy"``; ``None`` (default) uses the value
+        the ``SBQA_SCORING_BACKEND`` environment variable held at
+        import time (``"python"`` when unset).  The numpy backend
+        requires numpy to be importable, is only worthwhile for
+        candidate sets much larger than the paper's ``kn``, and may
+        differ from the scalar kernel by the final ulp.
+    validate:
+        Range-check every input (the scalar kernel's behaviour).  The
+        mediation hot path passes False: its inputs come from intention
+        models (clamped into [-1, 1]) and omega policies (constructed
+        in [0, 1]), so the checks cannot fire.
+    """
+    n = len(provider_intentions)
+    if len(consumer_intentions) != n or len(omegas) != n:
+        raise ValueError(
+            f"batch inputs must have equal lengths, got "
+            f"{n}/{len(consumer_intentions)}/{len(omegas)}"
+        )
+    if epsilon <= 0.0:
+        raise ValueError(f"epsilon must be strictly positive, got {epsilon}")
+    if validate:
+        for pi in provider_intentions:
+            if not -1.0 <= pi <= 1.0:
+                raise ValueError(f"provider intention must be in [-1, 1], got {pi}")
+        for ci in consumer_intentions:
+            if not -1.0 <= ci <= 1.0:
+                raise ValueError(f"consumer intention must be in [-1, 1], got {ci}")
+        for omega in omegas:
+            if not 0.0 <= omega <= 1.0:
+                raise ValueError(f"omega must be in [0, 1], got {omega}")
+
+    if backend is None:
+        backend = _DEFAULT_BACKEND
+    if backend == "numpy":
+        if _np is None:
+            raise RuntimeError(
+                "numpy backend requested but numpy is not importable; "
+                "use backend='python'"
+            )
+        return _score_batch_numpy(
+            provider_intentions, consumer_intentions, omegas, epsilon
+        )
+    if backend != "python":
+        raise ValueError(
+            f"unknown scoring backend {backend!r}; valid: python, numpy"
+        )
+
+    scores = []
+    append = scores.append
+    for pi, ci, omega in zip(provider_intentions, consumer_intentions, omegas):
+        if pi > 0.0 and ci > 0.0:
+            append((pi ** omega) * (ci ** (1.0 - omega)))
+        else:
+            append(
+                -(
+                    ((1.0 - pi + epsilon) ** omega)
+                    * ((1.0 - ci + epsilon) ** (1.0 - omega))
+                )
+            )
+    return scores
+
+
+def _score_batch_numpy(
+    provider_intentions: Sequence[float],
+    consumer_intentions: Sequence[float],
+    omegas: Sequence[float],
+    epsilon: float,
+) -> List[float]:
+    """Vectorised Definition 3; same branch arithmetic as the scalar form."""
+    pi = _np.asarray(provider_intentions, dtype=_np.float64)
+    ci = _np.asarray(consumer_intentions, dtype=_np.float64)
+    omega = _np.asarray(omegas, dtype=_np.float64)
+    positive = (pi > 0.0) & (ci > 0.0)
+    # Compute each branch only where it applies: the positive branch's
+    # pi ** omega is undefined (complex) for negative intentions.
+    scores = _np.empty_like(pi)
+    scores[positive] = pi[positive] ** omega[positive] * (
+        ci[positive] ** (1.0 - omega[positive])
+    )
+    negative = ~positive
+    scores[negative] = -(
+        ((1.0 - pi[negative] + epsilon) ** omega[negative])
+        * ((1.0 - ci[negative] + epsilon) ** (1.0 - omega[negative]))
+    )
+    return [float(s) for s in scores]
 
 
 @dataclass(frozen=True)

@@ -14,7 +14,7 @@ mediator all derive from it.  The base class provides:
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Any, Callable
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 
 from repro.des.events import EventHandle
 
@@ -27,6 +27,15 @@ _entity_counter = itertools.count()
 
 class Entity:
     """A named actor in the simulation."""
+
+    #: Message kinds this entity can receive without a
+    #: :class:`~repro.des.network.Message` envelope: kind -> name of the
+    #: bound method taking the bare payload.  The fast engine's network
+    #: (:class:`repro.core.engine.FastNetwork`) uses this to deliver
+    #: payloads directly; kinds absent from the map fall back to the
+    #: envelope path and :meth:`receive`, preserving the loud-failure
+    #: behaviour for unexpected messages.
+    FAST_HANDLERS: "Dict[str, str]" = {}
 
     def __init__(self, sim: "Simulator", name: str) -> None:
         if not name:
@@ -51,6 +60,22 @@ class Entity:
         return self.sim.schedule_at(time, action, label=label or f"{self.name}:call_at")
 
     # -- messaging hook --------------------------------------------------
+
+    def fast_handler(self, kind: str) -> "Optional[Callable[[Any], None]]":
+        """The bound payload handler for ``kind``, or None.
+
+        Resolved once per entity instance from :attr:`FAST_HANDLERS`
+        and cached, so the per-send cost in the fast engine is one dict
+        lookup.
+        """
+        cache = self.__dict__.get("_fast_handlers")
+        if cache is None:
+            cache = {
+                kind: getattr(self, method_name)
+                for kind, method_name in self.FAST_HANDLERS.items()
+            }
+            self._fast_handlers = cache
+        return cache.get(kind)
 
     def receive(self, message: "Message") -> None:
         """Handle a delivered message.

@@ -51,11 +51,26 @@ class LatencyModel:
     def delay(self, sender: Entity, recipient: Entity) -> float:
         raise NotImplementedError
 
+    def constant_delay(self) -> Optional[float]:
+        """The one-way delay if it is deterministic and pair-independent.
+
+        Returns ``None`` when delays vary (randomly or per pair).  A
+        non-None value is a promise that :meth:`delay` returns exactly
+        this float for every pair *without consuming randomness*, which
+        is what lets the fast engine compute consultation round-trips
+        analytically and collapse dispatch deliveries into one event
+        (see :mod:`repro.core.engine`).
+        """
+        return None
+
 
 class ZeroLatency(LatencyModel):
     """No network delay at all."""
 
     def delay(self, sender: Entity, recipient: Entity) -> float:
+        return 0.0
+
+    def constant_delay(self) -> Optional[float]:
         return 0.0
 
     def __repr__(self) -> str:
@@ -71,6 +86,9 @@ class FixedLatency(LatencyModel):
         self.seconds = float(seconds)
 
     def delay(self, sender: Entity, recipient: Entity) -> float:
+        return self.seconds
+
+    def constant_delay(self) -> Optional[float]:
         return self.seconds
 
     def __repr__(self) -> str:
@@ -91,6 +109,11 @@ class UniformLatency(LatencyModel):
         if self.low == self.high:
             return self.low
         return self._stream.uniform(self.low, self.high)
+
+    def constant_delay(self) -> Optional[float]:
+        # A degenerate band short-circuits before the stream is touched
+        # (see delay()), so it qualifies as deterministic.
+        return self.low if self.low == self.high else None
 
     def __repr__(self) -> str:
         return f"UniformLatency([{self.low}, {self.high}])"

@@ -70,12 +70,21 @@ class AutonomyConfig:
 
 @dataclass
 class ExperimentConfig:
-    """One experiment: population, workload, environment, measurement."""
+    """One experiment: population, workload, environment, measurement.
+
+    ``engine`` selects the allocation runtime: ``"fast"`` (the default)
+    runs the hot-path engine of :mod:`repro.core.engine`, which is
+    bit-identical in results to ``"event"``, the event-faithful
+    reference core -- the equivalence escape hatch used by the parity
+    tests and available whenever per-message/per-event fidelity is
+    wanted (e.g. when instrumenting the scheduler itself).
+    """
 
     name: str = "experiment"
     seed: int = DEFAULT_SEED
     duration: float = 2400.0
     sample_interval: float = 10.0
+    engine: str = "fast"
 
     population: BoincScenarioParams = field(default_factory=BoincScenarioParams)
     autonomy: AutonomyConfig = field(default_factory=AutonomyConfig)
@@ -97,6 +106,9 @@ class ExperimentConfig:
     track_provider_snapshots: bool = False
 
     def __post_init__(self) -> None:
+        from repro.core.engine import resolve_engine
+
+        self.engine = resolve_engine(self.engine)
         if self.duration <= 0:
             raise ValueError(f"duration must be positive, got {self.duration}")
         if self.sample_interval <= 0:

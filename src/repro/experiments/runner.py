@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.allocation.factory import make_policy
+from repro.core.engine import make_mediator, make_network
 from repro.core.mediator import Mediator
 from repro.des.network import Network, UniformLatency
 from repro.des.rng import RandomRoot, spawn_replication_root
@@ -164,7 +165,7 @@ def wire_run(
     latency = UniformLatency(
         config.latency_low, config.latency_high, root.stream("network/latency")
     )
-    network = Network(sim, latency)
+    network = make_network(config.engine, sim, latency)
 
     # 2. population -------------------------------------------------------
     population = build_boinc_population(sim, network, root, config.population)
@@ -175,7 +176,8 @@ def wire_run(
     policy = make_policy(
         policy_spec.name, root, sbqa=policy_spec.sbqa, params=policy_spec.params
     )
-    mediator = Mediator(
+    mediator = make_mediator(
+        config.engine,
         sim,
         network,
         registry,

@@ -226,6 +226,13 @@ class Consumer(Entity):
         self.network.send("query", self, self._mediator, payload=query)
         return query
 
+    #: Fast-engine direct delivery (see Entity.FAST_HANDLERS).
+    FAST_HANDLERS = {
+        "result": "_receive_result_payload",
+        "mediation-ok": "_on_allocation",
+        "mediation-failed": "_on_failure",
+    }
+
     def receive(self, message: Message) -> None:
         """Entity hook: results, mediation outcomes, failure notices."""
         if message.kind == "result":
@@ -240,6 +247,11 @@ class Consumer(Entity):
                 f"consumer {self.participant_id!r} got unexpected message "
                 f"{message.kind!r}"
             )
+
+    def _receive_result_payload(self, payload) -> None:
+        """Fast-path delivery of a ``result`` payload (record, result)."""
+        record, result = payload
+        self._on_result(record, result)
 
     def _on_allocation(self, record: "AllocationRecord") -> None:
         """Mediation result arrived; arm the result deadline if configured."""

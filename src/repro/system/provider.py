@@ -158,8 +158,14 @@ class Provider(Entity):
 
     @property
     def utilization(self) -> float:
-        """Backlog normalised by the saturation horizon, clamped to [0, 1]."""
-        return min(1.0, self.backlog_seconds / self.saturation_horizon)
+        """Backlog normalised by the saturation horizon, clamped to [0, 1].
+
+        Read on every KnBest stage-2 sort and every provider intention,
+        so the backlog is inlined (same ``max``/``min`` arithmetic as
+        :attr:`backlog_seconds`) instead of chaining properties.
+        """
+        backlog = max(0.0, self._busy_until - self.sim.now)
+        return min(1.0, backlog / self.saturation_horizon)
 
     @property
     def available_capacity(self) -> float:
@@ -183,6 +189,9 @@ class Provider(Entity):
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+
+    #: Fast-engine direct delivery (see Entity.FAST_HANDLERS).
+    FAST_HANDLERS = {"execute": "execute"}
 
     def receive(self, message: Message) -> None:
         """Entity hook: accept ``execute`` messages from the mediator."""

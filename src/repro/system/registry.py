@@ -81,10 +81,20 @@ class SystemRegistry:
 
     def capable_providers(self, query: "Query") -> List["Provider"]:
         """The set ``P_q``: online providers able to perform the query."""
+        capabilities = self._capabilities
+        if not capabilities:
+            # Common case (every BOINC volunteer attaches to all
+            # projects): skip the per-provider capability lookup.
+            return [p for p in self._providers.values() if p.online]
+        topic = query.topic
         return [
             p
             for p in self._providers.values()
-            if p.online and self.can_serve(p, query.topic)
+            if p.online
+            and (
+                (topics := capabilities.get(p.participant_id)) is None
+                or topic in topics
+            )
         ]
 
     # ------------------------------------------------------------------

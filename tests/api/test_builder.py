@@ -74,6 +74,7 @@ class TestFluency:
             .seed(5)
             .duration(111.0)
             .sample_interval(7.0)
+            .engine("event")
             .providers(13)
             .autonomous(provider_threshold=0.2, consumer_threshold=0.4,
                         min_observations=3, warmup=11.0, check_interval=9.0,

@@ -1,0 +1,445 @@
+"""The fast engine's contract: bit-identical results, fewer events.
+
+Three layers of evidence:
+
+* decision-level: ``SbQAPolicy.select_fast`` reproduces ``select``'s
+  allocation, scores, omegas and intentions exactly;
+* run-level: full experiment digests (``ExperimentResult.to_json``)
+  are byte-identical between ``engine="fast"`` and ``engine="event"``
+  across latency regimes, churn, crashes and policies -- while the
+  fast engine fires strictly fewer scheduler events when the dispatch
+  collapse is active;
+* sweep-level: the three ablation benches' grids (k-pool, crashes,
+  heavy-tail), scaled down, produce byte-identical ``SweepResult``
+  digests under both engines.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api.builder import Experiment, ExperimentBuilder
+from repro.api.session import Session
+from repro.api.spec import ExperimentSpec
+from repro.api.sweep import SweepSession, SweepSpec
+from repro.core.engine import (
+    ENGINE_MODES,
+    FastMediator,
+    FastNetwork,
+    make_mediator,
+    make_network,
+    resolve_engine,
+)
+from repro.core.mediator import Mediator
+from repro.core.policy import AllocationContext
+from repro.core.sbqa import SbQAConfig, SbQAPolicy
+from repro.des.network import FixedLatency, Network, UniformLatency, ZeroLatency
+from repro.des.rng import RandomStream
+from repro.des.scheduler import Simulator
+from repro.des.tracing import NULL_RECORDER, TraceRecorder
+from repro.experiments.config import ExperimentConfig, PolicySpec
+from repro.experiments.runner import run_once, wire_run
+from repro.system.consumer import Consumer
+from repro.system.provider import Provider
+from repro.system.query import Query
+from repro.system.registry import SystemRegistry
+
+BENCHMARKS_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+def load_bench_module(name):
+    """Import one bench script by file path (benchmarks/ is no package)."""
+    spec = importlib.util.spec_from_file_location(
+        f"bench_module_{name}", BENCHMARKS_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_digest(engine, **overrides):
+    """One short session run's JSON digest under the given engine."""
+    builder = (
+        Experiment.builder()
+        .named("engine-parity")
+        .seed(20090301)
+        .duration(overrides.pop("duration", 300.0))
+        .providers(overrides.pop("providers", 40))
+        .engine(engine)
+    )
+    latency = overrides.pop("latency", None)
+    if latency is not None:
+        builder.latency(*latency)
+    for policy in overrides.pop("policies", [("sbqa", {})]):
+        name, params = policy
+        builder.policy(name, **params)
+    if overrides.pop("autonomous", False):
+        builder.autonomous()
+    failures = overrides.pop("failures", None)
+    if failures is not None:
+        builder.failures(**failures)
+    assert not overrides, f"unused overrides: {overrides}"
+    return Session(builder.build()).run(keep_runs=False).to_json()
+
+
+class TestResolveEngine:
+    def test_modes(self):
+        assert set(ENGINE_MODES) == {"fast", "event"}
+        assert resolve_engine("FAST") == "fast"
+        assert resolve_engine("event") == "event"
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            resolve_engine("warp")
+
+    def test_factories(self):
+        sim = Simulator()
+        assert isinstance(make_network("fast", sim), FastNetwork)
+        assert type(make_network("event", sim)) is Network
+
+    def test_config_validates_engine(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            ExperimentConfig(engine="warp")
+        assert ExperimentConfig().engine == "fast"
+        assert ExperimentConfig(engine="EVENT").engine == "event"
+
+
+def build_micro_system(n_providers=60, seed=11, latency=None):
+    sim = Simulator()
+    network = Network(sim, latency or ZeroLatency())
+    registry = SystemRegistry()
+    stream = RandomStream(seed)
+    providers = [
+        Provider(
+            sim,
+            network,
+            participant_id=f"p{i:02d}",
+            capacity=stream.uniform(0.5, 2.0),
+            preferences={"c0": stream.uniform(-1.0, 1.0)},
+        )
+        for i in range(n_providers)
+    ]
+    for p in providers:
+        registry.add_provider(p)
+    consumer = Consumer(
+        sim,
+        network,
+        participant_id="c0",
+        preferences={p.participant_id: stream.uniform(-1.0, 1.0) for p in providers},
+    )
+    registry.add_consumer(consumer)
+    return sim, network, registry, consumer, providers
+
+
+class TestSelectFastParity:
+    @pytest.mark.parametrize("omega", ["adaptive", 0.0, 0.3, 1.0])
+    def test_decision_equals_select(self, omega):
+        """select_fast reproduces select bit-for-bit, field by field."""
+        sim, network, registry, consumer, providers = build_micro_system()
+        config = SbQAConfig(k=15, kn=7, omega=omega)
+        # Same stream seed => both policies draw the same stage-1 sample.
+        slow = SbQAPolicy(config, RandomStream(3))
+        fast = SbQAPolicy(config, RandomStream(3))
+        ctx = AllocationContext(now=0.0, trace=NULL_RECORDER)
+        for round_index in range(30):
+            query = Query(
+                consumer=consumer,
+                topic="c0",
+                service_demand=5.0,
+                n_results=2,
+                issued_at=0.0,
+            )
+            a = slow.select(query, providers, ctx)
+            b = fast.select_fast(query, providers, ctx)
+            assert [p.participant_id for p in a.allocated] == [
+                p.participant_id for p in b.allocated
+            ]
+            assert [p.participant_id for p in a.informed] == [
+                p.participant_id for p in b.informed
+            ]
+            assert a.scores == b.scores
+            assert a.omegas == b.omegas
+            assert a.consumer_intentions == b.consumer_intentions
+            assert a.provider_intentions == b.provider_intentions
+            assert a.consult_messages == b.consult_messages
+            assert a.metadata == b.metadata
+            # Keep the state evolving so later rounds differ: record the
+            # proposals of the *reference* decision on both sides' state.
+            for p in a.informed:
+                p.record_proposal(
+                    a.provider_intentions[p.participant_id],
+                    p in a.allocated,
+                )
+            consumer.record_query_satisfaction(0.5)
+
+    def test_select_fast_handles_single_candidate(self):
+        sim, network, registry, consumer, providers = build_micro_system(
+            n_providers=1
+        )
+        policy = SbQAPolicy(SbQAConfig(k=5, kn=2), RandomStream(1))
+        ctx = AllocationContext(now=0.0, trace=NULL_RECORDER)
+        query = Query(
+            consumer=consumer,
+            topic="c0",
+            service_demand=5.0,
+            n_results=3,
+            issued_at=0.0,
+        )
+        decision = policy.select_fast(query, providers, ctx)
+        assert len(decision.allocated) == 1
+        assert not decision.is_failure
+
+
+class TestRunDigestParity:
+    """Byte-identical ExperimentResult digests, fast vs event."""
+
+    def test_random_latency(self):
+        assert run_digest("fast") == run_digest("event")
+
+    def test_fixed_latency_collapse_path(self):
+        fixed = {"latency": (0.05, 0.05)}
+        assert run_digest("fast", **fixed) == run_digest("event", **fixed)
+
+    def test_zero_latency(self):
+        zero = {"latency": (0.0, 0.0)}
+        assert run_digest("fast", **zero) == run_digest("event", **zero)
+
+    def test_mixed_scenario(self):
+        mixed = {
+            "latency": (0.05, 0.05),
+            "autonomous": True,
+            "failures": {"mttf": 1500.0, "repair_time": 60.0, "result_timeout": 240.0},
+            "policies": [("sbqa", {}), ("capacity", {})],
+        }
+        assert run_digest("fast", **mixed) == run_digest("event", **mixed)
+
+    def test_fixed_omega_and_baselines(self):
+        spec = {
+            "policies": [
+                ("sbqa", {"omega": 0.3, "kn": 4}),
+                ("economic", {}),
+                ("round-robin", {}),
+            ],
+        }
+        assert run_digest("fast", **spec) == run_digest("event", **spec)
+
+    def test_collapse_fires_fewer_events(self):
+        """Under deterministic latency the fast engine collapses each
+        dispatch into one event; clock results stay identical."""
+        fired = {}
+        summaries = {}
+        for engine in ("fast", "event"):
+            config = ExperimentConfig(
+                name="events",
+                duration=200.0,
+                engine=engine,
+                latency_low=0.05,
+                latency_high=0.05,
+            )
+            live = wire_run(config, PolicySpec(name="sbqa"))
+            result = live.finalize()
+            fired[engine] = live.sim.events_fired
+            summaries[engine] = json.dumps(result.summary.as_dict(), sort_keys=True)
+        assert summaries["fast"] == summaries["event"]
+        assert fired["fast"] < fired["event"]
+
+    def test_deterministic_arrivals_fixed_latency_parity(self):
+        """Regression: deterministic arrival grids make same-timestamp
+        event ties systematic (arrival interval a multiple of the fixed
+        latency), so the collapsed dispatch must be inserted into the
+        heap at the same moments as the faithful chain -- tie-breaking
+        is insertion order.  An eagerly-scheduled collapse diverged
+        here at the 17th allocation."""
+        from repro.workloads.arrivals import DeterministicArrivals
+        from repro.workloads.queries import FixedDemand
+
+        def allocations(engine):
+            sim = Simulator()
+            network = (FastNetwork if engine == "fast" else Network)(
+                sim, FixedLatency(0.05)
+            )
+            registry = SystemRegistry()
+            stream = RandomStream(17)
+            providers = [
+                Provider(
+                    sim,
+                    network,
+                    participant_id=f"p{i:02d}",
+                    capacity=stream.uniform(0.5, 2.0),
+                    preferences={"c0": stream.uniform(-1.0, 1.0)},
+                )
+                for i in range(8)
+            ]
+            for p in providers:
+                registry.add_provider(p)
+            consumer = Consumer(
+                sim,
+                network,
+                participant_id="c0",
+                preferences={
+                    p.participant_id: stream.uniform(-1.0, 1.0)
+                    for p in providers
+                },
+            )
+            registry.add_consumer(consumer)
+            policy = SbQAPolicy(SbQAConfig(k=6, kn=3), RandomStream(5))
+            mediator = make_mediator(
+                engine, sim, network, registry, policy, keep_records=True
+            )
+            consumer.attach_mediator(mediator)
+            arrivals = DeterministicArrivals(
+                sim, consumer, FixedDemand(12.0), interval=0.15, horizon=30.0
+            )
+            arrivals.start()
+            sim.run()
+            return [tuple(r.allocated_ids) for r in mediator.records]
+
+        assert allocations("fast") == allocations("event")
+
+    def test_trace_runs_are_identical_and_traced(self):
+        """With tracing on, the fast engine falls back to the faithful
+        paths and records the same trace as the event engine."""
+        from repro.system.query import reset_query_counter
+
+        traces = {}
+        summaries = {}
+        for engine in ("fast", "event"):
+            reset_query_counter()  # qids appear in trace payloads
+            recorder = TraceRecorder(enabled=True)
+            config = ExperimentConfig(
+                name="traced", duration=60.0, engine=engine
+            )
+            result = run_once(config, PolicySpec(name="sbqa"), trace=recorder)
+            traces[engine] = [
+                (e.time, e.category, e.message) for e in recorder.events
+            ]
+            summaries[engine] = json.dumps(result.summary.as_dict(), sort_keys=True)
+        assert summaries["fast"] == summaries["event"]
+        assert traces["fast"] == traces["event"]
+        assert traces["fast"]  # something was actually recorded
+
+
+class TestLazyTracing:
+    """Satellite: no trace payload is built when nothing listens."""
+
+    class ExplodingRecorder(TraceRecorder):
+        """A disabled recorder whose record() must never be reached."""
+
+        def __init__(self):
+            super().__init__(enabled=False)
+
+        def record(self, *args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("record() called despite enabled=False")
+
+    @pytest.mark.parametrize("engine", ["fast", "event"])
+    def test_disabled_recorder_is_never_called(self, engine):
+        sim, network, registry, consumer, providers = build_micro_system()
+        if engine == "fast":
+            network = FastNetwork(sim, ZeroLatency())
+        policy = SbQAPolicy(SbQAConfig(k=10, kn=5), RandomStream(2))
+        mediator = make_mediator(
+            engine,
+            sim,
+            network,
+            registry,
+            policy,
+            trace=self.ExplodingRecorder(),
+        )
+        consumer.attach_mediator(mediator)
+        for _ in range(5):
+            query = Query(
+                consumer=consumer,
+                topic="c0",
+                service_demand=5.0,
+                n_results=1,
+                issued_at=sim.now,
+            )
+            record = mediator.mediate(query)
+            assert not record.is_failure
+        sim.run()
+
+    def test_failure_path_is_guarded_too(self):
+        sim = Simulator()
+        network = Network(sim)
+        registry = SystemRegistry()
+        consumer = Consumer(sim, network, participant_id="c0")
+        registry.add_consumer(consumer)
+        mediator = Mediator(
+            sim,
+            network,
+            registry,
+            SbQAPolicy(SbQAConfig(), RandomStream(1)),
+            trace=self.ExplodingRecorder(),
+        )
+        query = Query(
+            consumer=consumer,
+            topic="t",
+            service_demand=1.0,
+            n_results=1,
+            issued_at=0.0,
+        )
+        record = mediator.mediate(query)
+        assert record.is_failure
+
+
+class TestFastNetworkFallback:
+    def test_unknown_kind_uses_envelope_and_fails_loudly(self):
+        from repro.des.entity import RecordingEntity
+
+        sim = Simulator()
+        network = FastNetwork(sim, ZeroLatency())
+        a = RecordingEntity(sim, "a")
+        b = RecordingEntity(sim, "b")
+        network.send("custom-kind", a, b, payload={"x": 1})
+        sim.run()
+        assert b.payloads() == [{"x": 1}]
+        assert network.messages_sent == 1
+        assert network.messages_delivered == 1
+
+    def test_constant_delay_detection(self):
+        assert ZeroLatency().constant_delay() == 0.0
+        assert FixedLatency(0.25).constant_delay() == 0.25
+        assert UniformLatency(0.1, 0.1, RandomStream(1)).constant_delay() == 0.1
+        assert UniformLatency(0.1, 0.2, RandomStream(1)).constant_delay() is None
+
+    def test_fast_mediator_disables_collapse_for_random_latency(self):
+        sim = Simulator()
+        network = FastNetwork(sim, UniformLatency(0.1, 0.2, RandomStream(1)))
+        registry = SystemRegistry()
+        mediator = FastMediator(
+            sim, network, registry, SbQAPolicy(SbQAConfig(), RandomStream(1))
+        )
+        assert mediator._constant_one_way is None
+
+
+class TestAblationSweepParity:
+    """The three ablation grids, scaled down, digest-identical."""
+
+    DURATION = 120.0
+    PROVIDERS = 24
+
+    def _digests(self, sweep_spec):
+        digests = {}
+        for engine in ENGINE_MODES:
+            base = sweep_spec.base.to_dict()
+            base["engine"] = engine
+            spec = SweepSpec(
+                name=sweep_spec.name,
+                base=ExperimentSpec.from_dict(base),
+                axes=sweep_spec.axes,
+                keep_runs=sweep_spec.keep_runs,
+            )
+            digests[engine] = SweepSession(spec).run().to_json()
+        return digests
+
+    @pytest.mark.parametrize(
+        "bench", ["bench_ablation_k_pool", "bench_ablation_crashes",
+                  "bench_ablation_heavy_tail"]
+    )
+    def test_ablation_digest_parity(self, bench):
+        module = load_bench_module(bench)
+        sweep = module.build_sweep(self.DURATION, self.PROVIDERS)
+        digests = self._digests(sweep)
+        assert digests["fast"] == digests["event"]

@@ -1,0 +1,141 @@
+"""The incremental satisfaction windows against a naive reference.
+
+The trackers now maintain rolling window sums (O(1) reads -- the hot
+operation of the allocation engine).  These tests pin them to a naive
+recompute-from-the-window reference: bit-identical before the window
+ever wraps (appends accumulate in left-to-right order), and within a
+few ulps -- with periodic exact rebuilds bounding the drift -- over
+long post-wrap histories.
+"""
+
+import random
+
+import pytest
+
+from repro.core.satisfaction import (
+    ConsumerSatisfactionTracker,
+    ProviderSatisfactionTracker,
+    allocation_satisfaction,
+    intention_to_unit,
+)
+
+
+def naive_consumer(values):
+    return sum(values) / len(values) if values else None
+
+
+class TestConsumerIncremental:
+    def test_bit_identical_before_wrap(self):
+        rng = random.Random(1)
+        tracker = ConsumerSatisfactionTracker(memory=50)
+        values = []
+        for _ in range(50):
+            v = rng.random()
+            values.append(v)
+            tracker.record_query(v, adequation_value=rng.random())
+            assert tracker.satisfaction() == sum(values) / len(values)
+
+    def test_long_history_tracks_reference(self):
+        rng = random.Random(2)
+        memory = 37
+        tracker = ConsumerSatisfactionTracker(memory=memory)
+        values = []
+        adequations = []
+        for step in range(5000):
+            v, a = rng.random(), rng.random()
+            values.append(v)
+            adequations.append(a)
+            tracker.record_query(v, adequation_value=a)
+            if step % 97 == 0:
+                window_v = values[-memory:]
+                window_a = adequations[-memory:]
+                assert tracker.satisfaction() == pytest.approx(
+                    sum(window_v) / len(window_v), rel=1e-9
+                )
+                assert tracker.adequation() == pytest.approx(
+                    sum(window_a) / len(window_a), rel=1e-9
+                )
+                ratios = [
+                    allocation_satisfaction(s, q)
+                    for s, q in zip(window_v, window_a)
+                ]
+                assert tracker.allocation_satisfaction() == pytest.approx(
+                    sum(ratios) / len(ratios), rel=1e-9
+                )
+                assert 0.0 <= tracker.satisfaction() <= 1.0
+
+    def test_reset_clears_rolling_state(self):
+        tracker = ConsumerSatisfactionTracker(memory=3)
+        for _ in range(10):
+            tracker.record_query(0.9, adequation_value=0.7)
+        tracker.reset()
+        assert tracker.observations == 0
+        tracker.record_query(0.25)
+        assert tracker.satisfaction() == 0.25
+        assert tracker.adequation() == 1.0
+
+    def test_extreme_windows_stay_exact(self):
+        """All-zero and all-one windows never drift off the boundary."""
+        for constant in (0.0, 1.0):
+            tracker = ConsumerSatisfactionTracker(memory=5)
+            for _ in range(1000):
+                tracker.record_query(constant)
+            assert tracker.satisfaction() == constant
+
+
+class TestProviderIncremental:
+    def test_bit_identical_before_wrap(self):
+        rng = random.Random(3)
+        tracker = ProviderSatisfactionTracker(memory=60)
+        units = []
+        for _ in range(60):
+            intention = rng.uniform(-1.0, 1.0)
+            performed = rng.random() < 0.4
+            tracker.record_proposal(intention, performed)
+            if performed:
+                units.append(intention_to_unit(intention))
+            expected = sum(units) / len(units) if units else 0.0
+            assert tracker.satisfaction() == expected
+
+    def test_long_history_tracks_reference(self):
+        rng = random.Random(4)
+        memory = 23
+        tracker = ProviderSatisfactionTracker(memory=memory)
+        history = []
+        for step in range(5000):
+            intention = rng.uniform(-1.0, 1.0)
+            performed = rng.random() < 0.3
+            history.append((intention, performed))
+            tracker.record_proposal(intention, performed)
+            if step % 89 == 0:
+                window = history[-memory:]
+                units = [intention_to_unit(i) for i, p in window if p]
+                expected = sum(units) / len(units) if units else 0.0
+                assert tracker.satisfaction() == pytest.approx(
+                    expected, rel=1e-9, abs=1e-12
+                )
+                assert 0.0 <= tracker.satisfaction() <= 1.0
+                performed_count = sum(1 for _, p in window if p)
+                assert tracker.performed_fraction() == pytest.approx(
+                    performed_count / len(window)
+                )
+
+    def test_zero_exact_when_performed_entries_evict(self):
+        """The paper's '0 if SQ empty' rule is count-driven, not
+        float-driven: it stays exactly 0 after arbitrary churn."""
+        tracker = ProviderSatisfactionTracker(memory=3)
+        tracker.record_proposal(0.9, performed=True)
+        for _ in range(3):
+            tracker.record_proposal(0.1, performed=False)
+        assert tracker.satisfaction() == 0.0
+
+    def test_reset_clears_rolling_state(self):
+        tracker = ProviderSatisfactionTracker(memory=4)
+        for _ in range(12):
+            tracker.record_proposal(0.8, performed=True)
+        tracker.reset()
+        assert tracker.observations == 0
+        assert tracker.satisfaction() == 0.5  # neutral again
+        tracker.record_proposal(0.0, performed=True)
+        assert tracker.satisfaction() == 0.5  # unit of intention 0
+        assert tracker.performed_fraction() == 1.0

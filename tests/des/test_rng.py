@@ -194,3 +194,46 @@ class TestProperties:
     def test_lognormal_positive(self, mean, cv):
         stream = RandomStream(1)
         assert stream.lognormal(mean, cv) > 0.0
+
+
+class TestSampleReplica:
+    """RandomStream.sample inlines CPython's random.sample algorithm
+    (one fewer function frame per drawn index on the mediation hot
+    path); it must stay draw-for-draw identical to the stdlib."""
+
+    def test_matches_stdlib_across_sizes_and_seeds(self):
+        import random as stdlib_random
+
+        for seed in range(25):
+            # n crosses the pool/selection-set threshold (85 for k=20),
+            # k crosses the setsize branch at k=5.
+            for n in (0, 1, 2, 5, 8, 20, 21, 50, 84, 85, 86, 120, 300):
+                for k in (0, 1, 2, 5, 6, 10, 20, 40):
+                    if k > n:
+                        continue
+                    ours = RandomStream(seed).sample(list(range(n)), k)
+                    theirs = stdlib_random.Random(seed).sample(
+                        list(range(n)), k
+                    )
+                    assert ours == theirs, (seed, n, k)
+
+    def test_consumes_the_same_randomness(self):
+        """Draws after a sample must line up with the stdlib's state."""
+        import random as stdlib_random
+
+        ours = RandomStream(99)
+        theirs = stdlib_random.Random(99)
+        ours.sample(list(range(100)), 10)
+        theirs.sample(list(range(100)), 10)
+        assert ours.uniform(0, 1) == theirs.uniform(0, 1)
+
+    def test_clamps_oversized_k(self):
+        stream = RandomStream(1)
+        assert sorted(stream.sample([1, 2, 3], 10)) == [1, 2, 3]
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            RandomStream(1).sample([1, 2, 3], -1)
+
+    def test_accepts_tuples(self):
+        assert set(RandomStream(5).sample((1, 2, 3, 4), 2)) <= {1, 2, 3, 4}
