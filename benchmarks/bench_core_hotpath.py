@@ -45,6 +45,22 @@ def main(argv=None) -> int:
         help="fail when fast-vs-seed speedup is below this (default 2.0)",
     )
     parser.add_argument(
+        "--min-registry-speedup", type=float, default=None,
+        help="fail when the indexed-vs-scan capable_providers speedup at "
+        "the largest population point is below this",
+    )
+    parser.add_argument(
+        "--policy", action="append", default=None, metavar="NAME",
+        help="policy to include in the fast-vs-event matrix (repeatable; "
+        "default: the built-in matrix set)",
+    )
+    parser.add_argument(
+        "--scale-providers", action="append", type=int, default=None,
+        metavar="N",
+        help="population size for the scaling axis and the registry "
+        "lookup bench (repeatable; default 120/500/2000, smoke 120/600)",
+    )
+    parser.add_argument(
         "--skip-parity", action="store_true",
         help="skip the digest-parity runs (timing only)",
     )
@@ -57,6 +73,8 @@ def main(argv=None) -> int:
         mediations=args.mediations,
         repeats=args.repeats,
         check_parity=not args.skip_parity,
+        policies=args.policy,
+        scale_providers=args.scale_providers,
     )
     print(format_report(record))
     if args.json_out:
@@ -77,6 +95,18 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         failed = True
+    if args.min_registry_speedup is not None:
+        registry = record["registry"]
+        largest = max(registry, key=int)
+        registry_speedup = registry[largest]["speedup"]
+        if registry_speedup < args.min_registry_speedup:
+            print(
+                f"FAIL: indexed capable_providers speedup "
+                f"{registry_speedup:.2f}x at N={largest} is below the "
+                f"required {args.min_registry_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            failed = True
     return 1 if failed else 0
 
 

@@ -30,6 +30,7 @@ from repro.core.policy import (
     AllocationContext,
     AllocationDecision,
     AllocationPolicy,
+    FastAllocationDecision,
     allocation_count,
 )
 
@@ -119,6 +120,57 @@ class BoincSharesPolicy(AllocationPolicy):
             qid=query.qid,
         )
         return AllocationDecision(allocated=allocated)
+
+    def select_fast(
+        self,
+        query: "Query",
+        candidates: Sequence["Provider"],
+        ctx: AllocationContext,
+    ) -> FastAllocationDecision:
+        """Hot-path :meth:`select`: one inlined debt pass.
+
+        ``_share`` / :meth:`debt` run inline with identical arithmetic
+        (same normalisation quotient, same entitlement product), the
+        refusal / exhausted-budget filters short-circuit in the same
+        candidate order, and the ranking is a decorate-sort on the
+        same ``(-debt, participant_id)`` key -- bit-identical
+        decisions and ``_granted`` bookkeeping.
+        """
+        now = ctx.now
+        consumer_id = query.consumer_id
+        demand = query.service_demand
+        overdraft = self.overdraft
+        granted = self._granted
+        rows = []
+        append = rows.append
+        for p in candidates:
+            shares = p.resource_shares
+            if not shares:
+                continue  # zero share: the provider refuses this project
+            total = sum(shares.values())
+            if total <= 0:
+                continue
+            share = shares.get(consumer_id, 0.0) / total
+            if share <= 0.0:
+                continue
+            capacity = p.capacity
+            debt = share * max(0.0, now - p.joined_at) * capacity - granted.get(
+                (p.participant_id, consumer_id), 0.0
+            )
+            if debt + overdraft * capacity < demand:
+                continue  # entitlement exhausted: rigid cap bites even if idle
+            append((-debt, p.participant_id, p))
+
+        if not rows:
+            return FastAllocationDecision(allocated=[])
+
+        rows.sort()
+        take = allocation_count(query, len(rows))
+        allocated = [row[2] for row in rows[:take]]
+        for provider in allocated:
+            key = (provider.participant_id, consumer_id)
+            granted[key] = granted.get(key, 0.0) + demand
+        return FastAllocationDecision(allocated=allocated)
 
     def describe(self) -> dict:
         return {"name": self.name, "overdraft": self.overdraft}

@@ -29,6 +29,7 @@ from repro.core.policy import (
     AllocationContext,
     AllocationDecision,
     AllocationPolicy,
+    FastAllocationDecision,
     allocation_count,
 )
 
@@ -93,6 +94,45 @@ class EconomicPolicy(AllocationPolicy):
             # mediation and learns the outcome
             informed=list(candidates),
             # one call-for-bids + one bid per candidate
+            consult_messages=2 * len(candidates),
+            metadata={"bids": bids},
+        )
+
+    def select_fast(
+        self,
+        query: "Query",
+        candidates: Sequence["Provider"],
+        ctx: AllocationContext,
+    ) -> FastAllocationDecision:
+        """Hot-path :meth:`select`: one inlined bidding pass.
+
+        ``bid()``'s property chain (``estimated_completion_delay`` ->
+        ``backlog_seconds`` + ``service_time``) runs inline with the
+        identical expressions, the demand guard is hoisted out of the
+        per-candidate loop, and the ranking is a decorate-sort on the
+        same ``(bid, participant_id)`` key -- so bids, ranking and the
+        decision metadata are bit-identical to the event path.
+        """
+        now = ctx.now
+        demand = query.service_demand
+        if demand <= 0:  # service_time()'s guard, hoisted
+            raise ValueError(f"demand must be positive, got {demand}")
+        selfishness = self.selfishness
+        bids = {}
+        rows = []
+        append = rows.append
+        for p in candidates:
+            delay = max(0.0, p._busy_until - now) + demand / p.capacity
+            markup = 1.0 + selfishness * (1.0 - p.preference_for(query)) / 2.0
+            bid = delay * markup
+            pid = p.participant_id
+            bids[pid] = bid
+            append((bid, pid, p))
+        rows.sort()
+        take = allocation_count(query, len(rows))
+        return FastAllocationDecision(
+            allocated=[row[2] for row in rows[:take]],
+            informed=list(candidates),
             consult_messages=2 * len(candidates),
             metadata={"bids": bids},
         )

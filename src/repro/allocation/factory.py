@@ -4,6 +4,10 @@ Experiment configs name policies by string (plus optional parameters)
 so scenario definitions stay declarative data; this module maps those
 names to constructors.  SbQA parameters ride in an
 :class:`~repro.core.sbqa.SbQAConfig`.
+
+Every policy built here works under both engines: each implements the
+hot-path ``select_fast`` hook bit-identically to its ``select``, so
+``engine="fast"`` needs no per-policy special-casing.
 """
 
 from __future__ import annotations

@@ -3,16 +3,24 @@
 These are not in the paper's scenario list; they anchor the ablation
 benches (a technique must at least beat random to matter) and give the
 test suite simple, fully predictable policies to assert against.
+
+Each baseline also implements the hot-path ``select_fast`` hook (see
+:class:`~repro.core.policy.AllocationPolicy`): the same decision,
+bit-for-bit, produced with decorate-sorts over inlined load reads and
+slot-based :class:`~repro.core.policy.FastAllocationDecision` objects,
+so ``engine="fast"`` covers these policies without falling back to the
+event-faithful ``select``.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.policy import (
     AllocationContext,
     AllocationDecision,
     AllocationPolicy,
+    FastAllocationDecision,
     allocation_count,
 )
 from repro.des.rng import RandomStream
@@ -20,6 +28,11 @@ from repro.des.rng import RandomStream
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.system.provider import Provider
     from repro.system.query import Query
+
+
+def _pid(provider: "Provider") -> str:
+    """Sort key of the deterministic id orderings below."""
+    return provider.participant_id
 
 
 class RandomPolicy(AllocationPolicy):
@@ -41,6 +54,19 @@ class RandomPolicy(AllocationPolicy):
         allocated = self._stream.sample(list(candidates), take)
         return AllocationDecision(allocated=allocated)
 
+    def select_fast(
+        self,
+        query: "Query",
+        candidates: Sequence["Provider"],
+        ctx: AllocationContext,
+    ) -> FastAllocationDecision:
+        # sample() consumes the same getrandbits sequence for any
+        # equal-length population, so drawing from the snapshot tuple
+        # directly skips the defensive list copy of select().
+        take = allocation_count(query, len(candidates))
+        allocated = self._stream.sample(candidates, take)
+        return FastAllocationDecision(allocated=allocated)
+
 
 class RoundRobinPolicy(AllocationPolicy):
     """Cycle through providers in a fixed id order.
@@ -54,6 +80,11 @@ class RoundRobinPolicy(AllocationPolicy):
 
     def __init__(self) -> None:
         self._cursor: int = 0
+        # Hot-path cache: the id-sorted ordering of the last candidate
+        # snapshot, keyed on the snapshot's identity (the registry
+        # reuses one tuple between membership/online transitions, so
+        # the sort runs once per transition epoch, not per query).
+        self._ordered_cache: tuple = (None, [])
 
     def select(
         self,
@@ -68,6 +99,23 @@ class RoundRobinPolicy(AllocationPolicy):
         ]
         self._cursor = (self._cursor + take) % len(ordered)
         return AllocationDecision(allocated=allocated)
+
+    def select_fast(
+        self,
+        query: "Query",
+        candidates: Sequence["Provider"],
+        ctx: AllocationContext,
+    ) -> FastAllocationDecision:
+        snapshot, ordered = self._ordered_cache
+        if snapshot is not candidates:
+            ordered = sorted(candidates, key=_pid)
+            self._ordered_cache = (candidates, ordered)
+        n = len(ordered)
+        cursor = self._cursor
+        take = allocation_count(query, n)
+        allocated = [ordered[(cursor + offset) % n] for offset in range(take)]
+        self._cursor = (cursor + take) % n
+        return FastAllocationDecision(allocated=allocated)
 
 
 class ShortestQueuePolicy(AllocationPolicy):
@@ -92,3 +140,21 @@ class ShortestQueuePolicy(AllocationPolicy):
         )
         take = allocation_count(query, len(ranked))
         return AllocationDecision(allocated=ranked[:take])
+
+    def select_fast(
+        self,
+        query: "Query",
+        candidates: Sequence["Provider"],
+        ctx: AllocationContext,
+    ) -> FastAllocationDecision:
+        # Decorated rows inline backlog_seconds' arithmetic (same
+        # max(0, busy_until - now), so the same floats); participant
+        # ids are unique, so the provider in slot 2 never compares.
+        now = ctx.now
+        rows = [
+            (max(0.0, p._busy_until - now), p.participant_id, p)
+            for p in candidates
+        ]
+        rows.sort()
+        take = allocation_count(query, len(rows))
+        return FastAllocationDecision(allocated=[row[2] for row in rows[:take]])

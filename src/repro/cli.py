@@ -276,6 +276,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail (exit 1) when the fast engine's mediation throughput "
         "is below this multiple of the seed baseline (default 2.0)",
     )
+    bench.add_argument(
+        "--policy", action="append", default=None, metavar="NAME",
+        help="policy to include in the fast-vs-event matrix (repeatable; "
+        "default: the built-in matrix set)",
+    )
+    bench.add_argument(
+        "--scale-providers", action="append", type=int, default=None,
+        metavar="N",
+        help="population size for the scaling axis and the registry "
+        "lookup bench (repeatable; default 120/500/2000, smoke 120/600)",
+    )
     return parser
 
 
@@ -808,6 +819,8 @@ def _run_bench(args: argparse.Namespace) -> int:
         smoke=args.smoke,
         mediations=args.mediations,
         repeats=args.repeats,
+        policies=args.policy,
+        scale_providers=args.scale_providers,
     )
     print(format_report(record))
     if args.json_out:

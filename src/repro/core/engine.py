@@ -13,14 +13,20 @@ the event-faithful core while cutting the per-mediation constant:
   same scheduling instants, same event ordering -- only the per-send
   allocations disappear.  Unknown kinds fall back to the envelope path.
 * :class:`FastMediator` asks policies for their batched
-  ``select_fast`` decision when one exists and tracing is off, computes
-  the consultation delay analytically when the latency model is
-  deterministic (every round-trip is ``2c``, so the max over pairs is
-  too), and -- when the one-way delay is a positive constant --
-  collapses the ``len(allocated) + 1`` post-consultation delivery
-  events of one allocation (which all share a clock instant) into a
-  **single** scheduler event, scheduled at the same moments as the
-  faithful chain so tie-breaking order is preserved.
+  ``select_fast`` decision whenever tracing is off (*every* policy has
+  one -- the base class delegates to ``select``, and SbQA plus all six
+  baselines override it), reads ``P_q`` from the registry's cached
+  capability snapshot, computes the consultation delay analytically
+  when the latency model is deterministic (every round-trip is ``2c``,
+  so the max over pairs is too), and -- when the one-way delay is a
+  positive constant -- collapses the ``len(allocated) + 1``
+  post-consultation delivery events of one allocation (which all share
+  a clock instant) into a **single** scheduler event, scheduled at the
+  same moments as the faithful chain so tie-breaking order is
+  preserved.  The result path is batched the same way: each allocated
+  provider's completion-closure + result-delivery event pair becomes a
+  member of a per-finish-instant :class:`_ResultDrain`, so replicated
+  queries on same-speed providers drain in two events total.
 
 What is allowed to differ between the engines is the *number of
 scheduler events and Python objects*; what must not differ is clock
@@ -42,7 +48,7 @@ from repro.core.mediator import Mediator
 from repro.core.policy import AllocationContext
 from repro.des.network import Network
 from repro.des.tracing import NULL_RECORDER
-from repro.system.query import AllocationRecord, QueryStatus
+from repro.system.query import AllocationRecord, QueryResult, QueryStatus
 
 #: Engine mode names accepted by :func:`resolve_engine`.
 ENGINE_MODES = ("fast", "event")
@@ -100,8 +106,104 @@ class FastNetwork(Network):
         if delay < 0:
             raise ValueError(f"latency model produced negative delay {delay}")
         self.messages_sent += 1
-        self.sim.schedule_in(delay, _FastDelivery(self, handler, payload))
+        self.sim.post_in(delay, _FastDelivery(self, handler, payload))
         return None
+
+
+class _DrainMember:
+    """One provider's slot in a batched result drain.
+
+    Stored in the provider's ``_pending`` map where the faithful path
+    stores the completion :class:`~repro.des.events.EventHandle`, so
+    ``Provider.crash`` cancels exactly this provider's completion (and
+    therefore its result) without touching the rest of the batch.
+    """
+
+    __slots__ = ("provider", "start", "finish", "service", "cancelled")
+
+    def __init__(self, provider, start: float, finish: float, service: float) -> None:
+        self.provider = provider
+        self.start = start
+        self.finish = finish
+        self.service = service
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class _ResultDrain:
+    """One batched completion->delivery chain for same-instant results.
+
+    The faithful result path costs two scheduler events *per allocated
+    provider*: a completion closure at the provider's finish instant,
+    which sends a ``result`` message whose delivery fires one one-way
+    delay later.  Under a deterministic latency model, every member of
+    one allocation that shares a finish instant shares the delivery
+    instant too, so the whole group collapses into one two-hop drain:
+
+    * **hop 1** fires at the shared finish instant and performs each
+      member's completion bookkeeping (``Provider.finish_execution``)
+      in allocated order -- the exact order the faithful consecutive
+      completion events would fire in, since they are inserted
+      back-to-back by the dispatch event and scheduler ties break on
+      insertion order;
+    * it then re-inserts *itself* for **hop 2** one one-way delay
+      later -- the same insertion moment as the faithful ``result``
+      deliveries, preserving tie order against third-party events --
+      which builds each :class:`QueryResult` and hands it to the
+      consumer, again in allocated order.
+
+    Members cancelled before hop 1 (a provider crash cancels its
+    ``_pending`` entry, which is the member) are skipped exactly like
+    the faithful cancelled completion events; once hop 1 ran, the
+    results are in flight and a later crash cannot recall them -- also
+    the faithful behaviour.  Counters advance as in the faithful
+    chain: ``messages_sent`` per member at completion time,
+    ``messages_delivered`` per member at delivery time.
+    """
+
+    __slots__ = ("network", "record", "consumer", "delay", "members", "_delivering")
+
+    def __init__(
+        self, network: Network, record: AllocationRecord, consumer, delay: float
+    ) -> None:
+        self.network = network
+        self.record = record
+        self.consumer = consumer
+        self.delay = delay
+        self.members = []
+        self._delivering = False
+
+    def __call__(self) -> None:
+        network = self.network
+        if not self._delivering:
+            # hop 1: the shared completion instant
+            members = [m for m in self.members if not m.cancelled]
+            if not members:
+                return  # every member crashed away: nothing to deliver
+            self.members = members
+            record = self.record
+            for member in members:
+                member.provider.finish_execution(record, member.service)
+            network.messages_sent += len(members)
+            self._delivering = True
+            network.sim.post_in(self.delay, self)
+            return
+        # hop 2: the shared delivery instant
+        members = self.members
+        network.messages_delivered += len(members)
+        record = self.record
+        query = record.query
+        consumer = self.consumer
+        for member in members:
+            result = QueryResult(
+                query=query,
+                provider_id=member.provider.participant_id,
+                started_at=member.start,
+                finished_at=member.finish,
+            )
+            consumer._on_result(record, result)
 
 
 class _CollapsedDispatch:
@@ -123,6 +225,14 @@ class _CollapsedDispatch:
     measure-zero float coincidence).  Counters advance exactly as in
     the faithful chain: ``messages_sent`` at dispatch time,
     ``messages_delivered`` at delivery time.
+
+    The delivery hop also *starts the batched result drain*: instead of
+    ``Provider.execute`` scheduling one completion closure per
+    provider, members are enqueued via ``Provider.begin_execution``
+    and grouped by finish instant into :class:`_ResultDrain` chains --
+    one drain scheduled at each group's first-member position, which
+    is exactly where the faithful chain inserts that group's first
+    completion event.
     """
 
     __slots__ = ("network", "record", "consumer", "delay")
@@ -139,25 +249,44 @@ class _CollapsedDispatch:
         """Consultation finished: send the batch (one scheduler event)."""
         network = self.network
         network.messages_sent += len(self.record.allocated) + 1
-        network.sim.schedule_in(self.delay, self)
+        network.sim.post_in(self.delay, self)
 
     def __call__(self) -> None:
         record = self.record
         network = self.network
+        sim = network.sim
+        now = sim.now
         network.messages_delivered += len(record.allocated) + 1
+        delay = self.delay
+        qid = record.query.qid
+        drains = {}
         for provider in record.allocated:
-            provider.execute(record)
+            start, finish, service = provider.begin_execution(record)
+            drain = drains.get(finish)
+            if drain is None:
+                drain = _ResultDrain(network, record, self.consumer, delay)
+                drains[finish] = drain
+                sim.post_in(finish - now, drain)
+            member = _DrainMember(provider, start, finish, service)
+            drain.members.append(member)
+            provider._pending[qid] = member
         self.consumer._on_allocation(record)
 
 
 class FastMediator(Mediator):
     """The hot-path mediator: same pipeline, batched and collapsed.
 
-    Three deviations from the base class, none of them observable in
+    Four deviations from the base class, none of them observable in
     the results:
 
-    * when the policy offers ``select_fast`` (SbQA's batched scoring
-      path) and tracing is off, decisions come from it;
+    * decisions come from the policy's ``select_fast`` whenever
+      tracing is off -- *every* policy has one (the base class
+      delegates to ``select``; SbQA and all six baselines override it
+      with batched, slot-based implementations), so there is no
+      SbQA-only fallback branch anymore;
+    * ``P_q`` is the registry's cached
+      :meth:`~repro.system.registry.SystemRegistry.capable_snapshot`
+      tuple -- no per-mediation list build;
     * when the latency model reports a :meth:`constant one-way delay
       <repro.des.network.LatencyModel.constant_delay>`, the
       consultation delay is ``2c`` analytically instead of a max over
@@ -165,7 +294,10 @@ class FastMediator(Mediator):
     * when that constant is positive and tracing is off, the
       ``len(allocated) + 1`` same-instant deliveries of an allocation
       are one :class:`_CollapsedDispatch` event (two events per
-      dispatch instead of ``len(allocated) + 2``).  (At ``c == 0``
+      dispatch instead of ``len(allocated) + 2``), and the result
+      path is batched too: completions are grouped by finish instant
+      into :class:`_ResultDrain` chains instead of one
+      completion-closure + delivery pair per provider.  (At ``c == 0``
       every event of a mediation shares one clock instant, where
       relative event order *is* semantics, so the faithful
       per-delivery structure is kept -- :class:`FastNetwork` still
@@ -180,30 +312,28 @@ class FastMediator(Mediator):
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self._constant_one_way = self.network.latency.constant_delay()
-        self._fast_select = getattr(self.policy, "select_fast", None)
+        self._fast_select = self.policy.select_fast
         # One reusable context for the hot loop (consumed synchronously
         # by exactly one select per mediation; only .now changes).
         self._ctx = AllocationContext(now=0.0, trace=NULL_RECORDER)
 
     def mediate(self, query) -> AllocationRecord:
-        fast_select = self._fast_select
-        if fast_select is None or self.trace.enabled:
+        if self.trace.enabled:
             return super().mediate(query)
         self.mediations += 1
-        candidates = self.registry.capable_providers(query)
+        candidates = self.registry.capable_snapshot(query.topic)
         if not candidates:
             return self._fail(query)
         ctx = self._ctx
         ctx.now = self.now
-        decision = fast_select(query, candidates, ctx)
+        decision = self._fast_select(query, candidates, ctx)
         if not decision.allocated:
             return self._fail(query)
         return self._commit(query, candidates, decision)
 
     # No _select override: the hot mediate() above routes to select_fast
-    # itself, and every super().mediate() fallback (tracing on, or a
-    # policy without select_fast) wants the faithful policy.select that
-    # the base hook already provides.
+    # itself, and the super().mediate() fallback (tracing on) wants the
+    # faithful policy.select that the base hook already provides.
 
     def _commit(self, query, candidates, decision) -> AllocationRecord:
         if self.trace.enabled:
@@ -308,7 +438,7 @@ class FastMediator(Mediator):
         # that instant + c); only the per-provider delivery events and
         # Message envelopes are collapsed away.
         collapsed = _CollapsedDispatch(self.network, record, consumer, c)
-        self.sim.schedule_in(consult_delay, collapsed.dispatch)
+        self.sim.post_in(consult_delay, collapsed.dispatch)
 
 
 def make_network(engine: str, sim, latency=None) -> Network:

@@ -84,11 +84,15 @@ class KnBestSelector:
     def select(self, candidates: Sequence[P]) -> KnBestSelection:
         """Run both stages over the capable set ``P_q``.
 
-        When fewer than ``k`` candidates exist the whole set is sampled
-        (the strategy degrades gracefully as providers depart); the
-        working set is then the ``min(kn, |K|)`` least utilized.
-        Utilization ties break on ``participant_id`` so that a seeded
-        run is bit-for-bit reproducible.
+        ``candidates`` may be any sequence -- in particular the
+        registry's reusable ``capable_snapshot`` tuple, which stage 1
+        samples without a defensive copy (the stream's inlined sampler
+        indexes lists and tuples in place).  When fewer than ``k``
+        candidates exist the whole set is sampled (the strategy
+        degrades gracefully as providers depart); the working set is
+        then the ``min(kn, |K|)`` least utilized.  Utilization ties
+        break on ``participant_id`` so that a seeded run is bit-for-bit
+        reproducible.
         """
         sampled: List[P] = self._stream.sample(candidates, self.k)
         by_load = sorted(sampled, key=lambda p: (p.utilization, p.participant_id))

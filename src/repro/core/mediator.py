@@ -116,7 +116,10 @@ class Mediator(Entity):
     def mediate(self, query: Query) -> AllocationRecord:
         """Run the full pipeline for one query; returns its record."""
         self.mediations += 1
-        candidates = self.registry.capable_providers(query)
+        # The registry's cached P_q snapshot (shared with the fast
+        # engine): O(|P_q|) on rebuild, one dict probe between
+        # membership/online transitions.  Read-only downstream.
+        candidates = self.registry.capable_snapshot(query.topic)
         # Tracing is lazy: the f-string payloads are only built when a
         # recorder is actually listening, so the common (untraced) case
         # costs one attribute check per stage.

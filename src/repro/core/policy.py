@@ -87,22 +87,33 @@ class FastAllocationDecision:
     def __init__(
         self,
         allocated,
-        informed,
-        consumer_intentions,
-        provider_intentions,
-        scores,
-        omegas,
-        consult_messages,
-        metadata,
+        informed=None,
+        consumer_intentions=None,
+        provider_intentions=None,
+        scores=None,
+        omegas=None,
+        consult_messages=0,
+        metadata=None,
     ) -> None:
+        # informed defaults to the allocated list *itself* (not a copy,
+        # unlike AllocationDecision.__post_init__): a fast decision is
+        # consumed exactly once and the record stores both fields
+        # read-only, so the alias is safe -- but code that mutates
+        # record.allocated in place would corrupt record.informed too;
+        # copy before mutating.  Every mapping default is a *fresh*
+        # dict (the fast mediator adopts and completes these in place).
         self.allocated = allocated
-        self.informed = informed
-        self.consumer_intentions = consumer_intentions
-        self.provider_intentions = provider_intentions
-        self.scores = scores
-        self.omegas = omegas
+        self.informed = allocated if informed is None else informed
+        self.consumer_intentions = (
+            {} if consumer_intentions is None else consumer_intentions
+        )
+        self.provider_intentions = (
+            {} if provider_intentions is None else provider_intentions
+        )
+        self.scores = {} if scores is None else scores
+        self.omegas = {} if omegas is None else omegas
         self.consult_messages = consult_messages
-        self.metadata = metadata
+        self.metadata = {} if metadata is None else metadata
 
     @property
     def is_failure(self) -> bool:
@@ -134,6 +145,32 @@ class AllocationPolicy:
         mediator handles the empty case before calling the policy.
         """
         raise NotImplementedError
+
+    def select_fast(
+        self,
+        query: "Query",
+        candidates: Sequence["Provider"],
+        ctx: AllocationContext,
+    ) -> "AllocationDecision":
+        """Hot-path :meth:`select`: same decision, fewer allocations.
+
+        The fast engine (:mod:`repro.core.engine`) calls this instead
+        of :meth:`select` whenever tracing is off, so *every* policy is
+        covered by ``engine="fast"``.  The contract is strict
+        bit-parity: every float and every ordering must match what
+        :meth:`select` produces from the same state.  Two additional
+        hot-path assumptions the built-in overrides exploit:
+
+        * ``candidates`` is an immutable snapshot (the registry's
+          reusable :meth:`~repro.system.registry.SystemRegistry.
+          capable_snapshot` tuple), so derived data may be cached on
+          its identity;
+        * ``ctx.now`` equals the simulation clock of every candidate.
+
+        The default delegates to :meth:`select`, so third-party
+        policies are correct (if not faster) out of the box.
+        """
+        return self.select(query, candidates, ctx)
 
     def describe(self) -> Dict[str, object]:
         """Human-readable parameterisation (reports, EXPERIMENTS.md)."""

@@ -82,7 +82,10 @@ class RandomStream:
         """
         if k < 0:
             raise ValueError(f"sample size must be non-negative, got {k}")
-        population = items if isinstance(items, list) else list(items)
+        # Lists and tuples are indexed in place (the registry's capable
+        # snapshots are tuples; copying them per mediation would undo
+        # the snapshot win); anything else is materialised once.
+        population = items if isinstance(items, (list, tuple)) else list(items)
         n = len(population)
         if k > n:
             k = n

@@ -1,20 +1,37 @@
 """The core hot-path bench: mediation throughput and engine parity.
 
-Two measurements back the perf trajectory started by the allocation
-engine (:mod:`repro.core.engine`):
+Measurements backing the perf trajectory started by the allocation
+engine (:mod:`repro.core.engine`) and extended by the indexed registry
+and the universal policy fast paths:
 
 * **Mediation throughput** -- how many ``Mediator.mediate`` calls per
   second a mediation-bound system sustains, for three configurations:
 
   - ``fast``: :class:`~repro.core.engine.FastMediator` +
     :class:`~repro.core.engine.FastNetwork` (batched scoring, analytic
-    consultation delay, collapsed dispatch);
+    consultation delay, collapsed dispatch, batched result drain);
   - ``event``: the event-faithful reference core as it stands today
-    (already carrying the shared O(1) satisfaction windows);
+    (already carrying the shared O(1) satisfaction windows and the
+    registry capability snapshots);
   - ``seed_baseline``: the event core with the *pre-engine* hot path
     reconstructed -- per-read ``mean(deque)`` satisfaction
-    recomputation and eagerly formatted trace payloads -- i.e. what
+    recomputation, eagerly formatted trace payloads, and a per-query
+    ``can_serve`` scan over every registered provider -- i.e. what
     every mediation cost before this engine landed.
+
+* **Policy dimension** -- the same fast-vs-event split for every
+  allocation technique: since every policy implements ``select_fast``,
+  ``engine="fast"`` covers the economic / capacity / simple baselines
+  on the hot path, and this matrix tracks what that is worth.
+
+* **N-providers scaling axis** -- fast-engine throughput as the
+  population grows (120 -> 2000): with the indexed registry the
+  per-mediation cost should scale with ``|Kn|``, not ``N``.
+
+* **Registry lookup** -- ``capable_providers`` under topic-restricted
+  capabilities: the incremental per-topic index + snapshot cache
+  versus the pre-index linear scan, with background churn forcing
+  periodic snapshot rebuilds.
 
 * **Digest parity** -- byte-identical ``ExperimentResult`` JSON
   digests between the fast and event engines on a mixed scenario
@@ -32,8 +49,9 @@ from __future__ import annotations
 import json
 import platform
 import time
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional, Sequence
 
+from repro.allocation.factory import make_policy
 from repro.core.engine import FastMediator, FastNetwork
 from repro.core.intentions import PreferenceUtilizationIntentions
 from repro.core.mediator import Mediator
@@ -54,10 +72,21 @@ from repro.system.query import Query
 from repro.system.registry import SystemRegistry
 
 #: Layout tag written into the bench record / BENCH_core.json.
-BENCH_VERSION = 1
+#: Version 2 added the policy matrix, the N-providers scaling axis and
+#: the registry-lookup section.
+BENCH_VERSION = 2
 
 #: Engines measured by the throughput kernel, in reporting order.
 CONFIGURATIONS = ("fast", "event", "seed_baseline")
+
+#: Policies measured by the policy matrix, in reporting order.
+#: (boinc-shares is benchable too -- the builder grants every provider
+#: a share for the bench consumer -- but is omitted from the default
+#: matrix to keep full-bench wall time in check.)
+MATRIX_POLICIES = ("sbqa", "economic", "capacity", "shortest-queue", "random")
+
+#: Default population sizes of the scaling axis.
+SCALING_PROVIDERS = (120, 500, 2000)
 
 
 # ----------------------------------------------------------------------
@@ -103,12 +132,18 @@ class SeedRegistry(SystemRegistry):
     probe) per registered provider per query, even when no provider
     declares topic restrictions."""
 
-    def capable_providers(self, query):
+    def capable_snapshot(self, topic):
+        # The seed baseline predates indexes and snapshots entirely:
+        # one can_serve call (and dict probe) per registered provider
+        # per lookup, plus the list build.
         return [
             p
             for p in self._providers.values()
-            if p.online and self.can_serve(p, query.topic)
+            if p.online and self.can_serve(p, topic)
         ]
+
+    def capable_providers(self, query):
+        return self.capable_snapshot(query.topic)
 
 
 class SeedProvider(Provider):
@@ -139,18 +174,22 @@ class SeedRandomStream(RandomStream):
 
 def build_mediation_system(
     configuration: str,
+    policy: str = "sbqa",
     n_providers: int = 120,
     k: int = 20,
     kn: int = 10,
     memory: int = 100,
     seed: int = 13,
 ):
-    """One consumer, ``n_providers`` volunteers, an SbQA mediator.
+    """One consumer, ``n_providers`` volunteers, a mediator.
 
     Mirrors the population builder's sharing discipline (one intention
     model instance across providers) and the paper-scale defaults
     (``k=20, kn=10``, 100-interaction windows).  ``configuration``
-    selects the engine per :data:`CONFIGURATIONS`.
+    selects the engine per :data:`CONFIGURATIONS`; ``policy`` selects
+    the allocation technique (every provider carries a resource share
+    for the bench consumer so the boinc-shares baseline is benchable
+    too).  The seed-baseline reconstruction exists for SbQA only.
     """
     if configuration not in CONFIGURATIONS:
         raise ValueError(
@@ -159,6 +198,8 @@ def build_mediation_system(
         )
     fast = configuration == "fast"
     seed_baseline = configuration == "seed_baseline"
+    if seed_baseline and policy != "sbqa":
+        raise ValueError("the seed-baseline reconstruction is SbQA-only")
 
     sim = Simulator()
     latency = FixedLatency(0.05)
@@ -177,6 +218,7 @@ def build_mediation_system(
             preferences={"c0": stream.uniform(-1.0, 1.0)},
             intention_model=shared_model,
             memory=memory,
+            resource_shares={"c0": 1.0},
         )
         for i in range(n_providers)
     ]
@@ -195,16 +237,21 @@ def build_mediation_system(
         consumer.tracker = SeedConsumerTracker(memory=memory)
     registry.add_consumer(consumer)
 
-    knbest_stream = root.stream("hotpath/knbest")
-    if seed_baseline:
-        knbest_stream = SeedRandomStream(knbest_stream.seed, name=knbest_stream.name)
-    policy = SbQAPolicy(SbQAConfig(k=k, kn=kn), knbest_stream)
+    if policy == "sbqa":
+        knbest_stream = root.stream("hotpath/knbest")
+        if seed_baseline:
+            knbest_stream = SeedRandomStream(
+                knbest_stream.seed, name=knbest_stream.name
+            )
+        policy_obj = SbQAPolicy(SbQAConfig(k=k, kn=kn), knbest_stream)
+    else:
+        policy_obj = make_policy(policy, root, sbqa=SbQAConfig(k=k, kn=kn))
     mediator_cls = FastMediator if fast else Mediator
     mediator = mediator_cls(
         sim,
         network,
         registry,
-        policy,
+        policy_obj,
         keep_records=False,
         trace=SeedTraceCost() if seed_baseline else NULL_RECORDER,
     )
@@ -291,6 +338,151 @@ def measure_throughput(
     return best
 
 
+def measure_policy_matrix(
+    policies: Sequence[str] = MATRIX_POLICIES,
+    mediations: int = 2000,
+    repeats: int = 2,
+    n_providers: int = 120,
+) -> Dict[str, Dict[str, object]]:
+    """Fast-vs-event throughput for every allocation technique.
+
+    Every policy has a ``select_fast``, so the fast engine covers the
+    whole matrix; this measures what that is worth per technique.
+    """
+    matrix: Dict[str, Dict[str, object]] = {}
+    for policy in policies:
+        rows = measure_throughput(
+            configurations=("fast", "event"),
+            mediations=mediations,
+            repeats=repeats,
+            policy=policy,
+            n_providers=n_providers,
+        )
+        matrix[policy] = {
+            "fast": rows["fast"],
+            "event": rows["event"],
+            "fast_vs_event": rows["fast"]["mediate_per_s"]
+            / rows["event"]["mediate_per_s"],
+        }
+    return matrix
+
+
+def measure_scaling(
+    provider_counts: Sequence[int] = SCALING_PROVIDERS,
+    mediations: int = 2000,
+    repeats: int = 2,
+    policy: str = "sbqa",
+) -> Dict[str, Dict[str, object]]:
+    """Fast/event throughput along the population-size axis.
+
+    With the indexed registry the per-mediation cost is bound by the
+    working set (``|Kn|``), not the population, so throughput should
+    stay roughly flat from 120 to 2000 providers.
+    """
+    scaling: Dict[str, Dict[str, object]] = {}
+    for n in provider_counts:
+        rows = measure_throughput(
+            configurations=("fast", "event"),
+            mediations=mediations,
+            repeats=repeats,
+            policy=policy,
+            n_providers=n,
+        )
+        scaling[str(n)] = {"fast": rows["fast"], "event": rows["event"]}
+    return scaling
+
+
+# ----------------------------------------------------------------------
+# Registry-lookup measurement (indexed vs pre-index scan)
+# ----------------------------------------------------------------------
+
+
+def _build_capability_population(
+    registry: SystemRegistry,
+    n_providers: int,
+    n_topics: int = 8,
+    unrestricted_every: int = 4,
+):
+    """A topic-restricted population registered into ``registry``.
+
+    Every ``unrestricted_every``-th provider serves all topics (the
+    merge path); the rest are restricted to one of ``n_topics`` topics
+    round-robin, so each topic's capable set is ~``N / n_topics``.
+    """
+    sim = Simulator()
+    network = Network(sim, FixedLatency(0.05))
+    providers = []
+    for i in range(n_providers):
+        provider = Provider(sim, network, participant_id=f"p{i:04d}")
+        if i % unrestricted_every == 0:
+            registry.add_provider(provider)
+        else:
+            registry.add_provider(provider, topics=[f"t{i % n_topics}"])
+        providers.append(provider)
+    topics = [f"t{i}" for i in range(n_topics)]
+    return providers, topics
+
+
+def measure_registry_lookup(
+    n_providers: int,
+    lookups: int = 20000,
+    churn_every: int = 256,
+    n_topics: int = 8,
+) -> Dict[str, float]:
+    """``capable_providers`` lookups/second: indexed vs pre-index scan.
+
+    Both sides answer the same cycle of topic lookups over the same
+    topic-restricted population; every ``churn_every`` lookups one
+    provider toggles offline/online, forcing the indexed side to
+    rebuild its snapshot (the scan side pays the full price every
+    lookup regardless).
+    """
+    import gc
+
+    def _run(registry_cls) -> float:
+        registry = registry_cls()
+        providers, topics = _build_capability_population(
+            registry, n_providers, n_topics=n_topics
+        )
+        snapshot = registry.capable_snapshot  # bound method under test
+        n_t = len(topics)
+        churn_source = providers[1]  # topic-restricted member
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            for i in range(lookups):
+                snapshot(topics[i % n_t])
+                if i % churn_every == 0:
+                    churn_source.online = not churn_source.online
+            elapsed = time.perf_counter() - start
+        finally:
+            gc.enable()
+        return lookups / elapsed
+
+    indexed_per_s = _run(SystemRegistry)
+    scan_per_s = _run(SeedRegistry)
+    return {
+        "indexed_per_s": indexed_per_s,
+        "scan_per_s": scan_per_s,
+        "speedup": indexed_per_s / scan_per_s,
+    }
+
+
+def measure_registry_scaling(
+    provider_counts: Sequence[int] = SCALING_PROVIDERS,
+    lookups: int = 20000,
+    churn_every: int = 256,
+) -> Dict[str, Dict[str, float]]:
+    """The registry-lookup comparison along the population axis."""
+    return {
+        str(n): measure_registry_lookup(
+            n, lookups=lookups, churn_every=churn_every
+        )
+        for n in provider_counts
+    }
+
+
 # ----------------------------------------------------------------------
 # Digest parity
 # ----------------------------------------------------------------------
@@ -354,14 +546,33 @@ def run_bench(
     mediations: Optional[int] = None,
     repeats: Optional[int] = None,
     check_parity: bool = True,
+    policies: Optional[Iterable[str]] = None,
+    scale_providers: Optional[Iterable[int]] = None,
 ) -> Dict[str, object]:
-    """Run the whole bench; returns the BENCH_core.json record."""
+    """Run the whole bench; returns the BENCH_core.json record.
+
+    ``policies`` overrides the policy-matrix set (default
+    :data:`MATRIX_POLICIES`; smoke trims to sbqa + economic);
+    ``scale_providers`` overrides the population axis (default
+    :data:`SCALING_PROVIDERS`; smoke trims to 120 + 600).
+    """
     if mediations is None:
         mediations = 1200 if smoke else 4000
     if repeats is None:
         repeats = 2 if smoke else 3
     parity_duration = 240.0 if smoke else 600.0
     parity_providers = 50 if smoke else 80
+    if policies is None:
+        policies = ("sbqa", "economic") if smoke else MATRIX_POLICIES
+    else:
+        policies = tuple(policies)
+    if scale_providers is None:
+        scale_providers = (120, 600) if smoke else SCALING_PROVIDERS
+    else:
+        scale_providers = tuple(int(n) for n in scale_providers)
+    matrix_mediations = max(400, mediations // 2)
+    matrix_repeats = max(1, repeats - 1)
+    lookups = 6000 if smoke else 20000
 
     throughput = measure_throughput(mediations=mediations, repeats=repeats)
 
@@ -384,12 +595,26 @@ def run_bench(
         },
         "throughput": throughput,
         "speedup": {
-            # The tentpole claim: fast engine vs the pre-engine hot path.
+            # The PR-4 tentpole claim: fast engine vs the pre-engine hot
+            # path (which now also reconstructs the pre-index registry).
             "fast_vs_seed": fast / seed_baseline,
-            # The engine split alone (both sides share the O(1) windows).
+            # The engine split alone (both sides share the O(1) windows
+            # and the registry snapshots).
             "fast_vs_event": fast / event,
             "event_vs_seed": event / seed_baseline,
+            # The batched-result-drain claim: how close end-to-end
+            # throughput sits to pure mediation throughput.
+            "end_to_end_ratio": throughput["fast"]["end_to_end_per_s"] / fast,
         },
+        "policies": measure_policy_matrix(
+            policies, mediations=matrix_mediations, repeats=matrix_repeats
+        ),
+        "scaling": measure_scaling(
+            scale_providers,
+            mediations=matrix_mediations,
+            repeats=matrix_repeats,
+        ),
+        "registry": measure_registry_scaling(scale_providers, lookups=lookups),
     }
     if check_parity:
         record["parity"] = check_digest_parity(
@@ -416,10 +641,37 @@ def format_report(record: Dict[str, object]) -> str:
         "",
         f"  fast vs seed baseline: {speedup['fast_vs_seed']:.2f}x",
         f"  fast vs event engine:  {speedup['fast_vs_event']:.2f}x",
+        f"  end-to-end / mediate:  {speedup['end_to_end_ratio']:.0%}",
     ]
+    matrix = record.get("policies")
+    if matrix:
+        lines += ["", "  policy matrix (mediations/s, fast | event):"]
+        for policy, row in matrix.items():
+            lines.append(
+                f"    {policy:<16} {row['fast']['mediate_per_s']:>10,.0f} | "
+                f"{row['event']['mediate_per_s']:>10,.0f}"
+                f"   ({row['fast_vs_event']:.2f}x)"
+            )
+    scaling = record.get("scaling")
+    if scaling:
+        lines += ["", "  scaling axis (fast engine, mediations/s):"]
+        for n, row in scaling.items():
+            lines.append(
+                f"    N={n:<6} {row['fast']['mediate_per_s']:>10,.0f} mediate"
+                f"   {row['fast']['end_to_end_per_s']:>10,.0f} end-to-end"
+            )
+    registry = record.get("registry")
+    if registry:
+        lines += ["", "  capable_providers lookup (indexed vs scan):"]
+        for n, row in registry.items():
+            lines.append(
+                f"    N={n:<6} {row['indexed_per_s']:>12,.0f}/s vs "
+                f"{row['scan_per_s']:>10,.0f}/s   ({row['speedup']:.1f}x)"
+            )
     parity = record.get("parity")
     if parity is not None:
         status = "identical" if parity["identical"] else "DIVERGED"
+        lines.append("")
         lines.append(
             f"  fast/event digests:    {status} "
             f"(mixed scenario, sha256 {str(parity['sha256'])[:12]}...)"

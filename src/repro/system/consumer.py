@@ -119,7 +119,10 @@ class Consumer(Entity):
         self.rt_smoothing = float(rt_smoothing)
         self.stats = ConsumerStats()
 
-        self.online = True
+        # Registry-notification hooks (see Provider): must exist before
+        # the first assignment to ``online``.
+        self._registry_hooks: List = []
+        self._online = True
         self.joined_at = sim.now
         self.left_at: Optional[float] = None
 
@@ -144,6 +147,27 @@ class Consumer(Entity):
     def attach_mediator(self, mediator: Entity) -> None:
         """Point this consumer at the mediator all its queries go to."""
         self._mediator = mediator
+
+    @property
+    def online(self) -> bool:
+        """Whether this consumer still issues queries.
+
+        Assignment notifies subscribed registries (snapshot caches)."""
+        return self._online
+
+    @online.setter
+    def online(self, value: bool) -> None:
+        value = bool(value)
+        if value == self._online:
+            return
+        self._online = value
+        for hook in self._registry_hooks:
+            hook(self)
+
+    def add_registry_hook(self, hook) -> None:
+        """Subscribe ``hook(consumer)`` to online-state transitions."""
+        if hook not in self._registry_hooks:
+            self._registry_hooks.append(hook)
 
     def on_completion(self, listener: Callable[["AllocationRecord"], None]) -> None:
         """Register a callback fired whenever one of this consumer's

@@ -123,12 +123,46 @@ class Provider(Entity):
         self.resource_shares = dict(resource_shares or {})
         self.stats = ProviderStats()
 
-        self.online = True
+        # Registry-notification hooks fire on every online-state
+        # transition (the registries' capability indexes invalidate
+        # their snapshots through them), so they must exist before the
+        # first assignment to ``online``.
+        self._registry_hooks: list = []
+        self._online = True
         self.joined_at = sim.now
         self.left_at: Optional[float] = None
         self.crashes = 0
         self._busy_until = sim.now
         self._pending: Dict[int, object] = {}  # qid -> completion EventHandle
+
+    # ------------------------------------------------------------------
+    # Registry notification
+    # ------------------------------------------------------------------
+
+    @property
+    def online(self) -> bool:
+        """Whether this provider is eligible for new allocations.
+
+        Assigning the attribute (directly or via :meth:`leave` /
+        :meth:`rejoin` / :meth:`crash`) notifies every subscribed
+        registry, which is how the capability indexes of
+        :class:`~repro.system.registry.SystemRegistry` stay current.
+        """
+        return self._online
+
+    @online.setter
+    def online(self, value: bool) -> None:
+        value = bool(value)
+        if value == self._online:
+            return
+        self._online = value
+        for hook in self._registry_hooks:
+            hook(self)
+
+    def add_registry_hook(self, hook) -> None:
+        """Subscribe ``hook(provider)`` to online-state transitions."""
+        if hook not in self._registry_hooks:
+            self._registry_hooks.append(hook)
 
     # ------------------------------------------------------------------
     # Preferences and intentions
@@ -213,11 +247,11 @@ class Provider(Entity):
         from repro.system.query import QueryResult  # local: avoid cycle at import
 
         query = record.query
-        start = max(self.sim.now, self._busy_until)
-        service = self.service_time(query.service_demand)
-        finish = start + service
-        self._busy_until = finish
-        self.stats.queries_received += 1
+        # Enqueue through begin_execution so the fast engine's batched
+        # result drain and this faithful path can never drift apart on
+        # the FIFO arithmetic (bit-identity between them is the engine
+        # parity contract).
+        start, finish, service = self.begin_execution(record)
 
         def complete() -> None:
             self._pending.pop(query.qid, None)
@@ -234,6 +268,35 @@ class Provider(Entity):
             finish - self.sim.now, complete, label=f"{self.participant_id}:complete:{query.qid}"
         )
         self._pending[query.qid] = handle
+
+    def begin_execution(self, record: "AllocationRecord"):
+        """Enqueue one allocated query without scheduling its completion.
+
+        The fast-engine half of :meth:`execute`: identical state
+        changes (FIFO enqueue, received counter) at the same instant,
+        but the completion event is owned by the caller's batched
+        result drain (:class:`repro.core.engine._ResultDrain`), which
+        registers a cancellable entry in ``_pending`` itself so
+        :meth:`crash` keeps working.  Returns ``(start, finish,
+        service)`` for the drain's bookkeeping.
+        """
+        start = max(self.sim.now, self._busy_until)
+        service = self.service_time(record.query.service_demand)
+        finish = start + service
+        self._busy_until = finish
+        self.stats.queries_received += 1
+        return start, finish, service
+
+    def finish_execution(self, record: "AllocationRecord", service: float) -> None:
+        """Completion bookkeeping at the faithful completion instant.
+
+        Drain hop 1: exactly what the scheduled ``complete`` closure of
+        :meth:`execute` does at the same clock value, minus the result
+        send (the drain delivers the batched results itself).
+        """
+        query = record.query
+        self._pending.pop(query.qid, None)
+        self.stats.record_completion(query.consumer_id, query.service_demand, service)
 
     # ------------------------------------------------------------------
     # Satisfaction and membership

@@ -5,16 +5,58 @@ providers are able to perform this query* -- the set ``P_q`` of the
 paper.  A provider is capable when it is online and either serves all
 topics (the default; every BOINC volunteer attaches to all projects in
 the demo scenario) or lists the query's topic among its capabilities.
+
+Because that question is asked once per mediation, the registry keeps
+**incremental indexes** so answering it costs ``O(|P_q|)`` instead of a
+scan over every registered provider:
+
+* a **per-topic capability index**: registered topic-restricted
+  providers, grouped by topic, each entry carrying its registration
+  ordinal so merged listings preserve registration order;
+* an **unrestricted index**: registered providers that serve every
+  topic (the common BOINC case), in registration order;
+* **snapshot caches**: :meth:`capable_snapshot` returns a reusable
+  tuple per topic, rebuilt lazily only after a membership or
+  online-state transition.
+
+The indexes stay current through a *registry-notification hook*:
+:meth:`add_provider` subscribes the registry to the provider's
+online-state transitions (``leave`` / ``rejoin`` / ``crash`` or a
+direct ``provider.online = ...`` assignment), so a transition merely
+bumps a version counter and the next lookup rebuilds the affected
+snapshot.  Index membership itself only changes on ``add_provider``
+(append-only, so registration order -- the order every pre-index
+listing exposed, and the order the seeded KnBest sample depends on --
+is preserved by construction).  As a defence in depth, a periodic
+consistency rebuild re-derives the indexes from the authoritative
+membership maps every :data:`REBUILD_EVERY` transitions, mirroring the
+periodic window rebuilds of :mod:`repro.core.satisfaction`.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
+
+# One source of truth for the aggregate backend: the scoring module
+# owns the SBQA_SCORING_BACKEND switch (read once at import), the
+# guarded numpy import, and the raise-on-missing-numpy contract.
+# (Submodule-form import: robust against repro.core's own __init__
+# being mid-execution when this module loads.)
+import repro.core.scoring as _scoring
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.system.consumer import Consumer
     from repro.system.provider import Provider
     from repro.system.query import Query
+
+#: Online-state transitions between full defensive re-derivations of the
+#: capability indexes (the satisfaction windows use the same pattern:
+#: incremental bookkeeping, periodically rebuilt from authority).
+REBUILD_EVERY = 4096
+
+#: Environment switch shared with :mod:`repro.core.scoring`: the
+#: aggregate sweeps below grow a numpy backend behind the same flag.
+AGGREGATE_BACKEND_ENV = _scoring.SCORING_BACKEND_ENV
 
 
 class SystemRegistry:
@@ -25,6 +67,27 @@ class SystemRegistry:
         self._providers: Dict[str, "Provider"] = {}
         self._capabilities: Dict[str, Set[str]] = {}
 
+        # -- incremental capability indexes (registration order) --------
+        # Entries are (ordinal, provider); ordinals are the registration
+        # sequence, so merging two index lists by ordinal reproduces the
+        # order a scan over ``_providers`` would yield.
+        self._unrestricted: List[Tuple[int, "Provider"]] = []
+        self._topic_members: Dict[str, List[Tuple[int, "Provider"]]] = {}
+
+        # -- snapshot caches, invalidated by version counters -----------
+        # ``_provider_version`` advances on provider membership changes
+        # and online-state transitions; ``_consumer_version`` likewise
+        # for consumers.  Caches remember the version they were built at.
+        self._provider_version = 0
+        self._consumer_version = 0
+        self._online_providers_cache: Tuple[int, Tuple["Provider", ...]] = (-1, ())
+        self._online_consumers_cache: Tuple[int, Tuple["Consumer", ...]] = (-1, ())
+        self._capable_cache: Dict[str, Tuple[int, Tuple["Provider", ...]]] = {}
+        self._providers_cache: Optional[Tuple["Provider", ...]] = None
+        self._consumers_cache: Optional[Tuple["Consumer", ...]] = None
+        self._capacity_cache: Dict[bool, Tuple[int, float]] = {}
+        self._transitions_since_rebuild = 0
+
     # ------------------------------------------------------------------
     # Membership
     # ------------------------------------------------------------------
@@ -33,6 +96,9 @@ class SystemRegistry:
         if consumer.participant_id in self._consumers:
             raise ValueError(f"duplicate consumer id {consumer.participant_id!r}")
         self._consumers[consumer.participant_id] = consumer
+        consumer.add_registry_hook(self._on_consumer_transition)
+        self._consumers_cache = None
+        self._consumer_version += 1
 
     def add_provider(
         self, provider: "Provider", topics: Optional[Iterable[str]] = None
@@ -44,9 +110,19 @@ class SystemRegistry:
         """
         if provider.participant_id in self._providers:
             raise ValueError(f"duplicate provider id {provider.participant_id!r}")
+        ordinal = len(self._providers)
         self._providers[provider.participant_id] = provider
         if topics is not None:
-            self._capabilities[provider.participant_id] = set(topics)
+            topic_set = set(topics)
+            self._capabilities[provider.participant_id] = topic_set
+            entry = (ordinal, provider)
+            for topic in topic_set:
+                self._topic_members.setdefault(topic, []).append(entry)
+        else:
+            self._unrestricted.append((ordinal, provider))
+        provider.add_registry_hook(self._on_provider_transition)
+        self._providers_cache = None
+        self._provider_version += 1
 
     def consumer(self, participant_id: str) -> "Consumer":
         return self._consumers[participant_id]
@@ -55,20 +131,108 @@ class SystemRegistry:
         return self._providers[participant_id]
 
     @property
-    def consumers(self) -> List["Consumer"]:
-        """All registered consumers, in insertion order."""
-        return list(self._consumers.values())
+    def consumers(self) -> Tuple["Consumer", ...]:
+        """All registered consumers, in insertion order (cached tuple)."""
+        cache = self._consumers_cache
+        if cache is None:
+            cache = tuple(self._consumers.values())
+            self._consumers_cache = cache
+        return cache
 
     @property
-    def providers(self) -> List["Provider"]:
-        """All registered providers, in insertion order."""
-        return list(self._providers.values())
+    def providers(self) -> Tuple["Provider", ...]:
+        """All registered providers, in insertion order (cached tuple).
+
+        Metric collectors read this every sample; returning the cached
+        tuple (invalidated only by ``add_provider``) avoids a fresh
+        list per access.
+        """
+        cache = self._providers_cache
+        if cache is None:
+            cache = tuple(self._providers.values())
+            self._providers_cache = cache
+        return cache
 
     def online_consumers(self) -> List["Consumer"]:
-        return [c for c in self._consumers.values() if c.online]
+        return list(self.online_consumers_snapshot())
 
     def online_providers(self) -> List["Provider"]:
-        return [p for p in self._providers.values() if p.online]
+        return list(self.online_providers_snapshot())
+
+    def online_providers_snapshot(self) -> Tuple["Provider", ...]:
+        """Online providers in registration order, as a reusable tuple.
+
+        Rebuilt lazily after a membership/online transition; stable (the
+        *same* object) between transitions, so hot-path consumers may
+        key per-snapshot caches on its identity.
+        """
+        version, snapshot = self._online_providers_cache
+        if version != self._provider_version:
+            snapshot = tuple(p for p in self._providers.values() if p.online)
+            self._online_providers_cache = (self._provider_version, snapshot)
+        return snapshot
+
+    def online_consumers_snapshot(self) -> Tuple["Consumer", ...]:
+        """Online consumers in registration order, as a reusable tuple."""
+        version, snapshot = self._online_consumers_cache
+        if version != self._consumer_version:
+            snapshot = tuple(c for c in self._consumers.values() if c.online)
+            self._online_consumers_cache = (self._consumer_version, snapshot)
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Registry-notification hooks (membership/online transitions)
+    # ------------------------------------------------------------------
+
+    def _on_provider_transition(self, provider: "Provider") -> None:
+        self._provider_version += 1
+        self._transitions_since_rebuild += 1
+        if self._transitions_since_rebuild >= REBUILD_EVERY:
+            self.rebuild_indexes()
+
+    def _on_consumer_transition(self, consumer: "Consumer") -> None:
+        self._consumer_version += 1
+
+    def rebuild_indexes(self) -> None:
+        """Re-derive every index from the authoritative membership maps.
+
+        The incremental indexes are append-only and therefore correct by
+        construction; this defensive rebuild (periodic, like the
+        satisfaction windows' exact re-summation) re-derives them from
+        ``_providers`` / ``_capabilities`` so that even out-of-band
+        mutation of the capability sets cannot leave a stale index
+        behind indefinitely.  Also drops every snapshot cache.
+        """
+        self._unrestricted = []
+        self._topic_members = {}
+        for ordinal, (pid, provider) in enumerate(self._providers.items()):
+            topics = self._capabilities.get(pid)
+            if topics is None:
+                self._unrestricted.append((ordinal, provider))
+            else:
+                entry = (ordinal, provider)
+                for topic in topics:
+                    self._topic_members.setdefault(topic, []).append(entry)
+        self._capable_cache.clear()
+        self._capacity_cache.clear()
+        self._providers_cache = None
+        self._provider_version += 1
+        self._transitions_since_rebuild = 0
+
+    def check_index_consistency(self) -> bool:
+        """True when the indexes match a naive re-derivation (tests)."""
+        unrestricted = [
+            (ordinal, p)
+            for ordinal, (pid, p) in enumerate(self._providers.items())
+            if pid not in self._capabilities
+        ]
+        if unrestricted != self._unrestricted:
+            return False
+        expected: Dict[str, List[Tuple[int, "Provider"]]] = {}
+        for ordinal, (pid, p) in enumerate(self._providers.items()):
+            for topic in self._capabilities.get(pid, ()):
+                expected.setdefault(topic, []).append((ordinal, p))
+        return expected == self._topic_members
 
     # ------------------------------------------------------------------
     # Capability lookup
@@ -79,23 +243,66 @@ class SystemRegistry:
         topics = self._capabilities.get(provider.participant_id)
         return topics is None or topic in topics
 
-    def capable_providers(self, query: "Query") -> List["Provider"]:
-        """The set ``P_q``: online providers able to perform the query."""
-        capabilities = self._capabilities
-        if not capabilities:
+    def capable_snapshot(self, topic: str) -> Tuple["Provider", ...]:
+        """The set ``P_q`` for ``topic`` as a reusable tuple.
+
+        Cached per topic and rebuilt only after a membership or
+        online-state transition, so between transitions a mediation
+        pays one dict probe instead of a scan over every registered
+        provider.  The tuple lists providers in registration order --
+        exactly the order the pre-index ``capable_providers`` scan
+        produced, which the seeded KnBest stage-1 sample depends on.
+        The returned tuple must not be mutated (it is shared across
+        mediations); its identity is stable between transitions, so
+        policies may key per-snapshot caches on ``snapshot is ...``.
+        """
+        if not self._capabilities:
             # Common case (every BOINC volunteer attaches to all
-            # projects): skip the per-provider capability lookup.
-            return [p for p in self._providers.values() if p.online]
-        topic = query.topic
-        return [
-            p
-            for p in self._providers.values()
-            if p.online
-            and (
-                (topics := capabilities.get(p.participant_id)) is None
-                or topic in topics
-            )
-        ]
+            # projects): P_q is the online set for every topic.
+            return self.online_providers_snapshot()
+        version = self._provider_version
+        cached = self._capable_cache.get(topic)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        members = self._topic_members.get(topic)
+        if not members:
+            snapshot = tuple(p for _, p in self._unrestricted if p.online)
+        elif not self._unrestricted:
+            snapshot = tuple(p for _, p in members if p.online)
+        else:
+            # Both index lists are ordinal-sorted; a linear merge
+            # reproduces registration order across them.
+            merged: List["Provider"] = []
+            append = merged.append
+            i = j = 0
+            unrestricted = self._unrestricted
+            n_u, n_m = len(unrestricted), len(members)
+            while i < n_u and j < n_m:
+                if unrestricted[i][0] < members[j][0]:
+                    p = unrestricted[i][1]
+                    i += 1
+                else:
+                    p = members[j][1]
+                    j += 1
+                if p.online:
+                    append(p)
+            for ordinal, p in unrestricted[i:]:
+                if p.online:
+                    append(p)
+            for ordinal, p in members[j:]:
+                if p.online:
+                    append(p)
+            snapshot = tuple(merged)
+        self._capable_cache[topic] = (version, snapshot)
+        return snapshot
+
+    def capable_providers(self, query: "Query") -> List["Provider"]:
+        """The set ``P_q``: online providers able to perform the query.
+
+        List-returning compatibility form of :meth:`capable_snapshot`
+        (the hot paths consume the snapshot tuple directly).
+        """
+        return list(self.capable_snapshot(query.topic))
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -103,26 +310,77 @@ class SystemRegistry:
 
     def total_capacity(self, online_only: bool = True) -> float:
         """Aggregate provider capacity -- "the total system capacity"
-        whose preservation motivates satisfaction-based allocation."""
-        providers = self.online_providers() if online_only else self.providers
-        return sum(p.capacity for p in providers)
+        whose preservation motivates satisfaction-based allocation.
+
+        Capacity is immutable per provider, so the sum is cached per
+        membership/online version: the per-sample cost between
+        transitions is a dict probe, not a population sweep.
+        """
+        version = self._provider_version if online_only else len(self._providers)
+        cached = self._capacity_cache.get(online_only)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        providers = (
+            self.online_providers_snapshot() if online_only else self.providers
+        )
+        total = _aggregate_sum([p.capacity for p in providers])
+        self._capacity_cache[online_only] = (version, total)
+        return total
 
     def mean_provider_satisfaction(self) -> float:
-        """Mean delta_s(p) over online providers (neutral if none)."""
-        online = self.online_providers()
+        """Mean delta_s(p) over online providers (neutral if none).
+
+        One pass over the cached online snapshot -- the per-call
+        ``online_providers()`` list build and filter are gone; the
+        values list handed to the reduction remains (the numpy backend
+        needs a sequence).
+        """
+        online = self.online_providers_snapshot()
         if not online:
             return 0.0
-        return sum(p.satisfaction for p in online) / len(online)
+        return _aggregate_sum([p.satisfaction for p in online]) / len(online)
 
     def mean_consumer_satisfaction(self) -> float:
         """Mean delta_s(c) over online consumers (neutral if none)."""
-        online = self.online_consumers()
+        online = self.online_consumers_snapshot()
         if not online:
             return 0.0
-        return sum(c.satisfaction for c in online) / len(online)
+        return _aggregate_sum([c.satisfaction for c in online]) / len(online)
 
     def __repr__(self) -> str:
         return (
             f"SystemRegistry(consumers={len(self._consumers)}, "
             f"providers={len(self._providers)})"
         )
+
+
+def _aggregate_sum(values: List[float], backend: Optional[str] = None) -> float:
+    """One whole-population reduction, backend-selectable.
+
+    ``backend=None`` uses the value ``SBQA_SCORING_BACKEND`` held at
+    import time (``"python"`` when unset) -- the same switch, read
+    from the same place, with the same contract as
+    :func:`repro.core.scoring.score_providers_batch`: the python path
+    is the reference (plain left-to-right ``sum``, the exact floats
+    every pre-index release produced), the numpy path is opt-in, may
+    differ from it by accumulated rounding (pairwise summation; a
+    parity test pins the difference to relative 1e-12), and raises
+    when numpy is not importable.
+    """
+    if backend is None:
+        backend = _scoring._DEFAULT_BACKEND
+    if backend == "numpy":
+        np = _scoring._np
+        if np is None:
+            raise RuntimeError(
+                "numpy backend requested but numpy is not importable; "
+                "use backend='python'"
+            )
+        if not values:
+            return 0.0
+        return float(np.asarray(values, dtype=np.float64).sum())
+    if backend != "python":
+        raise ValueError(
+            f"unknown aggregate backend {backend!r}; valid: python, numpy"
+        )
+    return sum(values)

@@ -1,0 +1,146 @@
+"""Baseline ``select_fast`` contract: bit-identical to ``select``.
+
+Every built-in policy now has a hot-path ``select_fast`` (the fast
+engine calls it for *all* policies, not just SbQA), so each baseline's
+batched implementation is held to the same standard as SbQA's: same
+allocations, same informed set, same consult accounting, same metadata
+floats, from the same evolving state.  Two policy instances per
+technique (same seeds) run side by side -- one through the faithful
+``select``, one through ``select_fast`` -- over randomized load,
+share and demand states.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.allocation.factory import make_policy
+from repro.core.policy import AllocationContext, FastAllocationDecision
+from repro.des.network import Network
+from repro.des.rng import RandomRoot, RandomStream
+from repro.des.scheduler import Simulator
+from repro.des.tracing import NULL_RECORDER
+from repro.system.consumer import Consumer
+from repro.system.provider import Provider
+from repro.system.query import Query
+
+BASELINES = (
+    "capacity",
+    "economic",
+    "boinc-shares",
+    "random",
+    "round-robin",
+    "shortest-queue",
+)
+
+
+@pytest.fixture
+def population():
+    sim = Simulator()
+    network = Network(sim)
+    stream = RandomStream(41)
+    providers = [
+        Provider(
+            sim,
+            network,
+            participant_id=f"p{i:02d}",
+            capacity=stream.uniform(0.5, 2.0),
+            preferences={"c0": stream.uniform(-1.0, 1.0)},
+            resource_shares={"c0": stream.uniform(0.0, 2.0), "other": 1.0},
+        )
+        for i in range(14)
+    ]
+    consumer = Consumer(
+        sim,
+        network,
+        participant_id="c0",
+        preferences={p.participant_id: stream.uniform(-1.0, 1.0) for p in providers},
+    )
+    return sim, providers, consumer
+
+
+def assert_decisions_equal(a, b):
+    assert [p.participant_id for p in a.allocated] == [
+        p.participant_id for p in b.allocated
+    ]
+    assert [p.participant_id for p in a.informed] == [
+        p.participant_id for p in b.informed
+    ]
+    assert a.consult_messages == b.consult_messages
+    assert a.metadata == b.metadata  # exact float equality (economic bids)
+    assert a.scores == b.scores
+    assert a.omegas == b.omegas
+
+
+@pytest.mark.parametrize("policy_name", BASELINES)
+def test_select_fast_matches_select(policy_name, population):
+    sim, providers, consumer = population
+    slow = make_policy(policy_name, RandomRoot(77))
+    fast = make_policy(policy_name, RandomRoot(77))
+    jitter = RandomStream(5)
+    for round_index in range(40):
+        # Advance the clock and randomize backlogs so utilization,
+        # bids, debts and queue depths all vary between rounds.
+        sim.run_until(sim.now + jitter.uniform(1.0, 30.0))
+        for p in providers:
+            p._busy_until = sim.now + jitter.uniform(-20.0, 120.0)
+        query = Query(
+            consumer=consumer,
+            topic="c0",
+            service_demand=jitter.uniform(0.5, 25.0),
+            n_results=1 + round_index % 3,
+            issued_at=sim.now,
+        )
+        ctx = AllocationContext(now=sim.now, trace=NULL_RECORDER)
+        a = slow.select(query, providers, ctx)
+        b = fast.select_fast(query, tuple(providers), ctx)
+        assert isinstance(b, FastAllocationDecision)
+        assert_decisions_equal(a, b)
+
+
+def test_round_robin_snapshot_cache_tracks_new_snapshots(population):
+    """The id-sort cache keys on snapshot identity: a different tuple
+    (e.g. after churn) must re-sort, not reuse the stale order."""
+    sim, providers, consumer = population
+    policy = make_policy("round-robin", RandomRoot(1))
+    ctx = AllocationContext(now=0.0, trace=NULL_RECORDER)
+
+    def query():
+        return Query(
+            consumer=consumer,
+            topic="c0",
+            service_demand=1.0,
+            n_results=1,
+            issued_at=0.0,
+        )
+
+    full = tuple(providers)
+    first = policy.select_fast(query(), full, ctx)
+    shrunk = tuple(providers[5:])
+    second = policy.select_fast(query(), shrunk, ctx)
+    assert second.allocated[0] in providers[5:]
+
+
+def test_default_select_fast_delegates_to_select(population):
+    """A policy without a bespoke fast path still works on the fast
+    engine via the base-class delegation."""
+    from repro.core.policy import AllocationDecision, AllocationPolicy
+
+    class MinimalPolicy(AllocationPolicy):
+        name = "minimal"
+
+        def select(self, query, candidates, ctx):
+            return AllocationDecision(allocated=[candidates[0]])
+
+    sim, providers, consumer = population
+    policy = MinimalPolicy()
+    ctx = AllocationContext(now=0.0, trace=NULL_RECORDER)
+    query = Query(
+        consumer=consumer,
+        topic="c0",
+        service_demand=1.0,
+        n_results=1,
+        issued_at=0.0,
+    )
+    decision = policy.select_fast(query, tuple(providers), ctx)
+    assert decision.allocated == [providers[0]]

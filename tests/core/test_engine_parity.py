@@ -225,6 +225,119 @@ class TestRunDigestParity:
         }
         assert run_digest("fast", **spec) == run_digest("event", **spec)
 
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            "sbqa",
+            "capacity",
+            "economic",
+            "boinc-shares",
+            "random",
+            "round-robin",
+            "shortest-queue",
+        ],
+    )
+    def test_every_policy_covered_on_the_collapse_path(self, policy):
+        """The universal-select_fast claim: engine="fast" produces
+        byte-identical digests for *every* policy, on the deterministic-
+        latency path where the collapsed dispatch and the batched
+        result drain are both active."""
+        spec = {
+            "latency": (0.05, 0.05),
+            "duration": 200.0,
+            "policies": [(policy, {})],
+        }
+        assert run_digest("fast", **spec) == run_digest("event", **spec)
+
+    def test_aggressive_crashes_hit_the_drain_cancellation(self):
+        """Crashes cancel pending completions; with the batched result
+        drain those are per-member cancellations inside shared drain
+        events, which must shed exactly the crashed provider's result
+        and nothing else."""
+        spec = {
+            "latency": (0.05, 0.05),
+            "duration": 250.0,
+            "failures": {"mttf": 250.0, "repair_time": 20.0, "result_timeout": 120.0},
+            "policies": [("sbqa", {}), ("capacity", {})],
+        }
+        assert run_digest("fast", **spec) == run_digest("event", **spec)
+
+    def test_homogeneous_replicas_batch_into_one_drain(self):
+        """Equal-capacity idle providers serving the same allocation
+        finish at the same instant, so their completion/delivery pairs
+        collapse into a single two-hop drain -- results, clocks and
+        counters must still match the event engine exactly."""
+        from repro.workloads.arrivals import DeterministicArrivals
+        from repro.workloads.queries import FixedDemand
+
+        def run(engine):
+            from repro.system.query import reset_query_counter
+
+            reset_query_counter()
+            sim = Simulator()
+            network = (FastNetwork if engine == "fast" else Network)(
+                sim, FixedLatency(0.05)
+            )
+            registry = SystemRegistry()
+            stream = RandomStream(23)
+            providers = [
+                Provider(
+                    sim,
+                    network,
+                    participant_id=f"p{i:02d}",
+                    capacity=1.0,  # homogeneous: replicas share finishes
+                    preferences={"c0": stream.uniform(-1.0, 1.0)},
+                )
+                for i in range(10)
+            ]
+            for p in providers:
+                registry.add_provider(p)
+            consumer = Consumer(
+                sim,
+                network,
+                participant_id="c0",
+                default_n_results=3,
+                preferences={
+                    p.participant_id: stream.uniform(-1.0, 1.0) for p in providers
+                },
+            )
+            registry.add_consumer(consumer)
+            policy = SbQAPolicy(SbQAConfig(k=8, kn=5), RandomStream(9))
+            mediator = make_mediator(
+                engine, sim, network, registry, policy, keep_records=True
+            )
+            consumer.attach_mediator(mediator)
+            arrivals = DeterministicArrivals(
+                sim, consumer, FixedDemand(6.0), interval=2.0, horizon=80.0
+            )
+            arrivals.start()
+            sim.run()
+            outcome = [
+                (
+                    tuple(r.allocated_ids),
+                    r.completed_at,
+                    tuple(
+                        (res.provider_id, res.started_at, res.finished_at)
+                        for res in r.results
+                    ),
+                )
+                for r in mediator.records
+            ]
+            return (
+                outcome,
+                sim.events_fired,
+                network.messages_sent,
+                network.messages_delivered,
+                consumer.stats.queries_completed,
+                consumer.stats.response_time_sum,
+            )
+
+        fast = run("fast")
+        event = run("event")
+        assert fast[0] == event[0]  # records, clocks, per-result spans
+        assert fast[2:] == event[2:]  # message + completion accounting
+        assert fast[1] < event[1]  # strictly fewer scheduler events
+
     def test_collapse_fires_fewer_events(self):
         """Under deterministic latency the fast engine collapses each
         dispatch into one event; clock results stay identical."""
