@@ -15,6 +15,10 @@ Usage::
     sbqa sweep --spec grid.json --workers 4 --stream  # declarative grids
     sbqa tune --spec tune.json --stream         # budgeted adaptive tuning
     sbqa tune --spec tune.json --budget 80 --json digest.json
+    sbqa workload flash-crowd --duration 60 -o crowd.json   # synthesize a trace
+    sbqa workload record --spec experiment.json -o rec.json # arrivals of a run
+    sbqa serve --trace crowd.json --speed 20 --exit-when-done
+    sbqa serve --replay rec.json --digest-out digest.json   # parity replay
 
 The CLI is a thin veneer over :mod:`repro.api` (spec / builder /
 session / sweep) and :mod:`repro.experiments.scenarios`; it exists so
@@ -286,6 +290,146 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="population size for the scaling axis and the registry "
         "lookup bench (repeatable; default 120/500/2000, smoke 120/600)",
+    )
+    bench.add_argument(
+        "--serve", action="store_true",
+        help="benchmark the serving subsystem instead: sustained open-"
+        "loop queries/s and ingress-delay quantiles over the three "
+        "synthetic trace shapes (BENCH_serve.json layout)",
+    )
+
+    workload = sub.add_parser(
+        "workload",
+        help="author open-loop workload traces: synthesize a diurnal / "
+        "flash-crowd / heavy-tail shape, or record the arrivals of a "
+        "closed run for bit-exact replay",
+    )
+    workload.add_argument(
+        "shape", choices=("diurnal", "flash-crowd", "heavy-tail", "record"),
+        help="synthetic shape to generate, or 'record' to capture a run",
+    )
+    workload.add_argument(
+        "-o", "--output", type=str, default=None,
+        help="destination trace file (default: stdout)",
+    )
+    workload.add_argument(
+        "--spec", type=str, default=None,
+        help="ExperimentSpec JSON file ('record' mode: the run to record; "
+        "synthetic modes: source of the consumer population)",
+    )
+    workload.add_argument(
+        "--policy", type=str, default=None,
+        help="policy label to record under (default: the spec's first "
+        "policy, or 'sbqa' without a spec)",
+    )
+    workload.add_argument("--seed", type=int, default=None, help="trace seed")
+    workload.add_argument(
+        "--duration", type=float, default=120.0,
+        help="trace length in simulated seconds (default 120)",
+    )
+    workload.add_argument(
+        "--base-rate", type=float, default=2.0,
+        help="mean aggregate arrival rate of synthetic shapes "
+        "(queries/second, default 2)",
+    )
+    workload.add_argument(
+        "--consumers", type=str, default=None,
+        help="comma-separated consumer ids of a synthetic trace "
+        "(default: seti,proteins,einstein -- the paper population)",
+    )
+    workload.add_argument(
+        "--param", action="append", default=None, metavar="NAME=VALUE",
+        help="shape parameter override (repeatable), e.g. "
+        "--param spike_factor=12 --param spike_start=20",
+    )
+    workload.add_argument(
+        "--digest-out", type=str, default=None,
+        help="'record' mode: also write the recording run's allocation "
+        "digest JSON (the replay-parity target)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-lived serving mode: accept queries over HTTP / stdin "
+        "JSONL / a streamed trace, map wall-clock onto simulation time, "
+        "expose live /metrics and an ASCII dashboard, shed load "
+        "explicitly; see docs/serving.md",
+    )
+    serve.add_argument(
+        "--spec", type=str, default=None,
+        help="ExperimentSpec JSON file defining the served system "
+        "(default: the paper population with an sbqa mediator)",
+    )
+    serve.add_argument(
+        "--policy", type=str, default=None,
+        help="policy label to serve with (default: the spec's first "
+        "policy, or 'sbqa' without a spec)",
+    )
+    serve.add_argument("--seed", type=int, default=None, help="root random seed")
+    serve.add_argument(
+        "--duration", type=float, default=None,
+        help="serving horizon in simulated seconds (default: the spec's, "
+        "or 3600 without a spec)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="HTTP port (default 0 = ephemeral, printed as SERVE_READY); "
+        "-1 disables HTTP",
+    )
+    serve.add_argument(
+        "--host", type=str, default="127.0.0.1", help="HTTP bind address"
+    )
+    serve.add_argument(
+        "--speed", type=float, default=1.0,
+        help="simulation seconds per wall-clock second (default 1)",
+    )
+    serve.add_argument(
+        "--tick", type=float, default=0.05,
+        help="wall seconds between clock advances (default 0.05)",
+    )
+    serve.add_argument(
+        "--trace", type=str, default=None,
+        help="trace file streamed open-loop as the clock reaches each "
+        "arrival (synthetic or recorded)",
+    )
+    serve.add_argument(
+        "--stdin", dest="read_stdin", action="store_true",
+        help="accept JSONL submissions on stdin "
+        '(one {"consumer_id": ...} object per line)',
+    )
+    serve.add_argument(
+        "--exit-when-done", action="store_true",
+        help="shut down once the horizon is reached and all feeds drained "
+        "(trace-driven smoke runs)",
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=None,
+        help="bound on admitted-but-unserved queries (default: unbounded)",
+    )
+    serve.add_argument(
+        "--shed-policy", choices=("drop-newest", "drop-oldest"),
+        default="drop-newest",
+        help="full-queue behaviour: reject the incoming query or evict "
+        "the longest-waiting one (default drop-newest)",
+    )
+    serve.add_argument(
+        "--rate-limit", type=float, default=None,
+        help="per-consumer sustained admission rate (queries/second of "
+        "simulation time; default: unlimited)",
+    )
+    serve.add_argument(
+        "--burst", type=float, default=10.0,
+        help="token-bucket depth of --rate-limit (default 10)",
+    )
+    serve.add_argument(
+        "--replay", type=str, default=None,
+        help="replay a trace file to completion through the serve path "
+        "(full ingestion, admit-everything) and print the allocation "
+        "digest -- bit-identical to the batch engine's; no server runs",
+    )
+    serve.add_argument(
+        "--digest-out", type=str, default=None,
+        help="--replay mode: write the digest JSON to a file",
     )
     return parser
 
@@ -811,8 +955,207 @@ def _run_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_config(args: argparse.Namespace):
+    """The ``(ExperimentConfig, PolicySpec)`` pair serve/workload act on.
+
+    From ``--spec`` when given (``--policy`` selects among its policies
+    by label), else the paper population under an SbQA mediator.
+    """
+    from repro.experiments.config import ExperimentConfig, PolicySpec
+
+    if args.spec is not None:
+        from repro.api.spec import ExperimentSpec
+
+        spec = ExperimentSpec.load(args.spec)
+        config = spec.to_config()
+        if args.policy is None:
+            policy = spec.policies[0]
+        else:
+            matches = [p for p in spec.policies if p.label == args.policy]
+            if not matches:
+                raise ValueError(
+                    f"spec has no policy labelled {args.policy!r}; available: "
+                    f"{', '.join(p.label for p in spec.policies)}"
+                )
+            policy = matches[0]
+    else:
+        config = ExperimentConfig(name="serve")
+        policy = PolicySpec(name="sbqa" if args.policy is None else args.policy)
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    duration = getattr(args, "duration", None)
+    if duration is not None:
+        overrides["duration"] = duration
+    elif args.spec is None and getattr(args, "command", "") == "serve":
+        overrides["duration"] = 3600.0
+    if overrides:
+        from dataclasses import replace
+
+        config = replace(config, **overrides)
+    return config, policy
+
+
+def _run_workload(args: argparse.Namespace) -> int:
+    """``sbqa workload``: synthesize or record open-loop traces."""
+    import json
+
+    from repro.workloads.traces import TraceSpec, record_trace
+
+    try:
+        if args.shape == "record":
+            if args.base_rate != 2.0 or args.consumers or args.param:
+                print(
+                    "error: --base-rate/--consumers/--param apply to "
+                    "synthetic shapes only; 'record' captures a run's own "
+                    "arrivals",
+                    file=sys.stderr,
+                )
+                return 2
+            config, policy = _serve_config(args)
+            trace, result = record_trace(config, policy)
+            digest = result.digest()
+            if args.digest_out:
+                Path(args.digest_out).write_text(
+                    json.dumps(
+                        {"digest": digest, "experiment": config.name,
+                         "policy": policy.label, "seed": config.seed},
+                        indent=2, sort_keys=True,
+                    ) + "\n",
+                    encoding="utf-8",
+                )
+            print(f"recorded {len(trace)} arrivals; digest {digest}", file=sys.stderr)
+        else:
+            if args.digest_out:
+                print(
+                    "error: --digest-out applies to 'record' mode only",
+                    file=sys.stderr,
+                )
+                return 2
+            from repro.experiments.config import DEFAULT_SEED
+
+            consumers = tuple(
+                c.strip() for c in (args.consumers or "seti,proteins,einstein").split(",")
+                if c.strip()
+            )
+            params = {}
+            for raw in args.param or ():
+                name, sep, value = raw.partition("=")
+                if not sep:
+                    raise ValueError(
+                        f"bad --param {raw!r}; expected NAME=VALUE"
+                    )
+                params[name.strip()] = float(value)
+            trace = TraceSpec(
+                name=f"{args.shape}-{args.duration:g}s",
+                shape=args.shape,
+                duration=args.duration,
+                seed=DEFAULT_SEED if args.seed is None else args.seed,
+                base_rate=args.base_rate,
+                params=params,
+                consumers=consumers,
+            )
+            n = len(trace.materialize())
+            print(f"{args.shape}: {n} arrivals over {args.duration:g}s", file=sys.stderr)
+    except OSError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    except (ValueError, TypeError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    if args.output:
+        trace.save(args.output)
+        print(f"trace written to {args.output}")
+    else:
+        print(trace.to_json(), end="")
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """``sbqa serve``: the long-lived serving mode (docs/serving.md)."""
+    import json
+
+    from repro.serve.admission import AdmissionConfig
+    from repro.serve.engine import ServeEngine
+    from repro.workloads.traces import TraceSpec
+
+    try:
+        config, policy = _serve_config(args)
+        if args.replay is not None:
+            if args.trace or args.read_stdin:
+                print(
+                    "error: --replay is a batch parity check; it takes no "
+                    "--trace/--stdin feeds",
+                    file=sys.stderr,
+                )
+                return 2
+            trace = TraceSpec.load(args.replay)
+            engine = ServeEngine(config, policy)
+            result = engine.replay(trace)
+            payload = {
+                "digest": result.digest(),
+                "trace": trace.name,
+                "arrivals": len(trace.materialize(engine.consumer_ids())),
+                "policy": policy.label,
+                "seed": config.seed,
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            if args.digest_out:
+                Path(args.digest_out).write_text(
+                    json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8",
+                )
+                print(f"digest written to {args.digest_out}", file=sys.stderr)
+            return 0
+        if args.digest_out:
+            print(
+                "error: --digest-out applies to --replay mode only; live "
+                "sessions flush SERVE_FINAL (with digest) on shutdown",
+                file=sys.stderr,
+            )
+            return 2
+        admission = AdmissionConfig(
+            queue_capacity=args.queue_capacity,
+            shed_policy=args.shed_policy,
+            rate_limit=args.rate_limit,
+            burst=args.burst,
+        )
+        engine = ServeEngine(config, policy, admission=admission)
+        trace = TraceSpec.load(args.trace) if args.trace else None
+        from repro.serve.server import ServeServer
+
+        server = ServeServer(
+            engine,
+            host=args.host,
+            port=None if args.port < 0 else args.port,
+            speed=args.speed,
+            tick_interval=args.tick,
+            trace=trace,
+            read_stdin=args.read_stdin,
+            exit_when_done=args.exit_when_done,
+        )
+    except OSError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    except (ValueError, TypeError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    server.run()
+    return 0
+
+
 def _run_bench(args: argparse.Namespace) -> int:
     """``sbqa bench``: the core hot-path bench (see docs/performance.md)."""
+    if args.serve:
+        from repro.perf.servebench import format_serve_report, run_serve_bench, write_serve_record
+
+        record = run_serve_bench(smoke=args.smoke, repeats=args.repeats)
+        print(format_serve_report(record))
+        if args.json_out:
+            write_serve_record(record, args.json_out)
+            print(f"\nbench record written to {args.json_out}")
+        return 0
+
     from repro.perf.hotpath import format_report, run_bench, write_record
 
     record = run_bench(
@@ -879,6 +1222,10 @@ def _dispatch(argv: Optional[List[str]]) -> int:
         return _run_tune(args)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "workload":
+        return _run_workload(args)
+    if args.command == "serve":
+        return _run_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -44,6 +44,20 @@ from repro.workloads.boinc import BoincPopulation, build_boinc_population
 from repro.workloads.preferences import ARCHETYPES
 
 
+class WorkloadInstaller:
+    """Protocol of pluggable workloads accepted by :func:`wire_run`.
+
+    ``install`` is called exactly where the default Poisson block would
+    run (after mediation wiring, before autonomy), and must arrange for
+    queries to be issued through ``Consumer.issue`` -- by pre-scheduled
+    replay chains (:class:`repro.workloads.traces.TraceWorkload`) or by
+    an open ingress that schedules injections later (``repro.serve``).
+    """
+
+    def install(self, sim, population, config, root) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
 @dataclass
 class RunResult:
     """Everything one run produced (summary + raw access for analysis)."""
@@ -59,6 +73,19 @@ class RunResult:
     @property
     def registry(self):
         return self.population.registry
+
+    def digest(self) -> str:
+        """Canonical allocation digest of this run (hex SHA-256).
+
+        Delegates to :func:`repro.metrics.summary.summary_digest`: two
+        runs agree iff every aggregate *and* per-consumer outcome in the
+        summary is bit-identical -- the equivalence bar the engine
+        parity tests use, now shared with trace replay and ``sbqa
+        serve``.
+        """
+        from repro.metrics.summary import summary_digest
+
+        return summary_digest(self.summary)
 
     def participant_satisfaction(self, participant_id: str) -> float:
         """Final satisfaction of one participant (consumer or provider)."""
@@ -115,10 +142,19 @@ class LiveRun:
         return self.sim.now >= self.config.duration
 
     def step_until(self, t: float) -> "LiveRun":
-        """Advance the simulation to time ``t`` (clamped to the horizon)."""
+        """Advance the simulation to time ``t`` (clamped to the horizon).
+
+        A target at or before the current simulation time is a no-op:
+        the serve loop drives this from a wall-clock ticker whose
+        mapped targets can repeat or even regress between ticks, and a
+        zero-width step must neither raise nor disturb the event queue.
+        """
         if self._result is not None:
             raise RuntimeError("run already finalized")
-        self.sim.run_until(min(float(t), self.config.duration))
+        target = min(float(t), self.config.duration)
+        if target <= self.sim.now:
+            return self
+        self.sim.run_until(target)
         return self
 
     def finalize(self) -> RunResult:
@@ -152,11 +188,19 @@ def wire_run(
     policy_spec: PolicySpec,
     replication: int = 0,
     trace: TraceRecorder = NULL_RECORDER,
+    workload: Optional["WorkloadInstaller"] = None,
 ) -> LiveRun:
     """Assemble one simulation run without executing it.
 
     Deterministic in all arguments; ``run_once`` is exactly
     ``wire_run(...).finalize()``.
+
+    ``workload`` replaces the default closed-loop Poisson arrival
+    processes with a custom installer (trace replay, the serve
+    subsystem's open ingress); everything else -- population draw,
+    mediation, autonomy, measurement -- is wired identically, so a
+    workload that reproduces the default's arrival instants reproduces
+    the whole run bit-for-bit.
     """
     root = spawn_replication_root(config.seed, replication)
 
@@ -195,27 +239,32 @@ def wire_run(
             consumer.on_timeout(hub.record_timeout)
 
     # 4. workload ---------------------------------------------------------
-    total_capacity = registry.total_capacity(online_only=False)
-    rate_scale_of: Dict[str, float] = {
-        project.name: project.rate_scale for project in config.population.projects
-    }
-    focal_consumer = config.population.focal_consumer
-    if focal_consumer is not None:
-        rate_scale_of[focal_consumer.participant_id] = focal_consumer.rate_scale
-    for consumer in population.consumers:
-        cid = consumer.participant_id
-        demand = config.population.make_demand_model(
-            root.stream(f"workload/demand/{cid}")
-        )
-        arrivals = PoissonArrivals(
-            sim,
-            consumer,
-            demand,
-            rate=config.population.arrival_rate(total_capacity, rate_scale_of.get(cid, 1.0)),
-            stream=root.stream(f"workload/arrivals/{cid}"),
-            horizon=config.duration,
-        )
-        arrivals.start()
+    if workload is not None:
+        workload.install(sim=sim, population=population, config=config, root=root)
+    else:
+        total_capacity = registry.total_capacity(online_only=False)
+        rate_scale_of: Dict[str, float] = {
+            project.name: project.rate_scale for project in config.population.projects
+        }
+        focal_consumer = config.population.focal_consumer
+        if focal_consumer is not None:
+            rate_scale_of[focal_consumer.participant_id] = focal_consumer.rate_scale
+        for consumer in population.consumers:
+            cid = consumer.participant_id
+            demand = config.population.make_demand_model(
+                root.stream(f"workload/demand/{cid}")
+            )
+            arrivals = PoissonArrivals(
+                sim,
+                consumer,
+                demand,
+                rate=config.population.arrival_rate(
+                    total_capacity, rate_scale_of.get(cid, 1.0)
+                ),
+                stream=root.stream(f"workload/arrivals/{cid}"),
+                horizon=config.duration,
+            )
+            arrivals.start()
 
     # 5. autonomy ---------------------------------------------------------
     autonomy = config.autonomy

@@ -10,14 +10,25 @@
   of one simulation run that scenario reports and benches consume.
 """
 
-from repro.metrics.series import TimeSeries
+from repro.metrics.series import DEFAULT_QUANTILES, P2Quantile, QuantileSet, TimeSeries
 from repro.metrics.collectors import MetricsHub
-from repro.metrics.summary import ConsumerSummary, RunSummary, build_summary
+from repro.metrics.summary import (
+    ConsumerSummary,
+    RunSummary,
+    build_summary,
+    summary_digest,
+    summary_payload,
+)
 
 __all__ = [
     "TimeSeries",
+    "P2Quantile",
+    "QuantileSet",
+    "DEFAULT_QUANTILES",
     "MetricsHub",
     "RunSummary",
     "ConsumerSummary",
     "build_summary",
+    "summary_digest",
+    "summary_payload",
 ]

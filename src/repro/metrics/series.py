@@ -1,8 +1,12 @@
-"""Append-only time series with the handful of operations reports need."""
+"""Append-only time series with the handful of operations reports need,
+plus constant-memory streaming quantile accumulators (P²) for the
+long-lived serving mode, where holding every response time in a list --
+what :class:`~repro.metrics.collectors.MetricsHub` does for finite runs
+-- would grow without bound."""
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 
 class TimeSeries:
@@ -90,3 +94,175 @@ class TimeSeries:
 
     def __repr__(self) -> str:
         return f"TimeSeries({self.name!r}, n={len(self)}, last={self.last})"
+
+
+class P2Quantile:
+    """Streaming quantile estimate via the P² algorithm (Jain &
+    Chlamtac, CACM 1985): five markers, O(1) memory and update.
+
+    Exact (it simply sorts) until five observations have arrived; after
+    that the markers track the target quantile with parabolic
+    interpolation.  Accuracy is ample for live dashboards -- the serve
+    subsystem's ``/metrics`` endpoint feeds every response time and
+    ingress latency through one of these instead of keeping unbounded
+    sample lists.
+    """
+
+    __slots__ = ("q", "_heights", "_positions", "_desired", "_increments", "_count")
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        self.q = float(q)
+        self._heights: List[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def add(self, x: float) -> None:
+        """Fold one observation into the estimate."""
+        x = float(x)
+        self._count += 1
+        heights = self._heights
+        if self._count <= 5:
+            heights.append(x)
+            heights.sort()
+            return
+
+        # locate the cell k with q[k] <= x < q[k+1], stretching extremes
+        if x < heights[0]:
+            heights[0] = x
+            k = 0
+        elif x >= heights[4]:
+            heights[4] = x
+            k = 3
+        else:
+            k = 0
+            while k < 3 and x >= heights[k + 1]:
+                k += 1
+
+        positions = self._positions
+        for i in range(k + 1, 5):
+            positions[i] += 1.0
+        desired = self._desired
+        for i in range(5):
+            desired[i] += self._increments[i]
+
+        # adjust the three middle markers towards their desired positions
+        for i in (1, 2, 3):
+            d = desired[i] - positions[i]
+            if (d >= 1.0 and positions[i + 1] - positions[i] > 1.0) or (
+                d <= -1.0 and positions[i - 1] - positions[i] < -1.0
+            ):
+                step = 1.0 if d >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, step)
+                positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
+
+    def value(self) -> Optional[float]:
+        """Current estimate (None when empty; exact for n <= 5)."""
+        count = self._count
+        if count == 0:
+            return None
+        heights = self._heights
+        if count <= 5:
+            # exact: linear-interpolated order statistic over the
+            # sorted buffer, matching numpy's default percentile
+            rank = self.q * (count - 1)
+            lo = int(rank)
+            hi = min(lo + 1, count - 1)
+            frac = rank - lo
+            return heights[lo] * (1.0 - frac) + heights[hi] * frac
+        return heights[2]
+
+    def __repr__(self) -> str:
+        value = self.value()
+        shown = "none" if value is None else f"{value:.6g}"
+        return f"P2Quantile(q={self.q}, n={self._count}, value={shown})"
+
+
+#: The quantile set live serving dashboards report.
+DEFAULT_QUANTILES = (0.50, 0.95, 0.99)
+
+
+class QuantileSet:
+    """A named bundle of :class:`P2Quantile` accumulators over one
+    stream of observations (p50/p95/p99 by default), with min/max/mean
+    tracked exactly."""
+
+    __slots__ = ("name", "_accumulators", "_count", "_total", "_min", "_max")
+
+    def __init__(
+        self, name: str, quantiles: Sequence[float] = DEFAULT_QUANTILES
+    ) -> None:
+        if not quantiles:
+            raise ValueError("need at least one quantile")
+        self.name = name
+        self._accumulators = [P2Quantile(q) for q in quantiles]
+        self._count = 0
+        self._total = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def add(self, x: float) -> None:
+        """Fold one observation into every tracked quantile."""
+        x = float(x)
+        self._count += 1
+        self._total += x
+        if self._min is None or x < self._min:
+            self._min = x
+        if self._max is None or x > self._max:
+            self._max = x
+        for accumulator in self._accumulators:
+            accumulator.add(x)
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._total / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate for one tracked quantile (KeyError if untracked)."""
+        for accumulator in self._accumulators:
+            if accumulator.q == q:
+                return accumulator.value()
+        raise KeyError(f"quantile {q} is not tracked by {self.name!r}")
+
+    def snapshot(self) -> Dict[str, Optional[float]]:
+        """JSON-friendly view: count, mean, min/max and every quantile
+        keyed as ``p50`` / ``p95`` / ``p99`` (trailing zeros trimmed)."""
+        out: Dict[str, Optional[float]] = {
+            "count": self._count,
+            "mean": self.mean if self._count else None,
+            "min": self._min,
+            "max": self._max,
+        }
+        for accumulator in self._accumulators:
+            key = f"{accumulator.q * 100:g}".replace(".", "_")
+            out[f"p{key}"] = accumulator.value()
+        return out
+
+    def __repr__(self) -> str:
+        tracked = ", ".join(f"{a.q:g}" for a in self._accumulators)
+        return f"QuantileSet({self.name!r}, n={self._count}, q=[{tracked}])"

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional
 
@@ -129,6 +131,37 @@ class RunSummary:
             "coordination_messages": self.coordination_messages,
             "mean_consultation_delay": self.mean_consultation_delay,
         }
+
+
+def summary_payload(summary: "RunSummary") -> Dict[str, object]:
+    """The digestable content of one run: flat aggregates plus the
+    per-consumer breakdown, all JSON scalars, in deterministic order."""
+    payload = summary.as_dict()
+    payload["consumers"] = [
+        {
+            "consumer_id": c.consumer_id,
+            "online": c.online,
+            "satisfaction": c.satisfaction,
+            "issued": c.issued,
+            "completed": c.completed,
+            "failed": c.failed,
+            "mean_response_time": c.mean_response_time,
+        }
+        for c in summary.consumers
+    ]
+    return payload
+
+
+def summary_digest(summary: "RunSummary") -> str:
+    """Hex SHA-256 over the canonical JSON of :func:`summary_payload`.
+
+    Float values are serialized through ``repr`` (via ``json.dumps``),
+    so two digests agree only when every satisfaction, response-time
+    and utilization figure matches to the last ulp -- the "bit-for-bit"
+    equivalence bar used by engine parity and trace-replay parity.
+    """
+    text = json.dumps(summary_payload(summary), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 def build_summary(

@@ -1,0 +1,194 @@
+"""Serving-subsystem bench: open-loop throughput and ingress delay.
+
+Measures what the batch benches cannot: the serve path end-to-end --
+admission, per-consumer injection chains, incremental ``step_until``
+advancement and streaming quantile accounting -- under the three
+synthetic trace shapes of :mod:`repro.workloads.traces`.  For each
+shape the whole trace is streamed (arrivals submitted as the clock
+reaches them, in horizon-sized chunks) and the wall-clock cost of
+serving it is timed; the figure of merit is sustained open-loop
+queries/second, with the P² ingress-delay and response-time quantiles
+reported alongside.
+
+A replay-parity check rides along, mirroring the core bench's digest
+check: a trace recorded from a closed run is replayed through the serve
+path and the digests must match bit-for-bit.
+
+Shared by ``sbqa bench --serve`` and the standalone
+``benchmarks/bench_serve_throughput.py`` (the BENCH_serve.json writer).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Dict, Optional
+
+from repro.experiments.config import ExperimentConfig, PolicySpec
+from repro.workloads.boinc import BoincScenarioParams
+from repro.workloads.traces import TraceSpec, record_trace
+
+BENCH_VERSION = 1
+
+#: The synthetic shapes the bench sweeps.
+SHAPES = ("diurnal", "flash-crowd", "heavy-tail")
+
+#: Consumer population of the benched traces (the paper's projects).
+CONSUMERS = ("seti", "proteins", "einstein")
+
+
+def _bench_config(duration: float, n_providers: int) -> ExperimentConfig:
+    return ExperimentConfig(
+        name="serve-bench",
+        duration=duration,
+        population=BoincScenarioParams(n_providers=n_providers),
+    )
+
+
+def measure_shape(
+    shape: str,
+    duration: float,
+    base_rate: float,
+    n_providers: int,
+    repeats: int,
+    chunk: float = 5.0,
+) -> Dict[str, object]:
+    """Serve one synthetic trace end-to-end; best-of-``repeats`` timing."""
+    from repro.serve.engine import ServeEngine
+
+    trace = TraceSpec(
+        name=f"bench-{shape}",
+        shape=shape,
+        duration=duration,
+        base_rate=base_rate,
+        consumers=CONSUMERS,
+    )
+    arrivals = trace.materialize()
+    best: Optional[float] = None
+    engine = None
+    for _ in range(max(1, repeats)):
+        engine = ServeEngine(
+            _bench_config(duration, n_providers), PolicySpec(name="sbqa")
+        )
+        start = time.perf_counter()
+        index = 0
+        target = 0.0
+        while target < duration:
+            target = min(target + chunk, duration)
+            while index < len(arrivals) and arrivals[index].time <= target:
+                a = arrivals[index]
+                engine.submit(
+                    a.consumer_id,
+                    service_demand=a.service_demand,
+                    topic=a.topic,
+                    n_results=a.n_results,
+                    quorum=a.quorum,
+                    at=a.time,
+                )
+                index += 1
+            engine.advance_to(target)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    snapshot = engine.metrics_snapshot()
+    issued = snapshot["queries"]["issued"]
+    return {
+        "arrivals": len(arrivals),
+        "issued": issued,
+        "completed": snapshot["queries"]["completed"],
+        "sim_seconds": duration,
+        "wall_seconds": best,
+        "queries_per_s": issued / best if best else 0.0,
+        "sim_time_ratio": duration / best if best else 0.0,
+        "ingress_delay": snapshot["latency"]["ingress_delay"],
+        "response_time": snapshot["latency"]["response_time"],
+    }
+
+
+def check_replay_parity(duration: float, n_providers: int) -> Dict[str, object]:
+    """Record a closed run, replay it through the serve path, compare."""
+    from repro.serve.engine import ServeEngine
+
+    config = _bench_config(duration, n_providers)
+    policy = PolicySpec(name="sbqa")
+    trace, batch = record_trace(config, policy)
+    served = ServeEngine(config, policy).replay(trace)
+    return {
+        "identical": batch.digest() == served.digest(),
+        "sha256": batch.digest(),
+        "arrivals": len(trace),
+    }
+
+
+def run_serve_bench(
+    smoke: bool = False, repeats: Optional[int] = None
+) -> Dict[str, object]:
+    """Run the whole serve bench; returns the BENCH_serve.json record."""
+    if repeats is None:
+        repeats = 1 if smoke else 2
+    duration = 120.0 if smoke else 600.0
+    base_rate = 2.0 if smoke else 4.0
+    n_providers = 50 if smoke else 120
+    parity_duration = 120.0 if smoke else 300.0
+
+    shapes = {
+        shape: measure_shape(
+            shape,
+            duration=duration,
+            base_rate=base_rate,
+            n_providers=n_providers,
+            repeats=repeats,
+        )
+        for shape in SHAPES
+    }
+    return {
+        "bench_version": BENCH_VERSION,
+        "bench": "serve_throughput",
+        "mode": "smoke" if smoke else "full",
+        "python": platform.python_version(),
+        "scenario": {
+            "n_providers": n_providers,
+            "consumers": list(CONSUMERS),
+            "sim_seconds": duration,
+            "base_rate": base_rate,
+            "repeats": repeats,
+        },
+        "shapes": shapes,
+        "parity": check_replay_parity(parity_duration, n_providers),
+    }
+
+
+def format_serve_report(record: Dict[str, object]) -> str:
+    """Human-readable rendering of one serve bench record."""
+    lines = [
+        f"serve throughput bench ({record['mode']}, python {record['python']})",
+        "",
+        "  shape            queries/s   sim-time ratio   p99 ingress   p99 rt",
+    ]
+    for shape, row in record["shapes"].items():
+        ingress = row["ingress_delay"].get("p99")
+        rt = row["response_time"].get("p99")
+        lines.append(
+            f"  {shape:<14} {row['queries_per_s']:>11,.0f} "
+            f"{row['sim_time_ratio']:>14,.0f}x "
+            f"{'-' if ingress is None else format(ingress, '11.3g') + 's':>13} "
+            f"{'-' if rt is None else format(rt, '7.3g') + 's':>9}"
+        )
+    parity = record["parity"]
+    status = "identical" if parity["identical"] else "DIVERGED"
+    lines += [
+        "",
+        f"  serve/batch digests: {status} "
+        f"({parity['arrivals']} replayed arrivals, "
+        f"sha256 {str(parity['sha256'])[:12]}...)",
+    ]
+    return "\n".join(lines)
+
+
+def write_serve_record(record: Dict[str, object], path) -> None:
+    """Write one serve bench record as stable, diff-friendly JSON."""
+    from pathlib import Path
+
+    text = json.dumps(record, indent=2, sort_keys=True) + "\n"
+    Path(path).write_text(text, encoding="utf-8")

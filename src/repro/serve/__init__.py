@@ -1,0 +1,35 @@
+"""The long-lived serving mode: ``sbqa serve``.
+
+Everything else in this repository runs *closed* experiments -- wire a
+run, execute to a horizon, report.  This package keeps one wired run
+**open**: queries arrive from outside (an HTTP endpoint, a JSONL
+stream, or a trace replayed open-loop), wall-clock time is mapped onto
+simulation time, and the mediator's state can be observed while it
+serves.
+
+* :mod:`repro.serve.admission` -- bounded ingress with explicit drop
+  accounting: queue capacity, shed policy (drop-newest / drop-oldest)
+  and per-consumer token-bucket rate limits;
+* :mod:`repro.serve.engine` -- :class:`ServeEngine`, the bridge between
+  an open ingress and the batch kernel's :class:`~repro.experiments.
+  runner.LiveRun`: per-consumer injection chains that mirror trace
+  replay exactly, so an open-loop replay of a recorded trace reproduces
+  the batch digest bit-for-bit;
+* :mod:`repro.serve.dashboard` -- the rolling-satisfaction ASCII view;
+* :mod:`repro.serve.server` -- the asyncio front-end (HTTP ``POST
+  /submit`` / ``GET /metrics`` / ``GET /dashboard``, stdin JSONL mode,
+  graceful SIGTERM draining).
+"""
+
+from repro.serve.admission import AdmissionConfig, AdmissionController, DropStats
+from repro.serve.engine import ServeEngine, ServeMetrics
+from repro.serve.dashboard import render_dashboard
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "DropStats",
+    "ServeEngine",
+    "ServeMetrics",
+    "render_dashboard",
+]

@@ -1,0 +1,177 @@
+"""Ingress admission control for the serving mode.
+
+A long-lived server cannot assume the well-behaved closed-loop sources
+of the batch experiments: traffic may exceed what the provider pool can
+absorb, one consumer may flood out the others, and an unbounded backlog
+would just convert overload into unbounded latency.  This module makes
+the overload behaviour explicit and *accounted*:
+
+* a bounded ingress queue (``queue_capacity``) with a shed policy --
+  ``drop-newest`` rejects the incoming query, ``drop-oldest`` evicts
+  the longest-waiting pending query to make room;
+* per-consumer token-bucket rate limits clocked on **simulation**
+  arrival time, so admission decisions are deterministic and
+  replayable (wall-clock never enters the decision);
+* :class:`DropStats`: every drop is counted by reason and by consumer,
+  and surfaced through ``/metrics`` -- the serving mode never sheds
+  silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: Shed policies of a full ingress queue.
+SHED_POLICIES = ("drop-newest", "drop-oldest")
+
+#: Drop reasons reported by :class:`DropStats`.
+REASON_QUEUE_FULL = "queue-full"
+REASON_RATE_LIMITED = "rate-limited"
+REASON_UNKNOWN_CONSUMER = "unknown-consumer"
+REASON_PAST_HORIZON = "past-horizon"
+REASON_CONSUMER_OFFLINE = "consumer-offline"
+REASON_SHED_OLDEST = "shed-oldest"
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Ingress limits of one serving session.
+
+    The defaults admit everything -- unbounded queue, no rate limit --
+    which is also what open-loop trace replay requires for digest
+    parity (an admission drop would change the workload the mediator
+    sees).
+    """
+
+    #: Maximum pending (admitted but not yet issued) queries across all
+    #: consumers; ``None`` = unbounded.
+    queue_capacity: Optional[int] = None
+    #: What to do when the queue is full: reject the incoming query
+    #: (``drop-newest``) or evict the longest-waiting pending one
+    #: (``drop-oldest``).
+    shed_policy: str = "drop-newest"
+    #: Sustained per-consumer admission rate (queries/second of
+    #: simulation time); ``None`` = unlimited.
+    rate_limit: Optional[float] = None
+    #: Token-bucket depth of the rate limiter: how many queries one
+    #: consumer may burst above the sustained rate.
+    burst: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity is not None and self.queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1 or None, got {self.queue_capacity}"
+            )
+        if self.shed_policy not in SHED_POLICIES:
+            raise ValueError(
+                f"unknown shed policy {self.shed_policy!r}; valid: "
+                f"{', '.join(SHED_POLICIES)}"
+            )
+        if self.rate_limit is not None and self.rate_limit <= 0:
+            raise ValueError(f"rate_limit must be positive, got {self.rate_limit}")
+        if self.burst < 1.0:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+
+
+@dataclass
+class DropStats:
+    """Explicit accounting of everything the ingress did not serve."""
+
+    submitted: int = 0
+    admitted: int = 0
+    dropped: int = 0
+    by_reason: Dict[str, int] = field(default_factory=dict)
+    by_consumer: Dict[str, int] = field(default_factory=dict)
+
+    def record_drop(self, consumer_id: str, reason: str) -> None:
+        self.dropped += 1
+        self.by_reason[reason] = self.by_reason.get(reason, 0) + 1
+        self.by_consumer[consumer_id] = self.by_consumer.get(consumer_id, 0) + 1
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON view for ``/metrics``."""
+        return {
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "dropped": self.dropped,
+            "by_reason": dict(sorted(self.by_reason.items())),
+            "by_consumer": dict(sorted(self.by_consumer.items())),
+        }
+
+
+class _TokenBucket:
+    """One consumer's rate limiter, clocked on simulation time."""
+
+    __slots__ = ("tokens", "last")
+
+    def __init__(self, burst: float, now: float) -> None:
+        self.tokens = burst
+        self.last = now
+
+    def try_take(self, now: float, rate: float, burst: float) -> bool:
+        if now > self.last:
+            self.tokens = min(burst, self.tokens + rate * (now - self.last))
+            self.last = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class AdmissionController:
+    """Applies an :class:`AdmissionConfig` to a stream of submissions.
+
+    The controller owns the *decision* only; the serve engine owns the
+    pending queues, tells the controller the current backlog, and
+    executes evictions when the verdict is ``drop-oldest``.
+    """
+
+    def __init__(self, config: AdmissionConfig) -> None:
+        self.config = config
+        self.stats = DropStats()
+        self._buckets: Dict[str, _TokenBucket] = {}
+
+    def decide(
+        self, consumer_id: str, sim_time: float, backlog: int
+    ) -> Tuple[str, Optional[str]]:
+        """One admission decision.
+
+        Returns ``(verdict, reason)`` where verdict is ``"admit"``,
+        ``"drop"`` (reason says why), or ``"evict-oldest"`` -- admit
+        this query *after* the engine evicts the longest-waiting
+        pending one.  Counting of the submission happens here; counting
+        of the drop is the caller's job via :meth:`drop` (the eviction
+        verdict drops a different query than the one submitted).
+        """
+        self.stats.submitted += 1
+        limit = self.config.rate_limit
+        if limit is not None:
+            bucket = self._buckets.get(consumer_id)
+            if bucket is None:
+                bucket = self._buckets[consumer_id] = _TokenBucket(
+                    self.config.burst, sim_time
+                )
+            if not bucket.try_take(sim_time, limit, self.config.burst):
+                return "drop", REASON_RATE_LIMITED
+        capacity = self.config.queue_capacity
+        if capacity is not None and backlog >= capacity:
+            if self.config.shed_policy == "drop-oldest":
+                return "evict-oldest", None
+            return "drop", REASON_QUEUE_FULL
+        return "admit", None
+
+    def admit(self) -> None:
+        """Record one admitted query (after queue insertion succeeded)."""
+        self.stats.admitted += 1
+
+    def drop(self, consumer_id: str, reason: str) -> None:
+        """Record one dropped query with its reason."""
+        self.stats.record_drop(consumer_id, reason)
+
+    def __repr__(self) -> str:
+        s = self.stats
+        return (
+            f"AdmissionController(submitted={s.submitted}, admitted={s.admitted}, "
+            f"dropped={s.dropped})"
+        )

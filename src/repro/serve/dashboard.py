@@ -1,0 +1,100 @@
+"""Rolling-satisfaction ASCII dashboard for the serving mode.
+
+The demo prototype's "drawing results on-line" window, as text: a
+sparkline of the sampled consumer-satisfaction series, the live
+counters, per-consumer satisfaction bars and the admission accounting.
+Rendered from a :meth:`~repro.serve.engine.ServeEngine.metrics_snapshot`
+plus the hub's satisfaction series, so ``GET /dashboard`` and the
+terminal ticker share one code path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Sparkline ramp, lowest to highest.
+_SPARK = " .:-=+*#%@"
+
+#: Width of the satisfaction bars.
+_BAR_WIDTH = 24
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Map ``values`` in [0, 1] onto one line of density characters
+    (most recent ``width`` samples)."""
+    if not values:
+        return "(no samples yet)"
+    tail = list(values)[-width:]
+    steps = len(_SPARK) - 1
+    out = []
+    for v in tail:
+        clamped = 0.0 if v < 0.0 else (1.0 if v > 1.0 else v)
+        out.append(_SPARK[round(clamped * steps)])
+    return "".join(out)
+
+
+def bar(value: float, width: int = _BAR_WIDTH) -> str:
+    """A ``[####....]`` gauge of a value in [0, 1]."""
+    clamped = 0.0 if value < 0.0 else (1.0 if value > 1.0 else value)
+    filled = round(clamped * width)
+    return "[" + "#" * filled + "." * (width - filled) + "]"
+
+
+def _fmt(value: Optional[float], digits: int = 3) -> str:
+    return "-" if value is None else f"{value:.{digits}g}"
+
+
+def render_dashboard(
+    snapshot: Dict[str, object],
+    satisfaction_history: Sequence[float] = (),
+    per_consumer: Sequence[Tuple[str, float]] = (),
+    width: int = 60,
+) -> str:
+    """The dashboard as one multi-line string.
+
+    ``snapshot`` is a :meth:`ServeEngine.metrics_snapshot` document;
+    ``satisfaction_history`` the sampled consumer-satisfaction values
+    (``hub.consumer_satisfaction.values``); ``per_consumer`` optional
+    ``(consumer_id, satisfaction)`` rows.
+    """
+    queries = snapshot.get("queries", {})
+    sat = snapshot.get("satisfaction", {})
+    admission = snapshot.get("admission", {})
+    latency = snapshot.get("latency", {})
+    rt = latency.get("response_time", {}) if isinstance(latency, dict) else {}
+
+    lines: List[str] = []
+    lines.append(
+        f"sbqa serve :: policy={snapshot.get('policy', '?')}  "
+        f"t={_fmt(snapshot.get('sim_time'), 6)}s / "
+        f"{_fmt(snapshot.get('horizon'), 6)}s  backlog={snapshot.get('backlog', 0)}"
+    )
+    lines.append(
+        f"queries    issued={queries.get('issued', 0)}  "
+        f"completed={queries.get('completed', 0)}  "
+        f"failed={queries.get('failed', 0)}  "
+        f"timed_out={queries.get('timed_out', 0)}"
+    )
+    lines.append(
+        f"latency    rt p50={_fmt(rt.get('p50'))}s  p95={_fmt(rt.get('p95'))}s  "
+        f"p99={_fmt(rt.get('p99'))}s"
+    )
+    lines.append(
+        f"admission  submitted={admission.get('submitted', 0)}  "
+        f"admitted={admission.get('admitted', 0)}  "
+        f"dropped={admission.get('dropped', 0)}"
+    )
+    reasons = admission.get("by_reason") if isinstance(admission, dict) else None
+    if reasons:
+        detail = "  ".join(f"{reason}={count}" for reason, count in reasons.items())
+        lines.append(f"           {detail}")
+    consumer_now = sat.get("consumer_now")
+    if consumer_now is not None:
+        lines.append(
+            f"satisfaction (consumers) {bar(consumer_now)} {_fmt(consumer_now)}"
+        )
+    lines.append("rolling satisfaction:")
+    lines.append("  " + sparkline(satisfaction_history, width=width))
+    for consumer_id, value in per_consumer:
+        lines.append(f"  {consumer_id:<12} {bar(value)} {_fmt(value)}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,330 @@
+"""The asyncio front-end of ``sbqa serve``.
+
+One :class:`ServeServer` owns a :class:`~repro.serve.engine.ServeEngine`
+and exposes it three ways, all on one event loop:
+
+* **HTTP** (hand-rolled over ``asyncio.start_server`` -- the toolchain
+  has no web framework and does not need one for four endpoints):
+  ``POST /submit`` offers a query, ``GET /metrics`` returns the JSON
+  snapshot, ``GET /dashboard`` the ASCII view, ``GET /healthz`` a
+  liveness probe;
+* **stdin JSONL**: one submission object per line, for piping
+  workload generators straight into the server;
+* **trace streaming**: a :class:`~repro.workloads.traces.TraceSpec`
+  whose arrivals are fed open-loop as the wall clock reaches them.
+
+A ticker maps wall-clock onto simulation time (``speed`` simulation
+seconds per wall second) and drives ``LiveRun.step_until``
+incrementally.  SIGTERM/SIGINT trigger a graceful shutdown: the ticker
+stops, the listener closes, and the final summary-so-far (with its
+digest and the admission accounting) is flushed as one JSON document.
+
+Startup prints ``SERVE_READY port=<n>`` on stdout so harnesses binding
+port 0 can discover the ephemeral port.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+from typing import Any, Dict, List, Optional, TextIO, Tuple
+
+from repro.serve.dashboard import render_dashboard
+from repro.serve.engine import ServeEngine
+from repro.workloads.traces import TraceArrival, TraceSpec
+
+#: Maximum accepted request body (bytes); submissions are tiny.
+MAX_BODY = 65536
+
+#: Fields a ``POST /submit`` (or stdin JSONL) object may carry.
+SUBMIT_FIELDS = frozenset(
+    {"consumer_id", "service_demand", "topic", "n_results", "quorum", "at"}
+)
+
+
+def parse_submission(data: Any) -> Dict[str, Any]:
+    """Validate one submission object; returns ``submit()`` kwargs."""
+    if not isinstance(data, dict):
+        raise ValueError(f"submission must be a JSON object, got {type(data).__name__}")
+    unknown = sorted(set(data) - SUBMIT_FIELDS)
+    if unknown:
+        raise ValueError(
+            f"unknown submission field(s): {', '.join(unknown)}. "
+            f"Valid fields: {', '.join(sorted(SUBMIT_FIELDS))}"
+        )
+    if "consumer_id" not in data:
+        raise ValueError("submission needs a 'consumer_id'")
+    return dict(data)
+
+
+class ServeServer:
+    """The serving loop: ticker + HTTP + optional stdin/trace feeds.
+
+    Parameters
+    ----------
+    engine:
+        The wired :class:`ServeEngine`.
+    host, port:
+        HTTP bind address; port 0 picks an ephemeral port (printed as
+        ``SERVE_READY port=<n>``).  ``port=None`` disables HTTP.
+    speed:
+        Simulation seconds advanced per wall-clock second.
+    tick_interval:
+        Wall seconds between ticker advances.
+    trace:
+        Optional trace streamed open-loop: each arrival is submitted
+        when the mapped simulation time reaches its instant.
+    read_stdin:
+        Accept JSONL submissions on stdin.
+    exit_when_done:
+        Stop once the horizon is reached and all feeds are drained
+        (how trace-driven smoke runs terminate on their own).
+    out:
+        Stream for the readiness line and the final flush (stdout).
+    """
+
+    def __init__(
+        self,
+        engine: ServeEngine,
+        host: str = "127.0.0.1",
+        port: Optional[int] = 0,
+        speed: float = 1.0,
+        tick_interval: float = 0.05,
+        trace: Optional[TraceSpec] = None,
+        read_stdin: bool = False,
+        exit_when_done: bool = False,
+        out: Optional[TextIO] = None,
+    ) -> None:
+        if speed <= 0:
+            raise ValueError(f"speed must be positive, got {speed}")
+        if tick_interval <= 0:
+            raise ValueError(f"tick_interval must be positive, got {tick_interval}")
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self.speed = float(speed)
+        self.tick_interval = float(tick_interval)
+        self.read_stdin = read_stdin
+        self.exit_when_done = exit_when_done
+        self.out = out if out is not None else sys.stdout
+        self.bound_port: Optional[int] = None
+        self.final_payload: Optional[Dict[str, Any]] = None
+        self._arrivals: Tuple[TraceArrival, ...] = ()
+        if trace is not None:
+            self._arrivals = trace.materialize(
+                consumer_ids=engine.consumer_ids()
+            )
+        self._next_arrival = 0
+        self._stop = asyncio.Event()
+        self._submit_errors = 0
+
+    # ------------------------------------------------------------------
+    # Feeds
+    # ------------------------------------------------------------------
+
+    def _submit(self, kwargs: Dict[str, Any]) -> Tuple[bool, Optional[str]]:
+        consumer_id = kwargs.pop("consumer_id")
+        return self.engine.submit(consumer_id, **kwargs)
+
+    def _feed_trace(self, target: float) -> None:
+        """Submit every trace arrival whose instant the clock reached."""
+        arrivals = self._arrivals
+        while self._next_arrival < len(arrivals):
+            arrival = arrivals[self._next_arrival]
+            if arrival.time > target:
+                break
+            self.engine.submit(
+                arrival.consumer_id,
+                service_demand=arrival.service_demand,
+                topic=arrival.topic,
+                n_results=arrival.n_results,
+                quorum=arrival.quorum,
+                at=arrival.time,
+            )
+            self._next_arrival += 1
+
+    async def _ticker(self) -> None:
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        while not self._stop.is_set():
+            await asyncio.sleep(self.tick_interval)
+            target = min((loop.time() - start) * self.speed, self.engine.horizon)
+            self._feed_trace(target)
+            self.engine.advance_to(target)
+            if (
+                self.exit_when_done
+                and self.engine.finished
+                and self._next_arrival >= len(self._arrivals)
+                and self.engine.backlog == 0
+            ):
+                self._stop.set()
+
+    async def _stdin_feed(self) -> None:
+        loop = asyncio.get_running_loop()
+        stdin = sys.stdin
+        while not self._stop.is_set():
+            line = await loop.run_in_executor(None, stdin.readline)
+            if not line:  # EOF: the producer is done
+                if self.exit_when_done and not self._arrivals:
+                    self._stop.set()
+                return
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                self._submit(parse_submission(json.loads(line)))
+            except (ValueError, TypeError):
+                self._submit_errors += 1
+
+    # ------------------------------------------------------------------
+    # HTTP
+    # ------------------------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, path, body = request
+            status, content_type, payload = self._route(method, path, body)
+            writer.write(
+                (
+                    f"HTTP/1.1 {status}\r\n"
+                    f"Content-Type: {content_type}\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode("ascii")
+                + payload
+            )
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - peer reset
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, bytes]]:
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        try:
+            method, path, _ = request_line.decode("ascii").split(" ", 2)
+        except ValueError:
+            return None
+        content_length = 0
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = min(int(value.strip()), MAX_BODY)
+                except ValueError:
+                    content_length = 0
+        body = await reader.readexactly(content_length) if content_length else b""
+        return method.upper(), path, body
+
+    def _route(self, method: str, path: str, body: bytes) -> Tuple[str, str, bytes]:
+        path = path.split("?", 1)[0]
+        if method == "GET" and path == "/metrics":
+            return self._json_response("200 OK", self.engine.metrics_snapshot())
+        if method == "GET" and path == "/dashboard":
+            hub = self.engine.live.hub
+            per_consumer = [
+                (c.participant_id, c.satisfaction)
+                for c in self.engine.live.population.consumers
+            ]
+            text = render_dashboard(
+                self.engine.metrics_snapshot(),
+                hub.consumer_satisfaction.values,
+                per_consumer,
+            )
+            return "200 OK", "text/plain; charset=utf-8", text.encode("utf-8")
+        if method == "GET" and path == "/healthz":
+            return self._json_response(
+                "200 OK", {"ok": True, "sim_time": self.engine.now}
+            )
+        if method == "POST" and path == "/submit":
+            try:
+                kwargs = parse_submission(json.loads(body.decode("utf-8")))
+            except (ValueError, TypeError, UnicodeDecodeError) as exc:
+                return self._json_response("400 Bad Request", {"error": str(exc)})
+            accepted, reason = self._submit(kwargs)
+            return self._json_response(
+                "200 OK" if accepted else "429 Too Many Requests",
+                {"accepted": accepted, "reason": reason, "sim_time": self.engine.now},
+            )
+        return self._json_response(
+            "404 Not Found", {"error": f"no route {method} {path}"}
+        )
+
+    @staticmethod
+    def _json_response(status: str, payload: Dict[str, Any]) -> Tuple[str, str, bytes]:
+        return (
+            status,
+            "application/json",
+            (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8"),
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Ask the loop to shut down gracefully (signal handlers)."""
+        self._stop.set()
+
+    async def serve(self) -> Dict[str, Any]:
+        """Run until stopped; returns (and flushes) the final payload."""
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.request_stop)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+
+        server = None
+        if self.port is not None:
+            server = await asyncio.start_server(
+                self._handle_client, host=self.host, port=self.port
+            )
+            self.bound_port = server.sockets[0].getsockname()[1]
+        self.out.write(f"SERVE_READY port={self.bound_port or 0}\n")
+        self.out.flush()
+
+        tasks = [asyncio.ensure_future(self._ticker())]
+        if self.read_stdin:
+            tasks.append(asyncio.ensure_future(self._stdin_feed()))
+
+        try:
+            await self._stop.wait()
+        finally:
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+
+        # the graceful flush: summary-so-far, digest, drop accounting
+        self.final_payload = self.engine.final_payload()
+        self.final_payload["submit_errors"] = self._submit_errors
+        self.out.write(
+            "SERVE_FINAL " + json.dumps(self.final_payload, sort_keys=True) + "\n"
+        )
+        self.out.flush()
+        return self.final_payload
+
+    def run(self) -> Dict[str, Any]:
+        """Blocking entry point (the CLI's)."""
+        return asyncio.run(self.serve())

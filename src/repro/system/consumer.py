@@ -128,6 +128,7 @@ class Consumer(Entity):
 
         self._mediator: Optional[Entity] = None
         self._rt_ewma: Dict[str, float] = {}
+        self._issue_listeners: List[Callable[["Query"], None]] = []
         self._completion_listeners: List[Callable[["AllocationRecord"], None]] = []
         self._timeout_listeners: List[Callable[["AllocationRecord"], None]] = []
         #: When set (seconds), a query whose results have not all arrived
@@ -168,6 +169,11 @@ class Consumer(Entity):
         """Subscribe ``hook(consumer)`` to online-state transitions."""
         if hook not in self._registry_hooks:
             self._registry_hooks.append(hook)
+
+    def on_issue(self, listener: Callable[["Query"], None]) -> None:
+        """Register a callback fired for every query this consumer issues
+        (arrival recorders; fired after the query is on the wire)."""
+        self._issue_listeners.append(listener)
 
     def on_completion(self, listener: Callable[["AllocationRecord"], None]) -> None:
         """Register a callback fired whenever one of this consumer's
@@ -248,6 +254,9 @@ class Consumer(Entity):
         )
         self.stats.queries_issued += 1
         self.network.send("query", self, self._mediator, payload=query)
+        if self._issue_listeners:
+            for listener in self._issue_listeners:
+                listener(query)
         return query
 
     #: Fast-engine direct delivery (see Entity.FAST_HANDLERS).

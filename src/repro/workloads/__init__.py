@@ -12,10 +12,23 @@
 * :mod:`repro.workloads.boinc` -- the demo's example scenario: three
   research projects (SETI@home-like popular, proteins@home-like normal,
   Einstein@home-like unpopular) and a heterogeneous volunteer
-  population, plus optional focal probe participants for Scenario 7.
+  population, plus optional focal probe participants for Scenario 7;
+* :mod:`repro.workloads.traces` -- arrivals as data: record the arrival
+  sequence of any closed run, synthesize diurnal / flash-crowd /
+  heavy-tail open-loop traffic, and replay either through the batch
+  engine (bit-identical digests) or through ``sbqa serve``.
 """
 
 from repro.workloads.arrivals import DeterministicArrivals, PoissonArrivals
+from repro.workloads.traces import (
+    TRACE_SHAPES,
+    ArrivalRecorder,
+    TraceArrival,
+    TraceSpec,
+    TraceWorkload,
+    record_trace,
+    replay_once,
+)
 from repro.workloads.queries import DemandModel, FixedDemand, LognormalDemand, ParetoDemand
 from repro.workloads.preferences import (
     ARCHETYPES,
@@ -51,4 +64,11 @@ __all__ = [
     "BoincPopulation",
     "build_boinc_population",
     "paper_projects",
+    "TRACE_SHAPES",
+    "TraceArrival",
+    "TraceSpec",
+    "TraceWorkload",
+    "ArrivalRecorder",
+    "record_trace",
+    "replay_once",
 ]

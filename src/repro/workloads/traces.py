@@ -1,0 +1,654 @@
+"""Trace-driven workloads: record, synthesize and replay query arrivals.
+
+Everything the batch engine runs is a *closed* workload: Poisson
+arrival processes wired at run assembly.  This module makes arrivals
+first-class data instead:
+
+* :class:`TraceArrival` -- one query arrival (instant, consumer, topic,
+  demand, replication) as a plain record;
+* :class:`TraceSpec` -- a JSON-round-trippable workload description,
+  either **recorded** (an explicit arrival list captured from a closed
+  run) or **synthetic** (``diurnal`` / ``flash-crowd`` / ``heavy-tail``
+  shapes generated deterministically from a seed by Lewis-Shedler
+  thinning or burst sampling);
+* :class:`ArrivalRecorder` / :func:`record_trace` -- capture every
+  arrival of a closed run through ``Consumer.on_issue``;
+* :class:`TraceWorkload` -- a :class:`~repro.experiments.runner.
+  WorkloadInstaller` that replays a trace through per-consumer event
+  chains which mirror :class:`~repro.workloads.arrivals.ArrivalProcess`
+  *exactly* (issue first, then schedule the successor), so replaying a
+  recorded trace reproduces the recording run's allocation digest
+  bit-for-bit -- the property ``repro.serve`` and the replay-parity
+  tests build on.
+
+Randomness never leaks between layers: synthetic generation draws from
+one named stream derived from the trace's own seed, and replay draws
+nothing at all, so the run's policy/population streams see the same
+values as in the recording run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import json
+
+from repro.des.rng import RandomRoot, RandomStream
+from repro.des.scheduler import Simulator
+
+#: Version tag of the serialized trace document.
+TRACE_VERSION = 1
+
+#: Workload shapes a spec may declare.
+TRACE_SHAPES = ("recorded", "diurnal", "flash-crowd", "heavy-tail")
+
+#: Synthetic shapes (everything but "recorded").
+SYNTHETIC_SHAPES = tuple(s for s in TRACE_SHAPES if s != "recorded")
+
+#: Default seed of synthetic traces (the library-wide seed).
+DEFAULT_TRACE_SEED = 20090301
+
+#: Per-shape generator parameters and their defaults.  ``None`` means
+#: "derived from the spec's duration at materialization time".
+SHAPE_PARAMS: Dict[str, Dict[str, Optional[float]]] = {
+    "diurnal": {"period": None, "amplitude": 0.8, "phase": -0.25},
+    "flash-crowd": {
+        "spike_start": None,
+        "spike_duration": None,
+        "spike_factor": 8.0,
+    },
+    "heavy-tail": {"alpha": 1.6, "burst_spacing": 0.05, "max_burst": 1000.0},
+}
+
+
+@dataclass(frozen=True)
+class TraceArrival:
+    """One query arrival: when, who, and what the query carries."""
+
+    time: float
+    consumer_id: str
+    topic: str
+    service_demand: float
+    n_results: int = 1
+    quorum: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"arrival time must be non-negative, got {self.time}")
+        if self.service_demand <= 0:
+            raise ValueError(
+                f"service_demand must be positive, got {self.service_demand}"
+            )
+        if self.n_results < 1:
+            raise ValueError(f"n_results must be >= 1, got {self.n_results}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "time": self.time,
+            "consumer_id": self.consumer_id,
+            "topic": self.topic,
+            "service_demand": self.service_demand,
+            "n_results": self.n_results,
+        }
+        if self.quorum is not None:
+            out["quorum"] = self.quorum
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TraceArrival":
+        if not isinstance(data, dict):
+            raise TypeError(f"TraceArrival must be a dict, got {type(data).__name__}")
+        valid = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - valid)
+        if unknown:
+            raise ValueError(
+                f"unknown TraceArrival field(s): {', '.join(unknown)}. "
+                f"Valid fields: {', '.join(sorted(valid))}"
+            )
+        return cls(**data)
+
+
+# ----------------------------------------------------------------------
+# Synthetic generation
+# ----------------------------------------------------------------------
+
+
+def resolve_shape_params(
+    shape: str, params: Dict[str, float], duration: float
+) -> Dict[str, float]:
+    """Merge a spec's ``params`` over the shape's defaults.
+
+    Duration-derived defaults: a diurnal cycle spans the whole trace;
+    a flash crowd starts at 40% of it and lasts 15% of it.
+    """
+    if shape not in SHAPE_PARAMS:
+        raise ValueError(
+            f"shape {shape!r} takes no generator params; synthetic shapes: "
+            f"{', '.join(SYNTHETIC_SHAPES)}"
+        )
+    defaults = SHAPE_PARAMS[shape]
+    unknown = sorted(set(params) - set(defaults))
+    if unknown:
+        raise ValueError(
+            f"unknown {shape} param(s): {', '.join(unknown)}. "
+            f"Valid params: {', '.join(sorted(defaults))}"
+        )
+    merged = dict(defaults)
+    merged.update(params)
+    if shape == "diurnal" and merged["period"] is None:
+        merged["period"] = duration
+    if shape == "flash-crowd":
+        if merged["spike_start"] is None:
+            merged["spike_start"] = 0.4 * duration
+        if merged["spike_duration"] is None:
+            merged["spike_duration"] = 0.15 * duration
+    return merged
+
+
+def diurnal_rate(
+    t: float, base_rate: float, period: float, amplitude: float, phase: float
+) -> float:
+    """Sinusoidal day/night cycle; never negative."""
+    value = base_rate * (1.0 + amplitude * math.sin(2.0 * math.pi * (t / period + phase)))
+    return value if value > 0.0 else 0.0
+
+
+def flash_crowd_rate(
+    t: float,
+    base_rate: float,
+    spike_start: float,
+    spike_duration: float,
+    spike_factor: float,
+) -> float:
+    """Flat baseline with one multiplicative spike window."""
+    if spike_start <= t < spike_start + spike_duration:
+        return base_rate * spike_factor
+    return base_rate
+
+
+def thinned_arrival_times(
+    rate_fn: Callable[[float], float],
+    rate_max: float,
+    duration: float,
+    stream: RandomStream,
+) -> List[float]:
+    """Lewis-Shedler thinning: sample a non-homogeneous Poisson process
+    with intensity ``rate_fn`` bounded by ``rate_max`` over [0, duration]."""
+    if rate_max <= 0:
+        raise ValueError(f"rate_max must be positive, got {rate_max}")
+    times: List[float] = []
+    t = 0.0
+    mean_gap = 1.0 / rate_max
+    while True:
+        t += stream.exponential(mean_gap)
+        if t > duration:
+            return times
+        if stream.uniform() * rate_max < rate_fn(t):
+            times.append(t)
+
+
+def heavy_tail_times(
+    base_rate: float,
+    duration: float,
+    alpha: float,
+    burst_spacing: float,
+    max_burst: float,
+    stream: RandomStream,
+) -> List[float]:
+    """Bursty arrivals: Poisson burst epochs carrying Pareto-sized
+    bursts, so a few huge bursts dominate (the paper's open-environment
+    stress case).  The epoch rate is solved so the *mean* arrival rate
+    matches ``base_rate``."""
+    if alpha <= 1.0:
+        raise ValueError(f"alpha must exceed 1 for a finite mean burst, got {alpha}")
+    mean_burst = alpha / (alpha - 1.0)
+    epoch_rate = base_rate / mean_burst
+    times: List[float] = []
+    t = 0.0
+    mean_gap = 1.0 / epoch_rate
+    cap = max(1, int(max_burst))
+    while True:
+        t += stream.exponential(mean_gap)
+        if t > duration:
+            break
+        size = min(cap, int(math.ceil(stream.pareto(alpha, 1.0))))
+        s = t
+        for i in range(size):
+            if i:
+                s += stream.exponential(burst_spacing)
+            if s <= duration:
+                times.append(s)
+    times.sort()
+    return times
+
+
+# ----------------------------------------------------------------------
+# The spec
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """A JSON-round-trippable open-loop workload.
+
+    Recorded traces carry their arrivals explicitly (``shape ==
+    "recorded"``); synthetic traces carry a seed plus shape parameters
+    and materialize deterministically.  ``consumers`` names the issuing
+    population of a synthetic trace (each arrival picks uniformly); a
+    recorded trace leaves it empty and derives it from the arrivals.
+    """
+
+    name: str
+    shape: str
+    duration: float
+    seed: int = DEFAULT_TRACE_SEED
+    #: Mean aggregate arrival rate (arrivals/second) of synthetic shapes.
+    base_rate: float = 1.0
+    #: Shape-specific generator knobs (see :data:`SHAPE_PARAMS`).
+    params: Dict[str, float] = field(default_factory=dict)
+    #: Issuing consumer ids of a synthetic trace (topic defaults to the
+    #: consumer id, the BOINC convention).
+    consumers: Tuple[str, ...] = ()
+    demand_mean: float = 30.0
+    demand_cv: float = 0.5
+    n_results: int = 1
+    quorum: Optional[int] = None
+    #: Explicit arrivals of a recorded trace.
+    arrivals: Tuple[TraceArrival, ...] = ()
+    #: Provenance of a recorded trace (experiment name, seed, policy,
+    #: replication, engine) -- metadata only, never re-executed.
+    source: Optional[Dict[str, Any]] = None
+
+    def __post_init__(self) -> None:
+        if self.shape not in TRACE_SHAPES:
+            raise ValueError(
+                f"unknown trace shape {self.shape!r}; valid shapes: "
+                f"{', '.join(TRACE_SHAPES)}"
+            )
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        object.__setattr__(self, "arrivals", tuple(self.arrivals))
+        object.__setattr__(self, "consumers", tuple(self.consumers))
+        if self.shape == "recorded":
+            last = 0.0
+            for arrival in self.arrivals:
+                if arrival.time < last:
+                    raise ValueError(
+                        "recorded arrivals must be in non-decreasing time order"
+                    )
+                last = arrival.time
+        else:
+            if self.arrivals:
+                raise ValueError(
+                    f"synthetic shape {self.shape!r} must not carry explicit "
+                    "arrivals; use shape='recorded'"
+                )
+            if self.base_rate <= 0:
+                raise ValueError(f"base_rate must be positive, got {self.base_rate}")
+            if self.demand_mean <= 0:
+                raise ValueError(
+                    f"demand_mean must be positive, got {self.demand_mean}"
+                )
+            if self.n_results < 1:
+                raise ValueError(f"n_results must be >= 1, got {self.n_results}")
+            # validate eagerly so bad params fail at spec build, not replay
+            resolve_shape_params(self.shape, dict(self.params), self.duration)
+
+    # -- materialization ------------------------------------------------
+
+    def consumer_ids(self) -> Tuple[str, ...]:
+        """The issuing population: declared for synthetic traces,
+        derived (in first-appearance order) for recorded ones."""
+        if self.consumers:
+            return self.consumers
+        seen: Dict[str, None] = {}
+        for arrival in self.arrivals:
+            seen.setdefault(arrival.consumer_id, None)
+        return tuple(seen)
+
+    def materialize(
+        self, consumer_ids: Optional[Sequence[str]] = None
+    ) -> Tuple[TraceArrival, ...]:
+        """The arrival sequence, time-ordered.
+
+        Recorded traces return their explicit arrivals; synthetic ones
+        generate deterministically from the seed.  ``consumer_ids``
+        supplies the issuing population when the spec declares none.
+        """
+        if self.shape == "recorded":
+            return self.arrivals
+        ids = tuple(consumer_ids) if consumer_ids else self.consumers
+        if not ids:
+            raise ValueError(
+                f"synthetic trace {self.name!r} declares no consumers; pass "
+                "consumer_ids (e.g. the experiment population's project names)"
+            )
+        params = resolve_shape_params(self.shape, dict(self.params), self.duration)
+        stream = RandomRoot(self.seed).stream(f"trace/{self.name}/{self.shape}")
+        if self.shape == "diurnal":
+            rate_max = self.base_rate * (1.0 + abs(params["amplitude"]))
+            times = thinned_arrival_times(
+                lambda t: diurnal_rate(
+                    t, self.base_rate, params["period"], params["amplitude"],
+                    params["phase"],
+                ),
+                rate_max,
+                self.duration,
+                stream,
+            )
+        elif self.shape == "flash-crowd":
+            rate_max = self.base_rate * max(1.0, params["spike_factor"])
+            times = thinned_arrival_times(
+                lambda t: flash_crowd_rate(
+                    t, self.base_rate, params["spike_start"],
+                    params["spike_duration"], params["spike_factor"],
+                ),
+                rate_max,
+                self.duration,
+                stream,
+            )
+        else:  # heavy-tail
+            times = heavy_tail_times(
+                self.base_rate,
+                self.duration,
+                params["alpha"],
+                params["burst_spacing"],
+                params["max_burst"],
+                stream,
+            )
+        arrivals = []
+        for t in times:
+            cid = stream.choice(ids)
+            demand = (
+                stream.lognormal(self.demand_mean, self.demand_cv)
+                if self.demand_cv > 0
+                else self.demand_mean
+            )
+            arrivals.append(
+                TraceArrival(
+                    time=t,
+                    consumer_id=cid,
+                    topic=cid,
+                    service_demand=demand,
+                    n_results=self.n_results,
+                    quorum=self.quorum,
+                )
+            )
+        return tuple(arrivals)
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly dict; inverse of :meth:`from_dict`."""
+        out: Dict[str, Any] = {
+            "trace_version": TRACE_VERSION,
+            "name": self.name,
+            "shape": self.shape,
+            "duration": self.duration,
+            "seed": self.seed,
+        }
+        if self.shape == "recorded":
+            out["arrivals"] = [a.to_dict() for a in self.arrivals]
+            if self.source is not None:
+                out["source"] = dict(self.source)
+        else:
+            out.update(
+                base_rate=self.base_rate,
+                params=dict(self.params),
+                consumers=list(self.consumers),
+                demand_mean=self.demand_mean,
+                demand_cv=self.demand_cv,
+                n_results=self.n_results,
+                quorum=self.quorum,
+            )
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TraceSpec":
+        # local: repro.api.serialization imports experiments.config,
+        # which resolves back through this package's __init__
+        from repro.api.serialization import versioned_payload
+
+        payload = versioned_payload(
+            data,
+            kind="TraceSpec",
+            version_key="trace_version",
+            version=TRACE_VERSION,
+            valid_fields=frozenset(f.name for f in fields(cls)),
+        )
+        if "arrivals" in payload:
+            payload["arrivals"] = tuple(
+                a if isinstance(a, TraceArrival) else TraceArrival.from_dict(a)
+                for a in payload["arrivals"]
+            )
+        if "consumers" in payload:
+            payload["consumers"] = tuple(payload["consumers"])
+        return cls(**payload)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "TraceSpec":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json(), encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "TraceSpec":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    def __len__(self) -> int:
+        return len(self.arrivals)
+
+    def __repr__(self) -> str:
+        if self.shape == "recorded":
+            detail = f"arrivals={len(self.arrivals)}"
+        else:
+            detail = f"base_rate={self.base_rate:g}/s, seed={self.seed}"
+        return (
+            f"TraceSpec({self.name!r}, shape={self.shape!r}, "
+            f"duration={self.duration:g}s, {detail})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Recording
+# ----------------------------------------------------------------------
+
+
+class ArrivalRecorder:
+    """Captures every arrival of a live run through ``Consumer.on_issue``."""
+
+    def __init__(self) -> None:
+        self.arrivals: List[TraceArrival] = []
+
+    def attach(self, consumers) -> "ArrivalRecorder":
+        """Subscribe to every consumer of a wired run (before stepping)."""
+        for consumer in consumers:
+            consumer.on_issue(self.record)
+        return self
+
+    def record(self, query) -> None:
+        """One issued query becomes one arrival record."""
+        self.arrivals.append(
+            TraceArrival(
+                time=query.issued_at,
+                consumer_id=query.consumer_id,
+                topic=query.topic,
+                service_demand=query.service_demand,
+                n_results=query.n_results,
+                quorum=query.quorum,
+            )
+        )
+
+    def to_spec(
+        self,
+        name: str,
+        duration: float,
+        source: Optional[Dict[str, Any]] = None,
+    ) -> TraceSpec:
+        """The captured arrivals as a recorded :class:`TraceSpec`.
+
+        Arrivals are recorded in issue order, which is time order (the
+        simulator clock never moves backwards), so no sort is needed --
+        and none is wanted: a sort could reorder equal-time arrivals.
+        """
+        return TraceSpec(
+            name=name,
+            shape="recorded",
+            duration=duration,
+            arrivals=tuple(self.arrivals),
+            source=source,
+        )
+
+
+def record_trace(config, policy_spec, replication: int = 0):
+    """Run ``(config, policy_spec, replication)`` to completion while
+    recording every arrival; returns ``(trace, result)``.
+
+    The recording is an observer only -- the run is bit-identical to an
+    unrecorded one -- so ``result.digest()`` is the parity target that
+    replaying ``trace`` (batch or through ``sbqa serve``) must hit.
+    """
+    from repro.experiments.runner import wire_run
+
+    live = wire_run(config, policy_spec, replication=replication)
+    recorder = ArrivalRecorder().attach(live.population.consumers)
+    result = live.finalize()
+    trace = recorder.to_spec(
+        name=f"{config.name}-recorded",
+        duration=config.duration,
+        source={
+            "experiment": config.name,
+            "seed": config.seed,
+            "engine": config.engine,
+            "policy": policy_spec.label,
+            "replication": replication,
+        },
+    )
+    return trace, result
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+
+
+class TraceReplayProcess:
+    """Replays one consumer's recorded arrivals as an event chain.
+
+    Mirrors :class:`~repro.workloads.arrivals.ArrivalProcess` exactly:
+    each firing issues its query *first* and only then schedules the
+    successor, so scheduler sequence numbers are assigned at the same
+    instants as the recording run's Poisson chains and every
+    same-timestamp tie breaks identically.  Like the original, a firing
+    that finds its consumer offline kills the chain permanently.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        consumer,
+        arrivals: Sequence[TraceArrival],
+        horizon: Optional[float] = None,
+    ) -> None:
+        self.sim = sim
+        self.consumer = consumer
+        self.arrivals = tuple(arrivals)
+        self.horizon = horizon
+        self.queries_issued = 0
+        self._index = 0
+        self._started = False
+        self._label = f"arrivals:{consumer.participant_id}"
+
+    def start(self) -> None:
+        """Schedule the first recorded arrival (idempotent; no-op when
+        the consumer has no recorded arrivals)."""
+        if self._started or not self.arrivals:
+            return
+        self._started = True
+        first = max(self.arrivals[0].time, self.sim.now)
+        self.sim.schedule_at(first, self._fire, label=self._label)
+
+    def _fire(self) -> None:
+        if not self.consumer.online:
+            return  # departed consumers stop issuing, permanently
+        if self.horizon is not None and self.sim.now > self.horizon:
+            return
+        arrival = self.arrivals[self._index]
+        self.consumer.issue(
+            topic=arrival.topic,
+            service_demand=arrival.service_demand,
+            n_results=arrival.n_results,
+            quorum=arrival.quorum,
+        )
+        self.queries_issued += 1
+        self._index += 1
+        if self._index < len(self.arrivals):
+            nxt = max(self.arrivals[self._index].time, self.sim.now)
+            self.sim.schedule_at(nxt, self._fire, label=self._label)
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceReplayProcess(consumer={self.consumer.participant_id!r}, "
+            f"issued={self.queries_issued}/{len(self.arrivals)})"
+        )
+
+
+class TraceWorkload:
+    """A :class:`~repro.experiments.runner.WorkloadInstaller` replaying
+    a :class:`TraceSpec` instead of wiring Poisson arrivals."""
+
+    def __init__(self, trace: TraceSpec) -> None:
+        self.trace = trace
+        self.processes: List[TraceReplayProcess] = []
+
+    def install(self, sim, population, config, root) -> None:
+        known = {c.participant_id for c in population.consumers}
+        arrivals = self.trace.materialize(
+            consumer_ids=[c.participant_id for c in population.consumers]
+        )
+        by_consumer: Dict[str, List[TraceArrival]] = {}
+        for arrival in arrivals:
+            if arrival.consumer_id not in known:
+                raise ValueError(
+                    f"trace {self.trace.name!r} references unknown consumer "
+                    f"{arrival.consumer_id!r}; population has: "
+                    f"{', '.join(sorted(known))}"
+                )
+            by_consumer.setdefault(arrival.consumer_id, []).append(arrival)
+        # Same iteration order as the Poisson block it replaces, so the
+        # initial chain events take the same relative scheduler slots.
+        for consumer in population.consumers:
+            process = TraceReplayProcess(
+                sim,
+                consumer,
+                by_consumer.get(consumer.participant_id, ()),
+                horizon=config.duration,
+            )
+            process.start()
+            self.processes.append(process)
+
+
+def replay_once(config, policy_spec, trace: TraceSpec, replication: int = 0):
+    """Replay ``trace`` through a batch run wired like ``run_once``.
+
+    With a trace recorded from the same ``(config, policy_spec,
+    replication)``, the returned result's :meth:`~repro.experiments.
+    runner.RunResult.digest` equals the recording run's bit-for-bit.
+    """
+    from repro.experiments.runner import wire_run
+
+    return wire_run(
+        config,
+        policy_spec,
+        replication=replication,
+        workload=TraceWorkload(trace),
+    ).finalize()

@@ -152,3 +152,44 @@ class TestRejoinExtension:
         # with the full candidate pool visible, the mediator cannot be
         # perfectly optimal under KnBest sampling
         assert result.summary.consumer_allocation_satisfaction > 0.3
+
+
+class TestLiveRunStepping:
+    def test_step_until_backwards_is_noop(self):
+        from repro.experiments.runner import wire_run
+
+        live = wire_run(TINY, PolicySpec(name="sbqa"))
+        live.step_until(50.0)
+        issued = live.hub.queries_issued
+        # a target at or before now must neither raise nor disturb state
+        assert live.step_until(20.0) is live
+        assert live.step_until(50.0) is live
+        assert live.sim.now == pytest.approx(50.0)
+        assert live.hub.queries_issued == issued
+
+    def test_noop_step_preserves_digest(self):
+        from repro.experiments.runner import wire_run
+
+        policy = PolicySpec(name="sbqa")
+        plain = run_once(TINY, policy)
+        stepped = wire_run(TINY, policy)
+        stepped.step_until(80.0)
+        for target in (80.0, 40.0, 0.0, -5.0):
+            stepped.step_until(target)
+        assert stepped.finalize().digest() == plain.digest()
+
+    def test_step_clamps_to_horizon(self):
+        from repro.experiments.runner import wire_run
+
+        live = wire_run(TINY, PolicySpec(name="sbqa"))
+        live.step_until(TINY.duration * 10)
+        assert live.sim.now == pytest.approx(TINY.duration)
+        assert live.finished
+
+    def test_step_after_finalize_raises(self):
+        from repro.experiments.runner import wire_run
+
+        live = wire_run(TINY, PolicySpec(name="sbqa"))
+        live.finalize()
+        with pytest.raises(RuntimeError, match="finalized"):
+            live.step_until(10.0)

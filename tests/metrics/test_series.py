@@ -79,3 +79,112 @@ class TestAccessors:
         series = self.make()
         series.times.append(99.0)
         assert len(series.times) == 4
+
+
+class TestP2Quantile:
+    def test_validation(self):
+        from repro.metrics.series import P2Quantile
+
+        with pytest.raises(ValueError, match="quantile"):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError, match="quantile"):
+            P2Quantile(1.0)
+
+    def test_empty(self):
+        from repro.metrics.series import P2Quantile
+
+        accumulator = P2Quantile(0.5)
+        assert accumulator.value() is None
+        assert len(accumulator) == 0
+
+    def test_exact_below_six_samples(self):
+        from repro.metrics.series import P2Quantile
+
+        numpy = pytest.importorskip("numpy")
+        data = [5.0, 1.0, 4.0, 2.0, 3.0]
+        for n in range(1, 6):
+            for q in (0.5, 0.95, 0.99):
+                accumulator = P2Quantile(q)
+                for x in data[:n]:
+                    accumulator.add(x)
+                expected = float(numpy.percentile(data[:n], q * 100))
+                assert accumulator.value() == pytest.approx(expected), (n, q)
+
+    def test_tracks_numpy_on_large_streams(self):
+        import random
+
+        from repro.metrics.series import P2Quantile
+
+        numpy = pytest.importorskip("numpy")
+        rng = random.Random(7)
+        for q, tolerance in ((0.5, 0.05), (0.95, 0.05), (0.99, 0.10)):
+            samples = [rng.expovariate(1.0) for _ in range(20000)]
+            accumulator = P2Quantile(q)
+            for x in samples:
+                accumulator.add(x)
+            expected = float(numpy.percentile(samples, q * 100))
+            # P^2 is an estimate: relative error within a few percent
+            assert abs(accumulator.value() - expected) <= tolerance * expected
+
+    def test_monotone_in_q(self):
+        import random
+
+        from repro.metrics.series import P2Quantile
+
+        rng = random.Random(11)
+        samples = [rng.lognormvariate(0.0, 1.0) for _ in range(5000)]
+        p50, p95, p99 = P2Quantile(0.5), P2Quantile(0.95), P2Quantile(0.99)
+        for x in samples:
+            p50.add(x)
+            p95.add(x)
+            p99.add(x)
+        assert p50.value() <= p95.value() <= p99.value()
+
+    def test_extremes_stretch_markers(self):
+        from repro.metrics.series import P2Quantile
+
+        accumulator = P2Quantile(0.5)
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, -100.0, 100.0]:
+            accumulator.add(x)
+        assert -100.0 <= accumulator.value() <= 100.0
+
+
+class TestQuantileSet:
+    def test_snapshot_keys(self):
+        from repro.metrics.series import QuantileSet
+
+        quantiles = QuantileSet("rt")
+        assert quantiles.snapshot() == {
+            "count": 0, "mean": None, "min": None, "max": None,
+            "p50": None, "p95": None, "p99": None,
+        }
+        for x in (3.0, 1.0, 2.0):
+            quantiles.add(x)
+        snap = quantiles.snapshot()
+        assert snap["count"] == 3
+        assert snap["mean"] == pytest.approx(2.0)
+        assert snap["min"] == 1.0
+        assert snap["max"] == 3.0
+        assert snap["p50"] == pytest.approx(2.0)
+
+    def test_quantile_lookup(self):
+        from repro.metrics.series import QuantileSet
+
+        quantiles = QuantileSet("rt", quantiles=(0.5,))
+        quantiles.add(1.0)
+        assert quantiles.quantile(0.5) == 1.0
+        with pytest.raises(KeyError):
+            quantiles.quantile(0.95)
+
+    def test_needs_a_quantile(self):
+        from repro.metrics.series import QuantileSet
+
+        with pytest.raises(ValueError, match="at least one"):
+            QuantileSet("rt", quantiles=())
+
+    def test_fractional_quantile_key(self):
+        from repro.metrics.series import QuantileSet
+
+        quantiles = QuantileSet("rt", quantiles=(0.999,))
+        quantiles.add(1.0)
+        assert "p99_9" in quantiles.snapshot()

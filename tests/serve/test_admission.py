@@ -1,0 +1,112 @@
+"""Admission control: config validation, token buckets, drop stats."""
+
+import pytest
+
+from repro.serve.admission import (
+    REASON_QUEUE_FULL,
+    REASON_RATE_LIMITED,
+    SHED_POLICIES,
+    AdmissionConfig,
+    AdmissionController,
+    DropStats,
+    _TokenBucket,
+)
+
+
+class TestAdmissionConfig:
+    def test_defaults_admit_everything(self):
+        config = AdmissionConfig()
+        assert config.queue_capacity is None
+        assert config.rate_limit is None
+        assert config.shed_policy in SHED_POLICIES
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="queue_capacity"):
+            AdmissionConfig(queue_capacity=0)
+        with pytest.raises(ValueError, match="shed policy"):
+            AdmissionConfig(shed_policy="drop-random")
+        with pytest.raises(ValueError, match="rate_limit"):
+            AdmissionConfig(rate_limit=0.0)
+        with pytest.raises(ValueError, match="burst"):
+            AdmissionConfig(burst=0.5)
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = _TokenBucket(burst=2.0, now=0.0)
+        take = lambda t: bucket.try_take(t, rate=1.0, burst=2.0)
+        assert take(0.0) and take(0.0)       # burst of 2 at t=0
+        assert not take(0.0)                  # bucket empty
+        assert take(1.0)                      # one token refilled in 1 s
+        assert not take(1.0)
+
+    def test_refill_caps_at_burst(self):
+        bucket = _TokenBucket(burst=3.0, now=0.0)
+        assert all(bucket.try_take(100.0, 1.0, 3.0) for _ in range(3))
+        assert not bucket.try_take(100.0, 1.0, 3.0)
+
+    def test_time_never_runs_backwards(self):
+        bucket = _TokenBucket(burst=1.0, now=5.0)
+        assert bucket.try_take(5.0, 1.0, 1.0)
+        # an earlier timestamp must not mint tokens
+        assert not bucket.try_take(4.0, 1.0, 1.0)
+        assert bucket.last == 5.0
+
+
+class TestAdmissionController:
+    def test_unbounded_admits(self):
+        ctrl = AdmissionController(AdmissionConfig())
+        for i in range(5):
+            assert ctrl.decide("c", float(i), backlog=10 ** 6) == ("admit", None)
+            ctrl.admit()
+        assert ctrl.stats.submitted == 5
+        assert ctrl.stats.admitted == 5
+        assert ctrl.stats.dropped == 0
+
+    def test_queue_full_drop_newest(self):
+        ctrl = AdmissionController(AdmissionConfig(queue_capacity=3))
+        assert ctrl.decide("c", 0.0, backlog=2) == ("admit", None)
+        verdict, reason = ctrl.decide("c", 0.0, backlog=3)
+        assert (verdict, reason) == ("drop", REASON_QUEUE_FULL)
+        ctrl.drop("c", reason)
+        assert ctrl.stats.by_reason == {REASON_QUEUE_FULL: 1}
+
+    def test_queue_full_drop_oldest_verdict(self):
+        ctrl = AdmissionController(
+            AdmissionConfig(queue_capacity=3, shed_policy="drop-oldest")
+        )
+        assert ctrl.decide("c", 0.0, backlog=3) == ("evict-oldest", None)
+
+    def test_rate_limit_is_per_consumer(self):
+        ctrl = AdmissionController(AdmissionConfig(rate_limit=1.0, burst=1.0))
+        assert ctrl.decide("a", 0.0, 0)[0] == "admit"
+        assert ctrl.decide("a", 0.0, 0) == ("drop", REASON_RATE_LIMITED)
+        # consumer b has its own bucket
+        assert ctrl.decide("b", 0.0, 0)[0] == "admit"
+        # a's bucket refills on simulation time
+        assert ctrl.decide("a", 2.0, 0)[0] == "admit"
+
+    def test_rate_limit_checked_before_capacity(self):
+        ctrl = AdmissionController(
+            AdmissionConfig(queue_capacity=1, rate_limit=1.0, burst=1.0)
+        )
+        ctrl.decide("a", 0.0, backlog=0)
+        verdict, reason = ctrl.decide("a", 0.0, backlog=1)
+        assert reason == REASON_RATE_LIMITED
+
+
+class TestDropStats:
+    def test_accounting(self):
+        stats = DropStats()
+        stats.submitted = 3
+        stats.admitted = 1
+        stats.record_drop("b", "queue-full")
+        stats.record_drop("a", "queue-full")
+        stats.record_drop("a", "rate-limited")
+        snap = stats.snapshot()
+        assert snap["submitted"] == 3
+        assert snap["dropped"] == 3
+        assert snap["by_reason"] == {"queue-full": 2, "rate-limited": 1}
+        assert snap["by_consumer"] == {"a": 2, "b": 1}
+        # snapshot dicts are sorted for stable JSON
+        assert list(snap["by_consumer"]) == ["a", "b"]

@@ -1,0 +1,217 @@
+"""ServeServer smoke tests: readiness, HTTP endpoints, graceful flush.
+
+The server is exercised the way the CI smoke job runs it -- as a real
+subprocess (``python -m repro.cli serve``) with an ephemeral port
+discovered from the ``SERVE_READY`` line and the final accounting
+parsed from the ``SERVE_FINAL`` flush."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve.server import SUBMIT_FIELDS, parse_submission
+from repro.workloads.traces import TraceSpec
+
+SRC = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+
+class TestParseSubmission:
+    def test_passthrough(self):
+        data = {"consumer_id": "seti", "service_demand": 5.0, "at": 1.0}
+        assert parse_submission(data) == data
+
+    def test_requires_consumer_id(self):
+        with pytest.raises(ValueError, match="consumer_id"):
+            parse_submission({"service_demand": 5.0})
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown submission field"):
+            parse_submission({"consumer_id": "seti", "priority": 9})
+
+    def test_rejects_non_objects(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            parse_submission(["seti"])
+
+    def test_field_set_is_stable(self):
+        assert SUBMIT_FIELDS == {
+            "consumer_id", "service_demand", "topic", "n_results", "quorum", "at",
+        }
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONUNBUFFERED"] = "1"
+    return env
+
+
+def _start(args, **popen_kwargs):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", *args],
+        env=_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        **popen_kwargs,
+    )
+
+
+def _read_ready(proc, timeout=20.0):
+    """Read stdout until the SERVE_READY line; returns the bound port."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        if line.startswith("SERVE_READY"):
+            return int(line.strip().split("port=", 1)[1])
+    proc.kill()
+    raise AssertionError("server never printed SERVE_READY")
+
+
+def _final_payload(stdout_text):
+    for line in stdout_text.splitlines():
+        if line.startswith("SERVE_FINAL "):
+            return json.loads(line[len("SERVE_FINAL "):])
+    raise AssertionError(f"no SERVE_FINAL line in output:\n{stdout_text}")
+
+
+def _get(port, path):
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}", timeout=10) as r:
+        return r.status, r.read().decode("utf-8")
+
+
+def _post(port, path, payload):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as r:
+            return r.status, r.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode("utf-8")
+
+
+class TestLiveServer:
+    def test_http_endpoints_and_sigterm_flush(self):
+        proc = _start(["--duration", "60", "--speed", "5", "--port", "0"])
+        try:
+            port = _read_ready(proc)
+
+            status, body = _get(port, "/healthz")
+            assert status == 200 and json.loads(body)["ok"] is True
+
+            status, body = _post(port, "/submit", {"consumer_id": "seti"})
+            assert status == 200
+            reply = json.loads(body)
+            assert reply["accepted"] is True and reply["reason"] is None
+
+            status, body = _post(port, "/submit", {"consumer_id": "nobody"})
+            assert status == 429
+            assert json.loads(body)["reason"] == "unknown-consumer"
+
+            status, body = _post(port, "/submit", {"bogus": 1})
+            assert status == 400
+
+            status, body = _get(port, "/metrics")
+            assert status == 200
+            metrics = json.loads(body)
+            assert metrics["policy"] == "sbqa"
+            assert metrics["admission"]["submitted"] >= 2
+
+            status, body = _get(port, "/dashboard")
+            assert status == 200 and "sbqa serve" in body
+
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(port, "/nope")
+            assert excinfo.value.code == 404
+
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, err
+        payload = _final_payload("SERVE_READY ignored\n" + out)
+        assert "digest" in payload and len(payload["digest"]) == 64
+        assert payload["admission"]["submitted"] >= 2
+        assert payload["admission"]["by_reason"].get("unknown-consumer") == 1
+
+    def test_trace_run_below_capacity_sheds_nothing(self, tmp_path):
+        trace_path = tmp_path / "flash.json"
+        TraceSpec(
+            name="smoke", shape="flash-crowd", duration=10.0, base_rate=3.0,
+            consumers=("seti", "proteins", "einstein"),
+        ).save(trace_path)
+        n_arrivals = len(
+            TraceSpec.load(trace_path).materialize()
+        )
+        proc = _start(
+            [
+                "--trace", str(trace_path), "--duration", "10",
+                "--speed", "200", "--tick", "0.005",
+                "--exit-when-done", "--port", "-1",
+            ]
+        )
+        out, err = proc.communicate(timeout=60)
+        assert proc.returncode == 0, err
+        payload = _final_payload(out)
+        assert payload["admission"]["dropped"] == 0
+        assert payload["admission"]["admitted"] == n_arrivals
+        assert payload["summary"]["issued"] == n_arrivals
+
+    def test_trace_run_above_capacity_drops_and_accounts(self, tmp_path):
+        trace_path = tmp_path / "burst.json"
+        TraceSpec(
+            name="burst", shape="flash-crowd", duration=10.0, base_rate=6.0,
+            params={"spike_start": 1.0, "spike_duration": 5.0, "spike_factor": 12.0},
+            consumers=("seti", "proteins", "einstein"),
+        ).save(trace_path)
+        proc = _start(
+            [
+                "--trace", str(trace_path), "--duration", "10",
+                "--speed", "200", "--tick", "0.005",
+                "--exit-when-done", "--port", "-1",
+                "--queue-capacity", "2",
+            ]
+        )
+        out, err = proc.communicate(timeout=60)
+        assert proc.returncode == 0, err
+        payload = _final_payload(out)
+        admission = payload["admission"]
+        assert admission["dropped"] > 0
+        assert admission["by_reason"].get("queue-full", 0) == admission["dropped"]
+        assert (
+            admission["admitted"] + admission["dropped"] == admission["submitted"]
+        )
+
+    def test_stdin_feed(self):
+        proc = _start(
+            [
+                "--duration", "30", "--speed", "100", "--tick", "0.005",
+                "--stdin", "--exit-when-done", "--port", "-1",
+            ],
+            stdin=subprocess.PIPE,
+        )
+        lines = [
+            json.dumps({"consumer_id": "seti", "at": 1.0}),
+            json.dumps({"consumer_id": "proteins", "at": 2.0}),
+            "this is not json",
+            json.dumps({"consumer_id": "einstein", "at": 3.0}),
+        ]
+        out, err = proc.communicate("\n".join(lines) + "\n", timeout=60)
+        assert proc.returncode == 0, err
+        payload = _final_payload(out)
+        assert payload["admission"]["admitted"] == 3
+        assert payload["submit_errors"] == 1

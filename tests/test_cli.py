@@ -511,3 +511,159 @@ class TestSpecDrivenRun:
         capsys.readouterr()
         assert main(["run", "scenario1", "--spec", str(path)]) == 2
         assert "not both" in capsys.readouterr().err
+
+
+class TestWorkloadCommand:
+    def test_synthetic_to_file(self, tmp_path, capsys):
+        from repro.workloads.traces import TraceSpec
+
+        path = tmp_path / "diurnal.json"
+        code = main(
+            ["workload", "diurnal", "-o", str(path), "--duration", "30",
+             "--seed", "5", "--base-rate", "3"]
+        )
+        assert code == 0
+        trace = TraceSpec.load(path)
+        assert trace.shape == "diurnal"
+        assert trace.duration == 30.0
+        assert trace.seed == 5
+        assert trace.materialize()
+
+    def test_synthetic_to_stdout(self, capsys):
+        import json
+
+        code = main(["workload", "heavy-tail", "--duration", "20"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["shape"] == "heavy-tail"
+        assert "trace_version" in payload
+
+    def test_param_overrides(self, tmp_path, capsys):
+        from repro.workloads.traces import TraceSpec
+
+        path = tmp_path / "crowd.json"
+        code = main(
+            ["workload", "flash-crowd", "-o", str(path), "--duration", "40",
+             "--param", "spike_factor=2", "--param", "spike_start=5"]
+        )
+        assert code == 0
+        trace = TraceSpec.load(path)
+        assert trace.params["spike_factor"] == 2.0
+        assert trace.params["spike_start"] == 5.0
+
+    def test_bad_param_errors(self, tmp_path, capsys):
+        code = main(
+            ["workload", "diurnal", "--duration", "10", "--param", "wobble=1"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_digest_out_rejected_for_synthetic(self, tmp_path, capsys):
+        code = main(
+            ["workload", "diurnal", "--duration", "10",
+             "--digest-out", str(tmp_path / "d.json")]
+        )
+        assert code == 2
+        assert "record" in capsys.readouterr().err
+
+    def test_synthetic_flags_rejected_for_record(self, tmp_path, capsys):
+        code = main(
+            ["workload", "record", "--duration", "10", "--consumers", "x"]
+        )
+        assert code == 2
+        assert "synthetic" in capsys.readouterr().err
+
+    def test_record_writes_trace_and_digest(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "rec.json"
+        digest_path = tmp_path / "digest.json"
+        code = main(
+            ["workload", "record", "-o", str(trace_path), "--duration", "60",
+             "--seed", "7", "--digest-out", str(digest_path)]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "recorded" in captured.err
+        digest = json.loads(digest_path.read_text())
+        assert len(digest["digest"]) == 64
+        assert digest["seed"] == 7
+
+
+class TestServeCommand:
+    def test_replay_matches_recorded_digest(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "rec.json"
+        digest_path = tmp_path / "digest.json"
+        assert main(
+            ["workload", "record", "-o", str(trace_path), "--duration", "60",
+             "--seed", "7", "--digest-out", str(digest_path)]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["serve", "--replay", str(trace_path), "--duration", "60",
+             "--seed", "7"]
+        )
+        assert code == 0
+        replayed = json.loads(capsys.readouterr().out)
+        recorded = json.loads(digest_path.read_text())
+        assert replayed["digest"] == recorded["digest"]
+
+    def test_replay_digest_out(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "rec.json"
+        assert main(
+            ["workload", "record", "-o", str(trace_path), "--duration", "40"]
+        ) == 0
+        capsys.readouterr()
+        out_path = tmp_path / "replay-digest.json"
+        code = main(
+            ["serve", "--replay", str(trace_path), "--duration", "40",
+             "--digest-out", str(out_path)]
+        )
+        assert code == 0
+        assert len(json.loads(out_path.read_text())["digest"]) == 64
+
+    def test_replay_rejects_feeds(self, tmp_path, capsys):
+        code = main(
+            ["serve", "--replay", "x.json", "--stdin"]
+        )
+        assert code == 2
+        assert "--replay" in capsys.readouterr().err
+
+    def test_live_rejects_digest_out(self, tmp_path, capsys):
+        code = main(
+            ["serve", "--digest-out", str(tmp_path / "d.json")]
+        )
+        assert code == 2
+        assert "--replay" in capsys.readouterr().err
+
+    def test_missing_trace_file_errors(self, capsys):
+        code = main(["serve", "--replay", "/nonexistent/trace.json"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestBenchServe:
+    def test_bench_serve_smoke(self, capsys):
+        code = main(["bench", "--smoke", "--serve", "--repeats", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serve throughput bench" in out
+        assert "identical" in out
+
+    def test_bench_serve_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "bench.json"
+        code = main(
+            ["bench", "--smoke", "--serve", "--repeats", "1",
+             "--json", str(path)]
+        )
+        assert code == 0
+        record = json.loads(path.read_text())
+        assert record["bench"] == "serve_throughput"
+        assert record["parity"]["identical"] is True
+        assert set(record["shapes"]) == {"diurnal", "flash-crowd", "heavy-tail"}

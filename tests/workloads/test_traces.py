@@ -1,0 +1,310 @@
+"""Trace workloads: spec round-trips, generator determinism, and the
+replay-parity guarantee (recorded arrivals replayed through the batch
+engine reproduce the recording run's allocation digest bit-for-bit)."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, PolicySpec
+from repro.experiments.runner import run_once
+from repro.workloads.boinc import BoincScenarioParams
+from repro.workloads.traces import (
+    SHAPE_PARAMS,
+    TRACE_SHAPES,
+    ArrivalRecorder,
+    TraceArrival,
+    TraceSpec,
+    heavy_tail_times,
+    record_trace,
+    replay_once,
+    resolve_shape_params,
+    thinned_arrival_times,
+)
+
+TINY = ExperimentConfig(
+    name="trace-tiny",
+    seed=42,
+    duration=150.0,
+    population=BoincScenarioParams(n_providers=15),
+)
+
+SBQA = PolicySpec(name="sbqa")
+
+
+class TestTraceArrival:
+    def test_round_trip(self):
+        arrival = TraceArrival(
+            time=1.5, consumer_id="seti", topic="seti", service_demand=30.0,
+            n_results=2, quorum=1,
+        )
+        assert TraceArrival.from_dict(arrival.to_dict()) == arrival
+
+    def test_quorum_omitted_when_none(self):
+        arrival = TraceArrival(
+            time=0.0, consumer_id="c", topic="t", service_demand=1.0
+        )
+        assert "quorum" not in arrival.to_dict()
+        assert TraceArrival.from_dict(arrival.to_dict()) == arrival
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceArrival(time=-1.0, consumer_id="c", topic="t", service_demand=1.0)
+        with pytest.raises(ValueError):
+            TraceArrival(time=0.0, consumer_id="c", topic="t", service_demand=0.0)
+        with pytest.raises(ValueError):
+            TraceArrival(
+                time=0.0, consumer_id="c", topic="t", service_demand=1.0, n_results=0
+            )
+        with pytest.raises(ValueError):
+            TraceArrival.from_dict({"time": 0.0, "bogus": 1})
+
+
+class TestTraceSpec:
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace shape"):
+            TraceSpec(name="x", shape="sawtooth", duration=10.0)
+
+    def test_synthetic_rejects_explicit_arrivals(self):
+        arrival = TraceArrival(
+            time=0.5, consumer_id="c", topic="t", service_demand=1.0
+        )
+        with pytest.raises(ValueError, match="must not carry"):
+            TraceSpec(
+                name="x", shape="diurnal", duration=10.0, arrivals=(arrival,),
+                consumers=("c",),
+            )
+
+    def test_recorded_requires_time_order(self):
+        arrivals = (
+            TraceArrival(time=2.0, consumer_id="c", topic="t", service_demand=1.0),
+            TraceArrival(time=1.0, consumer_id="c", topic="t", service_demand=1.0),
+        )
+        with pytest.raises(ValueError, match="non-decreasing"):
+            TraceSpec(name="x", shape="recorded", duration=10.0, arrivals=arrivals)
+
+    def test_bad_shape_param_fails_at_build(self):
+        with pytest.raises(ValueError, match="unknown diurnal param"):
+            TraceSpec(
+                name="x", shape="diurnal", duration=10.0,
+                params={"wobble": 3.0}, consumers=("c",),
+            )
+
+    @pytest.mark.parametrize("shape", [s for s in TRACE_SHAPES if s != "recorded"])
+    def test_synthetic_json_round_trip(self, shape):
+        spec = TraceSpec(
+            name=f"rt-{shape}", shape=shape, duration=45.0, seed=7,
+            base_rate=3.0, consumers=("seti", "proteins"), demand_cv=0.4,
+        )
+        again = TraceSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.materialize() == spec.materialize()
+
+    def test_recorded_json_round_trip(self, tmp_path):
+        trace, _ = record_trace(TINY, SBQA)
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        again = TraceSpec.load(path)
+        assert again == trace
+        assert len(again) == len(trace)
+
+    def test_version_tag_checked(self):
+        data = json.loads(
+            TraceSpec(
+                name="x", shape="diurnal", duration=10.0, consumers=("c",)
+            ).to_json()
+        )
+        data["trace_version"] = 99
+        with pytest.raises(ValueError, match="unsupported trace_version"):
+            TraceSpec.from_dict(data)
+
+    @pytest.mark.parametrize("shape", [s for s in TRACE_SHAPES if s != "recorded"])
+    def test_generation_deterministic(self, shape):
+        spec = TraceSpec(
+            name=f"det-{shape}", shape=shape, duration=60.0, seed=11,
+            base_rate=2.0, consumers=("a", "b", "c"),
+        )
+        first = spec.materialize()
+        assert first == spec.materialize()
+        assert all(a.time <= b.time for a, b in zip(first, first[1:]))
+        assert all(0.0 <= a.time <= 60.0 for a in first)
+        assert {a.consumer_id for a in first} <= {"a", "b", "c"}
+
+    def test_different_seeds_differ(self):
+        base = dict(
+            name="seeded", shape="diurnal", duration=60.0, base_rate=2.0,
+            consumers=("a", "b"),
+        )
+        assert (
+            TraceSpec(seed=1, **base).materialize()
+            != TraceSpec(seed=2, **base).materialize()
+        )
+
+    def test_synthetic_needs_consumers(self):
+        spec = TraceSpec(name="x", shape="diurnal", duration=10.0)
+        with pytest.raises(ValueError, match="declares no consumers"):
+            spec.materialize()
+        assert spec.materialize(consumer_ids=("c",)) == spec.materialize(
+            consumer_ids=("c",)
+        )
+
+    def test_flash_crowd_spike_visible(self):
+        spec = TraceSpec(
+            name="crowd", shape="flash-crowd", duration=100.0, base_rate=1.0,
+            params={"spike_start": 40.0, "spike_duration": 20.0, "spike_factor": 10.0},
+            consumers=("c",),
+        )
+        arrivals = spec.materialize()
+        inside = sum(1 for a in arrivals if 40.0 <= a.time < 60.0)
+        outside = len(arrivals) - inside
+        # the 20 s spike window at 10x should out-produce the other 80 s
+        assert inside > outside
+
+    def test_consumer_ids_derived_for_recorded(self):
+        trace, _ = record_trace(TINY, SBQA)
+        assert set(trace.consumer_ids()) == {"seti", "proteins", "einstein"}
+
+
+class TestGenerators:
+    def test_resolve_defaults_derive_from_duration(self):
+        params = resolve_shape_params("flash-crowd", {}, 100.0)
+        assert params["spike_start"] == pytest.approx(40.0)
+        assert params["spike_duration"] == pytest.approx(15.0)
+        assert resolve_shape_params("diurnal", {}, 100.0)["period"] == 100.0
+
+    def test_thinning_respects_bounds(self):
+        from repro.des.rng import RandomRoot
+
+        stream = RandomRoot(3).stream("t")
+        times = thinned_arrival_times(lambda t: 2.0, 2.0, 50.0, stream)
+        assert times and all(0.0 < t <= 50.0 for t in times)
+        # homogeneous rate 2/s over 50 s: ~100 arrivals, loosely checked
+        assert 50 <= len(times) <= 160
+
+    def test_heavy_tail_mean_rate(self):
+        from repro.des.rng import RandomRoot
+
+        stream = RandomRoot(5).stream("h")
+        times = heavy_tail_times(
+            4.0, 500.0, alpha=1.6, burst_spacing=0.05, max_burst=1000.0,
+            stream=stream,
+        )
+        assert times == sorted(times)
+        # mean rate engineered to base_rate; generous band for tail noise
+        assert 0.4 * 4.0 * 500.0 <= len(times) <= 2.5 * 4.0 * 500.0
+
+    def test_shape_params_cover_all_synthetic_shapes(self):
+        assert set(SHAPE_PARAMS) == {s for s in TRACE_SHAPES if s != "recorded"}
+
+
+class TestRecordReplayParity:
+    def test_recording_is_invisible_to_the_run(self):
+        plain = run_once(TINY, SBQA)
+        _, recorded = record_trace(TINY, SBQA)
+        assert recorded.digest() == plain.digest()
+
+    def test_replay_reproduces_digest(self):
+        trace, result = record_trace(TINY, SBQA)
+        replayed = replay_once(TINY, SBQA, trace)
+        assert replayed.digest() == result.digest()
+        assert replayed.summary.queries_issued == result.summary.queries_issued
+
+    def test_replay_round_trips_through_json(self, tmp_path):
+        trace, result = record_trace(TINY, SBQA)
+        path = tmp_path / "t.json"
+        trace.save(path)
+        replayed = replay_once(TINY, SBQA, TraceSpec.load(path))
+        assert replayed.digest() == result.digest()
+
+    def test_replay_parity_on_event_engine(self):
+        from dataclasses import replace
+
+        trace, result = record_trace(TINY, SBQA)
+        event_config = replace(TINY, engine="event")
+        assert replay_once(event_config, SBQA, trace).digest() == result.digest()
+
+    def test_replay_parity_with_autonomy(self):
+        from dataclasses import replace
+
+        from repro.experiments.config import AutonomyConfig
+
+        config = replace(
+            TINY,
+            duration=300.0,
+            autonomy=AutonomyConfig(
+                mode="autonomous",
+                consumer_threshold=0.5,
+                provider_threshold=0.35,
+                warmup=30.0,
+            ),
+        )
+        trace, result = record_trace(config, SBQA)
+        assert replay_once(config, SBQA, trace).digest() == result.digest()
+
+    def test_replay_rejects_unknown_consumers(self):
+        alien = TraceSpec(
+            name="alien",
+            shape="recorded",
+            duration=10.0,
+            arrivals=(
+                TraceArrival(
+                    time=1.0, consumer_id="martians", topic="martians",
+                    service_demand=5.0,
+                ),
+            ),
+        )
+        with pytest.raises(ValueError, match="unknown consumer"):
+            replay_once(TINY, SBQA, alien)
+
+    def test_recorder_attach_captures_query_fields(self):
+        from repro.experiments.runner import wire_run
+
+        live = wire_run(TINY, SBQA)
+        recorder = ArrivalRecorder().attach(live.population.consumers)
+        live.step_until(30.0)
+        assert recorder.arrivals
+        first = recorder.arrivals[0]
+        assert first.consumer_id in {"seti", "proteins", "einstein"}
+        assert first.service_demand > 0
+        assert first.time <= 30.0
+
+
+#: Replay parity in a subprocess with randomized hashing: digests must
+#: not depend on dict/set iteration order anywhere in the replay path.
+_HASHSEED_SCRIPT = """
+import json, sys
+from repro.experiments.config import ExperimentConfig, PolicySpec
+from repro.workloads.boinc import BoincScenarioParams
+from repro.workloads.traces import record_trace, replay_once
+
+config = ExperimentConfig(
+    name="trace-tiny", seed=42, duration=150.0,
+    population=BoincScenarioParams(n_providers=15),
+)
+policy = PolicySpec(name="sbqa")
+trace, result = record_trace(config, policy)
+replayed = replay_once(config, policy, trace)
+json.dump(
+    {"batch": result.digest(), "replay": replayed.digest()}, sys.stdout
+)
+"""
+
+
+def test_replay_parity_under_random_hash_seed():
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = "random"
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    digests = []
+    for _ in range(2):
+        proc = subprocess.run(
+            [sys.executable, "-c", _HASHSEED_SCRIPT],
+            env=env, capture_output=True, text=True, check=True,
+        )
+        payload = json.loads(proc.stdout)
+        assert payload["replay"] == payload["batch"]
+        digests.append(payload["batch"])
+    assert digests[0] == digests[1]
