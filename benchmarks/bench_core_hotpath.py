@@ -7,13 +7,15 @@ entry point::
     PYTHONPATH=src python benchmarks/bench_core_hotpath.py --json BENCH_core.json
     PYTHONPATH=src python benchmarks/bench_core_hotpath.py --smoke
 
-It times three configurations of a mediation-bound SbQA system --
-the fast engine, the event-faithful engine, and a reconstruction of the
-pre-engine ("seed") hot path with per-read window recomputation and
-eager trace formatting -- and byte-compares the fast/event result
-digests on a mixed scenario (autonomous churn + crashes + two
-policies).  Exit status is non-zero when parity breaks or the fast
-engine falls below the required speedup over the seed baseline.
+It times four configurations of a mediation-bound SbQA system --
+the fast engine (fused SoA kernel), the same engine pinned to the
+scalar oracle path, the event-faithful engine, and a reconstruction of
+the pre-engine ("seed") hot path with per-read window recomputation
+and eager trace formatting -- and byte-compares the fast/event and
+fused/scalar result digests on a mixed scenario (autonomous churn +
+crashes + two policies).  Exit status is non-zero when parity breaks
+or the fast engine falls below the required speedup over the seed
+baseline (or the optional absolute throughput floor).
 """
 
 from __future__ import annotations
@@ -43,6 +45,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--min-speedup", type=float, default=2.0,
         help="fail when fast-vs-seed speedup is below this (default 2.0)",
+    )
+    parser.add_argument(
+        "--min-mediate-per-s", type=float, default=None,
+        help="fail when the fast engine's absolute mediation throughput "
+        "is below this many mediations/second",
     )
     parser.add_argument(
         "--min-registry-speedup", type=float, default=None,
@@ -87,6 +94,19 @@ def main(argv=None) -> int:
         print("FAIL: fast and event engines produced different digests",
               file=sys.stderr)
         failed = True
+    if parity is not None and not parity.get("scalar_identical", True):
+        print("FAIL: fused kernel and scalar oracle produced different "
+              "digests", file=sys.stderr)
+        failed = True
+    if args.min_mediate_per_s is not None:
+        mediate_per_s = record["throughput"]["fast"]["mediate_per_s"]
+        if mediate_per_s < args.min_mediate_per_s:
+            print(
+                f"FAIL: fast-engine throughput {mediate_per_s:,.0f}/s is "
+                f"below the required {args.min_mediate_per_s:,.0f}/s",
+                file=sys.stderr,
+            )
+            failed = True
     speedup = record["speedup"]["fast_vs_seed"]
     if speedup < args.min_speedup:
         print(

@@ -281,6 +281,11 @@ def build_parser() -> argparse.ArgumentParser:
         "is below this multiple of the seed baseline (default 2.0)",
     )
     bench.add_argument(
+        "--min-mediate-per-s", type=float, default=None,
+        help="fail (exit 1) when the fast engine's absolute mediation "
+        "throughput is below this many mediations/second",
+    )
+    bench.add_argument(
         "--policy", action="append", default=None, metavar="NAME",
         help="policy to include in the fast-vs-event matrix (repeatable; "
         "default: the built-in matrix set)",
@@ -1176,6 +1181,22 @@ def _run_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    if not parity.get("scalar_identical", True):
+        print(
+            "error: fused kernel and scalar oracle produced different "
+            "digests",
+            file=sys.stderr,
+        )
+        return 1
+    if args.min_mediate_per_s is not None:
+        mediate_per_s = record["throughput"]["fast"]["mediate_per_s"]
+        if mediate_per_s < args.min_mediate_per_s:
+            print(
+                f"error: fast-engine throughput {mediate_per_s:,.0f}/s is "
+                f"below the required {args.min_mediate_per_s:,.0f}/s",
+                file=sys.stderr,
+            )
+            return 1
     speedup = record["speedup"]["fast_vs_seed"]
     if speedup < args.min_speedup:
         print(

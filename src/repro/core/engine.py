@@ -42,10 +42,13 @@ keeps the reference implementation one flag away.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Callable, Optional
 
+import repro.core.scoring as _scoring
 from repro.core.mediator import Mediator
 from repro.core.policy import AllocationContext
+from repro.core.soa import ConsultColumns, LazyAllocationRecord, fused_policy_supported
 from repro.des.network import Network
 from repro.des.tracing import NULL_RECORDER
 from repro.system.query import AllocationRecord, QueryResult, QueryStatus
@@ -190,20 +193,25 @@ class _ResultDrain:
             self._delivering = True
             network.sim.post_in(self.delay, self)
             return
-        # hop 2: the shared delivery instant
+        # hop 2: the shared delivery instant.  All members share the
+        # arrival clock, so the consumer folds them in as one batch
+        # (arrival time, response time and query handle resolved once)
+        # instead of len(members) _on_result calls -- same bookkeeping
+        # sequence in the same (allocated) order, bit-identical floats.
         members = self.members
         network.messages_delivered += len(members)
         record = self.record
         query = record.query
-        consumer = self.consumer
-        for member in members:
-            result = QueryResult(
+        results = [
+            QueryResult(
                 query=query,
                 provider_id=member.provider.participant_id,
                 started_at=member.start,
                 finished_at=member.finish,
             )
-            consumer._on_result(record, result)
+            for member in members
+        ]
+        self.consumer.absorb_results(record, results)
 
 
 class _CollapsedDispatch:
@@ -316,10 +324,31 @@ class FastMediator(Mediator):
         # One reusable context for the hot loop (consumed synchronously
         # by exactly one select per mediation; only .now changes).
         self._ctx = AllocationContext(now=0.0, trace=NULL_RECORDER)
+        # The fused structure-of-arrays kernel (see repro.core.soa) is
+        # the default mediation path; it engages when
+        #  * the scoring backend is not pinned to the scalar oracle
+        #    (SBQA_SCORING_BACKEND=scalar routes every mediation through
+        #    select_fast, the differential-testing reference);
+        #  * the policy is exactly SbQAPolicy with a built-in omega;
+        #  * the latency model has a positive constant one-way delay
+        #    (the same condition the collapsed dispatch requires).
+        # Model support is decided per (snapshot, consumer, topic) when
+        # the columns are built; unsupported mixes fall back per query.
+        c = self._constant_one_way
+        self._fused_columns: Optional[dict] = None
+        if (
+            c is not None
+            and c > 0.0
+            and _scoring._DEFAULT_BACKEND != "python"
+            and fused_policy_supported(self.policy)
+        ):
+            self._fused_columns = {}
 
     def mediate(self, query) -> AllocationRecord:
         if self.trace.enabled:
             return super().mediate(query)
+        if self._fused_columns is not None:
+            return self._mediate_fused(query)
         self.mediations += 1
         candidates = self.registry.capable_snapshot(query.topic)
         if not candidates:
@@ -334,6 +363,275 @@ class FastMediator(Mediator):
     # No _select override: the hot mediate() above routes to select_fast
     # itself, and the super().mediate() fallback (tracing on) wants the
     # faithful policy.select that the base hook already provides.
+
+    def _mediate_fused(self, query) -> AllocationRecord:
+        """One mediation through the fused SoA kernel.
+
+        The entire SbQA pipeline -- KnBest stage 1 (the exact stdlib
+        draw sequence over snapshot ordinals), stage 2 (utilization
+        sort with integer-rank tie-breaks), intention consultation from
+        the :class:`~repro.core.soa.ConsultColumns`, per-pair Equation-2
+        omega, Definition-3 scores, ranking, and both satisfaction
+        windows -- runs as one pass over ordinal columns, with the
+        bookkeeping of :meth:`_commit` inlined.  Every float is
+        produced by the same expression shapes in the same order as the
+        select_fast/_commit path, so allocations, windows and digests
+        are bit-identical (asserted by the differential oracle in
+        ``tests/oracle/``).
+        """
+        self.mediations += 1
+        topic = query.topic
+        meta = self.registry.snapshot_meta(topic)
+        snapshot = meta.snapshot
+        if not snapshot:
+            return self._fail(query)
+        consumer = query.consumer
+
+        columns = self._fused_columns
+        key = (consumer.participant_id, topic)
+        cols = columns.get(key)
+        if cols is None or cols.snapshot is not snapshot:
+            if cols is not None:
+                cols.detach()
+            cols = ConsultColumns.build(snapshot, meta, consumer, topic)
+            columns[key] = cols
+        if not cols.supported:
+            # Model mix outside the column encoding (custom intention
+            # models): scalar oracle path, same decision, same digests.
+            ctx = self._ctx
+            ctx.now = self.now
+            decision = self._fast_select(query, snapshot, ctx)
+            if not decision.allocated:
+                return self._fail(query)
+            return self._commit(query, snapshot, decision)
+        if cols.dirty:
+            cols.refresh()
+
+        policy = self.policy
+        selector = policy.selector
+        k = selector.k
+        kn = selector.kn
+        n = len(snapshot)
+
+        # -- KnBest stage 1: the RandomStream.sample_indices draw
+        # sequence, inlined (getrandbits resolved once, no frames) ----
+        getrandbits = selector._stream._rng.getrandbits
+        if k > n:
+            k = n
+        sampled = [0] * k
+        setsize = 21
+        if k > 5:
+            setsize += 4 ** math.ceil(math.log(k * 3, 4))
+        if n <= setsize:
+            pool = list(range(n))
+            for i in range(k):
+                m = n - i
+                bits = m.bit_length()
+                j = getrandbits(bits)
+                while j >= m:
+                    j = getrandbits(bits)
+                sampled[i] = pool[j]
+                pool[j] = pool[m - 1]
+        else:
+            selected: set = set()
+            selected_add = selected.add
+            bits = n.bit_length()
+            for i in range(k):
+                j = getrandbits(bits)
+                while j >= n:
+                    j = getrandbits(bits)
+                while j in selected:
+                    j = getrandbits(bits)
+                    while j >= n:
+                        j = getrandbits(bits)
+                selected_add(j)
+                sampled[i] = j
+
+        # -- KnBest stage 2: utilization sort, rank tie-breaks ---------
+        # Provider.utilization inlined (same max/min arithmetic); ranks
+        # are order-isomorphic to participant ids within one snapshot.
+        now = self.sim._now
+        ranks = cols.ranks
+        horizons = cols.horizons
+        decorated = []
+        append = decorated.append
+        for s in sampled:
+            backlog = snapshot[s]._busy_until - now
+            if backlog < 0.0:
+                backlog = 0.0
+            u = backlog / horizons[s]
+            if u > 1.0:
+                u = 1.0
+            append((u, ranks[s], s))
+        decorated.sort()
+        working = decorated[:kn]
+        nw = len(working)
+
+        # -- consultation + Equation 2 + Definition 3, one pass --------
+        omega_fixed = policy._omega_fixed
+        if omega_fixed is None:
+            # ConsumerSatisfactionTracker.satisfaction(), inlined.
+            ct_ = consumer.tracker
+            n_sat = len(ct_._satisfactions)
+            if n_sat:
+                cs = ct_._sat_sum / n_sat
+                if cs < 0.0:
+                    cs = 0.0
+                elif cs > 1.0:
+                    cs = 1.0
+            else:
+                cs = 0.5
+        pp = cols.pp
+        betas = cols.betas
+        ci_col = cols.ci
+        trackers = cols.trackers
+        epsilon = policy.config.epsilon
+        ranked = []
+        rank_append = ranked.append
+        pi_list = []
+        pi_append = pi_list.append
+        for u, rank, s in working:
+            # PI_q[p]: blend base + load term, clamped (the exact
+            # expression shape of PreferenceUtilizationIntentions;
+            # beta*(1 - 2u) must not be algebraically refactored).
+            pi = pp[s] + betas[s] * (1.0 - 2.0 * u)
+            if pi > 1.0:
+                pi = 1.0
+            elif pi < -1.0:
+                pi = -1.0
+            pi_append(pi)
+            ci = ci_col[s]
+            if omega_fixed is None:
+                # ProviderSatisfactionTracker.satisfaction(), inlined.
+                tracker = trackers[s]
+                if tracker._proposals:
+                    performed = tracker._performed_in_window
+                    if performed:
+                        ps = tracker._performed_unit_sum / performed
+                        if ps < 0.0:
+                            ps = 0.0
+                        elif ps > 1.0:
+                            ps = 1.0
+                    else:
+                        ps = 0.0
+                else:
+                    ps = 0.5
+                omega = ((cs - ps) + 1.0) / 2.0
+            else:
+                omega = omega_fixed
+            if pi > 0.0 and ci > 0.0:
+                score = (pi ** omega) * (ci ** (1.0 - omega))
+            else:
+                score = -(
+                    ((1.0 - pi + epsilon) ** omega)
+                    * ((1.0 - ci + epsilon) ** (1.0 - omega))
+                )
+            rank_append((-score, rank, s, pi, ci, omega))
+        ranked.sort()
+
+        n_results = query.n_results
+        take = n_results if n_results < nw else nw
+        top = ranked[:take]
+        chosen = {row[2] for row in top}
+        allocated = [snapshot[row[2]] for row in top]
+
+        # -- Equation 1 over the performer set (decision order) --------
+        total = 0.0
+        for row in top:
+            total += (row[4] + 1.0) / 2.0
+        satisfaction = total / n_results
+        if satisfaction > 1.0:
+            satisfaction = 1.0
+
+        # -- Definition-2 windows (record_proposal inlined, working
+        #    order -- the order _commit walks decision.informed) -------
+        for i, (u, rank, s) in enumerate(working):
+            tracker = trackers[s]
+            proposals = tracker._proposals
+            if len(proposals) == tracker.memory:
+                evicted = proposals[0]
+                if evicted[1]:
+                    tracker._performed_in_window -= 1
+                    tracker._performed_unit_sum -= (evicted[0] + 1.0) / 2.0
+                tracker._evictions_since_rebuild += 1
+            performed = s in chosen
+            pi = pi_list[i]
+            proposals.append((pi, performed))
+            tracker.total_proposed += 1
+            if performed:
+                tracker.total_performed += 1
+                tracker._performed_in_window += 1
+                tracker._performed_unit_sum += (pi + 1.0) / 2.0
+            if tracker._evictions_since_rebuild >= tracker.memory:
+                tracker._rebuild_sums()
+
+        # -- adequation over the configured pool -----------------------
+        if self.adequation_over_candidates:
+            pool_ci = sorted(ci_col, reverse=True)
+        else:
+            pool_ci = sorted((row[4] for row in ranked), reverse=True)
+        total = 0.0
+        for ci in pool_ci[:n_results]:
+            total += (ci + 1.0) / 2.0
+        adequation_value = total / n_results
+        if adequation_value > 1.0:
+            adequation_value = 1.0
+
+        # -- Definition-1 window (record_query inlined) ----------------
+        ct = consumer.tracker
+        satisfactions = ct._satisfactions
+        if len(satisfactions) == ct.memory:
+            evicted_sat = satisfactions[0]
+            evicted_adq = ct._adequations[0]
+            ct._sat_sum -= evicted_sat
+            ct._adq_sum -= evicted_adq
+            if evicted_adq == 0.0:
+                ratio = 1.0
+            else:
+                ratio = evicted_sat / evicted_adq
+                if ratio > 1.0:
+                    ratio = 1.0
+            ct._ratio_sum -= ratio
+            ct._evictions_since_rebuild += 1
+        satisfactions.append(satisfaction)
+        ct._adequations.append(adequation_value)
+        ct._sat_sum += satisfaction
+        ct._adq_sum += adequation_value
+        if adequation_value == 0.0:
+            ratio = 1.0
+        else:
+            ratio = satisfaction / adequation_value
+            if ratio > 1.0:
+                ratio = 1.0
+        ct._ratio_sum += ratio
+        ct.total_recorded += 1
+        if ct._evictions_since_rebuild >= ct.memory:
+            ct._rebuild_sums()
+
+        # -- consultation cost + collapsed dispatch --------------------
+        c = self._constant_one_way
+        consult_delay = c + c
+        self.coordination_messages += (2 * nw + 2) + nw
+
+        record = LazyAllocationRecord(
+            query,
+            now,
+            allocated,
+            adequation_value,
+            consult_delay,
+            ranked,
+            [row[2] for row in working],
+            cols.pids,
+            snapshot,
+        )
+        query.status = QueryStatus.ALLOCATED
+        collapsed = _CollapsedDispatch(self.network, record, consumer, c)
+        self.sim.post_in(consult_delay, collapsed.dispatch)
+        if self.keep_records:
+            self.records.append(record)
+        if self.observer is not None:
+            self.observer.record_mediation(record)
+        return record
 
     def _commit(self, query, candidates, decision) -> AllocationRecord:
         if self.trace.enabled:

@@ -121,5 +121,31 @@ class KnBestSelector:
         loads = [row[0] for row in decorated[:kn]]
         return len(sampled), working, loads
 
+    def sample_working_ordinals(
+        self, candidates: Sequence[P], ranks: Sequence[int]
+    ) -> Tuple[int, List[Tuple[float, int, int]]]:
+        """Both stages in snapshot-ordinal space (the SoA kernel's form).
+
+        ``ranks[s]`` must be the position of ``candidates[s]`` in the
+        ``participant_id``-sorted order of the snapshot.  Integer ranks
+        are order-isomorphic to the id strings within one snapshot, so
+        the ``(utilization, rank)`` sort breaks ties exactly like
+        :meth:`sample_working`'s ``(utilization, participant_id)`` sort
+        -- the oracle tests assert this isomorphism -- while comparing
+        machine ints instead of strings.  Stage 1 draws *indices*
+        through :meth:`RandomStream.sample_indices`, which consumes the
+        identical ``getrandbits`` sequence as sampling the elements.
+
+        Returns ``(|K|, working)`` where ``working`` is the stage-2
+        list of ``(utilization, rank, ordinal)`` rows, least utilized
+        first.
+        """
+        indices = self._stream.sample_indices(len(candidates), self.k)
+        decorated = [
+            (candidates[s].utilization, ranks[s], s) for s in indices
+        ]
+        decorated.sort()
+        return len(indices), decorated[: self.kn]
+
     def __repr__(self) -> str:
         return f"KnBestSelector(k={self.k}, kn={self.kn})"

@@ -49,7 +49,7 @@ mathematically guaranteed [0, 1] range.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+from typing import Deque, Iterable, List, Optional, Sequence, Tuple
 
 #: Default length of the interaction window ("the k last interactions").
 #: The paper assumes all participants use the same k for simplicity.
@@ -248,11 +248,6 @@ class ConsumerSatisfactionTracker:
         )
 
 
-class _Proposal(NamedTuple):
-    intention: float
-    performed: bool
-
-
 class ProviderSatisfactionTracker:
     """Definition 2: satisfaction over the k last *proposed* queries.
 
@@ -264,13 +259,18 @@ class ProviderSatisfactionTracker:
     exactly 0 when the window contains proposals but no performed query
     -- a provider that is consulted yet never chosen is maximally
     dissatisfied, which is what drives departure in Scenario 2.
+
+    Window entries are plain ``(intention, performed)`` tuples -- not a
+    named tuple -- so the fast engine's fused kernel can append them
+    without a class ``__new__`` on the hottest write path; anything
+    reading ``_proposals`` directly indexes positionally.
     """
 
     def __init__(self, memory: int = DEFAULT_MEMORY) -> None:
         if memory < 1:
             raise ValueError(f"memory must be >= 1, got {memory}")
         self.memory = memory
-        self._proposals: Deque[_Proposal] = deque(maxlen=memory)
+        self._proposals: Deque[Tuple[float, bool]] = deque(maxlen=memory)
         self.total_proposed = 0
         self.total_performed = 0
         self._performed_in_window = 0
@@ -284,11 +284,11 @@ class ProviderSatisfactionTracker:
         proposals = self._proposals
         if len(proposals) == self.memory:
             evicted = proposals[0]
-            if evicted.performed:
+            if evicted[1]:
                 self._performed_in_window -= 1
-                self._performed_unit_sum -= (evicted.intention + 1.0) / 2.0
+                self._performed_unit_sum -= (evicted[0] + 1.0) / 2.0
             self._evictions_since_rebuild += 1
-        proposals.append(_Proposal(intention, performed))
+        proposals.append((intention, performed))
         self.total_proposed += 1
         if performed:
             self.total_performed += 1
@@ -301,10 +301,10 @@ class ProviderSatisfactionTracker:
         """Re-sum the performed window left-to-right, discarding drift."""
         self._performed_in_window = 0
         self._performed_unit_sum = 0.0
-        for proposal in self._proposals:
-            if proposal.performed:
+        for intention, performed in self._proposals:
+            if performed:
                 self._performed_in_window += 1
-                self._performed_unit_sum += (proposal.intention + 1.0) / 2.0
+                self._performed_unit_sum += (intention + 1.0) / 2.0
         self._evictions_since_rebuild = 0
 
     def satisfaction(self, default: float = NEUTRAL_SATISFACTION) -> float:
@@ -329,7 +329,7 @@ class ProviderSatisfactionTracker:
 
     def window_entries(self) -> List[Tuple[float, bool]]:
         """Copy of the window contents (oldest first); used by analysis."""
-        return [(p.intention, p.performed) for p in self._proposals]
+        return list(self._proposals)
 
     def reset(self) -> None:
         """Forget the window (a rejoining participant starts afresh)."""

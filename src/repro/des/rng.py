@@ -122,6 +122,52 @@ class RandomStream:
                 result[i] = population[j]
         return result
 
+    def sample_indices(self, n: int, k: int) -> List[int]:
+        """Sample ``min(k, n)`` distinct indices from ``range(n)``.
+
+        Draw-for-draw identical to ``sample(seq, k)`` over any
+        ``n``-length sequence -- the stdlib algorithm's ``getrandbits``
+        consumption depends only on ``(n, k)``, never on the elements --
+        so ``[seq[i] for i in sample_indices(len(seq), k)]`` equals
+        ``sample(seq, k)`` exactly.  The fast engine's fused kernel
+        works in snapshot ordinals and uses this form to skip the
+        element indirection of stage 1.
+        """
+        if k < 0:
+            raise ValueError(f"sample size must be non-negative, got {k}")
+        if k > n:
+            k = n
+        getrandbits = self._rng.getrandbits
+        result: List[int] = [0] * k
+        setsize = 21  # size of a small set minus size of an empty list
+        if k > 5:
+            setsize += 4 ** math.ceil(math.log(k * 3, 4))
+        if n <= setsize:
+            pool = list(range(n))
+            for i in range(k):
+                m = n - i
+                bits = m.bit_length()
+                j = getrandbits(bits)
+                while j >= m:
+                    j = getrandbits(bits)
+                result[i] = pool[j]
+                pool[j] = pool[m - 1]
+        else:
+            selected: set = set()
+            selected_add = selected.add
+            bits = n.bit_length()
+            for i in range(k):
+                j = getrandbits(bits)
+                while j >= n:
+                    j = getrandbits(bits)
+                while j in selected:
+                    j = getrandbits(bits)
+                    while j >= n:
+                        j = getrandbits(bits)
+                selected_add(j)
+                result[i] = j
+        return result
+
     def shuffle(self, items: List[T]) -> None:
         """In-place Fisher-Yates shuffle."""
         self._rng.shuffle(items)

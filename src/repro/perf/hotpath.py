@@ -5,11 +5,17 @@ engine (:mod:`repro.core.engine`) and extended by the indexed registry
 and the universal policy fast paths:
 
 * **Mediation throughput** -- how many ``Mediator.mediate`` calls per
-  second a mediation-bound system sustains, for three configurations:
+  second a mediation-bound system sustains, for four configurations:
 
   - ``fast``: :class:`~repro.core.engine.FastMediator` +
-    :class:`~repro.core.engine.FastNetwork` (batched scoring, analytic
-    consultation delay, collapsed dispatch, batched result drain);
+    :class:`~repro.core.engine.FastNetwork` running the fused
+    structure-of-arrays kernel (:mod:`repro.core.soa`): ordinal
+    columns, inlined stage-1 sampling, one-pass consult/score/rank,
+    lazy allocation records;
+  - ``fast_scalar``: the same engine pinned to the scalar oracle path
+    (``SBQA_SCORING_BACKEND=scalar`` -> ``select_fast`` + ``_commit``),
+    the differential-testing reference the fused kernel must match
+    digest for digest;
   - ``event``: the event-faithful reference core as it stands today
     (already carrying the shared O(1) satisfaction windows and the
     registry capability snapshots);
@@ -51,6 +57,7 @@ import platform
 import time
 from typing import Dict, Iterable, Optional, Sequence
 
+import repro.core.scoring as _scoring
 from repro.allocation.factory import make_policy
 from repro.core.engine import FastMediator, FastNetwork
 from repro.core.intentions import PreferenceUtilizationIntentions
@@ -73,11 +80,16 @@ from repro.system.registry import SystemRegistry
 
 #: Layout tag written into the bench record / BENCH_core.json.
 #: Version 2 added the policy matrix, the N-providers scaling axis and
-#: the registry-lookup section.
-BENCH_VERSION = 2
+#: the registry-lookup section.  Version 3 added the scoring-backend
+#: split (``fast`` = fused SoA kernel, ``fast_scalar`` = the scalar
+#: oracle path) and the three-way parity record.
+BENCH_VERSION = 3
 
 #: Engines measured by the throughput kernel, in reporting order.
-CONFIGURATIONS = ("fast", "event", "seed_baseline")
+#: ``fast`` runs the fused structure-of-arrays kernel (the default when
+#: numpy is importable); ``fast_scalar`` pins the fast engine to the
+#: scalar select_fast/_commit oracle path (SBQA_SCORING_BACKEND=scalar).
+CONFIGURATIONS = ("fast", "fast_scalar", "event", "seed_baseline")
 
 #: Policies measured by the policy matrix, in reporting order.
 #: (boinc-shares is benchable too -- the builder grants every provider
@@ -109,7 +121,7 @@ class SeedProviderTracker(ProviderSatisfactionTracker):
     def satisfaction(self, default: float = NEUTRAL_SATISFACTION) -> float:
         if not self._proposals:
             return default
-        performed = [p.intention for p in self._proposals if p.performed]
+        performed = [intention for intention, done in self._proposals if done]
         if not performed:
             return 0.0
         return sum(intention_to_unit(i) for i in performed) / len(performed)
@@ -196,7 +208,7 @@ def build_mediation_system(
             f"unknown configuration {configuration!r}; "
             f"valid: {', '.join(CONFIGURATIONS)}"
         )
-    fast = configuration == "fast"
+    fast = configuration in ("fast", "fast_scalar")
     seed_baseline = configuration == "seed_baseline"
     if seed_baseline and policy != "sbqa":
         raise ValueError("the seed-baseline reconstruction is SbQA-only")
@@ -247,14 +259,23 @@ def build_mediation_system(
     else:
         policy_obj = make_policy(policy, root, sbqa=SbQAConfig(k=k, kn=kn))
     mediator_cls = FastMediator if fast else Mediator
-    mediator = mediator_cls(
-        sim,
-        network,
-        registry,
-        policy_obj,
-        keep_records=False,
-        trace=SeedTraceCost() if seed_baseline else NULL_RECORDER,
-    )
+    # FastMediator reads the scoring backend once at construction, so
+    # pinning the scalar oracle path only needs a temporary override
+    # around the constructor.
+    previous_backend = _scoring._DEFAULT_BACKEND
+    if configuration == "fast_scalar":
+        _scoring._DEFAULT_BACKEND = "python"
+    try:
+        mediator = mediator_cls(
+            sim,
+            network,
+            registry,
+            policy_obj,
+            keep_records=False,
+            trace=SeedTraceCost() if seed_baseline else NULL_RECORDER,
+        )
+    finally:
+        _scoring._DEFAULT_BACKEND = previous_backend
     consumer.attach_mediator(mediator)
     return sim, mediator, consumer
 
@@ -511,10 +532,19 @@ def _mixed_spec(engine: str, duration: float, n_providers: int):
 def check_digest_parity(
     duration: float = 600.0, n_providers: int = 80
 ) -> Dict[str, object]:
-    """Fast-vs-event ``ExperimentResult`` digests on the mixed scenario.
+    """Three-way ``ExperimentResult`` digests on the mixed scenario.
 
     Byte-compares the JSON digests (the spec serialization deliberately
-    omits the engine, so any difference is a result difference).
+    omits the engine, so any difference is a result difference) across
+
+    * ``engine="fast"`` with the fused SoA kernel (ambient backend),
+    * ``engine="fast"`` pinned to the scalar oracle backend, and
+    * ``engine="event"``.
+
+    ``identical`` is the fast/event engine contract;
+    ``scalar_identical`` is the fused-kernel/scalar-oracle contract
+    (the bench-level face of tests/oracle/); ``sha256`` is the shared
+    digest all three produced when parity holds.
     """
     import hashlib
 
@@ -526,12 +556,24 @@ def check_digest_parity(
             keep_runs=False
         )
         digests[engine] = result.to_json()
+    previous_backend = _scoring._DEFAULT_BACKEND
+    _scoring._DEFAULT_BACKEND = "python"
+    try:
+        digests["fast_scalar"] = (
+            Session(_mixed_spec("fast", duration, n_providers))
+            .run(keep_runs=False)
+            .to_json()
+        )
+    finally:
+        _scoring._DEFAULT_BACKEND = previous_backend
     identical = digests["fast"] == digests["event"]
+    scalar_identical = digests["fast"] == digests["fast_scalar"]
     return {
         "scenario": "engine-parity-mixed",
         "duration": duration,
         "n_providers": n_providers,
         "identical": identical,
+        "scalar_identical": scalar_identical,
         "sha256": hashlib.sha256(digests["fast"].encode("utf-8")).hexdigest(),
     }
 
@@ -577,6 +619,7 @@ def run_bench(
     throughput = measure_throughput(mediations=mediations, repeats=repeats)
 
     fast = throughput["fast"]["mediate_per_s"]
+    fast_scalar = throughput["fast_scalar"]["mediate_per_s"]
     event = throughput["event"]["mediate_per_s"]
     seed_baseline = throughput["seed_baseline"]["mediate_per_s"]
     record: Dict[str, object] = {
@@ -601,6 +644,9 @@ def run_bench(
             # The engine split alone (both sides share the O(1) windows
             # and the registry snapshots).
             "fast_vs_event": fast / event,
+            # The fused SoA kernel vs the scalar oracle path of the same
+            # fast engine: what the vectorized default is worth.
+            "fused_vs_scalar": fast / fast_scalar,
             "event_vs_seed": event / seed_baseline,
             # The batched-result-drain claim: how close end-to-end
             # throughput sits to pure mediation throughput.
@@ -641,8 +687,14 @@ def format_report(record: Dict[str, object]) -> str:
         "",
         f"  fast vs seed baseline: {speedup['fast_vs_seed']:.2f}x",
         f"  fast vs event engine:  {speedup['fast_vs_event']:.2f}x",
-        f"  end-to-end / mediate:  {speedup['end_to_end_ratio']:.0%}",
     ]
+    if "fused_vs_scalar" in speedup:
+        lines.append(
+            f"  fused vs scalar path:  {speedup['fused_vs_scalar']:.2f}x"
+        )
+    lines.append(
+        f"  end-to-end / mediate:  {speedup['end_to_end_ratio']:.0%}"
+    )
     matrix = record.get("policies")
     if matrix:
         lines += ["", "  policy matrix (mediations/s, fast | event):"]
@@ -676,6 +728,11 @@ def format_report(record: Dict[str, object]) -> str:
             f"  fast/event digests:    {status} "
             f"(mixed scenario, sha256 {str(parity['sha256'])[:12]}...)"
         )
+        if "scalar_identical" in parity:
+            scalar_status = (
+                "identical" if parity["scalar_identical"] else "DIVERGED"
+            )
+            lines.append(f"  fused/scalar digests:  {scalar_status}")
     return "\n".join(lines)
 
 

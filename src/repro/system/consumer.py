@@ -128,6 +128,12 @@ class Consumer(Entity):
 
         self._mediator: Optional[Entity] = None
         self._rt_ewma: Dict[str, float] = {}
+        #: Dirty-sets subscribed by SoA intention caches: every provider
+        #: id whose EWMA changes is added to each registered set, so a
+        #: cached CI column refreshes exactly the slots that moved (see
+        #: repro.core.soa).  Empty unless the fast engine's fused kernel
+        #: is active.
+        self._intention_sinks: List[set] = []
         self._issue_listeners: List[Callable[["Query"], None]] = []
         self._completion_listeners: List[Callable[["AllocationRecord"], None]] = []
         self._timeout_listeners: List[Callable[["AllocationRecord"], None]] = []
@@ -206,7 +212,12 @@ class Consumer(Entity):
         return self.rt_reference / (self.rt_reference + ewma)
 
     def observe_response_time(self, provider_id: str, response_time: float) -> None:
-        """Fold one observed response time into the provider's reputation."""
+        """Fold one observed response time into the provider's reputation.
+
+        This is the *only* mutation site of the reputation state, which
+        is what lets SoA intention caches subscribe a dirty-set here and
+        treat their CI columns as valid between notifications.
+        """
         if response_time < 0:
             raise ValueError(f"response time must be non-negative, got {response_time}")
         previous = self._rt_ewma.get(provider_id)
@@ -215,6 +226,8 @@ class Consumer(Entity):
         else:
             a = self.rt_smoothing
             self._rt_ewma[provider_id] = a * response_time + (1.0 - a) * previous
+        for sink in self._intention_sinks:
+            sink.add(provider_id)
 
     def intention_for(self, query: "Query", provider: "Provider") -> float:
         """``CI_q[p]``: this consumer's intention to allocate to ``provider``."""
@@ -330,6 +343,42 @@ class Consumer(Entity):
             self.stats.response_time_sum += arrived_at - record.query.issued_at
             for listener in self._completion_listeners:
                 listener(record)
+
+    def absorb_results(self, record: "AllocationRecord", results) -> None:
+        """Fold a batch of same-instant results in, in allocated order.
+
+        The fast engine's batched result drain delivers every member of
+        one finish-instant group at one clock value, so the arrival
+        time, the response time (arrival minus issue -- identical for
+        all members of one query) and the timed-out check are resolved
+        once per batch instead of once per result.  Per member, the
+        bookkeeping sequence is exactly :meth:`_on_result`'s -- EWMA
+        fold, sink notification, result registration, completion
+        accounting -- in the same order, so every float and the
+        completion instant are bit-identical to per-member delivery.
+        """
+        arrived_at = self.sim.now
+        query = record.query
+        response_time = arrived_at - query.issued_at
+        rt_ewma = self._rt_ewma
+        a = self.rt_smoothing
+        sinks = self._intention_sinks
+        for result in results:
+            pid = result.provider_id
+            previous = rt_ewma.get(pid)
+            if previous is None:
+                rt_ewma[pid] = response_time
+            else:
+                rt_ewma[pid] = a * response_time + (1.0 - a) * previous
+            for sink in sinks:
+                sink.add(pid)
+            completed = record.record_result(result)
+            if completed and query.qid not in self._timed_out_qids:
+                record.completed_at = arrived_at
+                self.stats.queries_completed += 1
+                self.stats.response_time_sum += response_time
+                for listener in self._completion_listeners:
+                    listener(record)
 
     def _on_failure(self, record: "AllocationRecord") -> None:
         self.stats.queries_failed += 1

@@ -58,6 +58,58 @@ REBUILD_EVERY = 4096
 #: aggregate sweeps below grow a numpy backend behind the same flag.
 AGGREGATE_BACKEND_ENV = _scoring.SCORING_BACKEND_ENV
 
+#: Cross-run memo of id-sorted rank columns, keyed by the pids tuple.
+#: Replications of one sweep point register identical provider ids in
+#: identical order, so every run after the first reuses the sorted rank
+#: permutation instead of re-deriving it per snapshot.  Entries are
+#: read-only once stored.
+_RANKS_MEMO: Dict[Tuple[str, ...], List[int]] = {}
+_RANKS_MEMO_LIMIT = 64
+
+
+def _ranks_for(pids: Tuple[str, ...]) -> List[int]:
+    """``ranks[s]`` = position of ``pids[s]`` in the id-sorted order.
+
+    Within one snapshot integer ranks compare exactly like the id
+    strings (ids are unique), which is what lets ordinal-space kernels
+    break ties on ints; see
+    :meth:`repro.core.knbest.KnBestSelector.sample_working_ordinals`.
+    """
+    ranks = _RANKS_MEMO.get(pids)
+    if ranks is None:
+        order = sorted(range(len(pids)), key=pids.__getitem__)
+        ranks = [0] * len(pids)
+        for rank, slot in enumerate(order):
+            ranks[slot] = rank
+        if len(_RANKS_MEMO) >= _RANKS_MEMO_LIMIT:
+            _RANKS_MEMO.clear()
+        _RANKS_MEMO[pids] = ranks
+    return ranks
+
+
+class SnapshotMeta:
+    """Ordinal metadata of one capability snapshot.
+
+    Shared by every consumer consulting the same snapshot (the fused
+    kernel's :class:`~repro.core.soa.ConsultColumns` borrow these
+    rather than rebuilding them per consumer):
+
+    * ``pids[s]`` -- participant id of snapshot slot ``s``;
+    * ``slot_of[pid]`` -- inverse map;
+    * ``ranks[s]`` -- position of ``pids[s]`` in id-sorted order.
+
+    Like the snapshot tuple itself, a meta object is immutable once
+    built and its validity is checked by snapshot *identity*.
+    """
+
+    __slots__ = ("snapshot", "pids", "slot_of", "ranks")
+
+    def __init__(self, snapshot) -> None:
+        self.snapshot = snapshot
+        self.pids = [p.participant_id for p in snapshot]
+        self.slot_of = {pid: s for s, pid in enumerate(self.pids)}
+        self.ranks = _ranks_for(tuple(self.pids))
+
 
 class SystemRegistry:
     """Tracks consumers, providers and topic capabilities."""
@@ -86,6 +138,7 @@ class SystemRegistry:
         self._providers_cache: Optional[Tuple["Provider", ...]] = None
         self._consumers_cache: Optional[Tuple["Consumer", ...]] = None
         self._capacity_cache: Dict[bool, Tuple[int, float]] = {}
+        self._snapshot_meta_cache: Dict[str, SnapshotMeta] = {}
         self._transitions_since_rebuild = 0
 
     # ------------------------------------------------------------------
@@ -296,6 +349,22 @@ class SystemRegistry:
         self._capable_cache[topic] = (version, snapshot)
         return snapshot
 
+    def snapshot_meta(self, topic: str) -> SnapshotMeta:
+        """The current ``P_q`` snapshot for ``topic`` plus ordinal metadata.
+
+        ``meta.snapshot`` is exactly what :meth:`capable_snapshot`
+        would return; the metadata is cached per topic against the
+        snapshot's identity, so between transitions this costs two dict
+        probes and the ordinal columns are shared by every consumer.
+        """
+        snapshot = self.capable_snapshot(topic)
+        cached = self._snapshot_meta_cache.get(topic)
+        if cached is not None and cached.snapshot is snapshot:
+            return cached
+        meta = SnapshotMeta(snapshot)
+        self._snapshot_meta_cache[topic] = meta
+        return meta
+
     def capable_providers(self, query: "Query") -> List["Provider"]:
         """The set ``P_q``: online providers able to perform the query.
 
@@ -357,18 +426,22 @@ class SystemRegistry:
 def _aggregate_sum(values: List[float], backend: Optional[str] = None) -> float:
     """One whole-population reduction, backend-selectable.
 
-    ``backend=None`` uses the value ``SBQA_SCORING_BACKEND`` held at
-    import time (``"python"`` when unset) -- the same switch, read
-    from the same place, with the same contract as
-    :func:`repro.core.scoring.score_providers_batch`: the python path
-    is the reference (plain left-to-right ``sum``, the exact floats
-    every pre-index release produced), the numpy path is opt-in, may
-    differ from it by accumulated rounding (pairwise summation; a
-    parity test pins the difference to relative 1e-12), and raises
+    ``backend=None`` always means the python reference path -- plain
+    left-to-right ``sum``, the exact floats every pre-index release
+    produced.  These aggregates feed digest-visible summary fields, so
+    unlike :func:`repro.core.scoring.score_providers_batch` the default
+    here is deliberately *decoupled* from ``SBQA_SCORING_BACKEND``:
+    numpy's pairwise summation rounds differently (a parity test pins
+    the difference to relative 1e-12), and a backend flip must never
+    change a result digest.  The numpy path stays reachable through an
+    explicit ``backend="numpy"`` (any
+    :data:`repro.core.scoring.BACKEND_ALIASES` spelling) and raises
     when numpy is not importable.
     """
     if backend is None:
-        backend = _scoring._DEFAULT_BACKEND
+        backend = "python"
+    else:
+        backend = _scoring.resolve_backend(backend)
     if backend == "numpy":
         np = _scoring._np
         if np is None:
@@ -379,8 +452,4 @@ def _aggregate_sum(values: List[float], backend: Optional[str] = None) -> float:
         if not values:
             return 0.0
         return float(np.asarray(values, dtype=np.float64).sum())
-    if backend != "python":
-        raise ValueError(
-            f"unknown aggregate backend {backend!r}; valid: python, numpy"
-        )
     return sum(values)

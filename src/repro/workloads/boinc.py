@@ -233,20 +233,60 @@ class BoincPopulation:
         ]
 
 
-def build_boinc_population(
-    sim: Simulator,
-    network: Network,
-    root: RandomRoot,
-    params: BoincScenarioParams,
-) -> BoincPopulation:
-    """Draw the whole population from named substreams of ``root``."""
-    registry = SystemRegistry()
-    consumer_model: ConsumerIntentionModel = make_consumer_intention_model(
-        params.consumer_intentions
+@dataclass(frozen=True)
+class _PopulationDraws:
+    """The random draws behind one population, detached from entities.
+
+    A population is a pure function of ``(seed, params)``; the part that
+    is *expensive* is the stream arithmetic (one named substream per
+    provider, thousands of uniform/lognormal draws), not the entity
+    construction.  This record captures every drawn value so a sweep
+    replaying the same ``(seed, draw-affecting params)`` -- e.g. a grid
+    over ``k``/``kn``/``beta``/duration with a fixed population -- can
+    rebuild *fresh* entities without re-running the draws.  Substreams
+    are independent by construction (each is seeded by hashing its
+    name), so skipping them cannot shift any other stream: the rebuilt
+    population is bit-identical to a freshly drawn one.
+    """
+
+    providers: Tuple[Tuple[str, str, Dict[str, float], float, int], ...]
+    focal_provider_memory: Optional[int]
+    consumers: Tuple[Tuple[str, Dict[str, float], int], ...]
+    focal_consumer_draw: Optional[Tuple[Dict[str, float], int]]
+
+
+#: Bounded memo of population draws, keyed by (root seed + every param
+#: that feeds a stream draw).  Knobs that only parameterize entity
+#: construction (intention models, horizons, quorum, n_results, ...)
+#: are deliberately absent from the key: sweeps over them share draws.
+_DRAW_CACHE: Dict[tuple, _PopulationDraws] = {}
+_DRAW_CACHE_LIMIT = 8
+
+
+def _draw_cache_key(root: RandomRoot, params: BoincScenarioParams) -> tuple:
+    return (
+        root.seed,
+        params.n_providers,
+        tuple((p.name, p.popularity_weight) for p in params.projects),
+        repr(params.archetype_mix),
+        params.capacity_mean,
+        params.capacity_cv,
+        params.memory,
+        params.memory_jitter,
+        params.preferred_fraction,
+        repr(params.focal_provider),
+        repr(params.focal_consumer),
     )
-    provider_model: ProviderIntentionModel = make_provider_intention_model(
-        params.provider_intentions
-    )
+
+
+def _draw_population(
+    root: RandomRoot, params: BoincScenarioParams
+) -> _PopulationDraws:
+    """All stream draws of one population, memoized across builds."""
+    key = _draw_cache_key(root, params)
+    cached = _DRAW_CACHE.get(key)
+    if cached is not None:
+        return cached
 
     consumer_ids = [p.name for p in params.projects]
     popularity_weights = [p.popularity_weight for p in params.projects]
@@ -264,9 +304,8 @@ def build_boinc_population(
         high = params.memory * (1.0 + params.memory_jitter)
         return max(1, round(memory_stream.uniform(low, high)))
 
-    # -- providers -------------------------------------------------------
-    providers: List[Provider] = []
-    archetype_of: Dict[str, str] = {}
+    provider_rows = []
+    provider_ids: List[str] = []
     capacity_stream = root.stream("population/capacity")
     for index in range(params.n_providers):
         pid = f"p{index:03d}"
@@ -276,14 +315,88 @@ def build_boinc_population(
             stream, archetype, consumer_ids, popularity_weights
         )
         capacity = capacity_stream.lognormal(params.capacity_mean, params.capacity_cv)
+        provider_rows.append((pid, archetype, preferences, capacity, draw_memory()))
+        provider_ids.append(pid)
+
+    focal_provider_memory: Optional[int] = None
+    if params.focal_provider is not None:
+        focal_provider_memory = draw_memory()
+        provider_ids.append(params.focal_provider.participant_id)
+
+    consumer_rows = []
+    for project in params.projects:
+        stream = root.stream(f"population/consumer/{project.name}")
+        preferences = draw_consumer_preferences(
+            stream, provider_ids, preferred_fraction=params.preferred_fraction
+        )
+        consumer_rows.append((project.name, preferences, draw_memory()))
+
+    focal_consumer_draw: Optional[Tuple[Dict[str, float], int]] = None
+    if focal_consumer is not None:
+        stream = root.stream("population/consumer/focal")
+        trusted = set(stream.sample(provider_ids, focal_consumer.n_trusted))
+        preferences = {
+            pid: (
+                focal_consumer.trusted_preference
+                if pid in trusted
+                else focal_consumer.other_preference
+            )
+            for pid in provider_ids
+        }
+        focal_consumer_draw = (preferences, draw_memory())
+
+    draws = _PopulationDraws(
+        providers=tuple(provider_rows),
+        focal_provider_memory=focal_provider_memory,
+        consumers=tuple(consumer_rows),
+        focal_consumer_draw=focal_consumer_draw,
+    )
+    if len(_DRAW_CACHE) >= _DRAW_CACHE_LIMIT:
+        _DRAW_CACHE.clear()
+    _DRAW_CACHE[key] = draws
+    return draws
+
+
+def build_boinc_population(
+    sim: Simulator,
+    network: Network,
+    root: RandomRoot,
+    params: BoincScenarioParams,
+) -> BoincPopulation:
+    """Draw the whole population from named substreams of ``root``.
+
+    The draws themselves are memoized per ``(seed, draw-affecting
+    params)`` (:class:`_PopulationDraws`), so replications and sweep
+    points that share a population pay the stream arithmetic once;
+    entities are always constructed fresh, and preference dicts are
+    copied out of the memo so no state leaks between runs.
+    """
+    registry = SystemRegistry()
+    consumer_model: ConsumerIntentionModel = make_consumer_intention_model(
+        params.consumer_intentions
+    )
+    provider_model: ProviderIntentionModel = make_provider_intention_model(
+        params.provider_intentions
+    )
+    consumer_ids = [p.name for p in params.projects]
+    focal_consumer = params.focal_consumer
+    if focal_consumer is not None:
+        consumer_ids.append(focal_consumer.participant_id)
+
+    draws = _draw_population(root, params)
+
+    # -- providers -------------------------------------------------------
+    providers: List[Provider] = []
+    archetype_of: Dict[str, str] = {}
+    for pid, archetype, preferences, capacity, memory in draws.providers:
         provider = Provider(
             sim,
             network,
             participant_id=pid,
             capacity=capacity,
-            preferences=preferences,
+            preferences=dict(preferences),
             intention_model=provider_model,
-            memory=draw_memory(),
+            memory=memory,
             saturation_horizon=params.saturation_horizon,
             resource_shares=shares_from_preferences(preferences),
         )
@@ -304,7 +417,7 @@ def build_boinc_population(
             capacity=spec.capacity,
             preferences=preferences,
             intention_model=provider_model,
-            memory=draw_memory(),
+            memory=draws.focal_provider_memory,
             saturation_horizon=params.saturation_horizon,
             resource_shares=shares_from_preferences(preferences),
         )
@@ -312,22 +425,16 @@ def build_boinc_population(
         archetype_of[spec.participant_id] = "focal"
         registry.add_provider(focal)
 
-    provider_ids = [p.participant_id for p in providers]
-
     # -- consumers -------------------------------------------------------
     consumers: List[Consumer] = []
-    for project in params.projects:
-        stream = root.stream(f"population/consumer/{project.name}")
-        preferences = draw_consumer_preferences(
-            stream, provider_ids, preferred_fraction=params.preferred_fraction
-        )
+    for name, preferences, memory in draws.consumers:
         consumer = Consumer(
             sim,
             network,
-            participant_id=project.name,
-            preferences=preferences,
+            participant_id=name,
+            preferences=dict(preferences),
             intention_model=consumer_model,
-            memory=draw_memory(),
+            memory=memory,
             default_n_results=params.n_results,
             rt_reference=params.rt_reference,
         )
@@ -336,23 +443,14 @@ def build_boinc_population(
         registry.add_consumer(consumer)
 
     if focal_consumer is not None:
-        stream = root.stream("population/consumer/focal")
-        trusted = set(stream.sample(provider_ids, focal_consumer.n_trusted))
-        preferences = {
-            pid: (
-                focal_consumer.trusted_preference
-                if pid in trusted
-                else focal_consumer.other_preference
-            )
-            for pid in provider_ids
-        }
+        preferences, memory = draws.focal_consumer_draw
         consumer = Consumer(
             sim,
             network,
             participant_id=focal_consumer.participant_id,
-            preferences=preferences,
+            preferences=dict(preferences),
             intention_model=consumer_model,
-            memory=draw_memory(),
+            memory=memory,
             default_n_results=params.n_results,
             rt_reference=params.rt_reference,
         )

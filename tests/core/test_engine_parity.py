@@ -9,21 +9,20 @@ Three layers of evidence:
   across latency regimes, churn, crashes and policies -- while the
   fast engine fires strictly fewer scheduler events when the dispatch
   collapse is active;
-* sweep-level: the three ablation benches' grids (k-pool, crashes,
-  heavy-tail), scaled down, produce byte-identical ``SweepResult``
-  digests under both engines.
+* preset-level: every shipped scenario preset, scaled down, produces
+  byte-identical ``ExperimentResult`` digests under both engines, and
+  the fused SoA kernel matches the scalar oracle backend digest for
+  digest (the engine-level face of the tests/oracle/ contract).
 """
 
-import importlib.util
 import json
-from pathlib import Path
 
 import pytest
 
-from repro.api.builder import Experiment, ExperimentBuilder
+from repro.api.builder import Experiment
+from repro.api.presets import available_scenarios
 from repro.api.session import Session
 from repro.api.spec import ExperimentSpec
-from repro.api.sweep import SweepSession, SweepSpec
 from repro.core.engine import (
     ENGINE_MODES,
     FastMediator,
@@ -45,19 +44,6 @@ from repro.system.consumer import Consumer
 from repro.system.provider import Provider
 from repro.system.query import Query
 from repro.system.registry import SystemRegistry
-
-BENCHMARKS_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
-
-
-def load_bench_module(name):
-    """Import one bench script by file path (benchmarks/ is no package)."""
-    spec = importlib.util.spec_from_file_location(
-        f"bench_module_{name}", BENCHMARKS_DIR / f"{name}.py"
-    )
-    module = importlib.util.module_from_spec(spec)
-    spec.loader.exec_module(module)
-    return module
-
 
 def run_digest(engine, **overrides):
     """One short session run's JSON digest under the given engine."""
@@ -527,32 +513,84 @@ class TestFastNetworkFallback:
         assert mediator._constant_one_way is None
 
 
-class TestAblationSweepParity:
-    """The three ablation grids, scaled down, digest-identical."""
+class TestScenarioPresetParity:
+    """Every shipped scenario preset, fast vs event, digest-identical.
+
+    A mutation-style smoke over the whole preset surface (replacing the
+    earlier hand-picked three-grid ablation set): each preset exercises
+    a different combination of autonomy, focal probes, policies and
+    population knobs, so a fused-kernel bug that only bites one regime
+    (e.g. the focal consumer's ReputationBlend column, or scenario 5's
+    load-only intentions) fails its own test case."""
 
     DURATION = 120.0
     PROVIDERS = 24
 
-    def _digests(self, sweep_spec):
-        digests = {}
-        for engine in ENGINE_MODES:
-            base = sweep_spec.base.to_dict()
-            base["engine"] = engine
-            spec = SweepSpec(
-                name=sweep_spec.name,
-                base=ExperimentSpec.from_dict(base),
-                axes=sweep_spec.axes,
-                keep_runs=sweep_spec.keep_runs,
-            )
-            digests[engine] = SweepSession(spec).run().to_json()
-        return digests
+    def _preset_digest(self, scenario_id, engine):
+        from repro.api.presets import scenario_spec
 
-    @pytest.mark.parametrize(
-        "bench", ["bench_ablation_k_pool", "bench_ablation_crashes",
-                  "bench_ablation_heavy_tail"]
-    )
-    def test_ablation_digest_parity(self, bench):
-        module = load_bench_module(bench)
-        sweep = module.build_sweep(self.DURATION, self.PROVIDERS)
-        digests = self._digests(sweep)
-        assert digests["fast"] == digests["event"]
+        spec = scenario_spec(
+            scenario_id, duration=self.DURATION, n_providers=self.PROVIDERS
+        )
+        data = spec.to_dict()
+        data["engine"] = engine
+        return (
+            Session(ExperimentSpec.from_dict(data)).run(keep_runs=False).to_json()
+        )
+
+    @pytest.mark.parametrize("scenario_id", available_scenarios())
+    def test_preset_digest_parity(self, scenario_id):
+        assert self._preset_digest(scenario_id, "fast") == self._preset_digest(
+            scenario_id, "event"
+        )
+
+
+class TestScoringBackendParity:
+    """The fused SoA kernel vs the scalar oracle, digest-identical.
+
+    ``SBQA_SCORING_BACKEND=scalar`` (resolved once into
+    ``repro.core.scoring._DEFAULT_BACKEND``) pins the fast engine to the
+    select_fast/_commit reference path; the default numpy backend turns
+    the fused kernel on.  Both must produce byte-identical run digests
+    -- the engine-level form of the contract the oracle suite
+    (tests/oracle/) replays under randomized workloads."""
+
+    def _backend_digest(self, backend, monkeypatch, **overrides):
+        import repro.core.scoring as scoring
+
+        monkeypatch.setattr(scoring, "_DEFAULT_BACKEND", backend)
+        return run_digest("fast", **overrides)
+
+    def test_scalar_and_fused_digests_match(self, monkeypatch):
+        mixed = {
+            "latency": (0.05, 0.05),
+            "autonomous": True,
+            "failures": {"mttf": 1500.0, "repair_time": 60.0, "result_timeout": 240.0},
+            "policies": [("sbqa", {}), ("capacity", {})],
+        }
+        scalar = self._backend_digest("python", monkeypatch, **mixed)
+        fused = self._backend_digest("numpy", monkeypatch, **mixed)
+        assert scalar == fused
+
+    def test_fixed_omega_backends_match(self, monkeypatch):
+        spec = {
+            "latency": (0.05, 0.05),
+            "policies": [("sbqa", {"omega": 0.3, "kn": 4})],
+        }
+        scalar = self._backend_digest("python", monkeypatch, **spec)
+        fused = self._backend_digest("numpy", monkeypatch, **spec)
+        assert scalar == fused
+
+    def test_fused_gate_follows_backend(self, monkeypatch):
+        import repro.core.scoring as scoring
+
+        sim = Simulator()
+        network = FastNetwork(sim, FixedLatency(0.05))
+        registry = SystemRegistry()
+        policy = SbQAPolicy(SbQAConfig(), RandomStream(1))
+        monkeypatch.setattr(scoring, "_DEFAULT_BACKEND", "python")
+        scalar_mediator = FastMediator(sim, network, registry, policy)
+        assert scalar_mediator._fused_columns is None
+        monkeypatch.setattr(scoring, "_DEFAULT_BACKEND", "numpy")
+        fused_mediator = FastMediator(sim, network, registry, policy)
+        assert fused_mediator._fused_columns is not None

@@ -2,9 +2,10 @@
 
 The fast engine ranks every consulted provider through
 :func:`repro.core.scoring.score_providers_batch`; these tests pin the
-kernel to the scalar :func:`~repro.core.scoring.sqlb_score` with *exact*
-float equality, across every branch boundary of Definition 3 and a
-randomized grid, plus the optional numpy backend.
+*scalar* backend to :func:`~repro.core.scoring.sqlb_score` with exact
+float equality across every branch boundary of Definition 3 and a
+randomized grid, and hold the numpy backend (the default when numpy is
+importable) to within one ulp of the scalar oracle.
 """
 
 import itertools
@@ -51,7 +52,9 @@ class TestBranchBoundaries:
             pis = [t[0] for t in triples]
             cis = [t[1] for t in triples]
             omegas = [t[2] for t in triples]
-            batch = score_providers_batch(pis, cis, omegas, epsilon)
+            batch = score_providers_batch(
+                pis, cis, omegas, epsilon, backend="python"
+            )
             for (pi, ci, omega), got in zip(triples, batch):
                 expected = sqlb_score(pi, ci, omega, epsilon)
                 assert got == expected, (pi, ci, omega, epsilon)
@@ -69,9 +72,34 @@ class TestBranchBoundaries:
         cis = [rng.uniform(-1.0, 1.0) for _ in range(500)]
         omegas = [rng.random() for _ in range(500)]
         for epsilon in (0.25, DEFAULT_EPSILON, 3.0):
-            batch = score_providers_batch(pis, cis, omegas, epsilon)
+            batch = score_providers_batch(
+                pis, cis, omegas, epsilon, backend="python"
+            )
             for pi, ci, omega, got in zip(pis, cis, omegas, batch):
                 assert got == sqlb_score(pi, ci, omega, epsilon)
+
+    def test_default_backend_within_one_ulp_of_scalar(self):
+        """Whatever backend is the default (numpy when importable), it
+        must stay within one ulp of the scalar oracle on the boundary
+        grid -- the tolerance the differential oracle in tests/oracle/
+        enforces end to end."""
+        import math
+
+        for epsilon in BOUNDARY_EPSILONS:
+            triples = list(
+                itertools.product(
+                    BOUNDARY_INTENTIONS, BOUNDARY_INTENTIONS, BOUNDARY_OMEGAS
+                )
+            )
+            pis = [t[0] for t in triples]
+            cis = [t[1] for t in triples]
+            omegas = [t[2] for t in triples]
+            batch = score_providers_batch(pis, cis, omegas, epsilon)
+            for (pi, ci, omega), got in zip(triples, batch):
+                expected = sqlb_score(pi, ci, omega, epsilon)
+                assert got == expected or math.isclose(
+                    got, expected, rel_tol=1e-15, abs_tol=5e-324
+                ), (pi, ci, omega, epsilon)
 
     def test_empty_batch(self):
         assert score_providers_batch([], [], []) == []
@@ -108,9 +136,10 @@ class TestValidation:
 @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not available")
 class TestNumpyBackend:
     """numpy's ``pow`` may differ from CPython's by the final ulp (libm
-    vs npy_pow), which is exactly why the backend is opt-in and the
-    engines' parity-critical paths default to the python loop; parity
-    here is asserted to within one ulp."""
+    vs npy_pow), which is exactly why the engines' parity-critical
+    decision path (``select_fast``) stays pinned to the python loop
+    even though the batch default is numpy; parity here is asserted to
+    within one ulp."""
 
     @staticmethod
     def assert_ulp_close(got, expected):

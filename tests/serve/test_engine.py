@@ -214,6 +214,19 @@ class TestReplayParity:
             engine.advance_to(target)
         assert engine.final_payload()["digest"] == batch.digest()
 
+    def test_replay_digest_backend_invariant(self, monkeypatch):
+        """replay() through the fused SoA kernel (vectorized default)
+        and through the scalar oracle backend, digest-identical: the
+        serve path inherits the engine-level backend contract."""
+        import repro.core.scoring as scoring
+
+        trace, _ = record_trace(TINY, SBQA)
+        monkeypatch.setattr(scoring, "_DEFAULT_BACKEND", "python")
+        scalar = ServeEngine(TINY, SBQA).replay(trace).digest()
+        monkeypatch.setattr(scoring, "_DEFAULT_BACKEND", "numpy")
+        fused = ServeEngine(TINY, SBQA).replay(trace).digest()
+        assert scalar == fused
+
     def test_replay_refuses_admission_drops(self):
         trace, _ = record_trace(TINY, SBQA)
         engine = ServeEngine(

@@ -242,7 +242,7 @@ class TestAggregates:
         assert _aggregate_sum([], backend="numpy") == 0.0
 
     def test_unknown_backend_rejected(self):
-        with pytest.raises(ValueError, match="unknown aggregate backend"):
+        with pytest.raises(ValueError, match="unknown scoring backend"):
             _aggregate_sum([1.0], backend="fortran")
 
 
