@@ -13,9 +13,11 @@ scalar oracle path, the event-faithful engine, and a reconstruction of
 the pre-engine ("seed") hot path with per-read window recomputation
 and eager trace formatting -- and byte-compares the fast/event and
 fused/scalar result digests on a mixed scenario (autonomous churn +
-crashes + two policies).  Exit status is non-zero when parity breaks
-or the fast engine falls below the required speedup over the seed
-baseline (or the optional absolute throughput floor).
+crashes + two policies).  It also walks the population scaling axis
+(flat and federated: N sharded across K consistent-hash mediators).
+Exit status is non-zero when parity breaks or the fast engine falls
+below the required speedup over the seed baseline (or the optional
+absolute-throughput / scaling-flatness floors).
 """
 
 from __future__ import annotations
@@ -65,7 +67,28 @@ def main(argv=None) -> int:
         "--scale-providers", action="append", type=int, default=None,
         metavar="N",
         help="population size for the scaling axis and the registry "
-        "lookup bench (repeatable; default 120/500/2000, smoke 120/600)",
+        "lookup bench (repeatable; default 120/500/2000/10000, smoke "
+        "120/600)",
+    )
+    parser.add_argument(
+        "--max-n", type=int, default=None,
+        help="cap the population axes at this N (drops larger default "
+        "points; joins the grid itself when above every default point)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None,
+        help="pin every federation point to this shard count instead of "
+        "the proportional default schedule",
+    )
+    parser.add_argument(
+        "--min-scaling-ratio", type=float, default=None,
+        help="fail when the flat-engine flatness ratio (fast-engine "
+        "throughput at max-N over min-N) is below this",
+    )
+    parser.add_argument(
+        "--min-federation-ratio", type=float, default=None,
+        help="fail when the federation flatness ratio (throughput at the "
+        "largest federated point over the smallest) is below this",
     )
     parser.add_argument(
         "--skip-parity", action="store_true",
@@ -82,6 +105,8 @@ def main(argv=None) -> int:
         check_parity=not args.skip_parity,
         policies=args.policy,
         scale_providers=args.scale_providers,
+        max_n=args.max_n,
+        shards=args.shards,
     )
     print(format_report(record))
     if args.json_out:
@@ -115,6 +140,25 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         failed = True
+    if args.min_scaling_ratio is not None:
+        scaling_ratio = record["speedup"]["scaling_ratio"]
+        if scaling_ratio < args.min_scaling_ratio:
+            print(
+                f"FAIL: scaling flatness {scaling_ratio:.2f}x (fast-engine "
+                f"throughput at max-N over min-N) is below the required "
+                f"{args.min_scaling_ratio:.2f}x",
+                file=sys.stderr,
+            )
+            failed = True
+    if args.min_federation_ratio is not None:
+        flat_ratio = record["federation"]["flat_ratio"]
+        if flat_ratio < args.min_federation_ratio:
+            print(
+                f"FAIL: federation flatness {flat_ratio:.2f}x is below "
+                f"the required {args.min_federation_ratio:.2f}x",
+                file=sys.stderr,
+            )
+            failed = True
     if args.min_registry_speedup is not None:
         registry = record["registry"]
         largest = max(registry, key=int)

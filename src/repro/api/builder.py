@@ -36,6 +36,7 @@ from repro.experiments.config import (
     ExperimentConfig,
     PolicySpec,
 )
+from repro.federation.config import FederationConfig
 from repro.system.failures import FailureConfig
 from repro.workloads.boinc import (
     BoincScenarioParams,
@@ -69,6 +70,7 @@ class ExperimentBuilder:
         self._autonomy = spec.autonomy
         self._latency_low = spec.latency_low
         self._latency_high = spec.latency_high
+        self._federation = spec.federation
         self._failures = spec.failures
         self._result_timeout = spec.result_timeout
         self._adequation_over_candidates = spec.adequation_over_candidates
@@ -273,6 +275,30 @@ class ExperimentBuilder:
         return self
 
     # ------------------------------------------------------------------
+    # Federation
+    # ------------------------------------------------------------------
+
+    def federation(self, **kwargs) -> "ExperimentBuilder":
+        """Enable the sharded multi-mediator federation.
+
+        Keyword arguments are :class:`FederationConfig` fields
+        (``shards``, ``partition``, ``forward_threshold``,
+        ``virtual_nodes``); repeated calls override fields on the
+        accumulated config.
+        """
+        kwargs = dataclass_kwargs(FederationConfig, kwargs, "federation")
+        base = self._federation or FederationConfig()
+        self._federation = replace(base, **kwargs)
+        return self
+
+    def shards(self, k: Optional[int]) -> "ExperimentBuilder":
+        """Set the mediator shard count (``None`` disables federation)."""
+        if k is None:
+            self._federation = None
+            return self
+        return self.federation(shards=int(k))
+
+    # ------------------------------------------------------------------
     # Measurement flags
     # ------------------------------------------------------------------
 
@@ -351,6 +377,7 @@ class ExperimentBuilder:
             autonomy=self._autonomy,
             latency_low=self._latency_low,
             latency_high=self._latency_high,
+            federation=self._federation,
             failures=self._failures,
             result_timeout=self._result_timeout,
             adequation_over_candidates=self._adequation_over_candidates,

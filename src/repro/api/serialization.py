@@ -24,6 +24,7 @@ from repro.core.intentions import (
 )
 from repro.core.sbqa import SbQAConfig
 from repro.experiments.config import AutonomyConfig, PolicySpec
+from repro.federation.config import FederationConfig
 from repro.system.failures import FailureConfig
 from repro.workloads.boinc import (
     BoincScenarioParams,
@@ -96,6 +97,7 @@ focal_consumer_to_dict = _scalar_dict
 autonomy_to_dict = _scalar_dict
 failures_to_dict = _scalar_dict
 sbqa_config_to_dict = _scalar_dict
+federation_to_dict = _scalar_dict
 
 
 def project_spec_from_dict(data: Dict[str, Any]) -> ProjectSpec:
@@ -128,6 +130,18 @@ def failures_from_dict(data: Dict[str, Any]) -> FailureConfig:
 
 def sbqa_config_from_dict(data: Dict[str, Any]) -> SbQAConfig:
     return SbQAConfig(**dataclass_kwargs(SbQAConfig, data, "SbQAConfig"))
+
+
+def federation_from_dict(data: Dict[str, Any]) -> FederationConfig:
+    return FederationConfig(
+        **dataclass_kwargs(FederationConfig, data, "FederationConfig")
+    )
+
+
+def optional_federation_from_dict(data) -> Optional[FederationConfig]:
+    if data is None or isinstance(data, FederationConfig):
+        return data
+    return federation_from_dict(data)
 
 
 # ----------------------------------------------------------------------
@@ -276,12 +290,18 @@ def apply_spec_override(data: Dict[str, Any], path: str, value: Any) -> None:
         child = node.get(part) if isinstance(node, dict) else None
         if not isinstance(child, dict):
             where = ".".join(parts[: depth + 1])
-            hint = (
-                " (the base spec has no failure injection; give it a "
-                "failures block to sweep over it)"
-                if child is None and part == "failures"
-                else ""
-            )
+            if child is None and part == "failures":
+                hint = (
+                    " (the base spec has no failure injection; give it a "
+                    "failures block to sweep over it)"
+                )
+            elif child is None and part == "federation":
+                hint = (
+                    " (the base spec has no federation block; give it one "
+                    "-- e.g. {\"shards\": 1} -- to sweep over shard count)"
+                )
+            else:
+                hint = ""
             raise ValueError(
                 f"cannot apply override {path!r}: {where!r} is not a "
                 f"nested object in the spec{hint}"

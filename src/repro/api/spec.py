@@ -27,7 +27,9 @@ from repro.api.serialization import (
     autonomy_to_dict,
     canonical_population,
     failures_to_dict,
+    federation_to_dict,
     optional_failures_from_dict,
+    optional_federation_from_dict,
     policy_spec_from_dict,
     policy_spec_to_dict,
     population_from_dict,
@@ -40,6 +42,7 @@ from repro.experiments.config import (
     ExperimentConfig,
     PolicySpec,
 )
+from repro.federation.config import FederationConfig
 from repro.system.failures import FailureConfig
 from repro.workloads.boinc import BoincScenarioParams
 
@@ -74,6 +77,11 @@ class ExperimentSpec:
     autonomy: AutonomyConfig = field(default_factory=AutonomyConfig)
     latency_low: float = 0.02
     latency_high: float = 0.08
+    #: Sharded multi-mediator federation; None = classic single
+    #: mediator.  Unlike ``engine`` this is a *scenario* knob (K>1
+    #: changes results), so it serializes and is sweepable as
+    #: ``federation.shards``.
+    federation: Optional[FederationConfig] = None
     failures: Optional[FailureConfig] = None
     result_timeout: Optional[float] = None
     adequation_over_candidates: bool = False
@@ -124,6 +132,7 @@ class ExperimentSpec:
             autonomy=self.autonomy,
             latency_low=self.latency_low,
             latency_high=self.latency_high,
+            federation=self.federation,
             failures=self.failures,
             result_timeout=self.result_timeout,
             adequation_over_candidates=self.adequation_over_candidates,
@@ -197,6 +206,11 @@ class ExperimentSpec:
             "autonomy": autonomy_to_dict(self.autonomy),
             "latency_low": self.latency_low,
             "latency_high": self.latency_high,
+            "federation": (
+                None
+                if self.federation is None
+                else federation_to_dict(self.federation)
+            ),
             "failures": (
                 None if self.failures is None else failures_to_dict(self.failures)
             ),
@@ -223,6 +237,9 @@ class ExperimentSpec:
         if isinstance(payload.get("autonomy"), dict):
             payload["autonomy"] = autonomy_from_dict(payload["autonomy"])
         payload["failures"] = optional_failures_from_dict(payload.get("failures"))
+        payload["federation"] = optional_federation_from_dict(
+            payload.get("federation")
+        )
         if "policies" in payload:
             payload["policies"] = tuple(
                 policy_spec_from_dict(p) if isinstance(p, dict) else p

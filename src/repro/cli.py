@@ -93,6 +93,11 @@ def build_parser() -> argparse.ArgumentParser:
         "event-faithful reference; results are bit-identical "
         "(session runs: --spec, --replications or --parallel)",
     )
+    run.add_argument(
+        "--shards", type=int, default=None,
+        help="shard the mediator into a K-way consistent-hash federation "
+        "(K=1 is bit-identical to the single mediator; session runs)",
+    )
 
     spec_cmd = sub.add_parser(
         "spec",
@@ -201,6 +206,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="allocation runtime for every grid run (digests are "
         "engine-independent)",
     )
+    sweep.add_argument(
+        "--shards", type=int, default=None,
+        help="shard every grid run's mediator into a K-way "
+        "consistent-hash federation",
+    )
 
     tune = sub.add_parser(
         "tune",
@@ -294,7 +304,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale-providers", action="append", type=int, default=None,
         metavar="N",
         help="population size for the scaling axis and the registry "
-        "lookup bench (repeatable; default 120/500/2000, smoke 120/600)",
+        "lookup bench (repeatable; default 120/500/2000/10000, smoke "
+        "120/600)",
+    )
+    bench.add_argument(
+        "--max-n", type=int, default=None,
+        help="cap the population axes at this N (drops larger default "
+        "points; joins the grid itself when above every default point)",
+    )
+    bench.add_argument(
+        "--shards", type=int, default=None,
+        help="pin every federation point to this shard count instead of "
+        "the proportional default schedule",
+    )
+    bench.add_argument(
+        "--min-scaling-ratio", type=float, default=None,
+        help="fail (exit 1) when the flat-engine flatness ratio (fast-"
+        "engine throughput at max-N over min-N) is below this",
+    )
+    bench.add_argument(
+        "--min-federation-ratio", type=float, default=None,
+        help="fail (exit 1) when the federation flatness ratio "
+        "(throughput at the largest federated point over the smallest) "
+        "is below this",
     )
     bench.add_argument(
         "--serve", action="store_true",
@@ -497,6 +529,8 @@ def _run_spec_file(args: argparse.Namespace) -> int:
         builder.replications(args.replications)
     if args.engine is not None:
         builder.engine(args.engine)
+    if args.shards is not None:
+        builder.shards(args.shards)
     try:
         session = builder.session()
     except ValueError as err:
@@ -526,8 +560,13 @@ def _run_session(args: argparse.Namespace) -> int:
     for name in names:
         try:
             spec = scenario_spec(name, **kwargs)
-            if args.engine is not None:
-                spec = ExperimentBuilder(spec).engine(args.engine).build()
+            if args.engine is not None or args.shards is not None:
+                spec_builder = ExperimentBuilder(spec)
+                if args.engine is not None:
+                    spec_builder.engine(args.engine)
+                if args.shards is not None:
+                    spec_builder.shards(args.shards)
+                spec = spec_builder.build()
         except ValueError as err:
             print(f"error: {err}", file=sys.stderr)
             return 2
@@ -560,11 +599,11 @@ def _run_scenario(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.engine is not None:
+    if args.engine is not None or args.shards is not None:
         print(
-            "error: --engine needs a session run (--spec, --replications "
-            "or --parallel); the classic scenario path runs the default "
-            "engine",
+            "error: --engine/--shards need a session run (--spec, "
+            "--replications or --parallel); the classic scenario path "
+            "runs the default single-mediator engine",
             file=sys.stderr,
         )
         return 2
@@ -809,12 +848,17 @@ def _run_sweep(args: argparse.Namespace) -> int:
     except (ValueError, TypeError) as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
-    if args.engine is not None:
+    if args.engine is not None or args.shards is not None:
         from repro.api.spec import ExperimentSpec
         from repro.api.sweep import SweepSpec
 
         base = spec.base.to_dict()
-        base["engine"] = args.engine
+        if args.engine is not None:
+            base["engine"] = args.engine
+        if args.shards is not None:
+            base["federation"] = dict(
+                base.get("federation") or {}, shards=args.shards
+            )
         spec = SweepSpec(
             name=spec.name,
             base=ExperimentSpec.from_dict(base),
@@ -1169,6 +1213,8 @@ def _run_bench(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         policies=args.policy,
         scale_providers=args.scale_providers,
+        max_n=args.max_n,
+        shards=args.shards,
     )
     print(format_report(record))
     if args.json_out:
@@ -1205,6 +1251,25 @@ def _run_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.min_scaling_ratio is not None:
+        scaling_ratio = record["speedup"]["scaling_ratio"]
+        if scaling_ratio < args.min_scaling_ratio:
+            print(
+                f"error: scaling flatness {scaling_ratio:.2f}x (fast-engine "
+                f"throughput at max-N over min-N) is below the required "
+                f"{args.min_scaling_ratio:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+    if args.min_federation_ratio is not None:
+        flat_ratio = record["federation"]["flat_ratio"]
+        if flat_ratio < args.min_federation_ratio:
+            print(
+                f"error: federation flatness {flat_ratio:.2f}x is below "
+                f"the required {args.min_federation_ratio:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

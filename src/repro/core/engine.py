@@ -317,6 +317,12 @@ class FastMediator(Mediator):
     would shift.
     """
 
+    #: Shard ordinal when this mediator is one shard of a federation
+    #: (see :mod:`repro.federation`); 0 standalone.  Part of the fused
+    #: column-cache key so per-shard column state stays disjoint even
+    #: if shard mediators ever share a cache.
+    shard_ordinal = 0
+
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self._constant_one_way = self.network.latency.constant_delay()
@@ -388,12 +394,14 @@ class FastMediator(Mediator):
         consumer = query.consumer
 
         columns = self._fused_columns
-        key = (consumer.participant_id, topic)
+        key = (self.shard_ordinal, consumer.participant_id, topic)
         cols = columns.get(key)
         if cols is None or cols.snapshot is not snapshot:
             if cols is not None:
                 cols.detach()
-            cols = ConsultColumns.build(snapshot, meta, consumer, topic)
+            cols = ConsultColumns.build(
+                snapshot, meta, consumer, topic, shard=self.shard_ordinal
+            )
             columns[key] = cols
         if not cols.supported:
             # Model mix outside the column encoding (custom intention

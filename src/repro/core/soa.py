@@ -150,6 +150,7 @@ class ConsultColumns:
     __slots__ = (
         "snapshot",
         "consumer",
+        "shard",
         "pids",
         "slot_of",
         "ranks",
@@ -175,9 +176,15 @@ class ConsultColumns:
         dynamic_ci: bool,
         pp: List[float],
         betas: List[float],
+        shard: int = 0,
     ) -> None:
         self.snapshot = snapshot
         self.consumer = consumer
+        #: Shard ordinal of the owning mediator (0 outside a
+        #: federation).  Columns are per-shard state: each shard's
+        #: registry produces its own snapshot tuples, and the ordinal
+        #: keeps the engine's column cache keys disjoint across shards.
+        self.shard = shard
         self.pids = meta.pids
         self.slot_of = meta.slot_of
         self.ranks = meta.ranks
@@ -202,7 +209,12 @@ class ConsultColumns:
 
     @classmethod
     def build(
-        cls, snapshot, meta: "SnapshotMeta", consumer: "Consumer", topic: str
+        cls,
+        snapshot,
+        meta: "SnapshotMeta",
+        consumer: "Consumer",
+        topic: str,
+        shard: int = 0,
     ):
         """Columns for the triple, or :class:`UnsupportedColumns`.
 
@@ -242,7 +254,7 @@ class ConsultColumns:
                 preference = provider.default_preference
             pp.append(preference_weight * preference)
             betas.append(beta)
-        return cls(snapshot, meta, consumer, dynamic_ci, pp, betas)
+        return cls(snapshot, meta, consumer, dynamic_ci, pp, betas, shard=shard)
 
     def _ci(self, pid: str) -> float:
         """CI_q[p] for one provider, matching the model's arithmetic.
@@ -292,7 +304,8 @@ class ConsultColumns:
     def __repr__(self) -> str:
         return (
             f"ConsultColumns(consumer={self.consumer.participant_id!r}, "
-            f"slots={len(self.pids)}, dynamic_ci={self._dynamic_ci})"
+            f"shard={self.shard}, slots={len(self.pids)}, "
+            f"dynamic_ci={self._dynamic_ci})"
         )
 
 

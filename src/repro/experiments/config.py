@@ -12,6 +12,7 @@ from dataclasses import dataclass, field, fields, replace
 from typing import Dict, Optional
 
 from repro.core.sbqa import SbQAConfig
+from repro.federation.config import FederationConfig
 from repro.system.autonomy import PAPER_CONSUMER_THRESHOLD, PAPER_PROVIDER_THRESHOLD
 from repro.system.failures import FailureConfig
 from repro.workloads.boinc import BoincScenarioParams
@@ -91,6 +92,13 @@ class ExperimentConfig:
 
     latency_low: float = 0.02
     latency_high: float = 0.08
+
+    #: Sharded multi-mediator federation (see :mod:`repro.federation`);
+    #: None runs the classic single mediator.  A scenario knob, not
+    #: execution metadata: K>1 legitimately changes results (each shard
+    #: sees a slice of the population), while ``shards=1`` is
+    #: bit-identical to None.
+    federation: Optional[FederationConfig] = None
 
     #: Crash injection (abrupt provider failures); None disables it.
     failures: Optional["FailureConfig"] = None

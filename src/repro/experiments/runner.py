@@ -217,20 +217,46 @@ def wire_run(
 
     # 3. mediation --------------------------------------------------------
     hub = MetricsHub()
-    policy = make_policy(
-        policy_spec.name, root, sbqa=policy_spec.sbqa, params=policy_spec.params
-    )
-    mediator = make_mediator(
-        config.engine,
-        sim,
-        network,
-        registry,
-        policy,
-        observer=hub,
-        trace=trace,
-        adequation_over_candidates=config.adequation_over_candidates,
-        keep_records=config.keep_records,
-    )
+    if config.federation is not None:
+        # Sharded multi-mediator federation: each shard builds its own
+        # policy from its shard root (shard 0 gets `root` itself, the
+        # K=1 parity requirement -- identical make_policy stream names,
+        # identical draws).
+        from repro.federation.mediator import build_federation
+
+        mediator = build_federation(
+            config.engine,
+            sim,
+            network,
+            registry,
+            config.federation,
+            policy_factory=lambda shard_root: make_policy(
+                policy_spec.name,
+                shard_root,
+                sbqa=policy_spec.sbqa,
+                params=policy_spec.params,
+            ),
+            root=root,
+            observer=hub,
+            trace=trace,
+            adequation_over_candidates=config.adequation_over_candidates,
+            keep_records=config.keep_records,
+        )
+    else:
+        policy = make_policy(
+            policy_spec.name, root, sbqa=policy_spec.sbqa, params=policy_spec.params
+        )
+        mediator = make_mediator(
+            config.engine,
+            sim,
+            network,
+            registry,
+            policy,
+            observer=hub,
+            trace=trace,
+            adequation_over_candidates=config.adequation_over_candidates,
+            keep_records=config.keep_records,
+        )
     for consumer in population.consumers:
         consumer.attach_mediator(mediator)
         consumer.on_completion(hub.record_completion)

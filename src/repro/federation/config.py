@@ -1,0 +1,73 @@
+"""Declarative federation settings: how many mediators, how to shard.
+
+A :class:`FederationConfig` is a *scenario* knob, not execution
+metadata: with more than one shard each mediator only observes a slice
+of the provider population (and of its satisfaction history), so the
+allocation outcomes -- and therefore the result digests -- legitimately
+differ from the single-mediator run.  That is why, unlike the
+``engine`` field, the federation block **is** part of
+:meth:`repro.api.spec.ExperimentSpec.to_dict` and sweepable through
+``federation.shards`` axes.
+
+``shards=1`` is the degenerate federation: one shard owning every
+provider in registration order, routed to for every query, never
+forwarding -- byte-identical digests to the unsharded mediator (the
+parity invariant asserted by ``tests/federation/test_parity.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Provider-partitioning strategies accepted by :class:`FederationConfig`.
+PARTITION_MODES = ("hash", "topic")
+
+
+@dataclass(frozen=True)
+class FederationConfig:
+    """How the provider population is split across mediator shards.
+
+    Parameters
+    ----------
+    shards:
+        Number of mediator shards (>= 1).  ``1`` reproduces the
+        single-mediator run bit for bit.
+    partition:
+        ``"hash"`` places every provider on the consistent-hash ring by
+        its ``participant_id``; ``"topic"`` co-locates topic-restricted
+        providers with their home topic's shard (unrestricted providers
+        still ring-hash by id -- they can serve any shard's queries).
+        Queries always route by the ring position of their topic.
+    forward_threshold:
+        Home-shard capable-pool size below which the mediation consults
+        the other shards (one extra hop).  ``None`` resolves per query:
+        the policy's KnBest ``kn`` when it has one, else the query's
+        ``n_results``.
+    virtual_nodes:
+        Ring points per shard; more points smooth the partition at the
+        cost of a larger (still tiny) ring.
+    """
+
+    shards: int = 1
+    partition: str = "hash"
+    forward_threshold: Optional[int] = None
+    virtual_nodes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.partition not in PARTITION_MODES:
+            raise ValueError(
+                f"unknown partition mode {self.partition!r}; "
+                f"valid modes: {', '.join(PARTITION_MODES)}"
+            )
+        if self.forward_threshold is not None and self.forward_threshold < 1:
+            raise ValueError(
+                f"forward_threshold must be >= 1 when set, "
+                f"got {self.forward_threshold}"
+            )
+        if self.virtual_nodes < 1:
+            raise ValueError(
+                f"virtual_nodes must be >= 1, got {self.virtual_nodes}"
+            )

@@ -1,0 +1,127 @@
+"""The shard map: consistent-hash provider partitioning.
+
+Routing must be deterministic across processes (PYTHONHASHSEED must
+not matter) and O(1) amortized on the mediation hot path, so the ring
+
+* hashes with :func:`hashlib.sha1` (never the builtin ``hash``), taking
+  the first 8 bytes of the digest as the ring position;
+* places ``virtual_nodes`` points per shard to smooth the partition;
+* resolves lookups with :func:`bisect.bisect_right` over the sorted
+  point list and memoizes every key it has ever resolved, so steady
+  traffic pays one dict probe per route.
+
+Two partition modes (:class:`~repro.federation.config.FederationConfig`):
+
+``"hash"``
+    Every provider rings by its ``participant_id``; queries ring by
+    topic.  Shards get statistically even slices of the population.
+``"topic"``
+    Topic-restricted providers co-locate with their home topic -- the
+    lexicographically first declared topic, hashed exactly like a query
+    topic -- so topic-local queries find their capable providers
+    without forwarding.  Unrestricted providers (capable of any topic)
+    still ring by id: no single shard could "own" them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.federation.config import FederationConfig
+
+
+def _ring_position(key: str) -> int:
+    """Position of ``key`` on the ring: first 8 sha1 bytes, big-endian.
+
+    Process-independent by construction (PYTHONHASHSEED-immune), unlike
+    the builtin ``hash``.
+    """
+    digest = hashlib.sha1(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ShardRing:
+    """Consistent-hash ring over ``shards`` shard ordinals.
+
+    Immutable once built; lookups are memoized per key string, so the
+    per-route cost after warmup is one dict probe.
+    """
+
+    def __init__(self, shards: int, virtual_nodes: int = 64) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        self.virtual_nodes = virtual_nodes
+        points: List[Tuple[int, int]] = []
+        for ordinal in range(shards):
+            for vnode in range(virtual_nodes):
+                points.append((_ring_position(f"shard{ordinal}:vnode{vnode}"), ordinal))
+        # Ties between distinct vnode labels are astronomically unlikely
+        # but must still resolve deterministically: sort on the pair.
+        points.sort()
+        self._positions = [pos for pos, _ in points]
+        self._owners = [ordinal for _, ordinal in points]
+        self._memo: Dict[str, int] = {}
+
+    def shard_of(self, key: str) -> int:
+        """Shard ordinal owning ``key`` (memoized)."""
+        if self.shards == 1:
+            return 0
+        memo = self._memo
+        ordinal = memo.get(key)
+        if ordinal is None:
+            slot = bisect_right(self._positions, _ring_position(key))
+            if slot == len(self._positions):  # wrap around the ring
+                slot = 0
+            ordinal = self._owners[slot]
+            memo[key] = ordinal
+        return ordinal
+
+    def __repr__(self) -> str:
+        return f"ShardRing(shards={self.shards}, virtual_nodes={self.virtual_nodes})"
+
+
+class ShardMap:
+    """Routing decisions of one federation: providers and topics to shards.
+
+    Wraps a :class:`ShardRing` with the partition-mode logic of
+    :class:`~repro.federation.config.FederationConfig`.  Query routing
+    is always by topic; provider placement depends on the mode.
+    """
+
+    def __init__(self, config: FederationConfig) -> None:
+        self.config = config
+        self.ring = ShardRing(config.shards, config.virtual_nodes)
+
+    @property
+    def shards(self) -> int:
+        return self.config.shards
+
+    def shard_of_topic(self, topic: str) -> int:
+        """Home shard of queries for ``topic`` -- the O(1) routing step."""
+        return self.ring.shard_of(f"topic:{topic}")
+
+    def shard_of_provider(
+        self, participant_id: str, topics: Optional[Iterable[str]] = None
+    ) -> int:
+        """Home shard of one provider.
+
+        ``topics`` is the provider's declared capability set (``None``
+        for unrestricted providers, matching
+        :meth:`repro.system.registry.SystemRegistry.add_provider`).
+        """
+        if self.config.shards == 1:
+            return 0
+        if self.config.partition == "topic" and topics:
+            # Co-locate with the home topic so its queries stay local.
+            # min() over the declared topics is hash-order-independent.
+            return self.shard_of_topic(min(topics))
+        return self.ring.shard_of(f"provider:{participant_id}")
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardMap(shards={self.config.shards}, "
+            f"partition={self.config.partition!r})"
+        )

@@ -31,8 +31,14 @@ and the universal policy fast paths:
   on the hot path, and this matrix tracks what that is worth.
 
 * **N-providers scaling axis** -- fast-engine throughput as the
-  population grows (120 -> 2000): with the indexed registry the
+  population grows (120 -> 10000): with the indexed registry the
   per-mediation cost should scale with ``|Kn|``, not ``N``.
+
+* **Federation axis** -- fast-engine throughput with the population
+  sharded across K consistent-hash mediators
+  (:mod:`repro.federation`), N scaled to 100k with K grown
+  proportionally: per-mediation cost should stay flat because every
+  query routes O(1) to a home shard holding ~N/K providers.
 
 * **Registry lookup** -- ``capable_providers`` under topic-restricted
   capabilities: the incremental per-topic index + snapshot cache
@@ -82,8 +88,11 @@ from repro.system.registry import SystemRegistry
 #: Version 2 added the policy matrix, the N-providers scaling axis and
 #: the registry-lookup section.  Version 3 added the scoring-backend
 #: split (``fast`` = fused SoA kernel, ``fast_scalar`` = the scalar
-#: oracle path) and the three-way parity record.
-BENCH_VERSION = 3
+#: oracle path) and the three-way parity record.  Version 4 extended
+#: the scaling axis to 10000 providers, added ``speedup.scaling_ratio``
+#: (the flatness gate) and the ``federation`` section (sharded
+#: multi-mediator throughput, N scaled to 100k with K shards).
+BENCH_VERSION = 4
 
 #: Engines measured by the throughput kernel, in reporting order.
 #: ``fast`` runs the fused structure-of-arrays kernel (the default when
@@ -98,7 +107,13 @@ CONFIGURATIONS = ("fast", "fast_scalar", "event", "seed_baseline")
 MATRIX_POLICIES = ("sbqa", "economic", "capacity", "shortest-queue", "random")
 
 #: Default population sizes of the scaling axis.
-SCALING_PROVIDERS = (120, 500, 2000)
+SCALING_PROVIDERS = (120, 500, 2000, 10000)
+
+#: Default (n_providers, shards) points of the federation section: K
+#: grows proportionally with N so the per-shard population stays near
+#: the flat-mediator working set (~2000), which is the scaling claim --
+#: mediations/s at N=100k/K=50 should stay within 20% of N=2000/K=1.
+FEDERATION_POINTS = ((2000, 1), (10000, 5), (100000, 50))
 
 
 # ----------------------------------------------------------------------
@@ -192,6 +207,7 @@ def build_mediation_system(
     kn: int = 10,
     memory: int = 100,
     seed: int = 13,
+    shards: int = 1,
 ):
     """One consumer, ``n_providers`` volunteers, a mediator.
 
@@ -202,6 +218,12 @@ def build_mediation_system(
     the allocation technique (every provider carries a resource share
     for the bench consumer so the boinc-shares baseline is benchable
     too).  The seed-baseline reconstruction exists for SbQA only.
+
+    ``shards > 1`` fronts the population with a consistent-hash
+    federation (:mod:`repro.federation`): the returned mediator is the
+    :class:`~repro.federation.mediator.FederatedMediator` facade and
+    each ``mediate`` pays the O(1) route before the home shard's
+    kernel.  The seed baseline predates federation and rejects it.
     """
     if configuration not in CONFIGURATIONS:
         raise ValueError(
@@ -212,6 +234,8 @@ def build_mediation_system(
     seed_baseline = configuration == "seed_baseline"
     if seed_baseline and policy != "sbqa":
         raise ValueError("the seed-baseline reconstruction is SbQA-only")
+    if seed_baseline and shards > 1:
+        raise ValueError("the seed-baseline reconstruction predates federation")
 
     sim = Simulator()
     latency = FixedLatency(0.05)
@@ -221,19 +245,41 @@ def build_mediation_system(
     stream = root.stream("hotpath/prefs")
     shared_model = PreferenceUtilizationIntentions()
     provider_cls = SeedProvider if seed_baseline else Provider
-    providers = [
-        provider_cls(
+    # Draw every provider's attributes in id order first, so the RNG
+    # stream is identical whatever the construction order below.
+    draws = [
+        (stream.uniform(0.5, 2.0), stream.uniform(-1.0, 1.0))
+        for _ in range(n_providers)
+    ]
+    build_order = range(n_providers)
+    if shards > 1:
+        # Allocate each shard's provider objects contiguously.  A real
+        # federation gives every mediator its own process, so its
+        # working set is dense; simulating K shards in one interpreter
+        # heap would otherwise scatter a shard's ~N/K providers across
+        # all N and pay the locality penalty for a topology the system
+        # doesn't have.  Registration below stays in id order, so the
+        # registry (and the K=1 flat path) is unchanged.
+        from repro.federation import FederationConfig, ShardMap
+
+        shard_map = ShardMap(FederationConfig(shards=shards))
+        build_order = sorted(
+            range(n_providers),
+            key=lambda i: (shard_map.shard_of_provider(f"p{i:03d}"), i),
+        )
+    providers: list = [None] * n_providers
+    for i in build_order:
+        capacity, preference = draws[i]
+        providers[i] = provider_cls(
             sim,
             network,
             participant_id=f"p{i:03d}",
-            capacity=stream.uniform(0.5, 2.0),
-            preferences={"c0": stream.uniform(-1.0, 1.0)},
+            capacity=capacity,
+            preferences={"c0": preference},
             intention_model=shared_model,
             memory=memory,
             resource_shares={"c0": 1.0},
         )
-        for i in range(n_providers)
-    ]
     for provider in providers:
         registry.add_provider(provider)
         if seed_baseline:
@@ -249,31 +295,46 @@ def build_mediation_system(
         consumer.tracker = SeedConsumerTracker(memory=memory)
     registry.add_consumer(consumer)
 
-    if policy == "sbqa":
-        knbest_stream = root.stream("hotpath/knbest")
-        if seed_baseline:
-            knbest_stream = SeedRandomStream(
-                knbest_stream.seed, name=knbest_stream.name
-            )
-        policy_obj = SbQAPolicy(SbQAConfig(k=k, kn=kn), knbest_stream)
-    else:
-        policy_obj = make_policy(policy, root, sbqa=SbQAConfig(k=k, kn=kn))
-    mediator_cls = FastMediator if fast else Mediator
+    def _make_policy(policy_root):
+        if policy == "sbqa":
+            knbest_stream = policy_root.stream("hotpath/knbest")
+            if seed_baseline:
+                knbest_stream = SeedRandomStream(
+                    knbest_stream.seed, name=knbest_stream.name
+                )
+            return SbQAPolicy(SbQAConfig(k=k, kn=kn), knbest_stream)
+        return make_policy(policy, policy_root, sbqa=SbQAConfig(k=k, kn=kn))
+
     # FastMediator reads the scoring backend once at construction, so
     # pinning the scalar oracle path only needs a temporary override
-    # around the constructor.
+    # around the constructor (every shard constructor, when federated).
     previous_backend = _scoring._DEFAULT_BACKEND
     if configuration == "fast_scalar":
         _scoring._DEFAULT_BACKEND = "python"
     try:
-        mediator = mediator_cls(
-            sim,
-            network,
-            registry,
-            policy_obj,
-            keep_records=False,
-            trace=SeedTraceCost() if seed_baseline else NULL_RECORDER,
-        )
+        if shards > 1:
+            from repro.federation import FederationConfig, build_federation
+
+            mediator = build_federation(
+                "fast" if fast else "event",
+                sim,
+                network,
+                registry,
+                FederationConfig(shards=shards),
+                _make_policy,
+                root,
+                keep_records=False,
+            )
+        else:
+            mediator_cls = FastMediator if fast else Mediator
+            mediator = mediator_cls(
+                sim,
+                network,
+                registry,
+                _make_policy(root),
+                keep_records=False,
+                trace=SeedTraceCost() if seed_baseline else NULL_RECORDER,
+            )
     finally:
         _scoring._DEFAULT_BACKEND = previous_backend
     consumer.attach_mediator(mediator)
@@ -413,6 +474,38 @@ def measure_scaling(
     return scaling
 
 
+def measure_federation(
+    points: Sequence[Sequence[int]] = FEDERATION_POINTS,
+    mediations: int = 2000,
+    repeats: int = 2,
+    policy: str = "sbqa",
+) -> Dict[str, object]:
+    """Fast-engine throughput along the sharded (N, K) axis.
+
+    Each point builds an ``n_providers`` population fronted by a
+    ``shards``-way consistent-hash federation and measures the same
+    tight mediate loop as the flat sections -- so every sample pays the
+    O(1) route plus the home shard's fused kernel over its ~N/K slice.
+    ``flat_ratio`` is the headline flatness gate: throughput at the
+    largest point over throughput at the smallest (>= 0.8 means the
+    federation holds the per-mediation cost flat while N grows 50x).
+    """
+    rows: Dict[str, object] = {}
+    for n, shards in points:
+        measured = measure_throughput(
+            configurations=("fast",),
+            mediations=mediations,
+            repeats=repeats,
+            policy=policy,
+            n_providers=n,
+            shards=shards,
+        )["fast"]
+        rows[str(n)] = {"n_providers": n, "shards": shards, **measured}
+    first = rows[str(points[0][0])]["mediate_per_s"]
+    last = rows[str(points[-1][0])]["mediate_per_s"]
+    return {"points": rows, "flat_ratio": last / first}
+
+
 # ----------------------------------------------------------------------
 # Registry-lookup measurement (indexed vs pre-index scan)
 # ----------------------------------------------------------------------
@@ -495,10 +588,16 @@ def measure_registry_scaling(
     lookups: int = 20000,
     churn_every: int = 256,
 ) -> Dict[str, Dict[str, float]]:
-    """The registry-lookup comparison along the population axis."""
+    """The registry-lookup comparison along the population axis.
+
+    The scan side is O(N) per lookup, so the lookup count shrinks as N
+    grows (bounded total scan work) to keep large-N rows affordable.
+    """
     return {
         str(n): measure_registry_lookup(
-            n, lookups=lookups, churn_every=churn_every
+            n,
+            lookups=max(2000, min(lookups, 20_000_000 // max(1, n))),
+            churn_every=churn_every,
         )
         for n in provider_counts
     }
@@ -590,6 +689,8 @@ def run_bench(
     check_parity: bool = True,
     policies: Optional[Iterable[str]] = None,
     scale_providers: Optional[Iterable[int]] = None,
+    max_n: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> Dict[str, object]:
     """Run the whole bench; returns the BENCH_core.json record.
 
@@ -597,6 +698,13 @@ def run_bench(
     :data:`MATRIX_POLICIES`; smoke trims to sbqa + economic);
     ``scale_providers`` overrides the population axis (default
     :data:`SCALING_PROVIDERS`; smoke trims to 120 + 600).
+
+    ``max_n`` caps both population axes: scaling/registry points above
+    it are dropped (``max_n`` itself joins the grid when it exceeds
+    every default point), and federation points above it are dropped
+    down to at least the smallest.  ``shards`` pins every federation
+    point to that shard count instead of the proportional default
+    schedule (:data:`FEDERATION_POINTS`).
     """
     if mediations is None:
         mediations = 1200 if smoke else 4000
@@ -612,6 +720,16 @@ def run_bench(
         scale_providers = (120, 600) if smoke else SCALING_PROVIDERS
     else:
         scale_providers = tuple(int(n) for n in scale_providers)
+    federation_points = ((120, 1), (600, 4)) if smoke else FEDERATION_POINTS
+    if max_n is not None:
+        kept = tuple(n for n in scale_providers if n <= max_n)
+        if not kept or max_n > max(scale_providers):
+            kept += (max_n,)
+        scale_providers = kept
+        fed_kept = tuple(p for p in federation_points if p[0] <= max_n)
+        federation_points = fed_kept or federation_points[:1]
+    if shards is not None:
+        federation_points = tuple((n, shards) for n, _ in federation_points)
     matrix_mediations = max(400, mediations // 2)
     matrix_repeats = max(1, repeats - 1)
     lookups = 6000 if smoke else 20000
@@ -660,8 +778,21 @@ def run_bench(
             mediations=matrix_mediations,
             repeats=matrix_repeats,
         ),
+        "federation": measure_federation(
+            federation_points,
+            mediations=matrix_mediations,
+            repeats=matrix_repeats,
+        ),
         "registry": measure_registry_scaling(scale_providers, lookups=lookups),
     }
+    scaling = record["scaling"]
+    low, high = min(scale_providers), max(scale_providers)
+    # The flat-mediator flatness gate: fast-engine throughput at the
+    # largest population over the smallest (CI enforces a floor).
+    record["speedup"]["scaling_ratio"] = (
+        scaling[str(high)]["fast"]["mediate_per_s"]
+        / scaling[str(low)]["fast"]["mediate_per_s"]
+    )
     if check_parity:
         record["parity"] = check_digest_parity(
             duration=parity_duration, n_providers=parity_providers
@@ -712,6 +843,22 @@ def format_report(record: Dict[str, object]) -> str:
                 f"    N={n:<6} {row['fast']['mediate_per_s']:>10,.0f} mediate"
                 f"   {row['fast']['end_to_end_per_s']:>10,.0f} end-to-end"
             )
+        if "scaling_ratio" in speedup:
+            lines.append(
+                f"    flatness (max-N / min-N): {speedup['scaling_ratio']:.2f}x"
+            )
+    federation = record.get("federation")
+    if federation:
+        lines += ["", "  federation axis (fast engine, mediations/s):"]
+        for n, row in federation["points"].items():
+            lines.append(
+                f"    N={n:<7} K={row['shards']:<3}"
+                f" {row['mediate_per_s']:>10,.0f} mediate"
+                f"   {row['end_to_end_per_s']:>10,.0f} end-to-end"
+            )
+        lines.append(
+            f"    flatness (largest / smallest): {federation['flat_ratio']:.2f}x"
+        )
     registry = record.get("registry")
     if registry:
         lines += ["", "  capable_providers lookup (indexed vs scan):"]

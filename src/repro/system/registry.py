@@ -273,7 +273,20 @@ class SystemRegistry:
         self._transitions_since_rebuild = 0
 
     def check_index_consistency(self) -> bool:
-        """True when the indexes match a naive re-derivation (tests)."""
+        """True when every index and cache matches a naive re-derivation.
+
+        Verifies (tests call this after every churn transition):
+
+        * the per-topic and unrestricted capability indexes against a
+          fresh enumeration of the membership maps;
+        * the cached ``.providers`` / ``.consumers`` tuples (when
+          built) against a fresh scan -- a stale tuple would silently
+          feed metric samplers the wrong population;
+        * every **current-version** ``total_capacity`` cache entry
+          against a fresh reduction over the same provider set with the
+          same backend expression (stale-version entries are legal by
+          design: the next lookup discards them).
+        """
         unrestricted = [
             (ordinal, p)
             for ordinal, (pid, p) in enumerate(self._providers.items())
@@ -285,7 +298,32 @@ class SystemRegistry:
         for ordinal, (pid, p) in enumerate(self._providers.items()):
             for topic in self._capabilities.get(pid, ()):
                 expected.setdefault(topic, []).append((ordinal, p))
-        return expected == self._topic_members
+        if expected != self._topic_members:
+            return False
+
+        # -- cached membership tuples (invalidated only by add_*) -------
+        if self._providers_cache is not None and self._providers_cache != tuple(
+            self._providers.values()
+        ):
+            return False
+        if self._consumers_cache is not None and self._consumers_cache != tuple(
+            self._consumers.values()
+        ):
+            return False
+
+        # -- version-cached capacity aggregates -------------------------
+        for online_only, (version, total) in self._capacity_cache.items():
+            current = (
+                self._provider_version if online_only else len(self._providers)
+            )
+            if version != current:
+                continue  # stale entry: the next lookup recomputes it
+            providers = (
+                self.online_providers_snapshot() if online_only else self.providers
+            )
+            if total != _aggregate_sum([p.capacity for p in providers]):
+                return False
+        return True
 
     # ------------------------------------------------------------------
     # Capability lookup

@@ -53,6 +53,8 @@ class TestFluency:
             lambda: b.autonomous(warmup=10.0),
             lambda: b.failures(500.0, result_timeout=100.0),
             lambda: b.result_timeout(150.0),
+            lambda: b.federation(partition="topic"),
+            lambda: b.shards(2),
             lambda: b.adequation_over_candidates(),
             lambda: b.keep_records(),
             lambda: b.track_provider_snapshots(),
@@ -80,6 +82,7 @@ class TestFluency:
                         min_observations=3, warmup=11.0, check_interval=9.0,
                         rejoin_cooldown=50.0)
             .latency(0.001, 0.002)
+            .shards(2)
             .failures(400.0, repair_time=60.0, start=10.0, result_timeout=99.0)
             .adequation_over_candidates()
             .keep_records()

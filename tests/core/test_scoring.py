@@ -110,8 +110,11 @@ class TestScoreProperties:
     @given(intentions, intentions, omegas)
     def test_score_bounds(self, pi, ci, omega):
         score = sqlb_score(pi, ci, omega)
-        # positive branch is bounded by 1; negative by (2+eps)
-        assert -(2.0 + DEFAULT_EPSILON) <= score <= 1.0
+        # positive branch is bounded by 1; negative by (2+eps).  The
+        # negative bound needs an ulp allowance: at pi=ci=-1 the branch
+        # computes (2+eps)^w * (2+eps)^(1-w), which is exactly 2+eps in
+        # the reals but can round one ulp past it in floats.
+        assert -(2.0 + DEFAULT_EPSILON) - 1e-12 <= score <= 1.0
 
     @given(st.floats(min_value=0.01, max_value=1.0), omegas)
     def test_omega_irrelevant_when_intentions_equal(self, value, omega):

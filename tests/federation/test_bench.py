@@ -1,0 +1,121 @@
+"""The bench-side federation surface: record shape, axes, CLI flags."""
+
+import pytest
+
+from repro.perf.hotpath import (
+    BENCH_VERSION,
+    FEDERATION_POINTS,
+    build_mediation_system,
+    format_report,
+    measure_federation,
+    run_bench,
+)
+
+
+class TestBuildMediationSystem:
+    def test_seed_baseline_rejects_shards(self):
+        with pytest.raises(ValueError, match="predates federation"):
+            build_mediation_system("seed_baseline", shards=2)
+
+    def test_federated_facade_mediates(self):
+        from repro.federation import FederatedMediator
+
+        sim, mediator, consumer = build_mediation_system(
+            "fast", n_providers=60, shards=3
+        )
+        assert isinstance(mediator, FederatedMediator)
+        assert mediator.federation.shards == 3
+
+    def test_fast_scalar_pin_covers_every_shard(self):
+        # The scalar pin wraps the whole federation build, so no shard
+        # may have engaged the fused kernel (it reads the backend once,
+        # at construction); the plain fast build engages it everywhere.
+        sim, mediator, _ = build_mediation_system(
+            "fast_scalar", n_providers=60, shards=3
+        )
+        assert all(
+            shard._fused_columns is None
+            for shard in mediator.federation.mediators
+        )
+        sim, mediator, _ = build_mediation_system(
+            "fast", n_providers=60, shards=3
+        )
+        assert all(
+            shard._fused_columns is not None
+            for shard in mediator.federation.mediators
+        )
+
+
+class TestMeasureFederation:
+    def test_record_shape_and_flat_ratio(self):
+        result = measure_federation(
+            points=((60, 1), (120, 2)), mediations=120, repeats=1
+        )
+        assert set(result) == {"points", "flat_ratio"}
+        assert set(result["points"]) == {"60", "120"}
+        row = result["points"]["120"]
+        assert row["shards"] == 2
+        assert row["mediate_per_s"] > 0
+        assert result["flat_ratio"] == pytest.approx(
+            result["points"]["120"]["mediate_per_s"]
+            / result["points"]["60"]["mediate_per_s"]
+        )
+
+
+class TestRunBenchAxes:
+    @pytest.fixture(scope="class")
+    def record(self):
+        return run_bench(
+            smoke=True, mediations=120, repeats=1, check_parity=False
+        )
+
+    def test_version_and_sections(self, record):
+        assert record["bench_version"] == BENCH_VERSION == 4
+        assert "federation" in record
+        assert "scaling_ratio" in record["speedup"]
+
+    def test_report_renders_federation(self, record):
+        report = format_report(record)
+        assert "federation axis" in report
+        assert "flatness" in report
+
+    def test_max_n_caps_axes(self):
+        record = run_bench(
+            smoke=True, mediations=100, repeats=1, check_parity=False,
+            max_n=150,
+        )
+        assert list(record["scaling"]) == ["120"]
+        assert list(record["registry"]) == ["120"]
+        assert all(
+            row["n_providers"] <= 150
+            for row in record["federation"]["points"].values()
+        )
+
+    def test_max_n_above_grid_joins_it(self):
+        record = run_bench(
+            smoke=True, mediations=100, repeats=1, check_parity=False,
+            max_n=700, scale_providers=(120, 600),
+        )
+        assert list(record["scaling"]) == ["120", "600", "700"]
+
+    def test_shards_pins_every_point(self):
+        record = run_bench(
+            smoke=True, mediations=100, repeats=1, check_parity=False,
+            max_n=150, shards=3,
+        )
+        assert all(
+            row["shards"] == 3
+            for row in record["federation"]["points"].values()
+        )
+
+    def test_default_full_points_reach_100k(self):
+        assert FEDERATION_POINTS[-1] == (100000, 50)
+
+
+class TestCliGates:
+    def test_run_shards_needs_session(self, capsys):
+        from repro.cli import main
+
+        code = main(["run", "scenario1", "--shards", "2"])
+        assert code == 2
+        assert "--shards" in capsys.readouterr().err

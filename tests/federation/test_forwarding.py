@@ -1,0 +1,150 @@
+"""Cross-shard forwarding behaviour: trigger, cost, merge order."""
+
+import pytest
+
+from repro.federation import FederationConfig
+from repro.perf.hotpath import build_mediation_system
+from repro.system.query import Query
+
+
+def _query(consumer, n_results=2):
+    return Query(
+        consumer=consumer,
+        topic="c0",
+        service_demand=10.0,
+        n_results=n_results,
+        issued_at=0.0,
+    )
+
+
+def _facade(n_providers, shards, **kwargs):
+    sim, mediator, consumer = build_mediation_system(
+        "fast", n_providers=n_providers, shards=shards, **kwargs
+    )
+    return sim, mediator, consumer
+
+
+class TestForwardingTrigger:
+    def test_thin_home_pool_forwards(self):
+        # 12 providers over 4 shards leaves every home pool far below
+        # kn=10, so every mediation consults the peer shards.
+        sim, mediator, consumer = _facade(12, 4)
+        federation = mediator.federation
+        home = federation.route("c0").shard_ordinal
+        merged, peers = federation.merged_candidates(home, "c0")
+        assert peers  # at least one contributing peer
+        before = mediator.coordination_messages
+        n = 20
+        for _ in range(n):
+            mediator.mediate(_query(consumer))
+        sim.run()
+        extra = mediator.coordination_messages - before
+        # Baseline consultation messages + one request/reply pair per
+        # contributing peer per forwarded mediation.
+        assert extra >= 2 * len(peers) * n
+        assert mediator.mediations == n
+        assert mediator.failures == 0
+
+    def test_rich_home_pool_never_forwards(self):
+        sim, mediator, consumer = _facade(120, 2)
+        federation = mediator.federation
+        calls = []
+        original = federation.merged_candidates
+        federation.merged_candidates = lambda *a: calls.append(a) or original(*a)
+        for _ in range(10):
+            mediator.mediate(_query(consumer))
+        sim.run()
+        # ~60 capable providers per shard >= kn=10: the gate never opens.
+        assert calls == []
+        assert mediator.mediations == 10
+
+    def test_k1_forwarding_inactive(self):
+        from repro.federation import Federation, ShardMap
+
+        config = FederationConfig(shards=1)
+        federation = Federation(config, ShardMap(config))
+        assert federation.forwarding_active is False
+
+
+class TestForwardThreshold:
+    def test_configured_threshold_wins(self):
+        sim, mediator, _ = _facade(40, 2)
+        federation = mediator.federation
+        federation.config = FederationConfig(shards=2, forward_threshold=7)
+        shard = federation.mediators[0]
+        assert federation.forward_threshold_for(shard, _query(None)) == 7
+
+    def test_falls_back_to_policy_kn(self):
+        sim, mediator, _ = _facade(40, 2, kn=6)
+        federation = mediator.federation
+        shard = federation.mediators[0]
+        assert federation.forward_threshold_for(shard, _query(None)) == 6
+
+    def test_selectorless_policy_uses_n_results(self):
+        sim, mediator, consumer = _facade(40, 2, policy="capacity")
+        federation = mediator.federation
+        shard = federation.mediators[0]
+        assert (
+            federation.forward_threshold_for(shard, _query(consumer, n_results=3))
+            == 3
+        )
+
+
+class TestMergedCandidates:
+    def test_home_first_then_peers_ascending(self):
+        sim, mediator, _ = _facade(12, 4)
+        federation = mediator.federation
+        home = 2
+        merged, peers = federation.merged_candidates(home, "c0")
+        assert list(peers) == sorted(peers)
+        assert home not in peers
+        expected = list(federation.registries[home].capable_snapshot("c0"))
+        for ordinal in peers:
+            expected.extend(federation.registries[ordinal].capable_snapshot("c0"))
+        assert list(merged) == expected
+
+    def test_cache_invalidated_by_churn(self):
+        sim, mediator, _ = _facade(12, 4)
+        federation = mediator.federation
+        merged_before, _ = federation.merged_candidates(0, "c0")
+        victim = merged_before[-1]
+        victim.online = False
+        merged_after, _ = federation.merged_candidates(0, "c0")
+        assert victim not in merged_after
+        assert len(merged_after) == len(merged_before) - 1
+
+    def test_every_capable_provider_covered(self):
+        """The union of shard pools is the global pool: no provider is
+        lost to the partition."""
+        sim, mediator, _ = _facade(30, 4)
+        federation = mediator.federation
+        merged, _ = federation.merged_candidates(0, "c0")
+        merged_ids = sorted(p.participant_id for p in merged)
+        global_ids = sorted(
+            p.participant_id
+            for p in mediator.registry.capable_snapshot("c0")
+        )
+        assert merged_ids == global_ids
+
+
+class TestForwardCost:
+    def test_constant_latency_hop_is_2c(self):
+        sim, mediator, _ = _facade(12, 4)
+        shard = mediator.federation.mediators[0]
+        # FixedLatency(0.05): the hop collapses analytically to 2c.
+        assert shard._forward_hop((1, 2)) == pytest.approx(0.10)
+
+    def test_forwarded_runs_deterministic(self):
+        def _signature():
+            sim, mediator, consumer = _facade(12, 4)
+            for _ in range(15):
+                mediator.mediate(_query(consumer))
+            sim.run()
+            return (
+                mediator.mediations,
+                mediator.failures,
+                mediator.coordination_messages,
+                [m.mediations for m in mediator.federation.mediators],
+            )
+
+        assert _signature() == _signature()

@@ -1,0 +1,111 @@
+"""Hash-seed independence of sharding and forwarding.
+
+The shard map hashes with sha1 and every merge/threshold step iterates
+deterministic structures, so shard assignment, forward ordering, and
+the full federated result must be bit-identical across interpreters
+with different ``PYTHONHASHSEED`` values.  These tests run the same
+probes in subprocesses with different seeds (including ``random``) and
+byte-compare the JSON they print.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+#: Shard assignment + routing probe: the per-provider shard map (both
+#: partition modes), the topic routes, and the ring ownership table.
+_ASSIGNMENT_SCRIPT = """
+import json, sys
+from repro.federation import FederationConfig, ShardMap
+
+hash_map = ShardMap(FederationConfig(shards=5, partition="hash"))
+topic_map = ShardMap(FederationConfig(shards=5, partition="topic"))
+providers = [f"p{i:04d}" for i in range(300)]
+topics = [f"t{i}" for i in range(12)]
+out = {
+    "hash": {p: hash_map.shard_of_provider(p) for p in providers},
+    "topic_restricted": {
+        p: topic_map.shard_of_provider(p, topics=[topics[i % 12], topics[(i + 5) % 12]])
+        for i, p in enumerate(providers)
+    },
+    "routes": {t: hash_map.shard_of_topic(t) for t in topics},
+}
+json.dump(out, sys.stdout, sort_keys=True)
+"""
+
+#: Forwarded-mediation probe: a thin-pool federation where every
+#: mediation forwards; prints the merged candidate order, the peer
+#: ordinals, and the end-of-run counters.
+_FORWARDING_SCRIPT = """
+import json, sys
+from repro.perf.hotpath import build_mediation_system
+from repro.system.query import Query
+
+sim, mediator, consumer = build_mediation_system("fast", n_providers=12, shards=4)
+federation = mediator.federation
+home = federation.route("c0").shard_ordinal
+merged, peers = federation.merged_candidates(home, "c0")
+for _ in range(15):
+    mediator.mediate(Query(
+        consumer=consumer, topic="c0", service_demand=10.0,
+        n_results=2, issued_at=0.0,
+    ))
+sim.run()
+out = {
+    "home": home,
+    "peers": list(peers),
+    "merged": [p.participant_id for p in merged],
+    "mediations": mediator.mediations,
+    "failures": mediator.failures,
+    "coordination_messages": mediator.coordination_messages,
+    "per_shard": [m.mediations for m in federation.mediators],
+}
+json.dump(out, sys.stdout, sort_keys=True)
+"""
+
+#: Full federated run probe: summary digest of a K=3 scenario run.
+_DIGEST_SCRIPT = """
+import sys
+from dataclasses import replace
+from repro.api.presets import scenario_spec
+from repro.experiments.runner import wire_run
+from repro.federation import FederationConfig
+
+spec = scenario_spec("scenario1", duration=120.0)
+config = replace(spec.to_config(), federation=FederationConfig(shards=3))
+sys.stdout.write(wire_run(config, spec.policies[0]).finalize().digest())
+"""
+
+
+def _run_with_hash_seed(script: str, seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return proc.stdout
+
+
+def test_shard_assignment_identical_across_hash_seeds():
+    baseline = json.loads(_run_with_hash_seed(_ASSIGNMENT_SCRIPT, "0"))
+    for seed in ("1", "4242", "random"):
+        assert json.loads(_run_with_hash_seed(_ASSIGNMENT_SCRIPT, seed)) == baseline
+
+
+def test_forward_ordering_identical_across_hash_seeds():
+    baseline = _run_with_hash_seed(_FORWARDING_SCRIPT, "0")
+    for seed in ("4242", "random"):
+        assert _run_with_hash_seed(_FORWARDING_SCRIPT, seed) == baseline
+
+
+def test_federated_digest_identical_across_hash_seeds():
+    baseline = _run_with_hash_seed(_DIGEST_SCRIPT, "0")
+    assert len(baseline) == 64  # sha256 hex
+    assert _run_with_hash_seed(_DIGEST_SCRIPT, "random") == baseline

@@ -1,0 +1,94 @@
+"""The federation parity invariants.
+
+``shards=1`` is the degenerate federation: one shard registry holding
+every provider in registration order, one shard mediator built from the
+unprefixed random root, a route that always answers shard 0, and a
+forwarding gate that never opens.  Every draw therefore happens in the
+same stream, in the same order, as the unsharded run -- so the summary
+digests must match byte for byte, on every shipped scenario preset.
+
+At ``shards>1`` the digests legitimately differ from the flat run (each
+shard only sees a slice of the population), but the fast and event
+engines must still agree with each other.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.api.presets import available_scenarios, scenario_spec
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import wire_run
+from repro.federation import FederationConfig
+
+
+def _digest(config: ExperimentConfig, policy_spec) -> str:
+    return wire_run(config, policy_spec).finalize().digest()
+
+
+@pytest.mark.parametrize("scenario", available_scenarios())
+def test_k1_matches_unsharded_on_every_preset(scenario):
+    spec = scenario_spec(scenario, duration=120.0)
+    config = spec.to_config()
+    federated = replace(config, federation=FederationConfig(shards=1))
+    # The first policy exercises each preset's characteristic scenario
+    # shape (autonomy, failures, focal consumers, ...); the full policy
+    # matrix is covered on scenario1 below.
+    policy_spec = spec.policies[0]
+    assert _digest(federated, policy_spec) == _digest(config, policy_spec)
+
+
+def test_k1_matches_unsharded_for_every_policy():
+    spec = scenario_spec("scenario1", duration=120.0)
+    config = spec.to_config()
+    federated = replace(config, federation=FederationConfig(shards=1))
+    for policy_spec in spec.policies:
+        assert _digest(federated, policy_spec) == _digest(config, policy_spec)
+
+
+def test_k1_matches_unsharded_event_engine():
+    spec = scenario_spec("scenario1", duration=120.0)
+    config = replace(spec.to_config(), engine="event")
+    federated = replace(config, federation=FederationConfig(shards=1))
+    policy_spec = spec.policies[0]
+    assert _digest(federated, policy_spec) == _digest(config, policy_spec)
+
+
+@pytest.mark.parametrize("partition", ["hash", "topic"])
+def test_sharded_fast_event_parity(partition):
+    """K=4: the engines must agree with each other (not with K=1)."""
+    spec = scenario_spec("scenario1", duration=120.0)
+    base = spec.to_config()
+    policy_spec = spec.policies[0]
+    federation = FederationConfig(shards=4, partition=partition)
+    fast = _digest(replace(base, federation=federation), policy_spec)
+    event = _digest(
+        replace(base, engine="event", federation=federation), policy_spec
+    )
+    assert fast == event
+
+
+def test_sharded_run_repeatable_in_process():
+    spec = scenario_spec("scenario2", duration=120.0)
+    config = replace(spec.to_config(), federation=FederationConfig(shards=4))
+    policy_spec = spec.policies[0]
+    assert _digest(config, policy_spec) == _digest(config, policy_spec)
+
+
+def test_spec_round_trips_federation():
+    from repro.api.spec import ExperimentSpec
+
+    spec = scenario_spec("scenario1", duration=120.0)
+    federated = replace(
+        spec, federation=FederationConfig(shards=4, partition="topic")
+    )
+    data = federated.to_dict()
+    assert data["federation"] == {
+        "shards": 4,
+        "partition": "topic",
+        "forward_threshold": None,
+        "virtual_nodes": 64,
+    }
+    again = ExperimentSpec.from_dict(data)
+    assert again.federation == federated.federation
+    assert again.to_config().federation == federated.federation

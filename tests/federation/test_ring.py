@@ -1,0 +1,114 @@
+"""Unit tests for the consistent-hash shard ring and shard map."""
+
+import pytest
+
+from repro.federation import FederationConfig, ShardMap, ShardRing
+from repro.federation.ring import _ring_position
+
+
+class TestRingPosition:
+    def test_stable_known_value(self):
+        # sha1-derived, so this value is an eternal constant: a change
+        # here silently reshuffles every persisted shard assignment.
+        assert _ring_position("topic:c0") == int.from_bytes(
+            __import__("hashlib").sha1(b"topic:c0").digest()[:8], "big"
+        )
+
+    def test_distinct_keys_distinct_positions(self):
+        positions = {_ring_position(f"provider:p{i}") for i in range(1000)}
+        assert len(positions) == 1000
+
+
+class TestShardRing:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="shards"):
+            ShardRing(0)
+
+    def test_single_shard_short_circuits(self):
+        ring = ShardRing(1)
+        assert ring.shard_of("anything") == 0
+
+    def test_deterministic_across_instances(self):
+        a = ShardRing(8, virtual_nodes=32)
+        b = ShardRing(8, virtual_nodes=32)
+        keys = [f"provider:p{i:04d}" for i in range(500)]
+        assert [a.shard_of(k) for k in keys] == [b.shard_of(k) for k in keys]
+
+    def test_memoized_lookup_stable(self):
+        ring = ShardRing(4)
+        first = ring.shard_of("topic:t1")
+        assert ring.shard_of("topic:t1") == first
+        assert ring._memo["topic:t1"] == first
+
+    def test_covers_every_shard(self):
+        ring = ShardRing(4)
+        owners = {ring.shard_of(f"provider:p{i:05d}") for i in range(2000)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_roughly_balanced(self):
+        ring = ShardRing(4, virtual_nodes=64)
+        counts = [0, 0, 0, 0]
+        for i in range(8000):
+            counts[ring.shard_of(f"provider:p{i:05d}")] += 1
+        # Consistent hashing with 64 vnodes: each shard within a loose
+        # band around the 2000 ideal (the bound is intentionally slack;
+        # this guards against gross imbalance, not variance).
+        assert all(800 <= c <= 3600 for c in counts), counts
+
+    def test_consistent_under_shard_growth(self):
+        """Adding a shard moves only a fraction of the keys -- the
+        property that makes the hash *consistent*."""
+        before = ShardRing(4, virtual_nodes=64)
+        after = ShardRing(5, virtual_nodes=64)
+        keys = [f"provider:p{i:05d}" for i in range(4000)]
+        moved = sum(1 for k in keys if before.shard_of(k) != after.shard_of(k))
+        # Ideal churn is 1/5 of the keys; allow double that.
+        assert moved <= 2 * len(keys) / 5, moved
+
+
+class TestShardMap:
+    def test_query_routing_by_topic(self):
+        shard_map = ShardMap(FederationConfig(shards=4))
+        assert shard_map.shard_of_topic("c0") == ShardRing(4).shard_of("topic:c0")
+
+    def test_hash_mode_ignores_topics(self):
+        shard_map = ShardMap(FederationConfig(shards=4, partition="hash"))
+        with_topics = shard_map.shard_of_provider("p1", topics=["t1", "t2"])
+        without = shard_map.shard_of_provider("p1")
+        assert with_topics == without
+
+    def test_topic_mode_colocates_with_home_topic(self):
+        shard_map = ShardMap(FederationConfig(shards=4, partition="topic"))
+        # The provider lands where its (lexicographically first) topic's
+        # queries land, so those queries never need a forward.
+        assert shard_map.shard_of_provider(
+            "p1", topics=["t2", "t1"]
+        ) == shard_map.shard_of_topic("t1")
+
+    def test_topic_mode_unrestricted_falls_back_to_id(self):
+        topic_map = ShardMap(FederationConfig(shards=4, partition="topic"))
+        hash_map = ShardMap(FederationConfig(shards=4, partition="hash"))
+        assert topic_map.shard_of_provider("p1") == hash_map.shard_of_provider("p1")
+
+    def test_single_shard_short_circuits(self):
+        shard_map = ShardMap(FederationConfig(shards=1, partition="topic"))
+        assert shard_map.shard_of_provider("p1", topics=["t9"]) == 0
+
+
+class TestFederationConfig:
+    def test_defaults(self):
+        config = FederationConfig()
+        assert config.shards == 1
+        assert config.partition == "hash"
+        assert config.forward_threshold is None
+        assert config.virtual_nodes == 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="shards"):
+            FederationConfig(shards=0)
+        with pytest.raises(ValueError, match="partition"):
+            FederationConfig(partition="range")
+        with pytest.raises(ValueError, match="virtual_nodes"):
+            FederationConfig(virtual_nodes=0)
+        with pytest.raises(ValueError, match="forward_threshold"):
+            FederationConfig(forward_threshold=0)
