@@ -91,6 +91,12 @@ def main(argv=None) -> int:
         "largest federated point over the smallest) is below this",
     )
     parser.add_argument(
+        "--min-parallel-speedup", type=float, default=None,
+        help="fail when the parallel-federation speedup (serial "
+        "wall-clock over the slowest shard-group slice at the best "
+        "worker count) is below this",
+    )
+    parser.add_argument(
         "--skip-parity", action="store_true",
         help="skip the digest-parity runs (timing only)",
     )
@@ -156,6 +162,15 @@ def main(argv=None) -> int:
             print(
                 f"FAIL: federation flatness {flat_ratio:.2f}x is below "
                 f"the required {args.min_federation_ratio:.2f}x",
+                file=sys.stderr,
+            )
+            failed = True
+    if args.min_parallel_speedup is not None:
+        parallel_speedup = record["speedup"]["parallel_vs_serial"]
+        if parallel_speedup < args.min_parallel_speedup:
+            print(
+                f"FAIL: parallel-federation speedup {parallel_speedup:.2f}x "
+                f"is below the required {args.min_parallel_speedup:.2f}x",
                 file=sys.stderr,
             )
             failed = True

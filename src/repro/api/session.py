@@ -109,6 +109,7 @@ class SessionStream:
         session: "Session",
         parallel: bool = False,
         max_workers: Optional[int] = None,
+        shard_workers: Optional[int] = None,
     ) -> None:
         self._session = session
         self._parallel = parallel
@@ -116,7 +117,7 @@ class SessionStream:
         self._events = (
             session._parallel_events(max_workers)
             if parallel
-            else session._serial_events()
+            else session._serial_events(shard_workers=shard_workers)
         )
         self._summaries: Dict[Tuple[int, int], RunSummary] = {}
         self._outstanding: Dict[int, int] = {
@@ -200,6 +201,7 @@ class Session:
         parallel: bool = False,
         max_workers: Optional[int] = None,
         keep_runs: Optional[bool] = None,
+        shard_workers: Optional[int] = None,
     ) -> ExperimentResult:
         """Execute all policies x replications; aggregate the outcome.
 
@@ -217,21 +219,45 @@ class Session:
             deep inspection.  Defaults to True when serial, and is
             unavailable (forced False) in parallel mode, where runs
             execute in worker processes.
+        shard_workers:
+            Execute each run's federation shards across worker
+            processes (conservative-sync parallel execution; see
+            :func:`repro.federation.parallel.run_parallel`).  Digests
+            are bit-identical to single-process execution; runs fall
+            back to serial when the config is ineligible.  Mutually
+            exclusive with ``parallel`` (which parallelizes across
+            replications instead of within one run).
         """
+        if shard_workers is not None and parallel:
+            raise ValueError(
+                "parallel and shard_workers are mutually exclusive: "
+                "parallel fans replications over a pool, shard_workers "
+                "parallelizes shards within each run"
+            )
         if keep_runs is None:
-            keep_runs = not parallel
+            keep_runs = not parallel and shard_workers is None
         if parallel and keep_runs:
             raise ValueError(
                 "keep_runs is unavailable in parallel mode: full runs "
                 "(simulator, hub, population) live in the worker processes"
             )
+        if shard_workers is not None and keep_runs:
+            raise ValueError(
+                "keep_runs is unavailable with shard_workers: merged "
+                "runs carry summary-grade state, not live simulators"
+            )
         if keep_runs:
             summaries, kept = self._run_serial(keep_runs=True)
             return self._build_result(summaries, kept, parallel=False)
-        return self.stream(parallel=parallel, max_workers=max_workers).result()
+        return self.stream(
+            parallel=parallel, max_workers=max_workers, shard_workers=shard_workers
+        ).result()
 
     def stream(
-        self, parallel: bool = False, max_workers: Optional[int] = None
+        self,
+        parallel: bool = False,
+        max_workers: Optional[int] = None,
+        shard_workers: Optional[int] = None,
     ) -> SessionStream:
         """Execute the session, yielding each completed replication.
 
@@ -241,7 +267,12 @@ class Session:
         :class:`ExperimentResult` -- byte-identical to :meth:`run`
         however much of the stream was consumed.
         """
-        return SessionStream(self, parallel=parallel, max_workers=max_workers)
+        return SessionStream(
+            self,
+            parallel=parallel,
+            max_workers=max_workers,
+            shard_workers=shard_workers,
+        )
 
     def _build_result(
         self,
@@ -282,9 +313,22 @@ class Session:
                 kept[(policy_index, replication)] = result
         return summaries, kept
 
-    def _serial_events(self) -> Iterator[Tuple[int, int, RunSummary]]:
+    def _serial_events(
+        self, shard_workers: Optional[int] = None
+    ) -> Iterator[Tuple[int, int, RunSummary]]:
         config = self.spec.to_config()
         for policy_index, replication in self.tasks():
+            if shard_workers is not None:
+                from repro.federation.parallel import run_parallel
+
+                report = run_parallel(
+                    config,
+                    self.spec.policies[policy_index],
+                    workers=shard_workers,
+                    replication=replication,
+                )
+                yield policy_index, replication, report.result.summary
+                continue
             result = run_once(
                 config, self.spec.policies[policy_index], replication=replication
             )

@@ -78,7 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--workers", type=int, default=None,
-        help="worker process count for --parallel (default: CPU count)",
+        help="with --parallel: replication pool size (default: CPU "
+        "count); without --parallel: run each run's federation shard "
+        "groups across this many worker processes (conservative-sync "
+        "parallel execution, digest-identical to single-process runs; "
+        "session runs)",
     )
     run.add_argument(
         "--csv", type=str, default=None, help="export run data to CSV"
@@ -329,6 +333,12 @@ def build_parser() -> argparse.ArgumentParser:
         "is below this",
     )
     bench.add_argument(
+        "--min-parallel-speedup", type=float, default=None,
+        help="fail (exit 1) when the parallel-federation speedup "
+        "(serial wall-clock over the slowest shard-group slice at the "
+        "best worker count) is below this",
+    )
+    bench.add_argument(
         "--serve", action="store_true",
         help="benchmark the serving subsystem instead: sustained open-"
         "loop queries/s and ingress-delay quantiles over the three "
@@ -539,7 +549,10 @@ def _run_spec_file(args: argparse.Namespace) -> int:
     # Only summaries are printed/exported: drop each full run (live
     # simulator + population) as soon as its summary is extracted.
     result = session.run(
-        parallel=args.parallel, max_workers=args.workers, keep_runs=False
+        parallel=args.parallel,
+        max_workers=args.workers if args.parallel else None,
+        keep_runs=False,
+        shard_workers=None if args.parallel else args.workers,
     )
     _print_session_result(result, args)
     return 0
@@ -571,7 +584,10 @@ def _run_session(args: argparse.Namespace) -> int:
             print(f"error: {err}", file=sys.stderr)
             return 2
         result = Session(spec).run(
-            parallel=args.parallel, max_workers=args.workers, keep_runs=False
+            parallel=args.parallel,
+            max_workers=args.workers if args.parallel else None,
+            keep_runs=False,
+            shard_workers=None if args.parallel else args.workers,
         )
         _print_session_result(result, args, suffix=name if len(names) > 1 else "")
         print()
@@ -590,7 +606,7 @@ def _run_scenario(args: argparse.Namespace) -> int:
     if args.scenario is None:
         print("error: give a scenario id or --spec FILE", file=sys.stderr)
         return 2
-    if args.replications is not None or args.parallel:
+    if args.replications is not None or args.parallel or args.workers is not None:
         return _run_session(args)
     if args.json_out:
         print(
@@ -1267,6 +1283,16 @@ def _run_bench(args: argparse.Namespace) -> int:
             print(
                 f"error: federation flatness {flat_ratio:.2f}x is below "
                 f"the required {args.min_federation_ratio:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+    if args.min_parallel_speedup is not None:
+        parallel_speedup = record["speedup"]["parallel_vs_serial"]
+        if parallel_speedup < args.min_parallel_speedup:
+            print(
+                f"error: parallel-federation speedup "
+                f"{parallel_speedup:.2f}x is below the required "
+                f"{args.min_parallel_speedup:.2f}x",
                 file=sys.stderr,
             )
             return 1

@@ -153,6 +153,42 @@ class Simulator:
         )
         self._seq += 1
 
+    def post_in_batch(self, items) -> None:
+        """Batched :meth:`post_in`: insert ``(delay, action)`` pairs at once.
+
+        Same ordering semantics as calling :meth:`post_in` once per
+        pair, in iteration order (seq numbers are assigned in that
+        order, so tie-breaking among same-instant events is unchanged).
+        The win is mechanical: one attribute-resolution of the heap,
+        clock and seq per *batch* instead of per event, and -- when the
+        batch rivals the live heap in size -- one ``heapify`` over the
+        extended list instead of ``m`` sift-ups.  Used by the fast
+        engine's collapsed dispatch, whose per-allocation drain fan-out
+        posts one event per distinct finish instant.
+        """
+        heap = self._heap
+        now = self._now
+        seq = self._seq
+        entries = []
+        for delay, action in items:
+            if delay < 0:
+                raise SimulationError(f"delay must be non-negative, got {delay}")
+            entries.append((now + delay, DEFAULT_PRIORITY, seq, _Posted(action)))
+            seq += 1
+        self._seq = seq
+        if not entries:
+            return
+        # Crossover: heapify is O(n + m) against m pushes at O(m log n);
+        # for the small fan-outs the dispatch path produces, pushes win
+        # until the batch is a sizable fraction of the heap.
+        if len(entries) * 4 >= len(heap):
+            heap.extend(entries)
+            heapq.heapify(heap)
+        else:
+            push = heapq.heappush
+            for entry in entries:
+                push(heap, entry)
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------

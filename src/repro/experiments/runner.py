@@ -189,6 +189,7 @@ def wire_run(
     replication: int = 0,
     trace: TraceRecorder = NULL_RECORDER,
     workload: Optional["WorkloadInstaller"] = None,
+    shard_slice=None,
 ) -> LiveRun:
     """Assemble one simulation run without executing it.
 
@@ -201,7 +202,17 @@ def wire_run(
     mediation, autonomy, measurement -- is wired identically, so a
     workload that reproduces the default's arrival instants reproduces
     the whole run bit-for-bit.
+
+    ``shard_slice`` (a :class:`repro.federation.parallel.ShardSlice`)
+    turns this wiring into one *worker's* view of a process-parallel
+    federated run: the full world is built identically (same population
+    draw, same policy streams -- the determinism anchor), but arrivals,
+    churn sweeps and sampling are activated only for the slice's owned
+    shards.  Requires a federated config; incompatible with a custom
+    ``workload``.
     """
+    if shard_slice is not None and workload is not None:
+        raise ValueError("shard_slice cannot be combined with a custom workload")
     root = spawn_replication_root(config.seed, replication)
 
     # 1. kernel -----------------------------------------------------------
@@ -216,7 +227,7 @@ def wire_run(
     registry = population.registry
 
     # 3. mediation --------------------------------------------------------
-    hub = MetricsHub()
+    hub = MetricsHub() if shard_slice is None else shard_slice.create_hub(sim)
     if config.federation is not None:
         # Sharded multi-mediator federation: each shard builds its own
         # policy from its shard root (shard 0 gets `root` itself, the
@@ -257,6 +268,8 @@ def wire_run(
             adequation_over_candidates=config.adequation_over_candidates,
             keep_records=config.keep_records,
         )
+    if shard_slice is not None:
+        shard_slice.attach(config, population, mediator, hub)
     for consumer in population.consumers:
         consumer.attach_mediator(mediator)
         consumer.on_completion(hub.record_completion)
@@ -277,6 +290,11 @@ def wire_run(
             rate_scale_of[focal_consumer.participant_id] = focal_consumer.rate_scale
         for consumer in population.consumers:
             cid = consumer.participant_id
+            # Slice workers start arrivals only for owned consumers;
+            # skipping is stream-safe because every demand/arrival
+            # stream is named per consumer (independent generators).
+            if shard_slice is not None and not shard_slice.owns_consumer(cid):
+                continue
             demand = config.population.make_demand_model(
                 root.stream(f"workload/demand/{cid}")
             )
@@ -307,10 +325,17 @@ def wire_run(
             min_observations=autonomy.min_observations,
             warmup=autonomy.warmup,
         )
+    if shard_slice is None:
+        churn_consumers, churn_providers = population.consumers, population.providers
+    else:
+        # The departure policy is deterministic per participant, so a
+        # sweep over the owned sublists (relative order preserved)
+        # reproduces exactly the serial sweep's owned subsequence.
+        churn_consumers, churn_providers = shard_slice.churn_members(population)
     monitor = ChurnMonitor(
         sim,
-        population.consumers,
-        population.providers,
+        churn_consumers,
+        churn_providers,
         consumer_policy,
         provider_policy,
         check_interval=autonomy.check_interval,
@@ -329,23 +354,32 @@ def wire_run(
         injector.start()
 
     # 6. measurement ------------------------------------------------------
-    for consumer in population.consumers:
-        hub.register_group(
-            f"consumer:{consumer.participant_id}", "consumer", [consumer.participant_id]
-        )
-    for archetype in ARCHETYPES:
-        members = [
-            p.participant_id for p in population.providers_of_archetype(archetype)
-        ]
-        if members:
-            hub.register_group(f"archetype:{archetype}", "provider", members)
-    if config.population.focal_provider is not None:
-        hub.register_group(
-            "focal:provider", "provider", [config.population.focal_provider.participant_id]
-        )
     if config.track_provider_snapshots:
         hub.enable_provider_snapshots()
-    hub.start_sampling(sim, registry, interval=config.sample_interval)
+    if shard_slice is not None:
+        # Raw owned-participant rows on the same grid; the parent
+        # replays the global sweeps (and the group series) exactly.
+        shard_slice.install_sampler(sim, registry, interval=config.sample_interval)
+    else:
+        for consumer in population.consumers:
+            hub.register_group(
+                f"consumer:{consumer.participant_id}",
+                "consumer",
+                [consumer.participant_id],
+            )
+        for archetype in ARCHETYPES:
+            members = [
+                p.participant_id for p in population.providers_of_archetype(archetype)
+            ]
+            if members:
+                hub.register_group(f"archetype:{archetype}", "provider", members)
+        if config.population.focal_provider is not None:
+            hub.register_group(
+                "focal:provider",
+                "provider",
+                [config.population.focal_provider.participant_id],
+            )
+        hub.start_sampling(sim, registry, interval=config.sample_interval)
 
     return LiveRun(
         config=config,

@@ -10,7 +10,9 @@ Public surface:
 * :func:`~repro.federation.mediator.build_federation` -- assemble the
   shard registries + mediators over a populated global registry;
 * :class:`~repro.federation.mediator.FederatedMediator` -- the
-  consumer-facing front, a drop-in for a single mediator.
+  consumer-facing front, a drop-in for a single mediator;
+* :func:`~repro.federation.parallel.run_parallel` -- process-parallel
+  shard-group execution with a deterministic (digest-identical) merge.
 """
 
 from repro.federation.config import PARTITION_MODES, FederationConfig
@@ -20,6 +22,14 @@ from repro.federation.mediator import (
     FederatedMediator,
     ShardMediator,
     build_federation,
+)
+from repro.federation.parallel import (
+    ParallelRunReport,
+    ParallelViolation,
+    ShardSlice,
+    parallel_ineligible_reason,
+    plan_groups,
+    run_parallel,
 )
 from repro.federation.ring import ShardMap, ShardRing
 
@@ -31,6 +41,12 @@ __all__ = [
     "FederatedMediator",
     "ShardMediator",
     "build_federation",
+    "ParallelRunReport",
+    "ParallelViolation",
+    "ShardSlice",
+    "parallel_ineligible_reason",
+    "plan_groups",
+    "run_parallel",
     "ShardMap",
     "ShardRing",
 ]

@@ -99,6 +99,9 @@ class _ShardForwarding:
         self._federation = federation
         self._forward_peers: Tuple[int, ...] = ()
         self._forward_threshold_static = None
+        #: Forwarded-mediation count for this shard (serve /metrics
+        #: surfaces it per shard so dashboards can show imbalance).
+        self.forwarded = 0
 
     def mediate(self, query):
         federation = self._federation
@@ -108,12 +111,16 @@ class _ShardForwarding:
             if len(local) < federation.forward_threshold_for(self, query):
                 merged, peers = federation.merged_candidates(self.shard_ordinal, topic)
                 if peers:
+                    guard = federation.foreign_guard
+                    if guard is not None:
+                        guard(self.shard_ordinal, peers)
                     return self._mediate_forwarded(query, merged, peers)
         return super().mediate(query)
 
     def _mediate_forwarded(self, query, merged, peers):
         """One mediation over the merged home+peer candidate pool."""
         self.mediations += 1
+        self.forwarded += 1
         # One candidate request/reply pair per contributing peer shard.
         self.coordination_messages += 2 * len(peers)
         decision = self._forward_select(query, merged)
@@ -197,8 +204,13 @@ class Federation:
         self.registries: List[SystemRegistry] = []
         self.mediators: List[Mediator] = []
         self._route_memo: Dict[str, Mediator] = {}
-        # (home, topic) -> (per-shard snapshot identities, merged, peers)
+        # (home, topic) -> (per-shard registry versions, merged, peers)
         self._merge_cache: Dict[Tuple[int, str], tuple] = {}
+        #: Optional hook ``guard(home_ordinal, peer_ordinals)`` called
+        #: before every forwarded mediation.  The parallel runner
+        #: installs one per worker to detect cross-worker forwarding
+        #: (which a slice cannot serve) and abort to the serial path.
+        self.foreign_guard: Optional[Callable[[int, Tuple[int, ...]], None]] = None
 
     @property
     def shards(self) -> int:
@@ -246,20 +258,20 @@ class Federation:
         Home shard's snapshot first (local providers keep their usual
         sample ordinals), then each contributing peer's snapshot in
         ascending shard-ordinal order.  ``peers`` lists the contributing
-        ordinals (ascending).  Cached against the identity of every
-        per-shard snapshot, so between membership/online transitions a
-        forwarded mediation pays one probe and K identity checks.
+        ordinals (ascending).  Cached per ``(home, topic)`` against the
+        tuple of peer registry *versions*: any membership or
+        online-state transition on any shard bumps that shard's version
+        and invalidates the pool, so mid-run churn can never serve a
+        stale merged pool.  Between transitions a forwarded mediation
+        pays one dict probe and a K-tuple compare -- no snapshot
+        fetches at all.
         """
-        snapshots = tuple(r.capable_snapshot(topic) for r in self.registries)
+        versions = tuple(r.version for r in self.registries)
         key = (home, topic)
         cached = self._merge_cache.get(key)
-        if cached is not None:
-            prev, merged, peers = cached
-            for a, b in zip(prev, snapshots):
-                if a is not b:
-                    break
-            else:
-                return merged, peers
+        if cached is not None and cached[0] == versions:
+            return cached[1], cached[2]
+        snapshots = tuple(r.capable_snapshot(topic) for r in self.registries)
         pool = list(snapshots[home])
         peers: List[int] = []
         for ordinal, snapshot in enumerate(snapshots):
@@ -269,7 +281,7 @@ class Federation:
             pool.extend(snapshot)
         merged = tuple(pool)
         peers_t = tuple(peers)
-        self._merge_cache[key] = (snapshots, merged, peers_t)
+        self._merge_cache[key] = (versions, merged, peers_t)
         return merged, peers_t
 
     def __repr__(self) -> str:
@@ -335,6 +347,10 @@ class FederatedMediator(Entity):
     @property
     def coordination_messages(self) -> int:
         return sum(m.coordination_messages for m in self.federation.mediators)
+
+    @property
+    def forwarded(self) -> int:
+        return sum(m.forwarded for m in self.federation.mediators)
 
     def __repr__(self) -> str:
         return (

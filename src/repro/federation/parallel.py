@@ -1,0 +1,947 @@
+"""Process-parallel shard execution with a deterministic merge.
+
+PR 9's federation routes queries across ``K`` shard mediators but still
+executes every shard interleaved on one scheduler in one interpreter.
+This module runs each shard *group* in its own worker process with its
+own :class:`~repro.des.scheduler.Simulator`, then merges the per-shard
+outcome streams in the parent so the final
+:class:`~repro.metrics.summary.RunSummary` -- and therefore the run
+digest -- is **bit-for-bit identical** to the single-process run.
+
+Why this is possible without inter-worker traffic
+-------------------------------------------------
+Every source of randomness is a *named* stream off the replication
+root, and every named stream is an independent generator.  Each worker
+performs the **full world wiring** (identical population draw,
+identical per-shard policy construction, identical stream names) and
+then *activates* only its slice:
+
+* arrival processes are started only for consumers whose query topic
+  hashes to an owned shard (a consumer's topic is its own id, so
+  ownership and routing coincide exactly);
+* the churn monitor sweeps only owned participants (the departure
+  policy is deterministic per participant -- no shared stream);
+* the metric sampler records raw per-participant rows for owned
+  participants instead of global aggregates.
+
+Since a query's entire lifecycle (arrival draw, demand draw, mediation
+draws of its home shard's policy stream, satisfaction updates, result
+delivery, completion, timeout) touches only owned state, each worker
+reproduces exactly the sub-trajectory of the serial run restricted to
+its shards: the same floats, in the same per-shard order.
+
+Conservative synchronization
+----------------------------
+Workers advance in conservative epochs.  Under the constant latency
+model ``c`` (the only model the parallel path accepts), a cross-shard
+forwarding consultation issued at time ``t`` cannot affect a peer
+earlier than ``t + 2c`` (request hop + reply hop), so ``2c`` is the
+lookahead and the epoch width: a worker may execute every event in
+``[t, t + 2c)`` without waiting for peer input.  Message/record batches
+are flushed to the parent at epoch barriers over pipes (coalesced so a
+short epoch does not mean a syscall per ``2c``).
+
+In-group forwarding (home shard and contributing peers in the same
+worker) is executed natively and is bit-identical to serial.
+*Cross-group* forwarding cannot be served by a slice, so the federation
+gets a ``foreign_guard`` hook: the moment a forwarded mediation would
+consult an out-of-group peer, the worker raises
+:class:`ParallelViolation`, the parent stops the fleet and transparently
+re-runs the configuration serially (correct result, parallelism
+forfeited).  The guard is *conservative-safe*: a worker's view of
+out-of-group shards is their initial membership with every provider
+online -- a superset of the serial run's view at any instant (churn only
+removes) -- so whenever the serial run would have forwarded across the
+group boundary, the worker's guard fires too.
+
+Deterministic merge
+-------------------
+Workers timestamp every outcome (mediation, completion, timeout) with
+``(sim time, global consumer ordinal)`` and stream raw per-participant
+sample rows on the shared sample grid.  The parent
+
+1. merges the event streams by ``(time, consumer ordinal)`` -- within a
+   worker the stream is already in firing order; across workers,
+   same-instant collisions would need two continuous-time draws to be
+   exactly equal (measure zero, see ``docs/architecture.md``);
+2. repopulates a real :class:`~repro.metrics.collectors.MetricsHub`,
+   replaying each sample instant with the *exact* serial arithmetic
+   (``mean``/``stdev``/``gini`` over registration-ordered rows,
+   ``_aggregate_sum`` for capacity) so every series float is identical
+   to the last ulp;
+3. rebuilds the final registry/mediator/network state from per-worker
+   harvests (ownership is a partition, so each participant's final
+   state comes from exactly one worker) and hands the result to the
+   unmodified :func:`~repro.metrics.summary.build_summary`.
+
+Integer counters (messages, mediations, coordination messages) are sums
+of disjoint slices -- exact.  Float reductions re-run in serial order --
+exact.  The resulting digest equals the serial digest.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import traceback
+from multiprocessing import connection as _mp_connection
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.stats import gini, mean, stdev
+from repro.des.events import make_repeating
+from repro.metrics.collectors import MetricsHub
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    # Imported lazily at runtime: repro.experiments.config itself
+    # imports this package, so a top-level import would be circular.
+    from repro.experiments.config import ExperimentConfig, PolicySpec
+from repro.metrics.summary import build_summary
+from repro.system.registry import _aggregate_sum
+from repro.workloads.preferences import ARCHETYPES
+
+
+class ParallelViolation(RuntimeError):
+    """A worker hit state its slice cannot own (cross-group forwarding)."""
+
+
+# ----------------------------------------------------------------------
+# Eligibility and partitioning
+# ----------------------------------------------------------------------
+
+
+def parallel_ineligible_reason(config: ExperimentConfig) -> Optional[str]:
+    """Why ``config`` cannot take the parallel path (None when it can).
+
+    The conditions are exactly the preconditions of the determinism
+    argument in the module docstring; anything else falls back to the
+    serial runner, whose result is by definition correct.
+    """
+    if config.federation is None:
+        return "no federation configured"
+    if config.latency_low != config.latency_high:
+        return (
+            "random latency: pair-dependent draws interleave across shards "
+            "on one shared stream"
+        )
+    if config.failures is not None:
+        return "failure injection draws crash times from one shared stream"
+    if config.keep_records:
+        return "keep_records retains per-shard record lists the merge does not carry"
+    if config.track_provider_snapshots:
+        return "per-provider snapshot tracking is not sliced"
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return "fork start method unavailable on this platform"
+    return None
+
+
+def plan_groups(shards: int, workers: int) -> Tuple[Tuple[int, ...], ...]:
+    """Partition shard ordinals ``0..shards-1`` into contiguous groups.
+
+    ``workers`` is clamped to ``shards``; the first ``shards % workers``
+    groups take one extra shard.  Deterministic in both arguments.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    workers = min(workers, shards)
+    base, extra = divmod(shards, workers)
+    groups: List[Tuple[int, ...]] = []
+    start = 0
+    for i in range(workers):
+        size = base + (1 if i < extra else 0)
+        groups.append(tuple(range(start, start + size)))
+        start += size
+    return tuple(groups)
+
+
+# ----------------------------------------------------------------------
+# Worker-side slice wiring
+# ----------------------------------------------------------------------
+
+
+class _SliceHub(MetricsHub):
+    """Worker-side hub: log timestamped outcome events, aggregate nothing.
+
+    The parent replays the merged event stream into a real hub, so this
+    subclass only records ``(kind, time, consumer ordinal, ...)`` rows.
+    Departures/rejoins keep the base behaviour (their frozen dataclasses
+    are picklable and shipped wholesale in the harvest)."""
+
+    def __init__(self, sim, shard_slice: "ShardSlice") -> None:
+        super().__init__()
+        self._sim = sim
+        self._shard_slice = shard_slice
+
+    def record_mediation(self, record) -> None:
+        shard_slice = self._shard_slice
+        shard_slice.events.append(
+            (
+                "m",
+                self._sim.now,
+                shard_slice.consumer_ordinal[record.query.consumer_id],
+                record.is_failure,
+                0.0 if record.is_failure else record.consultation_delay,
+            )
+        )
+
+    def record_completion(self, record) -> None:
+        rt = record.response_time
+        if rt is None:
+            raise ValueError(
+                f"completion recorded for incomplete query {record.query.qid}"
+            )
+        shard_slice = self._shard_slice
+        shard_slice.events.append(
+            (
+                "c",
+                self._sim.now,
+                shard_slice.consumer_ordinal[record.query.consumer_id],
+                rt,
+            )
+        )
+
+    def record_timeout(self, record) -> None:
+        shard_slice = self._shard_slice
+        shard_slice.events.append(
+            (
+                "t",
+                self._sim.now,
+                shard_slice.consumer_ordinal[record.query.consumer_id],
+            )
+        )
+
+
+class ShardSlice:
+    """One worker's slice of a federated run, hooked into ``wire_run``.
+
+    ``wire_run(..., shard_slice=slice)`` calls, in wiring order:
+
+    1. :meth:`create_hub` -- the event-logging hub;
+    2. :meth:`attach` -- ownership sets, the foreign-forwarding guard,
+       and the group definitions the parent will need;
+    3. :meth:`owns_consumer` -- gates arrival-process activation;
+    4. :meth:`churn_members` -- the owned sublists for the churn monitor;
+    5. :meth:`install_sampler` -- the raw-row sampler replacing
+       ``hub.start_sampling`` at the same grid.
+    """
+
+    def __init__(self, group: Sequence[int], shards: int) -> None:
+        self.group: Tuple[int, ...] = tuple(group)
+        self.shards = shards
+        #: Outcome events, flushed to the parent at epoch barriers.
+        self.events: List[tuple] = []
+        #: Raw sample rows ``(t, consumer rows, provider rows)``.
+        self.samples: List[tuple] = []
+        self.consumer_ordinal: Dict[str, int] = {}
+        self.provider_ordinal: Dict[str, int] = {}
+        self._owned_consumer_ids: set = set()
+        self._owned_provider_ids: set = set()
+        self._owned_consumers: List = []
+        self._owned_providers: List = []
+        self.group_defs: List[Tuple[str, str, List[str]]] = []
+        self.federation = None
+
+    def create_hub(self, sim) -> _SliceHub:
+        return _SliceHub(sim, self)
+
+    def attach(self, config, population, mediator, hub) -> None:
+        federation = getattr(mediator, "federation", None)
+        if federation is None:
+            raise ValueError("shard_slice requires a federated mediator")
+        self.federation = federation
+        registry = population.registry
+        self.consumer_ordinal = {
+            c.participant_id: i for i, c in enumerate(registry.consumers)
+        }
+        self.provider_ordinal = {
+            p.participant_id: i for i, p in enumerate(registry.providers)
+        }
+
+        owned = set(self.group)
+        shard_map = federation.shard_map
+        # A consumer's query topic defaults to its own id, so topic
+        # routing and consumer ownership coincide exactly.
+        self._owned_consumer_ids = {
+            cid
+            for cid in self.consumer_ordinal
+            if shard_map.shard_of_topic(cid) in owned
+        }
+        self._owned_consumers = [
+            c
+            for c in registry.consumers
+            if c.participant_id in self._owned_consumer_ids
+        ]
+        owned_pids = set()
+        for ordinal in self.group:
+            owned_pids.update(
+                p.participant_id for p in federation.registries[ordinal].providers
+            )
+        self._owned_provider_ids = owned_pids
+        self._owned_providers = [
+            p for p in registry.providers if p.participant_id in owned_pids
+        ]
+
+        if len(owned) < federation.config.shards:
+            def guard(home: int, peers: Tuple[int, ...]) -> None:
+                for peer in peers:
+                    if peer not in owned:
+                        raise ParallelViolation(
+                            f"shard {home} would forward to out-of-group "
+                            f"shard {peer} (owned: {sorted(owned)})"
+                        )
+
+            federation.foreign_guard = guard
+
+        # Group definitions, replicated from the serial wiring so the
+        # parent registers them in the same order.  Identical in every
+        # worker (full-world wiring); the parent keeps one copy.
+        defs: List[Tuple[str, str, List[str]]] = [
+            (f"consumer:{c.participant_id}", "consumer", [c.participant_id])
+            for c in population.consumers
+        ]
+        for archetype in ARCHETYPES:
+            members = [
+                p.participant_id for p in population.providers_of_archetype(archetype)
+            ]
+            if members:
+                defs.append((f"archetype:{archetype}", "provider", members))
+        if config.population.focal_provider is not None:
+            defs.append(
+                (
+                    "focal:provider",
+                    "provider",
+                    [config.population.focal_provider.participant_id],
+                )
+            )
+        self.group_defs = defs
+
+    def owns_consumer(self, consumer_id: str) -> bool:
+        return consumer_id in self._owned_consumer_ids
+
+    def churn_members(self, population) -> Tuple[list, list]:
+        """Owned consumers/providers, relative population order preserved."""
+        consumers = [
+            c
+            for c in population.consumers
+            if c.participant_id in self._owned_consumer_ids
+        ]
+        providers = [
+            p
+            for p in population.providers
+            if p.participant_id in self._owned_provider_ids
+        ]
+        return consumers, providers
+
+    def install_sampler(self, sim, registry, interval: float) -> None:
+        """Record raw owned-participant rows on the serial sample grid.
+
+        Scheduled exactly like ``MetricsHub.start_sampling`` (repeating
+        tick, first sample posted at ``t=0`` during wiring) so the grid
+        instants -- and the tick chain's tie order against the churn
+        chain -- match the serial run."""
+        if interval <= 0:
+            raise ValueError(f"sampling interval must be positive, got {interval}")
+        consumers = [
+            (self.consumer_ordinal[c.participant_id], c)
+            for c in self._owned_consumers
+        ]
+        providers = [
+            (self.provider_ordinal[p.participant_id], p)
+            for p in self._owned_providers
+        ]
+        def sample() -> None:
+            # Resolve the buffer per tick: epoch flushes rebind
+            # ``self.samples`` to a fresh list after each send.
+            self.samples.append(
+                (
+                    sim.now,
+                    [(o, c.satisfaction, c.online) for o, c in consumers],
+                    [
+                        (o, p.satisfaction, p.utilization, p.online)
+                        for o, p in providers
+                    ],
+                )
+            )
+
+        tick = make_repeating(sim.schedule_in, interval, sample)
+        sim.schedule_in(0.0, tick, label="metrics:first-sample")
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+
+
+def _flush(conn, shard_slice: ShardSlice) -> None:
+    if shard_slice.events or shard_slice.samples:
+        conn.send(("batch", shard_slice.events, shard_slice.samples))
+        shard_slice.events = []
+        shard_slice.samples = []
+
+
+def _harvest(live, shard_slice: ShardSlice) -> dict:
+    """Final owned state, shipped to the parent after the last epoch."""
+    federation = shard_slice.federation
+    consumers = [
+        (
+            shard_slice.consumer_ordinal[c.participant_id],
+            c.participant_id,
+            c.online,
+            c.satisfaction,
+            c.stats.queries_issued,
+            c.stats.queries_completed,
+            c.stats.queries_failed,
+            c.stats.mean_response_time,
+            c.tracker.allocation_satisfaction(),
+        )
+        for c in shard_slice._owned_consumers
+    ]
+    providers = [
+        (
+            shard_slice.provider_ordinal[p.participant_id],
+            p.participant_id,
+            p.online,
+            p.satisfaction,
+            p.capacity,
+            p.stats.work_units_done,
+        )
+        for p in shard_slice._owned_providers
+    ]
+    shards = [
+        (
+            ordinal,
+            federation.mediators[ordinal].mediations,
+            federation.mediators[ordinal].failures,
+            federation.mediators[ordinal].coordination_messages,
+            federation.mediators[ordinal].forwarded,
+        )
+        for ordinal in shard_slice.group
+    ]
+    return {
+        "group": shard_slice.group,
+        "consumers": consumers,
+        "providers": providers,
+        "shards": shards,
+        "network": (live.network.messages_sent, live.network.messages_delivered),
+        "departures": list(live.hub.departures),
+        "rejoins": list(live.hub.rejoins),
+        "groups": shard_slice.group_defs,
+    }
+
+
+def _worker_main(config, policy_spec, replication, group, conn, ctrl) -> None:
+    """Run one shard group to the horizon in conservative epochs."""
+    try:
+        from repro.experiments.runner import wire_run
+
+        shard_slice = ShardSlice(group, config.federation.shards)
+        live = wire_run(
+            config, policy_spec, replication=replication, shard_slice=shard_slice
+        )
+        sim = live.sim
+        duration = config.duration
+        # Lookahead: a forwarding consultation cannot affect a peer
+        # earlier than now + 2c under constant latency c.  Degenerate
+        # c=0 collapses to the sample interval (any positive width is
+        # safe: the guard aborts before any cross-group effect exists).
+        c = config.latency_low
+        width = 2.0 * c if c > 0 else config.sample_interval
+        # Coalesce pipe flushes: an epoch barrier every 2c would mean a
+        # syscall storm for small c, and the parent only needs batches
+        # often enough to bound worker memory and observe aborts.
+        flush_every = max(width, duration / 128.0)
+        next_flush = flush_every
+        now = 0.0
+        while now < duration:
+            target = min(now + width, duration)
+            sim.run_until(target)
+            now = target
+            if now >= next_flush or now >= duration:
+                _flush(conn, shard_slice)
+                next_flush = now + flush_every
+                if ctrl.poll():
+                    return  # parent told us to stop (a sibling aborted)
+        conn.send(("done", _harvest(live, shard_slice)))
+    except ParallelViolation as exc:
+        conn.send(("violation", str(exc)))
+    except BaseException:
+        conn.send(("error", traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Parent-side merge
+# ----------------------------------------------------------------------
+
+
+class _FinalStats:
+    __slots__ = (
+        "queries_issued",
+        "queries_completed",
+        "queries_failed",
+        "mean_response_time",
+        "work_units_done",
+    )
+
+    def __init__(self, issued=0, completed=0, failed=0, mean_rt=0.0, work=0.0):
+        self.queries_issued = issued
+        self.queries_completed = completed
+        self.queries_failed = failed
+        self.mean_response_time = mean_rt
+        self.work_units_done = work
+
+
+class _FinalTracker:
+    __slots__ = ("_value",)
+
+    def __init__(self, value: float) -> None:
+        self._value = value
+
+    def allocation_satisfaction(self) -> float:
+        return self._value
+
+
+class _FinalConsumer:
+    __slots__ = ("participant_id", "online", "satisfaction", "stats", "tracker")
+
+    def __init__(self, participant_id, online, satisfaction, stats, tracker):
+        self.participant_id = participant_id
+        self.online = online
+        self.satisfaction = satisfaction
+        self.stats = stats
+        self.tracker = tracker
+
+
+class _FinalProvider:
+    __slots__ = ("participant_id", "online", "satisfaction", "capacity", "stats")
+
+    def __init__(self, participant_id, online, satisfaction, capacity, stats):
+        self.participant_id = participant_id
+        self.online = online
+        self.satisfaction = satisfaction
+        self.capacity = capacity
+        self.stats = stats
+
+
+class _MergedRegistry:
+    """Final-state registry view satisfying ``build_summary``'s reads.
+
+    ``total_capacity`` replicates ``SystemRegistry.total_capacity``
+    exactly: ``_aggregate_sum`` over capacities in registration order
+    (online-filtered in registration order for ``online_only``)."""
+
+    def __init__(self, consumers, providers) -> None:
+        self.consumers = tuple(consumers)
+        self.providers = tuple(providers)
+        self._consumers = {c.participant_id: c for c in self.consumers}
+        self._providers = {p.participant_id: p for p in self.providers}
+
+    def consumer(self, participant_id):
+        return self._consumers[participant_id]
+
+    def provider(self, participant_id):
+        return self._providers[participant_id]
+
+    def online_consumers(self):
+        return [c for c in self.consumers if c.online]
+
+    def online_providers(self):
+        return [p for p in self.providers if p.online]
+
+    def total_capacity(self, online_only: bool = True) -> float:
+        providers = self.online_providers() if online_only else self.providers
+        return _aggregate_sum([p.capacity for p in providers])
+
+
+class _MergedPopulation:
+    __slots__ = ("registry", "consumers", "providers")
+
+    def __init__(self, registry: _MergedRegistry) -> None:
+        self.registry = registry
+        self.consumers = registry.consumers
+        self.providers = registry.providers
+
+
+class _MergedMediator:
+    __slots__ = (
+        "mediations",
+        "failures",
+        "coordination_messages",
+        "forwarded",
+        "records",
+    )
+
+    def __init__(self, mediations, failures, coordination, forwarded):
+        self.mediations = mediations
+        self.failures = failures
+        self.coordination_messages = coordination
+        self.forwarded = forwarded
+        self.records = []
+
+
+class _MergedNetwork:
+    __slots__ = ("messages_sent", "messages_delivered")
+
+    def __init__(self, sent: int, delivered: int) -> None:
+        self.messages_sent = sent
+        self.messages_delivered = delivered
+
+
+def _merge_events(event_lists: List[List[tuple]]):
+    """Interleave per-worker event streams into serial firing order.
+
+    Each worker stream is already in firing order; across workers the
+    order is ``(time, consumer ordinal)``.  Exact same-key collisions
+    across workers would need two independent continuous-time draws to
+    coincide (measure zero); ``heapq.merge`` then keeps earlier-listed
+    workers first, deterministically."""
+    return heapq.merge(*event_lists, key=lambda e: (e[1], e[2]))
+
+
+def _replay(
+    hub: MetricsHub,
+    merged_events,
+    ordinal_cid: Dict[int, str],
+) -> List[Tuple[float, int, float]]:
+    """Replay outcome events into ``hub``; return completions in order."""
+    completions: List[Tuple[float, int, float]] = []
+    for event in merged_events:
+        kind = event[0]
+        if kind == "m":
+            _, _, ordinal, is_failure, delay = event
+            cid = ordinal_cid[ordinal]
+            hub.queries_issued += 1
+            hub.issued_by_consumer[cid] = hub.issued_by_consumer.get(cid, 0) + 1
+            if is_failure:
+                hub.queries_failed += 1
+                hub.failed_by_consumer[cid] = hub.failed_by_consumer.get(cid, 0) + 1
+            else:
+                hub.queries_allocated += 1
+                hub.consultation_delays.append(delay)
+        elif kind == "c":
+            _, t, ordinal, rt = event
+            cid = ordinal_cid[ordinal]
+            hub.queries_completed += 1
+            hub.completed_by_consumer[cid] = hub.completed_by_consumer.get(cid, 0) + 1
+            hub.response_times.append(rt)
+            hub.response_times_by_consumer.setdefault(cid, []).append(rt)
+            completions.append((t, ordinal, rt))
+        else:  # "t"
+            _, _, ordinal = event
+            cid = ordinal_cid[ordinal]
+            hub.queries_timed_out += 1
+            hub.timed_out_by_consumer[cid] = hub.timed_out_by_consumer.get(cid, 0) + 1
+    return completions
+
+
+def _replay_samples(
+    hub: MetricsHub,
+    sample_lists: List[List[tuple]],
+    completions: List[Tuple[float, int, float]],
+    interval: float,
+    capacity_of: Dict[int, float],
+    group_defs: List[Tuple[str, str, List[str]]],
+    consumer_ordinal: Dict[str, int],
+    provider_ordinal: Dict[str, int],
+) -> None:
+    """Re-run every sample instant with the exact serial arithmetic.
+
+    Rows from all workers are concatenated and sorted by global
+    registration ordinal, reproducing the registration-ordered sweeps
+    of ``MetricsHub.sample_once`` float for float.  Completions at
+    exactly a grid instant are counted into that instant's window
+    (the serial order between a completion event and the sample event
+    at the same instant depends on heap seq; completion times are
+    continuous, so the instants coincide with measure zero)."""
+    grid = [row[0] for row in sample_lists[0]]
+    for rows in sample_lists[1:]:
+        if [row[0] for row in rows] != grid:
+            raise AssertionError("workers disagree on the sample grid")
+
+    hub._sample_interval = interval
+    for name, kind, ids in group_defs:
+        hub.register_group(name, kind, ids)
+
+    done = 0  # completions folded into previous windows
+    for i, t in enumerate(grid):
+        crow: List[tuple] = []
+        prow: List[tuple] = []
+        for rows in sample_lists:
+            crow.extend(rows[i][1])
+            prow.extend(rows[i][2])
+        crow.sort()
+        prow.sort()
+
+        cons_online = [sat for _, sat, online in crow if online]
+        hub.consumer_satisfaction.append(t, mean(cons_online, default=0.0))
+        prov_online = [
+            (sat, util) for _, sat, util, online in prow if online
+        ]
+        hub.provider_satisfaction.append(
+            t, mean([sat for sat, _ in prov_online], default=0.0)
+        )
+        utilizations = [util for _, util in prov_online]
+        hub.utilization_mean.append(t, mean(utilizations))
+        hub.utilization_stdev.append(t, stdev(utilizations))
+        hub.utilization_gini.append(t, gini(utilizations) if utilizations else 0.0)
+        hub.providers_online.append(t, float(len(prov_online)))
+        hub.consumers_online.append(t, float(len(cons_online)))
+        hub.total_capacity.append(
+            t,
+            _aggregate_sum(
+                [capacity_of[o] for o, _, _, online in prow if online]
+            ),
+        )
+
+        csat = {o: sat for o, sat, _ in crow}
+        psat = {o: sat for o, sat, _, _ in prow}
+        for name, kind, ids in group_defs:
+            if kind == "consumer":
+                values = [csat[consumer_ordinal[pid]] for pid in ids]
+            else:
+                values = [psat[provider_ordinal[pid]] for pid in ids]
+            hub.group_satisfaction[name].append(t, mean(values, default=0.0))
+
+        window = done
+        rts: List[float] = []
+        while window < len(completions) and completions[window][0] <= t:
+            rts.append(completions[window][2])
+            window += 1
+        hub.throughput.append(t, (window - done) / interval)
+        hub.response_time_series.append(t, mean(rts, default=0.0))
+        done = window
+
+    hub._completions_at_last_sample = done
+    hub._rt_window = [rt for _, _, rt in completions[done:]]
+
+
+def _merge_result(
+    config: ExperimentConfig,
+    policy_spec: PolicySpec,
+    harvests: List[dict],
+    event_lists: List[List[tuple]],
+    sample_lists: List[List[tuple]],
+):
+    from repro.experiments.runner import RunResult
+
+    # Final participant state: ownership partitions the population, so
+    # concatenating harvests and sorting by global registration ordinal
+    # rebuilds the full final registry.
+    consumer_rows = sorted(row for h in harvests for row in h["consumers"])
+    provider_rows = sorted(row for h in harvests for row in h["providers"])
+    consumers = [
+        _FinalConsumer(
+            cid,
+            online,
+            satisfaction,
+            _FinalStats(issued=issued, completed=completed, failed=failed, mean_rt=mean_rt),
+            _FinalTracker(alloc_sat),
+        )
+        for _, cid, online, satisfaction, issued, completed, failed, mean_rt, alloc_sat
+        in consumer_rows
+    ]
+    providers = [
+        _FinalProvider(pid, online, satisfaction, capacity, _FinalStats(work=work))
+        for _, pid, online, satisfaction, capacity, work in provider_rows
+    ]
+    registry = _MergedRegistry(consumers, providers)
+    consumer_ordinal = {c.participant_id: i for i, c in enumerate(consumers)}
+    provider_ordinal = {p.participant_id: i for i, p in enumerate(providers)}
+    ordinal_cid = {i: c.participant_id for i, c in enumerate(consumers)}
+    capacity_of = {i: p.capacity for i, p in enumerate(providers)}
+
+    mediator = _MergedMediator(
+        sum(row[1] for h in harvests for row in h["shards"]),
+        sum(row[2] for h in harvests for row in h["shards"]),
+        sum(row[3] for h in harvests for row in h["shards"]),
+        sum(row[4] for h in harvests for row in h["shards"]),
+    )
+    network = _MergedNetwork(
+        sum(h["network"][0] for h in harvests),
+        sum(h["network"][1] for h in harvests),
+    )
+
+    hub = MetricsHub()
+    completions = _replay(hub, _merge_events(event_lists), ordinal_cid)
+    hub.departures = sorted(
+        (d for h in harvests for d in h["departures"]), key=lambda d: d.time
+    )
+    hub.rejoins = sorted(
+        (r for h in harvests for r in h["rejoins"]), key=lambda r: r.time
+    )
+    _replay_samples(
+        hub,
+        sample_lists,
+        completions,
+        config.sample_interval,
+        capacity_of,
+        harvests[0]["groups"],
+        consumer_ordinal,
+        provider_ordinal,
+    )
+
+    summary = build_summary(
+        policy_name=policy_spec.label,
+        duration=config.duration,
+        hub=hub,
+        registry=registry,
+        mediator=mediator,
+        network=network,
+    )
+    return RunResult(
+        label=policy_spec.label,
+        config=config,
+        policy_spec=policy_spec,
+        summary=summary,
+        hub=hub,
+        population=_MergedPopulation(registry),
+        mediator=mediator,
+    )
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ParallelRunReport:
+    """Outcome of :func:`run_parallel`.
+
+    ``mode`` is ``"parallel"`` when the worker fleet produced the
+    result, ``"serial-fallback"`` when the configuration was ineligible
+    or a worker aborted (``reason`` says why); ``result`` is correct and
+    digest-identical to the serial run either way."""
+
+    mode: str
+    reason: Optional[str]
+    workers: int
+    groups: Tuple[Tuple[int, ...], ...]
+    result: object  # RunResult
+
+
+def run_parallel(
+    config: ExperimentConfig,
+    policy_spec: PolicySpec,
+    workers: int,
+    replication: int = 0,
+) -> ParallelRunReport:
+    """Execute one federated run across ``workers`` shard-group processes.
+
+    Digest-identical to ``run_once(config, policy_spec, replication)``
+    for every eligible configuration; transparently serial otherwise."""
+    from repro.experiments.runner import run_once
+
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    reason = parallel_ineligible_reason(config)
+    if reason is not None:
+        return ParallelRunReport(
+            mode="serial-fallback",
+            reason=reason,
+            workers=0,
+            groups=(),
+            result=run_once(config, policy_spec, replication=replication),
+        )
+
+    groups = plan_groups(config.federation.shards, workers)
+    ctx = multiprocessing.get_context("fork")
+    procs = []
+    states: Dict[object, dict] = {}
+    ctrls = []
+    failure: Optional[Tuple[str, str]] = None
+    try:
+        for group in groups:
+            data_recv, data_send = ctx.Pipe(duplex=False)
+            ctrl_recv, ctrl_send = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(config, policy_spec, replication, group, data_send, ctrl_recv),
+            )
+            proc.start()
+            # Close the child's ends in the parent so EOF propagates.
+            data_send.close()
+            ctrl_recv.close()
+            procs.append(proc)
+            ctrls.append(ctrl_send)
+            states[data_recv] = {"events": [], "samples": [], "harvest": None}
+
+        pending = dict(states)
+        while pending and failure is None:
+            for conn in _mp_connection.wait(list(pending)):
+                state = pending[conn]
+                try:
+                    msg = conn.recv()
+                except EOFError:
+                    failure = ("error", "parallel-federation worker exited early")
+                    del pending[conn]
+                    continue
+                kind = msg[0]
+                if kind == "batch":
+                    state["events"].extend(msg[1])
+                    state["samples"].extend(msg[2])
+                elif kind == "done":
+                    state["harvest"] = msg[1]
+                    del pending[conn]
+                else:  # "violation" or "error"
+                    failure = (kind, msg[1])
+                    del pending[conn]
+
+        if failure is not None:
+            for ctrl in ctrls:
+                try:
+                    ctrl.send("stop")
+                except (BrokenPipeError, OSError):
+                    pass
+            # Drain survivors to EOF so none blocks on a full pipe.
+            while pending:
+                ready = _mp_connection.wait(list(pending), timeout=10.0)
+                if not ready:
+                    break
+                for conn in ready:
+                    try:
+                        conn.recv()
+                    except EOFError:
+                        del pending[conn]
+    finally:
+        for proc in procs:
+            proc.join(timeout=30.0)
+        for proc in procs:
+            if proc.is_alive():  # pragma: no cover - hung worker backstop
+                proc.terminate()
+                proc.join()
+        for conn in states:
+            conn.close()
+        for ctrl in ctrls:
+            ctrl.close()
+
+    if failure is not None:
+        kind, detail = failure
+        if kind != "violation":
+            raise RuntimeError(f"parallel federation worker failed:\n{detail}")
+        return ParallelRunReport(
+            mode="serial-fallback",
+            reason=f"cross-group forwarding: {detail}",
+            workers=0,
+            groups=groups,
+            result=run_once(config, policy_spec, replication=replication),
+        )
+
+    ordered = list(states.values())
+    result = _merge_result(
+        config,
+        policy_spec,
+        [state["harvest"] for state in ordered],
+        [state["events"] for state in ordered],
+        [state["samples"] for state in ordered],
+    )
+    return ParallelRunReport(
+        mode="parallel",
+        reason=None,
+        workers=len(groups),
+        groups=groups,
+        result=result,
+    )

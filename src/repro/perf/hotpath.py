@@ -92,7 +92,10 @@ from repro.system.registry import SystemRegistry
 #: the scaling axis to 10000 providers, added ``speedup.scaling_ratio``
 #: (the flatness gate) and the ``federation`` section (sharded
 #: multi-mediator throughput, N scaled to 100k with K shards).
-BENCH_VERSION = 4
+#: Version 5 added the ``parallel_federation`` section (process-parallel
+#: shard-group execution, slice-max methodology) and
+#: ``speedup.parallel_vs_serial``.
+BENCH_VERSION = 5
 
 #: Engines measured by the throughput kernel, in reporting order.
 #: ``fast`` runs the fused structure-of-arrays kernel (the default when
@@ -208,6 +211,7 @@ def build_mediation_system(
     memory: int = 100,
     seed: int = 13,
     shards: int = 1,
+    consumers: int = 1,
 ):
     """One consumer, ``n_providers`` volunteers, a mediator.
 
@@ -224,6 +228,13 @@ def build_mediation_system(
     :class:`~repro.federation.mediator.FederatedMediator` facade and
     each ``mediate`` pays the O(1) route before the home shard's
     kernel.  The seed baseline predates federation and rejects it.
+
+    ``consumers > 1`` builds ``c0..c{C-1}`` so query topics spread
+    across a federation's shards (the parallel-federation axis needs
+    per-shard traffic); the return value is then
+    ``(sim, mediator, [consumer, ...])`` instead of a single consumer.
+    With the default ``consumers=1`` the build is unchanged
+    draw-for-draw.
     """
     if configuration not in CONFIGURATIONS:
         raise ValueError(
@@ -267,6 +278,7 @@ def build_mediation_system(
             range(n_providers),
             key=lambda i: (shard_map.shard_of_provider(f"p{i:03d}"), i),
         )
+    consumer_ids = [f"c{j}" for j in range(consumers)]
     providers: list = [None] * n_providers
     for i in build_order:
         capacity, preference = draws[i]
@@ -275,25 +287,31 @@ def build_mediation_system(
             network,
             participant_id=f"p{i:03d}",
             capacity=capacity,
-            preferences={"c0": preference},
+            preferences={cid: preference for cid in consumer_ids},
             intention_model=shared_model,
             memory=memory,
-            resource_shares={"c0": 1.0},
+            resource_shares={cid: 1.0 for cid in consumer_ids},
         )
     for provider in providers:
         registry.add_provider(provider)
         if seed_baseline:
             provider.tracker = SeedProviderTracker(memory=memory)
-    consumer = Consumer(
-        sim,
-        network,
-        participant_id="c0",
-        preferences={p.participant_id: stream.uniform(-1.0, 1.0) for p in providers},
-        memory=memory,
-    )
-    if seed_baseline:
-        consumer.tracker = SeedConsumerTracker(memory=memory)
-    registry.add_consumer(consumer)
+    consumer_objs = []
+    for cid in consumer_ids:
+        consumer = Consumer(
+            sim,
+            network,
+            participant_id=cid,
+            preferences={
+                p.participant_id: stream.uniform(-1.0, 1.0) for p in providers
+            },
+            memory=memory,
+        )
+        if seed_baseline:
+            consumer.tracker = SeedConsumerTracker(memory=memory)
+        registry.add_consumer(consumer)
+        consumer_objs.append(consumer)
+    consumer = consumer_objs[0]
 
     def _make_policy(policy_root):
         if policy == "sbqa":
@@ -337,7 +355,10 @@ def build_mediation_system(
             )
     finally:
         _scoring._DEFAULT_BACKEND = previous_backend
-    consumer.attach_mediator(mediator)
+    for member in consumer_objs:
+        member.attach_mediator(mediator)
+    if consumers > 1:
+        return sim, mediator, consumer_objs
     return sim, mediator, consumer
 
 
@@ -504,6 +525,123 @@ def measure_federation(
     first = rows[str(points[0][0])]["mediate_per_s"]
     last = rows[str(points[-1][0])]["mediate_per_s"]
     return {"points": rows, "flat_ratio": last / first}
+
+
+def measure_parallel_federation(
+    n_providers: int = 100_000,
+    shards: int = 50,
+    worker_counts: Sequence[int] = (1, 2, 4, 8),
+    mediations: int = 2000,
+    repeats: int = 2,
+    policy: str = "sbqa",
+) -> Dict[str, object]:
+    """Parallel shard-group throughput by the **slice-max** method.
+
+    The process-parallel runtime (:mod:`repro.federation.parallel`)
+    partitions the K shards into worker groups; each worker mediates
+    only the queries homed on its group.  Because shard states are
+    disjoint, the parallel wall-clock of the mediate phase is the
+    slowest group's slice.  This bench measures exactly that quantity
+    without requiring idle cores: each group's query slice is timed in
+    isolation (sequentially, same process, fresh best-of-``repeats``
+    passes) and the parallel rate is ``total mediations / max slice
+    seconds`` -- the critical path a ``workers``-core host would see.
+    The record carries ``"mode": "slice-max"`` to flag the methodology;
+    it reports achievable speedup of the mediation phase, not a wall
+    clock observed on this host.
+
+    Traffic comes from ``3 * shards`` consumers (round-robin), so every
+    shard sees queries and the consistent-hash imbalance across
+    groups is part of the measurement.
+    """
+    from repro.federation import FederationConfig, ShardMap
+    from repro.federation.parallel import plan_groups
+
+    consumers = 3 * shards
+    shard_map = ShardMap(FederationConfig(shards=shards))
+    home = {
+        f"c{j}": shard_map.shard_of_topic(f"c{j}") for j in range(consumers)
+    }
+
+    def _queries(consumer_objs):
+        return [
+            Query(
+                consumer=consumer_objs[i % len(consumer_objs)],
+                topic=consumer_objs[i % len(consumer_objs)].participant_id,
+                service_demand=10.0,
+                n_results=2,
+                issued_at=0.0,
+            )
+            for i in range(mediations)
+        ]
+
+    def _slice_seconds(groups):
+        """One build; best-of-``repeats`` mediate seconds per group."""
+        import gc
+
+        sim, mediator, consumer_objs = build_mediation_system(
+            "fast",
+            policy=policy,
+            n_providers=n_providers,
+            shards=shards,
+            consumers=consumers,
+        )
+        mediate = mediator.mediate
+        # Small untimed warm-up so allocator pools settle per build.
+        for query in _queries(consumer_objs)[: min(200, mediations)]:
+            mediate(query)
+        seconds = []
+        for owned in groups:
+            owned_set = set(owned)
+            best = float("inf")
+            for _ in range(repeats):
+                queries = [
+                    q for q in _queries(consumer_objs)
+                    if home[q.topic] in owned_set
+                ]
+                gc.collect()
+                gc.disable()
+                try:
+                    start = time.perf_counter()
+                    for query in queries:
+                        mediate(query)
+                    best = min(best, time.perf_counter() - start)
+                finally:
+                    gc.enable()
+            seconds.append(best)
+        return seconds
+
+    all_shards = tuple(range(shards))
+    serial_seconds = _slice_seconds([all_shards])[0]
+    serial_per_s = mediations / serial_seconds
+    rows: Dict[str, object] = {}
+    best_speedup = 1.0
+    for workers in worker_counts:
+        groups = plan_groups(shards, workers)
+        max_slice = max(_slice_seconds(groups))
+        per_s = mediations / max_slice
+        speedup = per_s / serial_per_s
+        best_speedup = max(best_speedup, speedup)
+        rows[str(workers)] = {
+            "workers": workers,
+            "groups": len(groups),
+            "max_slice_s": max_slice,
+            "mediate_per_s": per_s,
+            "speedup": speedup,
+        }
+    return {
+        "mode": "slice-max",
+        "n_providers": n_providers,
+        "shards": shards,
+        "consumers": consumers,
+        "mediations": mediations,
+        "serial": {
+            "mediate_per_s": serial_per_s,
+            "seconds": serial_seconds,
+        },
+        "workers": rows,
+        "best_speedup": best_speedup,
+    }
 
 
 # ----------------------------------------------------------------------
@@ -721,6 +859,13 @@ def run_bench(
     else:
         scale_providers = tuple(int(n) for n in scale_providers)
     federation_points = ((120, 1), (600, 4)) if smoke else FEDERATION_POINTS
+    parallel_n = 600 if smoke else 100_000
+    parallel_shards = 4 if smoke else 50
+    parallel_workers = (1, 2) if smoke else (1, 2, 4, 8)
+    if max_n is not None:
+        parallel_n = min(parallel_n, max_n)
+    if shards is not None:
+        parallel_shards = shards
     if max_n is not None:
         kept = tuple(n for n in scale_providers if n <= max_n)
         if not kept or max_n > max(scale_providers):
@@ -783,8 +928,18 @@ def run_bench(
             mediations=matrix_mediations,
             repeats=matrix_repeats,
         ),
+        "parallel_federation": measure_parallel_federation(
+            n_providers=parallel_n,
+            shards=parallel_shards,
+            worker_counts=parallel_workers,
+            mediations=matrix_mediations,
+            repeats=matrix_repeats,
+        ),
         "registry": measure_registry_scaling(scale_providers, lookups=lookups),
     }
+    record["speedup"]["parallel_vs_serial"] = record["parallel_federation"][
+        "best_speedup"
+    ]
     scaling = record["scaling"]
     low, high = min(scale_providers), max(scale_providers)
     # The flat-mediator flatness gate: fast-engine throughput at the
@@ -858,6 +1013,24 @@ def format_report(record: Dict[str, object]) -> str:
             )
         lines.append(
             f"    flatness (largest / smallest): {federation['flat_ratio']:.2f}x"
+        )
+    parallel = record.get("parallel_federation")
+    if parallel:
+        lines += [
+            "",
+            f"  parallel federation (slice-max, N={parallel['n_providers']},"
+            f" K={parallel['shards']}):",
+            f"    serial   {parallel['serial']['mediate_per_s']:>10,.0f}"
+            " mediations/s",
+        ]
+        for row in parallel["workers"].values():
+            lines.append(
+                f"    W={row['workers']:<4}"
+                f" {row['mediate_per_s']:>10,.0f} mediations/s"
+                f"   ({row['speedup']:.2f}x)"
+            )
+        lines.append(
+            f"    best speedup vs serial: {parallel['best_speedup']:.2f}x"
         )
     registry = record.get("registry")
     if registry:

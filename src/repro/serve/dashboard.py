@@ -93,6 +93,14 @@ def render_dashboard(
         lines.append(
             f"satisfaction (consumers) {bar(consumer_now)} {_fmt(consumer_now)}"
         )
+    shards = snapshot.get("shards")
+    if shards:
+        lines.append("shards     " + "  ".join(
+            f"s{row.get('shard')}: q={row.get('queue_depth', 0)}"
+            f" m={row.get('mediations', 0)}"
+            f" fwd={row.get('forwarded', 0)}"
+            for row in shards
+        ))
     lines.append("rolling satisfaction:")
     lines.append("  " + sparkline(satisfaction_history, width=width))
     for consumer_id, value in per_consumer:

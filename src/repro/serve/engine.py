@@ -309,6 +309,24 @@ class ServeEngine:
         satisfaction_now = (
             sum(c.satisfaction for c in online) / len(online) if online else 0.0
         )
+        federation = getattr(self.live.mediator, "federation", None)
+        shards = None
+        if federation is not None:
+            shards = [
+                {
+                    "shard": ordinal,
+                    "queue_depth": sum(
+                        p.queries_in_progress
+                        for p in shard_registry.online_providers()
+                    ),
+                    "providers_online": len(shard_registry.online_providers()),
+                    "mediations": shard.mediations,
+                    "forwarded": shard.forwarded,
+                }
+                for ordinal, (shard, shard_registry) in enumerate(
+                    zip(federation.mediators, federation.registries)
+                )
+            ]
         return {
             "policy": self.policy_spec.label,
             "sim_time": self.sim.now,
@@ -331,6 +349,7 @@ class ServeEngine:
             },
             "admission": self.admission.stats.snapshot(),
             "latency": self.metrics.snapshot(),
+            **({"shards": shards} if shards is not None else {}),
         }
 
     def summary_now(self) -> RunSummary:

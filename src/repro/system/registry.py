@@ -184,6 +184,17 @@ class SystemRegistry:
         return self._providers[participant_id]
 
     @property
+    def version(self) -> int:
+        """Provider-membership/online-state version counter.
+
+        Advances on every provider registration and online-state
+        transition.  External caches over this registry's provider
+        population (e.g. the federation's merged candidate pools) key
+        their validity on it instead of re-fetching snapshots per call.
+        """
+        return self._provider_version
+
+    @property
     def consumers(self) -> Tuple["Consumer", ...]:
         """All registered consumers, in insertion order (cached tuple)."""
         cache = self._consumers_cache

@@ -174,3 +174,74 @@ class TestRunModes:
         sim.schedule_at(1.0, lambda: None)
         text = repr(sim)
         assert "pending=1" in text
+
+
+class TestPostInBatch:
+    def test_matches_sequential_post_in(self, sim):
+        """Batched insertion fires the same actions at the same times in
+        the same order as the equivalent post_in sequence."""
+        from repro.des.scheduler import Simulator
+
+        items = [(2.0, "a"), (0.5, "b"), (2.0, "c"), (0.0, "d"), (0.5, "e")]
+
+        def _trace(simulator, post):
+            fired = []
+            post(simulator, [
+                (delay, (lambda t=tag: fired.append((simulator.now, t))))
+                for delay, tag in items
+            ])
+            simulator.run()
+            return fired
+
+        def _one_by_one(simulator, entries):
+            for delay, action in entries:
+                simulator.post_in(delay, action)
+
+        def _batched(simulator, entries):
+            simulator.post_in_batch(entries)
+
+        assert _trace(Simulator(), _one_by_one) == _trace(sim, _batched)
+
+    def test_same_instant_preserves_submission_order(self, sim):
+        fired = []
+        sim.post_in_batch(
+            (1.0, (lambda i=i: fired.append(i))) for i in range(20)
+        )
+        sim.run()
+        assert fired == list(range(20))
+
+    def test_interleaves_with_existing_events(self, sim):
+        fired = []
+        sim.schedule_at(1.5, lambda: fired.append("scheduled"))
+        sim.post_in_batch([(1.0, lambda: fired.append("early")),
+                           (2.0, lambda: fired.append("late"))])
+        sim.run()
+        assert fired == ["early", "scheduled", "late"]
+
+    def test_negative_delay_raises(self, sim):
+        with pytest.raises(SimulationError, match="non-negative"):
+            sim.post_in_batch([(1.0, lambda: None), (-0.1, lambda: None)])
+
+    def test_empty_batch_is_noop(self, sim):
+        sim.post_in_batch([])
+        assert sim.run() == 0
+
+    def test_large_batch_heapify_path(self, sim):
+        """A batch larger than the existing heap takes the extend +
+        heapify path; order must still be (time, submission)."""
+        fired = []
+        sim.schedule_at(0.25, lambda: fired.append(-1))
+        sim.post_in_batch(
+            ((i % 7) * 0.1, (lambda i=i: fired.append(i))) for i in range(50)
+        )
+        sim.run()
+        # within each delay bucket, submission order; buckets by time
+        by_time = sorted(
+            range(50), key=lambda i: ((i % 7) * 0.1, i)
+        )
+        reference = (
+            [i for i in by_time if (i % 7) * 0.1 < 0.25]
+            + [-1]
+            + [i for i in by_time if (i % 7) * 0.1 > 0.25]
+        )
+        assert fired == reference

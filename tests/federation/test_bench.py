@@ -70,9 +70,25 @@ class TestRunBenchAxes:
         )
 
     def test_version_and_sections(self, record):
-        assert record["bench_version"] == BENCH_VERSION == 4
+        assert record["bench_version"] == BENCH_VERSION == 5
         assert "federation" in record
         assert "scaling_ratio" in record["speedup"]
+
+    def test_parallel_federation_section(self, record):
+        section = record["parallel_federation"]
+        assert section["mode"] == "slice-max"
+        assert section["serial"]["mediate_per_s"] > 0
+        for row in section["workers"].values():
+            assert row["mediate_per_s"] > 0
+            assert row["groups"] <= section["shards"]
+        assert record["speedup"]["parallel_vs_serial"] == (
+            section["best_speedup"]
+        )
+
+    def test_report_renders_parallel_federation(self, record):
+        report = format_report(record)
+        assert "parallel federation" in report
+        assert "slice-max" in report
 
     def test_report_renders_federation(self, record):
         report = format_report(record)

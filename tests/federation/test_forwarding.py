@@ -113,6 +113,55 @@ class TestMergedCandidates:
         assert victim not in merged_after
         assert len(merged_after) == len(merged_before) - 1
 
+    def test_cache_reused_while_registries_unchanged(self):
+        """The merged pool is rebuilt only on a registry version bump:
+        identical objects come back while no shard's membership or
+        online set moved (the snapshot-cache fix -- before it, every
+        forwarded mediation either rebuilt or, worse, served a pool
+        that predated peer churn)."""
+        sim, mediator, _ = _facade(12, 4)
+        federation = mediator.federation
+        merged_a, peers_a = federation.merged_candidates(0, "c0")
+        merged_b, peers_b = federation.merged_candidates(0, "c0")
+        assert merged_a is merged_b
+        assert peers_a is peers_b
+
+    def test_cache_refreshed_after_peer_membership_churn(self):
+        """A provider joining a *peer* shard registry after the pool was
+        cached must appear in the next merged pool."""
+        sim, mediator, _ = _facade(12, 4)
+        federation = mediator.federation
+        merged_before, peers = federation.merged_candidates(0, "c0")
+        peer = peers[0]
+        peer_registry = federation.registries[peer]
+        from repro.system.provider import Provider
+
+        joiner = Provider(
+            sim,
+            mediator.network,
+            participant_id="p-joiner",
+            resource_shares={"c0": 1.0},
+        )
+        peer_registry.add_provider(joiner)
+        merged_after, _ = federation.merged_candidates(0, "c0")
+        assert merged_after is not merged_before
+        assert joiner in merged_after
+
+    def test_departures_and_rejoins_refresh_round_trip(self):
+        """Offline -> cached pool shrinks; back online -> pool is whole
+        again (two version bumps, two rebuilds)."""
+        sim, mediator, _ = _facade(12, 4)
+        federation = mediator.federation
+        merged_full, _ = federation.merged_candidates(0, "c0")
+        victim = merged_full[0]
+        victim.online = False
+        merged_less, _ = federation.merged_candidates(0, "c0")
+        assert len(merged_less) == len(merged_full) - 1
+        victim.online = True
+        merged_again, _ = federation.merged_candidates(0, "c0")
+        assert len(merged_again) == len(merged_full)
+        assert victim in merged_again
+
     def test_every_capable_provider_covered(self):
         """The union of shard pools is the global pool: no provider is
         lost to the partition."""

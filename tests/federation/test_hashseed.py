@@ -78,6 +78,35 @@ sys.stdout.write(wire_run(config, spec.policies[0]).finalize().digest())
 """
 
 
+#: Process-parallel digest probe: serial and every worker count must
+#: produce one digest, whatever the interpreter's hash seed (worker
+#: processes inherit it via fork, so a hash-order dependence anywhere
+#: in slicing, flushing, or the parent merge would surface here).
+_PARALLEL_SCRIPT = """
+import sys
+from dataclasses import replace
+from repro.api.presets import scenario_spec
+from repro.experiments.runner import run_once
+from repro.federation import FederationConfig, run_parallel
+
+spec = scenario_spec("scenario1", duration=90.0)
+config = replace(
+    spec.to_config(),
+    federation=FederationConfig(shards=3),
+    latency_low=0.05,
+    latency_high=0.05,
+)
+policy = spec.policies[0]
+digests = [run_once(config, policy).digest()]
+for workers in (1, 2, 3):
+    report = run_parallel(config, policy, workers=workers)
+    assert report.mode == "parallel", report.reason
+    digests.append(report.result.digest())
+assert len(set(digests)) == 1, digests
+sys.stdout.write(digests[0])
+"""
+
+
 def _run_with_hash_seed(script: str, seed: str) -> str:
     env = dict(os.environ)
     env["PYTHONHASHSEED"] = seed
@@ -109,3 +138,9 @@ def test_federated_digest_identical_across_hash_seeds():
     baseline = _run_with_hash_seed(_DIGEST_SCRIPT, "0")
     assert len(baseline) == 64  # sha256 hex
     assert _run_with_hash_seed(_DIGEST_SCRIPT, "random") == baseline
+
+
+def test_parallel_digest_identical_across_hash_seeds_and_workers():
+    baseline = _run_with_hash_seed(_PARALLEL_SCRIPT, "0")
+    assert len(baseline) == 64  # sha256 hex
+    assert _run_with_hash_seed(_PARALLEL_SCRIPT, "random") == baseline

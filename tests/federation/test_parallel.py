@@ -1,0 +1,287 @@
+"""Process-parallel shard execution: digest parity and the protocol.
+
+The contract of :mod:`repro.federation.parallel` is absolute: whatever
+the worker count, the merged result's digest equals the single-process
+digest byte for byte, or the runner falls back to serial (and then the
+digest is trivially equal).  These tests pin
+
+* the group planner's partition properties,
+* the eligibility gate's reasons,
+* digest parity on preset-derived configs (both engines, several
+  worker counts, with and without churn),
+* the conservative cross-group-forwarding fallback, and
+* the ``Session.run(shard_workers=...)`` surface.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.api.presets import scenario_spec
+from repro.experiments.runner import run_once, wire_run
+from repro.federation import (
+    FederationConfig,
+    parallel_ineligible_reason,
+    plan_groups,
+    run_parallel,
+)
+
+
+def _federated_config(scenario="scenario1", duration=90.0, shards=3, **over):
+    spec = scenario_spec(scenario, duration=duration)
+    # Presets draw per-message latency from [low, high); the parallel
+    # path needs the constant model (its lookahead), so pin it.
+    config = replace(
+        spec.to_config(),
+        federation=FederationConfig(shards=shards),
+        latency_low=0.05,
+        latency_high=0.05,
+        **over,
+    )
+    return config, spec.policies[0]
+
+
+# ----------------------------------------------------------------------
+# plan_groups
+# ----------------------------------------------------------------------
+
+
+class TestPlanGroups:
+    @pytest.mark.parametrize("shards,workers", [(1, 1), (3, 2), (5, 5), (50, 8)])
+    def test_partition_properties(self, shards, workers):
+        groups = plan_groups(shards, workers)
+        flat = [s for group in groups for s in group]
+        # A partition: every shard exactly once, in order, contiguous.
+        assert flat == list(range(shards))
+        assert all(
+            group == tuple(range(group[0], group[0] + len(group)))
+            for group in groups
+        )
+        # Balanced: sizes differ by at most one.
+        sizes = [len(group) for group in groups]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_workers_clamped_to_shards(self):
+        assert len(plan_groups(2, 16)) == 2
+
+    def test_deterministic(self):
+        assert plan_groups(50, 8) == plan_groups(50, 8)
+
+    @pytest.mark.parametrize("shards,workers", [(0, 1), (1, 0)])
+    def test_rejects_nonpositive(self, shards, workers):
+        with pytest.raises(ValueError):
+            plan_groups(shards, workers)
+
+
+# ----------------------------------------------------------------------
+# Eligibility
+# ----------------------------------------------------------------------
+
+
+class TestEligibility:
+    def test_eligible_config(self):
+        config, _ = _federated_config()
+        assert config.latency_low == config.latency_high
+        assert parallel_ineligible_reason(config) is None
+
+    def test_requires_federation(self):
+        config, _ = _federated_config()
+        assert "federation" in parallel_ineligible_reason(
+            replace(config, federation=None)
+        )
+
+    def test_rejects_random_latency(self):
+        config, _ = _federated_config()
+        reason = parallel_ineligible_reason(
+            replace(config, latency_low=0.01, latency_high=0.2)
+        )
+        assert "latency" in reason
+
+    def test_rejects_failure_injection(self):
+        from repro.system.failures import FailureConfig
+
+        config, _ = _federated_config()
+        reason = parallel_ineligible_reason(
+            replace(
+                config,
+                failures=FailureConfig(mttf=1000.0),
+                result_timeout=240.0,
+            )
+        )
+        assert "failure" in reason
+
+    def test_rejects_keep_records(self):
+        config, _ = _federated_config()
+        assert "keep_records" in parallel_ineligible_reason(
+            replace(config, keep_records=True)
+        )
+
+    def test_rejects_provider_snapshots(self):
+        config, _ = _federated_config()
+        assert "snapshot" in parallel_ineligible_reason(
+            replace(config, track_provider_snapshots=True)
+        )
+
+    def test_ineligible_config_falls_back_to_serial(self):
+        config, policy = _federated_config(keep_records=True)
+        report = run_parallel(config, policy, workers=2)
+        assert report.mode == "serial-fallback"
+        assert "keep_records" in report.reason
+        assert (
+            report.result.digest()
+            == run_once(config, policy).digest()
+        )
+
+
+# ----------------------------------------------------------------------
+# Digest parity
+# ----------------------------------------------------------------------
+
+
+class TestDigestParity:
+    @pytest.mark.parametrize("engine", ["fast", "event"])
+    def test_parallel_matches_serial(self, engine):
+        config, policy = _federated_config()
+        config = replace(config, engine=engine)
+        serial = run_once(config, policy).digest()
+        report = run_parallel(config, policy, workers=2)
+        assert report.mode == "parallel"
+        assert report.result.digest() == serial
+
+    def test_every_worker_count_identical(self):
+        config, policy = _federated_config(duration=60.0)
+        serial = run_once(config, policy).digest()
+        for workers in (1, 2, 3):
+            report = run_parallel(config, policy, workers=workers)
+            assert report.mode == "parallel"
+            assert report.result.digest() == serial, (
+                f"workers={workers} diverged from serial"
+            )
+
+    def test_workers_beyond_shards_clamp(self):
+        config, policy = _federated_config(duration=60.0)
+        report = run_parallel(config, policy, workers=16)
+        assert report.mode == "parallel"
+        assert len(report.groups) == 3  # clamped to the shard count
+        assert (
+            report.result.digest()
+            == run_once(config, policy).digest()
+        )
+
+    def test_churn_scenario_parallel(self):
+        # scenario4 exercises autonomous departures/rejoins; ownership
+        # of the churn sweep must partition cleanly across workers.
+        config, policy = _federated_config("scenario4", duration=90.0)
+        serial = run_once(config, policy).digest()
+        report = run_parallel(config, policy, workers=2)
+        assert report.mode == "parallel"
+        assert report.result.digest() == serial
+
+    def test_replication_seeding_respected(self):
+        config, policy = _federated_config(duration=60.0)
+        serial = run_once(config, policy, replication=3).digest()
+        report = run_parallel(config, policy, workers=2, replication=3)
+        assert report.mode == "parallel"
+        assert report.result.digest() == serial
+        assert (
+            report.result.digest()
+            != run_once(config, policy, replication=0).digest()
+        )
+
+
+# ----------------------------------------------------------------------
+# Conservative cross-group guard
+# ----------------------------------------------------------------------
+
+
+class TestForwardingGuard:
+    def test_cross_group_forwarding_falls_back(self):
+        # An absurd forward threshold makes every mediation consult the
+        # peer shards; with 2 workers some peers are out-of-group, so
+        # the guard must trip and the parent must rerun serially.
+        config, policy = _federated_config(
+            duration=60.0,
+        )
+        config = replace(
+            config,
+            federation=FederationConfig(shards=3, forward_threshold=1000),
+        )
+        serial = run_once(config, policy).digest()
+        report = run_parallel(config, policy, workers=2)
+        assert report.mode == "serial-fallback"
+        assert "cross-group forwarding" in report.reason
+        assert report.result.digest() == serial
+
+    def test_single_group_forwarding_stays_parallel(self):
+        # With one worker, every peer is in-group: forwarding runs
+        # natively and the digest still matches serial.
+        config, policy = _federated_config(duration=60.0)
+        config = replace(
+            config,
+            federation=FederationConfig(shards=3, forward_threshold=1000),
+        )
+        serial = run_once(config, policy).digest()
+        report = run_parallel(config, policy, workers=1)
+        assert report.mode == "parallel"
+        assert report.result.digest() == serial
+
+
+# ----------------------------------------------------------------------
+# Session surface
+# ----------------------------------------------------------------------
+
+
+class TestSessionShardWorkers:
+    def _spec(self):
+        from repro.api.builder import Experiment
+
+        return (
+            Experiment.builder()
+            .named("shard-workers")
+            .seed(11)
+            .duration(60.0)
+            .providers(9)
+            .latency(0.05, 0.05)
+            .federation(shards=3)
+            .policy("sbqa")
+            .replications(2)
+            .build()
+        )
+
+    def test_result_json_identical_to_serial(self):
+        from repro.api.session import Session
+
+        spec = self._spec()
+        serial = Session(spec).run(keep_runs=False)
+        sharded = Session(spec).run(shard_workers=2)
+        assert sharded.to_dict() == serial.to_dict()
+        # The shard-workers path is within-run parallelism: the result
+        # still reports the serial replication schedule.
+        assert sharded.parallel is False
+
+    def test_mutually_exclusive_with_parallel(self):
+        from repro.api.session import Session
+
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            Session(self._spec()).run(parallel=True, shard_workers=2)
+
+    def test_keep_runs_rejected(self):
+        from repro.api.session import Session
+
+        with pytest.raises(ValueError, match="keep_runs"):
+            Session(self._spec()).run(shard_workers=2, keep_runs=True)
+
+
+# ----------------------------------------------------------------------
+# Wire-level slice invariants
+# ----------------------------------------------------------------------
+
+
+class TestShardSlice:
+    def test_slice_rejects_workload(self):
+        from repro.federation.parallel import ShardSlice
+
+        config, policy = _federated_config(duration=30.0)
+        shard_slice = ShardSlice(group=(0,), shards=3)
+        with pytest.raises(ValueError):
+            wire_run(config, policy, workload=(), shard_slice=shard_slice)
